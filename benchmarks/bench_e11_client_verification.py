@@ -1,0 +1,110 @@
+"""E11 (extension) — proof factoring for client programs.
+
+Paper claim (section 5): the algebraic specification "provides a set of
+powerful rules of inference" for verifying programs that *use* abstract
+types, factoring the proof so implementations never enter.  We verify
+straight-line client programs over Queue, Symboltable and the Store DBMS
+example from the axioms alone, and time the prover.
+"""
+
+import pytest
+
+from repro.adt.queue import QUEUE_SPEC
+from repro.adt.store import STORE_SPEC
+from repro.adt.symboltable import SYMBOLTABLE_SPEC
+from repro.verify import parse_client_program, verify_client
+
+from conftest import report
+
+QUEUE_PROGRAM = """
+input i: Item
+input j: Item
+input k: Item
+let q := ADD(ADD(ADD(NEW, i), j), k)
+assert FRONT(q) = i
+assert FRONT(REMOVE(q)) = j
+assert FRONT(REMOVE(REMOVE(q))) = k
+assert IS_EMPTY?(REMOVE(REMOVE(REMOVE(q)))) = true
+"""
+
+SYMBOLTABLE_PROGRAM = """
+input id: Identifier
+input a: Attributelist
+input b: Attributelist
+let t := ADD(INIT, id, a)
+let u := ADD(ENTERBLOCK(t), id, b)
+assert RETRIEVE(t, id) = a
+assert RETRIEVE(u, id) = b
+assert RETRIEVE(LEAVEBLOCK(u), id) = a
+assert IS_INBLOCK?(ENTERBLOCK(t), id) = false
+"""
+
+STORE_PROGRAM = """
+input s0: Store
+input k: Identifier
+input v: Attributelist
+let tx := PUT(BEGIN_TX(s0), k, v)
+assert GET(tx, k) = v
+assert GET(COMMIT(tx), k) = v
+assert ROLLBACK(tx) = s0
+assert HAS?(COMMIT(tx), k) = true
+"""
+
+FALSE_PROGRAM = """
+input i: Item
+input j: Item
+let q := ADD(ADD(NEW, i), j)
+assert FRONT(q) = j
+"""
+
+
+def _verify(source, *specs):
+    program = parse_client_program(source, *specs)
+    return verify_client(program)
+
+
+def test_e11_queue_theorems(benchmark):
+    result = benchmark(_verify, QUEUE_PROGRAM, QUEUE_SPEC)
+    assert result.all_proved, str(result)
+
+
+def test_e11_symboltable_theorems(benchmark):
+    result = benchmark(_verify, SYMBOLTABLE_PROGRAM, SYMBOLTABLE_SPEC)
+    assert result.all_proved, str(result)
+
+
+def test_e11_store_theorems(benchmark):
+    result = benchmark(_verify, STORE_PROGRAM, STORE_SPEC)
+    assert result.all_proved, str(result)
+
+
+def test_e11_false_claims_rejected(benchmark):
+    result = benchmark(_verify, FALSE_PROGRAM, QUEUE_SPEC)
+    assert not result.all_proved
+    assert len(result.failures) == 1
+
+
+def test_e11_summary_table(benchmark):
+    def run_all():
+        rows = []
+        for name, source, specs in (
+            ("Queue FIFO", QUEUE_PROGRAM, (QUEUE_SPEC,)),
+            ("Symboltable scoping", SYMBOLTABLE_PROGRAM, (SYMBOLTABLE_SPEC,)),
+            ("Store transactions", STORE_PROGRAM, (STORE_SPEC,)),
+            ("Deliberately wrong", FALSE_PROGRAM, (QUEUE_SPEC,)),
+        ):
+            outcome = _verify(source, *specs)
+            proved = sum(1 for _, r in outcome.outcomes if r.proved)
+            rows.append(
+                [name, f"{proved}/{len(outcome.outcomes)}", outcome.all_proved]
+            )
+        return rows
+
+    rows = benchmark(run_all)
+    report(
+        "E11: client-program verification (axioms only)",
+        ["program", "assertions proved", "all proved"],
+        rows,
+    )
+    assert rows[0][2] and rows[1][2] and rows[2][2]
+    assert not rows[3][2]

@@ -1,0 +1,81 @@
+"""E5 — Φ⁻¹ is one-to-many: the ring-buffer bounded queue.
+
+Paper artefact: the two program segments of section 4 leave the
+ring-buffer representation in physically different states that denote
+the same abstract value.  We regenerate both figures, apply Φ, and time
+the abstraction.
+"""
+
+import pytest
+
+from repro.adt.boundedqueue import (
+    RingBufferQueue,
+    paper_first_segment,
+    paper_second_segment,
+    phi_ring_buffer,
+)
+
+from conftest import report
+
+
+def test_e5_first_segment(benchmark):
+    queue = benchmark(paper_first_segment)
+    # The paper's figure: buffer D|B|C, pointer at B.
+    assert queue.raw_buffer == ("D", "B", "C")
+    assert queue.front_index == 1
+
+
+def test_e5_second_segment(benchmark):
+    queue = benchmark(paper_second_segment)
+    assert queue.raw_buffer == ("B", "C", "D")
+    assert queue.front_index == 0
+
+
+def test_e5_phi_collapses_representations(benchmark):
+    first = paper_first_segment()
+    second = paper_second_segment()
+
+    def phi_both():
+        return phi_ring_buffer(first), phi_ring_buffer(second)
+
+    image_first, image_second = benchmark(phi_both)
+    assert not first.same_representation(second)
+    assert image_first == image_second
+    report(
+        "E5: the two segments",
+        ["segment", "buffer", "front", "Φ image"],
+        [
+            ["1 (A,B,C; remove; D)", first.raw_buffer, first.front_index, image_first],
+            ["2 (B,C,D)", second.raw_buffer, second.front_index, image_second],
+        ],
+    )
+
+
+def test_e5_churn_preserves_value(benchmark):
+    """Rotating a full window all the way around the buffer: every
+    intermediate state is a fresh representation of a queue value
+    reconstructible from its live window alone."""
+
+    def churn():
+        queue = RingBufferQueue.empty(4).add(1).add(2).add(3)
+        images = set()
+        representations = set()
+        for step in range(8):
+            queue = queue.remove().add(step)
+            images.add(phi_ring_buffer(queue))
+            representations.add(
+                (queue.raw_buffer, queue.front_index)
+            )
+        return images, representations
+
+    images, representations = benchmark(churn)
+    # Many distinct physical states...
+    assert len(representations) == 8
+    # ...with distinct abstract values only as contents change:
+    assert len(images) == 8
+    # and rebuilding from the live window gives an equal value.
+    queue = RingBufferQueue.empty(4).add("x").add("y")
+    rebuilt = RingBufferQueue.empty(4)
+    for value in queue.live_window():
+        rebuilt = rebuilt.add(value)
+    assert phi_ring_buffer(queue) == phi_ring_buffer(rebuilt)

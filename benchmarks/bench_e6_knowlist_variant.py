@@ -1,0 +1,121 @@
+"""E6 — the knows-list language change.
+
+Paper artefact: "all relations, and only those relations, that
+explicitly deal with the ENTERBLOCK operation would have to be altered"
+plus one added level (type Knowlist).  We regenerate the axiom diff,
+re-check the modified specification, and compile knows-dialect programs
+with both concrete and symbolic backends.
+"""
+
+import pytest
+
+from repro.adt.knowlist import KNOWLIST_SPEC, SYMBOLTABLE_KNOWS_SPEC
+from repro.adt.symboltable import SYMBOLTABLE_SPEC
+from repro.analysis import check_consistency, check_sufficient_completeness
+from repro.compiler import (
+    KnowsConcreteBackend,
+    analyze_source,
+)
+from repro.compiler.diagnostics import Code
+
+from conftest import report
+
+KNOWS_PROGRAM = """
+begin
+  declare g: int;
+  declare h: int;
+  begin knows g
+    g := 1;
+    h := 2;
+  end;
+end
+"""
+
+
+def test_e6_axiom_diff_table(benchmark):
+    def diff():
+        original = {a.label for a in SYMBOLTABLE_SPEC.axioms}
+        modified = {a.label for a in SYMBOLTABLE_KNOWS_SPEC.axioms}
+        kept = sorted(original & modified, key=int)
+        replaced = sorted(original - modified, key=int)
+        added = sorted(modified - original)
+        return kept, replaced, added
+
+    kept, replaced, added = benchmark(diff)
+    report(
+        "E6: axiom diff",
+        ["kind", "axioms"],
+        [
+            ["kept verbatim", ", ".join(kept)],
+            ["replaced (ENTERBLOCK only)", ", ".join(replaced)],
+            ["added", ", ".join(added)],
+        ],
+    )
+    # Exactly the ENTERBLOCK relations (2, 5, 8) change.
+    assert replaced == ["2", "5", "8"]
+    assert added == ["2k", "5k", "8k"]
+    assert kept == ["1", "3", "4", "6", "7", "9"]
+
+
+def test_e6_variant_completeness(benchmark):
+    result = benchmark(
+        check_sufficient_completeness, SYMBOLTABLE_KNOWS_SPEC
+    )
+    assert result.sufficiently_complete, str(result)
+
+
+def test_e6_variant_consistency(benchmark):
+    result = benchmark(check_consistency, SYMBOLTABLE_KNOWS_SPEC)
+    assert result.consistent, str(result)
+
+
+def test_e6_knowlist_level(benchmark):
+    result = benchmark(check_sufficient_completeness, KNOWLIST_SPEC)
+    assert result.sufficiently_complete
+
+
+def test_e6_adapted_representation_verifies(benchmark):
+    """The paper: "the kind of changes necessary can be inferred from
+    the changes made to the axiomatization."  We made them (scope pairs
+    carry their knows list; RETRIEVE' filters at boundaries) and the
+    adapted representation verifies with *exactly* the original's
+    conditional-correctness profile: the ADD' obligations need
+    Assumption 1, everything else — including all three new relations —
+    proves outright."""
+    from repro.adt.knowlist_rep import knows_symboltable_representation
+    from repro.verify import Mode, verify_representation
+
+    rep = knows_symboltable_representation()
+
+    def run():
+        free = verify_representation(rep, Mode.UNCONDITIONAL)
+        conditional = verify_representation(rep, Mode.CONDITIONAL)
+        return free, conditional
+
+    free, conditional = benchmark(run)
+    assert set(free.failed_labels) == {"6", "9"}
+    assert conditional.all_proved
+    report(
+        "E6: adapted representation, per mode",
+        ["obligations", "all values", "Assumption 1"],
+        [
+            ["1, 3, 4, 7, 2k, 5k, 8k", "proved", "proved"],
+            ["6, 9 (the ADD' pair)", "FAIL", "proved"],
+        ],
+    )
+
+
+def test_e6_frontend_follows(benchmark):
+    result = benchmark(
+        analyze_source, KNOWS_PROGRAM, KnowsConcreteBackend(), "knows"
+    )
+    codes = result.diagnostics.codes()
+    assert codes == [Code.NOT_IN_KNOWS_LIST]
+    report(
+        "E6: knows-dialect compile",
+        ["access", "verdict"],
+        [
+            ["g := 1  (g in knows list)", "ok"],
+            ["h := 2  (h not in knows list)", "error NOT_IN_KNOWS_LIST"],
+        ],
+    )

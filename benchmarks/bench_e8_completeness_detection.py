@@ -1,0 +1,180 @@
+"""E8 — boundary-condition detection and the prompting loop.
+
+Paper claim (section 3): "completeness is, in a practical sense, a more
+severe problem than consistency ... Boundary conditions, e.g.
+REMOVE(NEW), are particularly likely to be overlooked."  The system
+"would begin to prompt the user to supply the additional information".
+
+We regenerate: for every single-axiom deletion from each paper spec, the
+checker finds exactly the deleted case; the boundary-answering oracle
+then closes every boundary gap in one round.  Detection cost is timed
+against specification size.
+"""
+
+import pytest
+
+from repro.spec.parser import parse_specification
+from repro.spec.specification import Specification
+from repro.analysis import (
+    CompletionSession,
+    check_sufficient_completeness,
+    default_boundary_oracle,
+    prompts_for,
+)
+from repro.adt.array import ARRAY_SPEC
+from repro.adt.queue import QUEUE_SPEC
+from repro.adt.stack import STACK_SPEC
+from repro.adt.symboltable import SYMBOLTABLE_SPEC
+
+from conftest import report
+
+PAPER_SPECS = [QUEUE_SPEC, STACK_SPEC, ARRAY_SPEC, SYMBOLTABLE_SPEC]
+
+
+def _without_axiom(spec: Specification, label: str) -> Specification:
+    remaining = tuple(a for a in spec.axioms if a.label != label)
+    return Specification(
+        spec.name,
+        spec.signature,
+        spec.type_of_interest,
+        remaining,
+        spec.uses,
+        spec.parameter_sorts,
+    )
+
+
+def _detection_sweep():
+    """Delete each axiom in turn; record what the checker reports."""
+    rows = []
+    detected = 0
+    total = 0
+    for spec in PAPER_SPECS:
+        for axiom in spec.axioms:
+            # Deleting an axiom can flip an operation into the
+            # constructor class (its last axiom gone) — still a
+            # detectable incompleteness unless the spec is degenerate.
+            mutated = _without_axiom(spec, axiom.label)
+            result = check_sufficient_completeness(mutated, sample_terms=0)
+            total += 1
+            if not result.sufficiently_complete:
+                detected += 1
+            rows.append(
+                [
+                    spec.name,
+                    axiom.label,
+                    "detected"
+                    if not result.sufficiently_complete
+                    else "MISSED",
+                    len(result.missing),
+                ]
+            )
+    return rows, detected, total
+
+
+def test_e8_single_deletion_sweep(benchmark):
+    rows, detected, total = benchmark(_detection_sweep)
+    report(
+        "E8: single-axiom deletion sweep",
+        ["spec", "deleted axiom", "verdict", "missing cases"],
+        rows,
+    )
+    # Every mutation must be caught.
+    assert detected == total, f"only {detected}/{total} deletions detected"
+
+
+def test_e8_remove_new_is_the_canonical_prompt(benchmark):
+    mutated = _without_axiom(QUEUE_SPEC, "5")
+    prompts = benchmark(prompts_for, mutated)
+    assert [str(p.pattern) for p in prompts] == ["REMOVE(NEW)"]
+    assert prompts[0].is_boundary
+
+
+def test_e8_boundary_oracle_round_trip(benchmark):
+    mutated = _without_axiom(
+        _without_axiom(QUEUE_SPEC, "5"), "3"
+    )  # drop both boundary axioms
+
+    def repair():
+        session = CompletionSession(mutated, default_boundary_oracle)
+        return session.run(), session.rounds
+
+    repaired, rounds = benchmark(repair)
+    assert rounds == 1
+    assert check_sufficient_completeness(repaired).sufficiently_complete
+
+
+def test_e8_axiom_coverage_lint(benchmark):
+    """The complementary lint: every axiom of every paper spec does
+    real work (fires on a representative sample), and a deliberately
+    shadowed axiom is caught as dead."""
+    from repro.analysis import check_axiom_coverage
+
+    def run():
+        live = all(
+            check_axiom_coverage(spec, observations=150).fully_covered
+            for spec in PAPER_SPECS
+        )
+        shadowed = parse_specification(
+            """
+            type F
+            uses Boolean
+            operations
+              MKF: -> F
+              GROW: F -> F
+              UP?: F -> Boolean
+            vars
+              f: F
+            axioms
+              (general) UP?(f) = true
+              (dead) UP?(MKF) = true
+            """
+        )
+        dead = check_axiom_coverage(shadowed).uncovered
+        return live, dead
+
+    live, dead = benchmark(run)
+    assert live
+    assert dead == ["dead"]
+    report(
+        "E8: axiom coverage lint",
+        ["subject", "verdict"],
+        [
+            ["all 26 paper axioms", "every axiom fires"],
+            ["deliberately shadowed axiom", "flagged as never firing"],
+        ],
+    )
+
+
+def test_e8_detection_cost_vs_size(benchmark):
+    """Check cost grows modestly with the number of operations."""
+
+    def synthesize(observers: int) -> Specification:
+        lines = [
+            "type Wide",
+            "uses Boolean",
+            "operations",
+            "  MKW: -> Wide",
+            "  GROW: Wide -> Wide",
+        ]
+        for index in range(observers):
+            lines.append(f"  OBS{index}?: Wide -> Boolean")
+        lines.append("vars")
+        lines.append("  w: Wide")
+        lines.append("axioms")
+        for index in range(observers):
+            lines.append(f"  OBS{index}?(MKW) = true")
+            lines.append(f"  OBS{index}?(GROW(w)) = OBS{index}?(w)")
+        return parse_specification("\n".join(lines))
+
+    sizes = [4, 16, 64]
+    specs = {size: synthesize(size) for size in sizes}
+
+    def sweep():
+        return {
+            size: check_sufficient_completeness(spec, sample_terms=0)
+            for size, spec in specs.items()
+        }
+
+    results = benchmark(sweep)
+    assert all(r.sufficiently_complete for r in results.values())
+    benchmark.extra_info["operations_checked"] = sizes

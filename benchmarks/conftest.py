@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness.
+
+Every experiment (E1-E10, see DESIGN.md) regenerates its paper artefact:
+the benchmark functions time the operation and *assert the shape* of the
+result the paper reports, and each prints its rows so `pytest
+benchmarks/ --benchmark-only -s` reproduces the tables of
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def report(title: str, headers, rows) -> None:
+    """Print one experiment table (visible with -s; always captured in
+    the test output otherwise)."""
+    from repro.report import format_table
+
+    print()
+    print(f"== {title} ==")
+    print(format_table(headers, rows))
+
+
+@pytest.fixture(scope="session")
+def representation():
+    from repro.adt.symboltable import symboltable_representation
+
+    return symboltable_representation()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Φ⁻¹ is one-to-many: the paper's ring-buffer figures, executed.
+
+Section 4 shows two program segments whose ring-buffer states differ
+physically yet denote the same bounded queue.  This example runs both
+segments, draws the buffers, and applies the abstraction function Φ to
+show they collapse to the same constructor term.
+
+Run:  python examples/bounded_queue_phi.py
+"""
+
+from repro.adt.boundedqueue import (
+    GARBAGE,
+    RingBufferQueue,
+    paper_first_segment,
+    paper_second_segment,
+    phi_ring_buffer,
+)
+from repro.report import banner
+
+
+def draw(queue: RingBufferQueue) -> str:
+    """ASCII rendering of a ring buffer with its front pointer."""
+    cells = []
+    for index, cell in enumerate(queue.raw_buffer):
+        text = " ? " if cell is GARBAGE else f" {cell} "
+        cells.append(text)
+    top = "+" + "+".join("-" * len(c) for c in cells) + "+"
+    row = "|" + "|".join(cells) + "|"
+    pointer_cells = [
+        " ^ " if index == queue.front_index else "   "
+        for index in range(len(queue.raw_buffer))
+    ]
+    pointer = " " + " ".join(pointer_cells)
+    return "\n".join(
+        [top, row, top, pointer + "  <- front pointer "
+         f"(length {queue.size()})"]
+    )
+
+
+def main() -> None:
+    print(banner("Program segment 1"))
+    print("x := EMPTY_Q")
+    print("x := ADD_Q(x, A); ADD_Q(x, B); ADD_Q(x, C)")
+    print("x := REMOVE_Q(x)")
+    print("x := ADD_Q(x, D)")
+    first = paper_first_segment()
+    print()
+    print(draw(first))
+
+    print(banner("Program segment 2"))
+    print("x := EMPTY_Q")
+    print("x := ADD_Q(x, B); ADD_Q(x, C); ADD_Q(x, D)")
+    second = paper_second_segment()
+    print()
+    print(draw(second))
+
+    print(banner("Same value, different representations"))
+    print(f"physically identical:    {first.same_representation(second)}")
+    print(f"abstractly equal:        {first == second}")
+    print(f"Φ(segment 1) = {phi_ring_buffer(first)}")
+    print(f"Φ(segment 2) = {phi_ring_buffer(second)}")
+    print()
+    print("The mapping from values to representations, Φ⁻¹, is "
+          "one-to-many: both states above are legitimate representations "
+          "of the queue <B, C, D>.")
+
+    print(banner("Drain both: identical observable behaviour"))
+    left, right = first, second
+    while not left.is_empty():
+        assert left.front() == right.front()
+        print(f"FRONT -> {left.front()!r} (both)")
+        left, right = left.remove(), right.remove()
+    print("both empty.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Debugging an incomplete specification with the prompting system.
+
+Section 3: boundary conditions such as REMOVE(NEW) are "particularly
+likely to be overlooked"; the paper proposes heuristics and a system
+that "would begin to prompt the user to supply the additional
+information".  This example writes a deliberately buggy draft of a
+text-editor buffer type, lets the checker find the holes (and one
+inconsistency), and repairs it interactively.
+
+Run:  python examples/spec_debugging.py
+"""
+
+from repro import (
+    check_consistency,
+    check_sufficient_completeness,
+    parse_specification,
+)
+from repro.algebra.terms import Err
+from repro.analysis import (
+    CompletionSession,
+    Prompt,
+    prompts_for,
+    scaffold,
+)
+from repro.report import banner
+from repro.spec.axioms import Axiom
+
+# A cursor-less editor buffer: insert characters, backspace, inspect.
+# Three things are wrong with the draft:
+#   * BACKSPACE(EMPTY_BUF) is missing      (the classic boundary slip)
+#   * LAST(EMPTY_BUF) is missing
+#   * the author wrote two contradictory axioms for IS_BLANK? of INSERT
+DRAFT = """
+type Buffer
+uses Boolean, Identifier
+
+operations
+  EMPTY_BUF: -> Buffer
+  INSERT:    Buffer x Identifier -> Buffer
+  BACKSPACE: Buffer -> Buffer
+  LAST:      Buffer -> Identifier
+  IS_BLANK?: Buffer -> Boolean
+
+vars
+  b: Buffer
+  c: Identifier
+
+axioms
+  (1) IS_BLANK?(EMPTY_BUF) = true
+  (2) IS_BLANK?(INSERT(b, c)) = false
+  (3) LAST(INSERT(b, c)) = c
+  (4) BACKSPACE(INSERT(b, c)) = b
+"""
+
+CONTRADICTORY = DRAFT + "  (5) IS_BLANK?(INSERT(b, c)) = true\n"
+
+
+def main() -> None:
+    print(banner("The case grid a complete axiom set must cover"))
+    spec = parse_specification(DRAFT)
+    for operation, patterns in scaffold(spec).items():
+        covered = {str(a.lhs) for a in spec.axioms}
+        for pattern in patterns:
+            status = "ok" if _covered(spec, pattern) else "MISSING"
+            print(f"  {str(pattern):38s} {status}")
+
+    print(banner("What the checker reports"))
+    report = check_sufficient_completeness(spec)
+    print(report)
+
+    print(banner("The prompts (boundary conditions first)"))
+    for prompt in prompts_for(spec):
+        print(f"  {prompt}")
+        print(f"    suggestion: {prompt.suggestion}")
+
+    print(banner("An interactive repair session"))
+
+    def user(prompt: Prompt):
+        """Plays the user: boundary cases are errors here."""
+        answer = Axiom(prompt.pattern, Err(prompt.pattern.sort), "fix")
+        print(f"  system: {prompt}")
+        print(f"  user:   {prompt.pattern} = error")
+        return answer
+
+    session = CompletionSession(spec, user)
+    repaired = session.run()
+    final = check_sufficient_completeness(repaired)
+    print(f"after {session.rounds} round(s): sufficiently complete = "
+          f"{final.sufficiently_complete}")
+
+    print(banner("Consistency: the contradictory draft"))
+    broken = parse_specification(CONTRADICTORY)
+    verdict = check_consistency(broken)
+    print(verdict)
+
+
+def _covered(spec, pattern) -> bool:
+    from repro.algebra.matching import match
+
+    return any(match(a.lhs, pattern) is not None for a in spec.axioms)
+
+
+if __name__ == "__main__":
+    main()

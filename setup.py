@@ -1,0 +1,7 @@
+"""Setup shim: lets `python setup.py develop` work in offline
+environments that lack the `wheel` package (pip's editable-install path
+requires bdist_wheel; this one does not)."""
+
+from setuptools import setup
+
+setup()

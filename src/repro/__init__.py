@@ -1,0 +1,96 @@
+"""repro — algebraic specification of abstract data types.
+
+A production-grade reproduction of John Guttag, *Abstract Data Types and
+the Development of Data Structures* (CACM 20(6), 1977): a many-sorted
+term algebra, the algebraic specification language with its ``error``
+algebra and if-then-else, a rewrite engine giving specifications an
+operational reading, Guttag's sufficient-completeness and consistency
+analyses with the interactive completion heuristics, symbolic
+interpretation (specs as implementations), representation verification
+(proof obligations, equational proving, generator induction, model
+checking), the full symbol-table case study, and a compiler front end
+built on it.
+
+Quickstart::
+
+    from repro import parse_specification, facade_class
+
+    spec = parse_specification(QUEUE_TEXT)
+    Queue = facade_class(spec)
+    Queue.new().add('a').add('b').front()   # -> 'a'
+"""
+
+from repro.algebra import (
+    BOOLEAN,
+    NAT,
+    Operation,
+    Signature,
+    Sort,
+    SortError,
+    Term,
+)
+from repro.spec import (
+    AlgebraError,
+    Axiom,
+    ParseError,
+    Specification,
+    parse_specification,
+    parse_specifications,
+)
+from repro.rewriting import RewriteEngine, RewriteLimitError, RuleSet
+from repro.analysis import (
+    CompletionSession,
+    check_axiom_coverage,
+    check_consistency,
+    check_sufficient_completeness,
+    classify,
+    lint_specification,
+    prompts_for,
+)
+from repro.interp import SymbolicInterpreter, facade_class
+from repro.verify import (
+    Mode,
+    Representation,
+    model_check,
+    obligations_for,
+    verify_representation,
+)
+from repro.testing import ImplementationBinding, check_axioms
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BOOLEAN",
+    "NAT",
+    "Operation",
+    "Signature",
+    "Sort",
+    "SortError",
+    "Term",
+    "AlgebraError",
+    "Axiom",
+    "ParseError",
+    "Specification",
+    "parse_specification",
+    "parse_specifications",
+    "RewriteEngine",
+    "RewriteLimitError",
+    "RuleSet",
+    "CompletionSession",
+    "check_axiom_coverage",
+    "check_consistency",
+    "check_sufficient_completeness",
+    "classify",
+    "lint_specification",
+    "prompts_for",
+    "SymbolicInterpreter",
+    "facade_class",
+    "Mode",
+    "Representation",
+    "model_check",
+    "obligations_for",
+    "verify_representation",
+    "ImplementationBinding",
+    "check_axioms",
+    "__version__",
+]

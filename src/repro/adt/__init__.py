@@ -1,0 +1,83 @@
+"""The ADT library: every type from the paper, specified and implemented.
+
+Each module pairs an algebraic specification (the text mirroring the
+paper's axioms) with a concrete Python implementation and, where the
+paper gives one, an abstraction function Φ.
+"""
+
+from repro.adt.queue import ListQueue, QUEUE_SPEC, queue_term
+from repro.adt.stack import LinkedStack, STACK_SPEC, phi_stack
+from repro.adt.array import ARRAY_SPEC, HashArray, phi_array
+from repro.adt.symboltable import (
+    SYMBOLTABLE_REP_SPEC,
+    SYMBOLTABLE_SPEC,
+    STACK_OF_ARRAYS_SPEC,
+    SymbolTable,
+    phi_symboltable,
+    symboltable_representation,
+)
+from repro.adt.boundedqueue import (
+    BOUNDED_QUEUE_SPEC,
+    DEFAULT_CAPACITY,
+    RingBufferQueue,
+    paper_first_segment,
+    paper_second_segment,
+    phi_ring_buffer,
+)
+from repro.adt.knowlist import (
+    KNOWLIST_SPEC,
+    KnowsSymbolTable,
+    SYMBOLTABLE_KNOWS_SPEC,
+    TupleKnowlist,
+    knowlist_term,
+)
+from repro.adt.store import LayeredStore, STORE_SPEC, phi_store, store_binding
+from repro.adt.extras import (
+    BAG_SPEC,
+    FrozenSetModel,
+    LIST_SPEC,
+    MAP_SPEC,
+    SET_SPEC,
+    TupleBag,
+    list_term,
+)
+
+__all__ = [
+    "LayeredStore",
+    "STORE_SPEC",
+    "phi_store",
+    "store_binding",
+    "ListQueue",
+    "QUEUE_SPEC",
+    "queue_term",
+    "LinkedStack",
+    "STACK_SPEC",
+    "phi_stack",
+    "ARRAY_SPEC",
+    "HashArray",
+    "phi_array",
+    "SYMBOLTABLE_REP_SPEC",
+    "SYMBOLTABLE_SPEC",
+    "STACK_OF_ARRAYS_SPEC",
+    "SymbolTable",
+    "phi_symboltable",
+    "symboltable_representation",
+    "BOUNDED_QUEUE_SPEC",
+    "DEFAULT_CAPACITY",
+    "RingBufferQueue",
+    "paper_first_segment",
+    "paper_second_segment",
+    "phi_ring_buffer",
+    "KNOWLIST_SPEC",
+    "KnowsSymbolTable",
+    "SYMBOLTABLE_KNOWS_SPEC",
+    "TupleKnowlist",
+    "knowlist_term",
+    "BAG_SPEC",
+    "FrozenSetModel",
+    "LIST_SPEC",
+    "MAP_SPEC",
+    "SET_SPEC",
+    "TupleBag",
+    "list_term",
+]

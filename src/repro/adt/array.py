@@ -1,0 +1,177 @@
+"""Type Array (of Attributelists, indexed by Identifiers) — axioms 17–20.
+
+The array is the second half of the Symboltable representation: one
+array per block, holding the attributes of the identifiers declared in
+that block.  The concrete implementation reproduces the paper's scheme:
+a hash table of ``n`` buckets (``hash_tab``), each a chain of ``entry``
+structures ``{id, attributes, next}``, with new entries consed onto the
+front of their bucket — so a redeclaration *shadows* the older entry
+exactly as axiom 20's recursion does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.algebra.signature import Operation
+from repro.algebra.sorts import Sort
+from repro.algebra.terms import App, Term, app
+from repro.spec.errors import AlgebraError
+from repro.spec.parser import parse_specification
+from repro.spec.prelude import HASH_BUCKETS, _hash_identifier, attributes, identifier
+from repro.spec.specification import Specification
+
+ARRAY_SPEC_TEXT = """
+type Array
+uses Boolean, Identifier, Attributelist
+
+operations
+  EMPTY:         -> Array
+  ASSIGN:        Array x Identifier x Attributelist -> Array
+  READ:          Array x Identifier -> Attributelist
+  IS_UNDEFINED?: Array x Identifier -> Boolean
+
+vars
+  arr:      Array
+  id, idl:  Identifier
+  attrs:    Attributelist
+
+axioms
+  (17) IS_UNDEFINED?(EMPTY, id) = true
+  (18) IS_UNDEFINED?(ASSIGN(arr, id, attrs), idl) =
+         if ISSAME?(id, idl) then false
+         else IS_UNDEFINED?(arr, idl)
+  (19) READ(EMPTY, id) = error
+  (20) READ(ASSIGN(arr, id, attrs), idl) =
+         if ISSAME?(id, idl) then attrs
+         else READ(arr, idl)
+"""
+
+ARRAY_SPEC: Specification = parse_specification(ARRAY_SPEC_TEXT)
+
+ARRAY: Sort = ARRAY_SPEC.type_of_interest
+EMPTY: Operation = ARRAY_SPEC.operation("EMPTY")
+ASSIGN: Operation = ARRAY_SPEC.operation("ASSIGN")
+READ: Operation = ARRAY_SPEC.operation("READ")
+IS_UNDEFINED: Operation = ARRAY_SPEC.operation("IS_UNDEFINED?")
+
+
+def empty() -> App:
+    return app(EMPTY)
+
+
+def assign(array: Term, name: str, attrs: object) -> App:
+    """``ASSIGN(array, 'name', attrs)`` with literal leaves."""
+    return app(ASSIGN, array, identifier(name), attributes(attrs))
+
+
+@dataclass(frozen=True)
+class _Entry:
+    """One allocated ``entry`` structure: id, attributes, next."""
+
+    id: str
+    attributes: object
+    next: Optional["_Entry"]
+
+
+class HashArray:
+    """The paper's ``hash_tab`` implementation of type Array.
+
+    ``n`` buckets of entry chains; ``ASSIGN`` conses a new entry onto the
+    front of bucket ``HASH(id)``, so the most recent assignment for an
+    identifier is found first — the concrete counterpart of axiom 20
+    checking the outermost ``ASSIGN`` first.  Persistent: ``assign``
+    copies the bucket array (entries are shared structurally).
+    """
+
+    __slots__ = ("_buckets",)
+
+    def __init__(
+        self, buckets: Optional[tuple[Optional[_Entry], ...]] = None
+    ) -> None:
+        self._buckets: tuple[Optional[_Entry], ...] = (
+            buckets if buckets is not None else (None,) * HASH_BUCKETS
+        )
+
+    # -- the abstract operations -----------------------------------------
+    @staticmethod
+    def empty() -> "HashArray":
+        return HashArray()
+
+    def assign(self, name: str, attrs: object) -> "HashArray":
+        index = _hash_identifier(name) - 1
+        buckets = list(self._buckets)
+        buckets[index] = _Entry(name, attrs, buckets[index])
+        return HashArray(tuple(buckets))
+
+    def read(self, name: str) -> object:
+        entry = self._find(name)
+        if entry is None:
+            raise AlgebraError(f"READ: {name!r} undefined")
+        return entry.attributes
+
+    def is_undefined(self, name: str) -> bool:
+        return self._find(name) is None
+
+    def _find(self, name: str) -> Optional[_Entry]:
+        entry = self._buckets[_hash_identifier(name) - 1]
+        while entry is not None and entry.id != name:
+            entry = entry.next
+        return entry
+
+    # -- conveniences ------------------------------------------------------
+    def entries(self) -> Iterator[tuple[str, object]]:
+        """Every (id, attributes) pair, most recent first per bucket."""
+        for bucket in self._buckets:
+            entry = bucket
+            while entry is not None:
+                yield entry.id, entry.attributes
+                entry = entry.next
+
+    def names(self) -> set[str]:
+        """The identifiers currently defined."""
+        return {name for name, _ in self.entries()}
+
+    def __eq__(self, other: object) -> bool:
+        """Observational equality: same answers to READ/IS_UNDEFINED?.
+
+        Two HashArrays with different assignment histories can denote the
+        same abstract Array — equality goes through the observers, not
+        the representation (Φ⁻¹ is one-to-many here as well).
+        """
+        if not isinstance(other, HashArray):
+            return NotImplemented
+        names = self.names() | other.names()
+        for name in names:
+            if self.is_undefined(name) != other.is_undefined(name):
+                return False
+            if not self.is_undefined(name) and self.read(name) != other.read(name):
+                return False
+        return True
+
+    def __hash__(self) -> int:
+        visible = {}
+        for name in self.names():
+            visible[name] = self.read(name)
+        return hash(frozenset(visible.items()))
+
+    def __repr__(self) -> str:
+        visible = {name: self.read(name) for name in self.names()}
+        return f"HashArray({visible!r})"
+
+
+def phi_array(array: HashArray) -> Term:
+    """The abstraction function Φ for :class:`HashArray`.
+
+    Rebuilds a constructor term by ASSIGNing the *visible* binding of
+    each defined identifier over EMPTY.  Entries shadowed by later
+    assignments are dropped: they are unobservable, and Φ maps the
+    representation to (a canonical member of) its abstract value.
+    Identifiers are emitted in sorted order so equal abstract values get
+    identical terms.
+    """
+    term: Term = empty()
+    for name in sorted(array.names()):
+        term = assign(term, name, array.read(name))
+    return term

@@ -1,0 +1,179 @@
+"""A third verified representation: Array over a list of pairs.
+
+The paper implements type Array directly in PL/I (the hash table).  An
+intermediate formal level is instructive — and was standard practice in
+the algebraic-specification school: represent the Array as a *list of
+(Identifier, Attributelist) pairs*, newest binding first, so axioms 18
+and 20's outermost-first recursion becomes list traversal.
+
+The level is assembled from existing machinery: the product sort comes
+from :func:`repro.adt.pairs.make_pair_spec`; the constructors from a
+small BindingList spec; the recursive observers ``READ'`` and
+``IS_UNDEFINED?'`` are :class:`~repro.verify.representation.\
+CaseDefinedOperation`\\ s — one equation per list constructor, the same
+definitional shape as specification axioms.
+
+Like Queue-over-lists, every obligation discharges **unconditionally**:
+every association list is a legal Array state.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.signature import Operation, Signature
+from repro.algebra.sorts import BOOLEAN, Sort
+from repro.algebra.terms import Err, Ite, Var, app
+from repro.spec.axioms import Axiom
+from repro.spec.parser import parse_specification
+from repro.spec.prelude import (
+    ATTRIBUTELIST,
+    ATTRIBUTELIST_SPEC,
+    IDENTIFIER,
+    IDENTIFIER_SPEC,
+    ISSAME,
+    false_term,
+    true_term,
+)
+from repro.spec.specification import Specification
+from repro.adt.array import ARRAY_SPEC, ASSIGN, EMPTY
+from repro.adt.pairs import make_pair_spec
+
+# ----------------------------------------------------------------------
+# The representation level: List of (Identifier x Attributelist) pairs
+# ----------------------------------------------------------------------
+BINDING_PAIR_SPEC: Specification = make_pair_spec(
+    IDENTIFIER,
+    ATTRIBUTELIST,
+    name="Binding",
+    uses=(IDENTIFIER_SPEC, ATTRIBUTELIST_SPEC),
+)
+
+BINDING: Sort = BINDING_PAIR_SPEC.type_of_interest
+MKPAIR: Operation = BINDING_PAIR_SPEC.operation("MKPAIR")
+
+BINDING_LIST_SPEC_TEXT = """
+type BindingList
+uses Boolean, Binding
+
+operations
+  BNIL:     -> BindingList
+  BCONS:    Binding x BindingList -> BindingList
+  BIS_NIL?: BindingList -> Boolean
+
+vars
+  p: Binding
+  l: BindingList
+
+axioms
+  (BL1) BIS_NIL?(BNIL) = true
+  (BL2) BIS_NIL?(BCONS(p, l)) = false
+"""
+
+BINDING_LIST_SPEC: Specification = parse_specification(
+    BINDING_LIST_SPEC_TEXT, environment={"Binding": BINDING_PAIR_SPEC}
+)
+
+BINDING_LIST: Sort = BINDING_LIST_SPEC.type_of_interest
+BNIL: Operation = BINDING_LIST_SPEC.operation("BNIL")
+BCONS: Operation = BINDING_LIST_SPEC.operation("BCONS")
+
+
+def _build_representation():
+    from repro.verify.representation import (
+        CaseDefinedOperation,
+        DefinedOperation,
+        Representation,
+    )
+
+    lst = Var("l", BINDING_LIST)
+    ident = Var("id", IDENTIFIER)
+    idp = Var("idp", IDENTIFIER)
+    attrs = Var("attrs", ATTRIBUTELIST)
+    vp = Var("vp", ATTRIBUTELIST)
+
+    empty_p = Operation("EMPTY'", (), BINDING_LIST)
+    assign_p = Operation(
+        "ASSIGN'", (BINDING_LIST, IDENTIFIER, ATTRIBUTELIST), BINDING_LIST
+    )
+    read_p = Operation("READ'", (BINDING_LIST, IDENTIFIER), ATTRIBUTELIST)
+    is_undef_p = Operation(
+        "IS_UNDEFINED?'", (BINDING_LIST, IDENTIFIER), BOOLEAN
+    )
+
+    cons_pattern = app(BCONS, app(MKPAIR, idp, vp), lst)
+
+    defined = [
+        # EMPTY' :: BNIL
+        DefinedOperation(empty_p, (), app(BNIL)),
+        # ASSIGN'(l, id, attrs) :: BCONS(MKPAIR(id, attrs), l)
+        DefinedOperation(
+            assign_p,
+            (lst, ident, attrs),
+            app(BCONS, app(MKPAIR, ident, attrs), lst),
+        ),
+        # READ' by cases over the list constructors.
+        CaseDefinedOperation(
+            read_p,
+            (
+                Axiom(app(read_p, app(BNIL), ident), Err(ATTRIBUTELIST), "R0"),
+                Axiom(
+                    app(read_p, cons_pattern, ident),
+                    Ite(app(ISSAME, idp, ident), vp, app(read_p, lst, ident)),
+                    "R1",
+                ),
+            ),
+        ),
+        # IS_UNDEFINED?' by cases over the list constructors.
+        CaseDefinedOperation(
+            is_undef_p,
+            (
+                Axiom(app(is_undef_p, app(BNIL), ident), true_term(), "U0"),
+                Axiom(
+                    app(is_undef_p, cons_pattern, ident),
+                    Ite(
+                        app(ISSAME, idp, ident),
+                        false_term(),
+                        app(is_undef_p, lst, ident),
+                    ),
+                    "U1",
+                ),
+            ),
+        ),
+    ]
+
+    phi = Operation("Φa", (BINDING_LIST,), ARRAY_SPEC.type_of_interest)
+    phi_axioms = [
+        Axiom(app(phi, app(BNIL)), app(EMPTY), "Φa-nil"),
+        Axiom(
+            app(phi, cons_pattern),
+            app(ASSIGN, app(phi, lst), idp, vp),
+            "Φa-cons",
+        ),
+    ]
+
+    concrete = Specification(
+        "ArrayRep",
+        Signature([BINDING_LIST]),
+        BINDING_LIST,
+        uses=[BINDING_LIST_SPEC],
+    )
+
+    return Representation(
+        abstract=ARRAY_SPEC,
+        concrete=concrete,
+        rep_sort=BINDING_LIST,
+        defined=defined,
+        phi=phi,
+        phi_axioms=phi_axioms,
+        generators=("EMPTY", "ASSIGN"),
+    )
+
+
+_REPRESENTATION = None
+
+
+def array_list_representation():
+    """The (cached) list-of-pairs representation of Array."""
+    global _REPRESENTATION
+    if _REPRESENTATION is None:
+        _REPRESENTATION = _build_representation()
+    return _REPRESENTATION

@@ -1,0 +1,221 @@
+"""Type BoundedQueue — the paper's Φ⁻¹-is-one-to-many example.
+
+Section 4 illustrates that an abstraction function need not have a
+proper inverse with a bounded queue (maximum length three) represented
+by a *ring buffer* and top pointer: two different program segments leave
+the buffer in physically different states (different rotations, stale
+slots) that denote the same abstract value.
+
+This module supplies:
+
+* the algebraic specification of a bounded queue of capacity ``n``
+  (ADD on a full queue is an error — the spec must say so to be
+  sufficiently complete);
+* :class:`RingBufferQueue`, the paper's representation: a fixed ``n``
+  slot buffer, a front index and a length, where REMOVE merely advances
+  the front pointer (leaving the old value as garbage in the buffer)
+  and ADD wraps around;
+* ``phi_ring_buffer``, the abstraction function, which reads only the
+  live window — so all rotations/garbage variants of one queue value
+  map to the same abstract term.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.algebra.signature import Operation
+from repro.algebra.sorts import Sort
+from repro.algebra.terms import Term, app
+from repro.spec.errors import AlgebraError
+from repro.spec.parser import parse_specification
+from repro.spec.prelude import item
+from repro.spec.specification import Specification
+
+#: The paper's example capacity.
+DEFAULT_CAPACITY = 3
+
+BOUNDED_QUEUE_SPEC_TEXT = """
+type BoundedQueue [Item]
+uses Boolean, Nat, Item
+
+operations
+  EMPTY_Q:   -> BoundedQueue
+  ADD_Q:     BoundedQueue x Item -> BoundedQueue
+  FRONT_Q:   BoundedQueue -> Item
+  REMOVE_Q:  BoundedQueue -> BoundedQueue
+  IS_EMPTY_Q?: BoundedQueue -> Boolean
+  SIZE_Q:    BoundedQueue -> Nat
+
+vars
+  q: BoundedQueue
+  i: Item
+
+axioms
+  (BQ1) IS_EMPTY_Q?(EMPTY_Q) = true
+  (BQ2) IS_EMPTY_Q?(ADD_Q(q, i)) = false
+  (BQ3) FRONT_Q(EMPTY_Q) = error
+  (BQ4) FRONT_Q(ADD_Q(q, i)) = if IS_EMPTY_Q?(q) then i else FRONT_Q(q)
+  (BQ5) REMOVE_Q(EMPTY_Q) = error
+  (BQ6) REMOVE_Q(ADD_Q(q, i)) = if IS_EMPTY_Q?(q) then EMPTY_Q
+                                else ADD_Q(REMOVE_Q(q), i)
+  (BQ7) SIZE_Q(EMPTY_Q) = zero
+  (BQ8) SIZE_Q(ADD_Q(q, i)) = succ(SIZE_Q(q))
+"""
+
+#: The unbounded core of the specification.  Capacity enforcement is a
+#: *representation* property of the fixed-size buffer: ADD_Q on a full
+#: queue raises at the implementation level, and the correctness tests
+#: confine themselves to programs that stay within capacity (the same
+#: conditional-correctness reading the paper applies to Assumption 1).
+BOUNDED_QUEUE_SPEC: Specification = parse_specification(
+    BOUNDED_QUEUE_SPEC_TEXT
+)
+
+BOUNDED_QUEUE: Sort = BOUNDED_QUEUE_SPEC.type_of_interest
+EMPTY_Q: Operation = BOUNDED_QUEUE_SPEC.operation("EMPTY_Q")
+ADD_Q: Operation = BOUNDED_QUEUE_SPEC.operation("ADD_Q")
+FRONT_Q: Operation = BOUNDED_QUEUE_SPEC.operation("FRONT_Q")
+REMOVE_Q: Operation = BOUNDED_QUEUE_SPEC.operation("REMOVE_Q")
+IS_EMPTY_Q: Operation = BOUNDED_QUEUE_SPEC.operation("IS_EMPTY_Q?")
+SIZE_Q: Operation = BOUNDED_QUEUE_SPEC.operation("SIZE_Q")
+
+#: A sentinel marking a buffer slot that holds no live value (either
+#: never written, or left behind by REMOVE_Q's pointer bump).
+GARBAGE = object()
+
+
+class RingBufferQueue:
+    """The paper's ring-buffer representation of a bounded queue.
+
+    The state is ``(buffer, front, length)``; REMOVE advances ``front``
+    modulo the capacity *without clearing the slot* — exactly why two
+    states can represent the same value.  Persistent: operations return
+    new instances; the buffer tuple is copied on write.
+    """
+
+    __slots__ = ("_buffer", "_front", "_length")
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        _buffer: Optional[tuple[object, ...]] = None,
+        _front: int = 0,
+        _length: int = 0,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self._buffer: tuple[object, ...] = (
+            _buffer if _buffer is not None else (GARBAGE,) * capacity
+        )
+        self._front = _front
+        self._length = _length
+
+    # -- the abstract operations -----------------------------------------
+    @staticmethod
+    def empty(capacity: int = DEFAULT_CAPACITY) -> "RingBufferQueue":
+        return RingBufferQueue(capacity)
+
+    def add(self, element: object) -> "RingBufferQueue":
+        if self._length == len(self._buffer):
+            raise AlgebraError("ADD_Q on a full bounded queue")
+        slot = (self._front + self._length) % len(self._buffer)
+        buffer = list(self._buffer)
+        buffer[slot] = element
+        return RingBufferQueue(
+            len(self._buffer), tuple(buffer), self._front, self._length + 1
+        )
+
+    def front(self) -> object:
+        if not self._length:
+            raise AlgebraError("FRONT_Q(EMPTY_Q)")
+        return self._buffer[self._front]
+
+    def remove(self) -> "RingBufferQueue":
+        if not self._length:
+            raise AlgebraError("REMOVE_Q(EMPTY_Q)")
+        # The paper's point: only the pointer moves; the slot keeps its
+        # stale value.
+        return RingBufferQueue(
+            len(self._buffer),
+            self._buffer,
+            (self._front + 1) % len(self._buffer),
+            self._length - 1,
+        )
+
+    def is_empty(self) -> bool:
+        return self._length == 0
+
+    def size(self) -> int:
+        return self._length
+
+    # -- representation inspection (the point of the example) -------------
+    @property
+    def raw_buffer(self) -> tuple[object, ...]:
+        """The physical slots, garbage and all."""
+        return self._buffer
+
+    @property
+    def front_index(self) -> int:
+        return self._front
+
+    def live_window(self) -> tuple[object, ...]:
+        """The abstractly visible contents, oldest first."""
+        capacity = len(self._buffer)
+        return tuple(
+            self._buffer[(self._front + offset) % capacity]
+            for offset in range(self._length)
+        )
+
+    def same_representation(self, other: "RingBufferQueue") -> bool:
+        """Physical identity of the state (buffer, pointer, length)."""
+        return (
+            self._buffer == other._buffer
+            and self._front == other._front
+            and self._length == other._length
+        )
+
+    def __eq__(self, other: object) -> bool:
+        """Abstract equality: same live window (Φ-image equality)."""
+        if not isinstance(other, RingBufferQueue):
+            return NotImplemented
+        return self.live_window() == other.live_window()
+
+    def __hash__(self) -> int:
+        return hash(self.live_window())
+
+    def __repr__(self) -> str:
+        cells = [
+            "?" if cell is GARBAGE else repr(cell) for cell in self._buffer
+        ]
+        return (
+            f"RingBufferQueue(buffer=[{', '.join(cells)}], "
+            f"front={self._front}, length={self._length})"
+        )
+
+
+def phi_ring_buffer(queue: RingBufferQueue) -> Term:
+    """The abstraction function Φ: live window → constructor term.
+
+    All representations with the same live window — however rotated, and
+    whatever garbage their dead slots hold — map to the same term:
+    Φ⁻¹ is one-to-many.
+    """
+    term: Term = app(EMPTY_Q)
+    for value in queue.live_window():
+        term = app(ADD_Q, term, item(value))
+    return term
+
+
+def paper_first_segment(capacity: int = DEFAULT_CAPACITY) -> RingBufferQueue:
+    """x := EMPTY_Q; ADD A; ADD B; ADD C; REMOVE; ADD D."""
+    x = RingBufferQueue.empty(capacity)
+    x = x.add("A").add("B").add("C")
+    x = x.remove()
+    return x.add("D")
+
+
+def paper_second_segment(capacity: int = DEFAULT_CAPACITY) -> RingBufferQueue:
+    """x := EMPTY_Q; ADD B; ADD C; ADD D."""
+    x = RingBufferQueue.empty(capacity)
+    return x.add("B").add("C").add("D")

@@ -1,0 +1,274 @@
+"""Further library types specified algebraically.
+
+The paper argues the technique generalises ("many complex systems can
+be viewed as instances of an abstract type"); this module exercises that
+claim with the classic companions to Queue and Stack — Set, Bag, List
+and Map — each with a specification and a reference Python model.  They
+also widen the test surface for the analysis and rewriting engines
+(e.g. Set's INSERT is *not* a free constructor pattern for CARD — the
+specification is written observer-style instead).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.algebra.signature import Operation
+from repro.algebra.sorts import Sort
+from repro.algebra.terms import Term, app
+from repro.spec.parser import parse_specification
+from repro.spec.prelude import item
+from repro.spec.specification import Specification
+
+# ----------------------------------------------------------------------
+# Set of Items
+# ----------------------------------------------------------------------
+SET_SPEC_TEXT = """
+type Set [Item]
+uses Boolean, Item
+
+operations
+  EMPTY_SET: -> Set
+  INSERT:    Set x Item -> Set
+  DELETE:    Set x Item -> Set
+  HAS?:      Set x Item -> Boolean
+
+vars
+  s:    Set
+  i, j: Item
+
+axioms
+  (S1) HAS?(EMPTY_SET, i) = false
+  (S2) HAS?(INSERT(s, i), j) = if SAME_ITEM?(i, j) then true else HAS?(s, j)
+  (S3) DELETE(EMPTY_SET, i) = EMPTY_SET
+  (S4) DELETE(INSERT(s, i), j) = if SAME_ITEM?(i, j) then DELETE(s, j)
+                                 else INSERT(DELETE(s, j), i)
+"""
+
+
+def _same_item(left: object, right: object) -> bool:
+    return left == right
+
+
+#: Item equality, imported like Identifier's ISSAME?.
+SAME_ITEM = Operation(
+    "SAME_ITEM?",
+    (Sort("Item"), Sort("Item")),
+    Sort("Boolean"),
+    builtin=_same_item,
+)
+
+
+def _item_with_eq_spec() -> Specification:
+    from repro.algebra.signature import Signature
+    from repro.algebra.sorts import BOOLEAN
+    from repro.spec.prelude import BOOLEAN_SPEC, ITEM
+
+    return Specification(
+        "ItemEq",
+        Signature([ITEM, BOOLEAN], [SAME_ITEM]),
+        ITEM,
+        uses=[BOOLEAN_SPEC],
+    )
+
+
+ITEM_EQ_SPEC: Specification = _item_with_eq_spec()
+
+SET_SPEC: Specification = parse_specification(
+    SET_SPEC_TEXT, environment={"Item": ITEM_EQ_SPEC}
+)
+
+
+class FrozenSetModel:
+    """Reference model for the Set specification."""
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items: Iterable[object] = ()) -> None:
+        self._items = frozenset(items)
+
+    @staticmethod
+    def empty() -> "FrozenSetModel":
+        return FrozenSetModel()
+
+    def insert(self, element: object) -> "FrozenSetModel":
+        return FrozenSetModel(self._items | {element})
+
+    def delete(self, element: object) -> "FrozenSetModel":
+        return FrozenSetModel(self._items - {element})
+
+    def has(self, element: object) -> bool:
+        return element in self._items
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FrozenSetModel):
+            return NotImplemented
+        return self._items == other._items
+
+    def __hash__(self) -> int:
+        return hash(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[object]:
+        return iter(self._items)
+
+    def __repr__(self) -> str:
+        return f"FrozenSetModel({sorted(map(repr, self._items))})"
+
+
+# ----------------------------------------------------------------------
+# Bag (multiset) of Items
+# ----------------------------------------------------------------------
+BAG_SPEC_TEXT = """
+type Bag [Item]
+uses Boolean, Nat, Item
+
+operations
+  EMPTY_BAG: -> Bag
+  PUT:       Bag x Item -> Bag
+  TAKE:      Bag x Item -> Bag
+  COUNT:     Bag x Item -> Nat
+
+vars
+  b:    Bag
+  i, j: Item
+
+axioms
+  (G1) COUNT(EMPTY_BAG, i) = zero
+  (G2) COUNT(PUT(b, i), j) = if SAME_ITEM?(i, j) then succ(COUNT(b, j))
+                             else COUNT(b, j)
+  (G3) TAKE(EMPTY_BAG, i) = EMPTY_BAG
+  (G4) TAKE(PUT(b, i), j) = if SAME_ITEM?(i, j) then b
+                            else PUT(TAKE(b, j), i)
+"""
+
+BAG_SPEC: Specification = parse_specification(
+    BAG_SPEC_TEXT, environment={"Item": ITEM_EQ_SPEC}
+)
+
+
+class TupleBag:
+    """Reference model for the Bag specification."""
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items: Iterable[object] = ()) -> None:
+        self._items = tuple(items)
+
+    @staticmethod
+    def empty() -> "TupleBag":
+        return TupleBag()
+
+    def put(self, element: object) -> "TupleBag":
+        return TupleBag(self._items + (element,))
+
+    def take(self, element: object) -> "TupleBag":
+        items = list(self._items)
+        # Remove the most recently PUT occurrence, matching axiom G4's
+        # outermost-first recursion.
+        for index in range(len(items) - 1, -1, -1):
+            if items[index] == element:
+                del items[index]
+                return TupleBag(items)
+        return TupleBag(items)
+
+    def count(self, element: object) -> int:
+        return sum(1 for current in self._items if current == element)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TupleBag):
+            return NotImplemented
+        return sorted(map(repr, self._items)) == sorted(map(repr, other._items))
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted(map(repr, self._items))))
+
+    def __repr__(self) -> str:
+        return f"TupleBag({list(self._items)!r})"
+
+
+# ----------------------------------------------------------------------
+# List of Items (cons lists with append)
+# ----------------------------------------------------------------------
+LIST_SPEC_TEXT = """
+type List [Item]
+uses Boolean, Nat, Item
+
+operations
+  NIL:     -> List
+  CONS:    Item x List -> List
+  HEAD:    List -> Item
+  TAIL:    List -> List
+  LENGTH:  List -> Nat
+  APPEND_L: List x List -> List
+  IS_NIL?: List -> Boolean
+  LAST:    List -> Item
+  BUTLAST: List -> List
+
+vars
+  l, m: List
+  i:    Item
+
+axioms
+  (L1) IS_NIL?(NIL) = true
+  (L2) IS_NIL?(CONS(i, l)) = false
+  (L3) HEAD(NIL) = error
+  (L4) HEAD(CONS(i, l)) = i
+  (L5) TAIL(NIL) = error
+  (L6) TAIL(CONS(i, l)) = l
+  (L7) LENGTH(NIL) = zero
+  (L8) LENGTH(CONS(i, l)) = succ(LENGTH(l))
+  (L9) APPEND_L(NIL, m) = m
+  (L10) APPEND_L(CONS(i, l), m) = CONS(i, APPEND_L(l, m))
+  (L11) LAST(NIL) = error
+  (L12) LAST(CONS(i, l)) = if IS_NIL?(l) then i else LAST(l)
+  (L13) BUTLAST(NIL) = error
+  (L14) BUTLAST(CONS(i, l)) = if IS_NIL?(l) then NIL
+                              else CONS(i, BUTLAST(l))
+"""
+
+LIST_SPEC: Specification = parse_specification(LIST_SPEC_TEXT)
+
+LIST: Sort = LIST_SPEC.type_of_interest
+NIL: Operation = LIST_SPEC.operation("NIL")
+CONS: Operation = LIST_SPEC.operation("CONS")
+
+
+def list_term(values: Iterable[object]) -> Term:
+    term: Term = app(NIL)
+    for value in reversed(list(values)):
+        term = app(CONS, item(value), term)
+    return term
+
+
+# ----------------------------------------------------------------------
+# Map from Identifiers to Attributelists (the Array spec, renamed — kept
+# as a distinct schema to exercise multi-level `uses` in tests)
+# ----------------------------------------------------------------------
+MAP_SPEC_TEXT = """
+type Map
+uses Boolean, Identifier, Attributelist
+
+operations
+  EMPTY_MAP: -> Map
+  BIND:      Map x Identifier x Attributelist -> Map
+  LOOKUP:    Map x Identifier -> Attributelist
+  BOUND?:    Map x Identifier -> Boolean
+
+vars
+  m:       Map
+  id, idl: Identifier
+  attrs:   Attributelist
+
+axioms
+  (M1) BOUND?(EMPTY_MAP, id) = false
+  (M2) BOUND?(BIND(m, id, attrs), idl) = if ISSAME?(id, idl) then true
+                                         else BOUND?(m, idl)
+  (M3) LOOKUP(EMPTY_MAP, id) = error
+  (M4) LOOKUP(BIND(m, id, attrs), idl) = if ISSAME?(id, idl) then attrs
+                                         else LOOKUP(m, idl)
+"""
+
+MAP_SPEC: Specification = parse_specification(MAP_SPEC_TEXT)

@@ -1,0 +1,246 @@
+"""Type Knowlist and the knows-list Symboltable variant (section 4).
+
+The paper's adaptability exercise: the compiled language changes so a
+block inherits globals only if they appear in a "knows list" given at
+block entry.  "Within the specification of type Symboltable, all
+relations, and only those relations, that explicitly deal with the
+ENTERBLOCK operation would have to be altered" — plus one new level,
+the Knowlist type itself.
+
+This module contains:
+
+* the Knowlist specification (CREATE / APPEND / IS_IN?);
+* the modified Symboltable specification
+  (:data:`SYMBOLTABLE_KNOWS_SPEC`), built from the original's axioms by
+  swapping exactly the ENTERBLOCK relations, as the paper prescribes;
+* Python implementations of both (:class:`TupleKnowlist`,
+  :class:`KnowsSymbolTable`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+from repro.algebra.signature import Operation, Signature
+from repro.algebra.sorts import Sort
+from repro.algebra.terms import Err, Ite, Term, Var, app
+from repro.spec.axioms import Axiom
+from repro.spec.errors import AlgebraError
+from repro.spec.parser import parse_specification
+from repro.spec.specification import Specification
+from repro.adt.array import HashArray
+from repro.adt.stack import LinkedStack
+from repro.adt.symboltable import SYMBOLTABLE_SPEC
+
+# ----------------------------------------------------------------------
+# Type Knowlist
+# ----------------------------------------------------------------------
+KNOWLIST_SPEC_TEXT = """
+type Knowlist
+uses Boolean, Identifier
+
+operations
+  CREATE: -> Knowlist
+  APPEND: Knowlist x Identifier -> Knowlist
+  IS_IN?: Knowlist x Identifier -> Boolean
+
+vars
+  klist:   Knowlist
+  id, idl: Identifier
+
+axioms
+  (K1) IS_IN?(CREATE, id) = false
+  (K2) IS_IN?(APPEND(klist, id), idl) =
+         if ISSAME?(id, idl) then true
+         else IS_IN?(klist, idl)
+"""
+
+KNOWLIST_SPEC: Specification = parse_specification(KNOWLIST_SPEC_TEXT)
+
+KNOWLIST: Sort = KNOWLIST_SPEC.type_of_interest
+CREATE: Operation = KNOWLIST_SPEC.operation("CREATE")
+APPEND: Operation = KNOWLIST_SPEC.operation("APPEND")
+IS_IN: Operation = KNOWLIST_SPEC.operation("IS_IN?")
+
+
+def knowlist_term(names: Iterable[str]) -> Term:
+    from repro.spec.prelude import identifier
+
+    term: Term = app(CREATE)
+    for name in names:
+        term = app(APPEND, term, identifier(name))
+    return term
+
+
+class TupleKnowlist:
+    """The trivial implementation the paper promises Knowlist is."""
+
+    __slots__ = ("_names",)
+
+    def __init__(self, names: Iterable[str] = ()) -> None:
+        self._names: tuple[str, ...] = tuple(names)
+
+    @staticmethod
+    def create() -> "TupleKnowlist":
+        return TupleKnowlist()
+
+    def append(self, name: str) -> "TupleKnowlist":
+        return TupleKnowlist(self._names + (name,))
+
+    def is_in(self, name: str) -> bool:
+        return name in self._names
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._names)
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TupleKnowlist):
+            return NotImplemented
+        return self._names == other._names
+
+    def __hash__(self) -> int:
+        return hash(self._names)
+
+    def __repr__(self) -> str:
+        return f"TupleKnowlist({list(self._names)!r})"
+
+
+# ----------------------------------------------------------------------
+# The knows-list Symboltable: swap exactly the ENTERBLOCK relations
+# ----------------------------------------------------------------------
+def _build_knows_spec() -> Specification:
+    """Carry out the paper's modification procedure.
+
+    Start from the original Symboltable; keep every axiom that does not
+    mention ENTERBLOCK (1, 3, 4, 6, 7, 9); re-declare ENTERBLOCK with
+    the Knowlist argument; add the three replacement relations.
+    """
+    original = SYMBOLTABLE_SPEC
+    toi = original.type_of_interest
+    from repro.spec.prelude import ATTRIBUTELIST, IDENTIFIER
+
+    enterblock = Operation("ENTERBLOCK", (toi, KNOWLIST), toi)
+
+    signature = Signature()
+    for sort in original.signature.sorts:
+        signature.add_sort(sort)
+    signature.add_sort(KNOWLIST)
+    for operation in original.signature.operations:
+        if operation.name == "ENTERBLOCK":
+            signature.add_operation(enterblock)
+        else:
+            signature.add_operation(operation)
+
+    kept = original.without_axioms(labels=("2", "5", "8"))
+
+    leaveblock = original.operation("LEAVEBLOCK")
+    is_inblock = original.operation("IS_INBLOCK?")
+    retrieve = original.operation("RETRIEVE")
+    symtab = Var("symtab", toi)
+    klist = Var("klist", KNOWLIST)
+    ident = Var("id", IDENTIFIER)
+    from repro.spec.prelude import false_term
+
+    replacements = (
+        Axiom(
+            app(leaveblock, app(enterblock, symtab, klist)),
+            symtab,
+            "2k",
+        ),
+        Axiom(
+            app(is_inblock, app(enterblock, symtab, klist), ident),
+            false_term(),
+            "5k",
+        ),
+        Axiom(
+            app(retrieve, app(enterblock, symtab, klist), ident),
+            Ite(
+                app(IS_IN, klist, ident),
+                app(retrieve, symtab, ident),
+                Err(ATTRIBUTELIST),
+            ),
+            "8k",
+        ),
+    )
+
+    return Specification(
+        "SymboltableKnows",
+        signature,
+        toi,
+        kept + replacements,
+        uses=tuple(original.uses) + (KNOWLIST_SPEC,),
+    )
+
+
+SYMBOLTABLE_KNOWS_SPEC: Specification = _build_knows_spec()
+
+
+# ----------------------------------------------------------------------
+# Concrete implementation
+# ----------------------------------------------------------------------
+class KnowsSymbolTable:
+    """Stack-of-(scope, knows-list) pairs implementing the variant.
+
+    A RETRIEVE that has to cross a block boundary is filtered by that
+    block's knows list: names not listed are invisible outside the
+    blocks that declared them.
+    """
+
+    __slots__ = ("_scopes",)
+
+    def __init__(
+        self,
+        scopes: Optional[LinkedStack[tuple[HashArray, Optional[TupleKnowlist]]]] = None,
+    ) -> None:
+        self._scopes = scopes if scopes is not None else LinkedStack()
+
+    @staticmethod
+    def init() -> "KnowsSymbolTable":
+        # The global scope has no knows list: nothing is outside it.
+        return KnowsSymbolTable(LinkedStack().push((HashArray.empty(), None)))
+
+    def enterblock(self, knows: TupleKnowlist) -> "KnowsSymbolTable":
+        return KnowsSymbolTable(self._scopes.push((HashArray.empty(), knows)))
+
+    def leaveblock(self) -> "KnowsSymbolTable":
+        popped = self._scopes.pop()
+        if popped.is_newstack():
+            raise AlgebraError("LEAVEBLOCK would discard the global scope")
+        return KnowsSymbolTable(popped)
+
+    def add(self, name: str, attrs: object) -> "KnowsSymbolTable":
+        scope, knows = self._scopes.top()
+        return KnowsSymbolTable(
+            self._scopes.replace((scope.assign(name, attrs), knows))
+        )
+
+    def is_inblock(self, name: str) -> bool:
+        scope, _ = self._scopes.top()
+        return not scope.is_undefined(name)
+
+    def retrieve(self, name: str) -> object:
+        scopes = self._scopes
+        while not scopes.is_newstack():
+            scope, knows = scopes.top()
+            if not scope.is_undefined(name):
+                return scope.read(name)
+            if knows is not None and not knows.is_in(name):
+                raise AlgebraError(
+                    f"RETRIEVE: {name!r} is not in the block's knows list"
+                )
+            scopes = scopes.pop()
+        raise AlgebraError(f"RETRIEVE: {name!r} not declared in any scope")
+
+    @property
+    def depth(self) -> int:
+        return len(self._scopes)
+
+    def __repr__(self) -> str:
+        blocks = [
+            (sorted(scope.names()), list(knows) if knows else None)
+            for scope, knows in self._scopes
+        ]
+        return f"KnowsSymbolTable(scopes innermost-first: {blocks!r})"

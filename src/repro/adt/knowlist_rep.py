@@ -1,0 +1,225 @@
+"""The adapted representation for the knows-list Symboltable.
+
+Section 4 closes: "The changes necessary to adapt the previously
+presented implementation of abstract type Symboltable would be more
+substantial.  The kind of changes necessary can, however, be inferred
+from the changes made to the axiomatization."  This module carries that
+inference out and *verifies* it:
+
+* the representation element changes from an Array to a **pair**
+  (Array, Knowlist) — each scope now remembers what it knows;
+* ``ENTERBLOCK'`` takes the knows list and pushes ``(EMPTY, klist)``;
+* ``RETRIEVE'`` consults the pair's knows list before recursing into the
+  outer scopes — the only behavioural change, mirroring axiom 8k;
+* Φ gains a Knowlist argument in its ENTERBLOCK image.
+
+Exactly as with the original, the obligations touching ``ADD'`` need
+Assumption 1 (or generator induction); the rest discharge outright.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.signature import Operation, Signature
+from repro.algebra.sorts import BOOLEAN, Sort
+from repro.algebra.terms import Err, Ite, Var, app
+from repro.spec.axioms import Axiom
+from repro.spec.prelude import (
+    ATTRIBUTELIST,
+    IDENTIFIER,
+    NOT,
+)
+from repro.spec.specification import Specification
+from repro.adt.array import ARRAY, ARRAY_SPEC, ASSIGN, EMPTY, IS_UNDEFINED, READ
+from repro.adt.knowlist import IS_IN, KNOWLIST, KNOWLIST_SPEC, SYMBOLTABLE_KNOWS_SPEC
+from repro.adt.pairs import make_pair_spec
+from repro.adt.stack import ELEM, STACK_SPEC
+
+# ----------------------------------------------------------------------
+# The representation element: a (Array, Knowlist) pair per scope
+# ----------------------------------------------------------------------
+SCOPE_PAIR_SPEC: Specification = make_pair_spec(
+    ARRAY,
+    KNOWLIST,
+    name="Scope",
+    uses=(ARRAY_SPEC, KNOWLIST_SPEC),
+)
+
+SCOPE: Sort = SCOPE_PAIR_SPEC.type_of_interest
+MKPAIR: Operation = SCOPE_PAIR_SPEC.operation("MKPAIR")
+FST: Operation = SCOPE_PAIR_SPEC.operation("FST")
+SND: Operation = SCOPE_PAIR_SPEC.operation("SND")
+
+#: Stack instantiated at Elem := Scope.
+STACK_OF_SCOPES_SPEC: Specification = STACK_SPEC.instantiated(
+    "StackOfScopes", {ELEM: SCOPE}
+)
+
+SCOPE_STACK: Sort = STACK_OF_SCOPES_SPEC.type_of_interest
+NEWSTACK: Operation = STACK_OF_SCOPES_SPEC.operation("NEWSTACK")
+PUSH: Operation = STACK_OF_SCOPES_SPEC.operation("PUSH")
+POP: Operation = STACK_OF_SCOPES_SPEC.operation("POP")
+TOP: Operation = STACK_OF_SCOPES_SPEC.operation("TOP")
+IS_NEWSTACK: Operation = STACK_OF_SCOPES_SPEC.operation("IS_NEWSTACK?")
+REPLACE: Operation = STACK_OF_SCOPES_SPEC.operation("REPLACE")
+
+CREATE: Operation = KNOWLIST_SPEC.operation("CREATE")
+
+
+def _build_representation():
+    from repro.verify.representation import DefinedOperation, Representation
+
+    stk = Var("stk", SCOPE_STACK)
+    ident = Var("id", IDENTIFIER)
+    attrs = Var("attrs", ATTRIBUTELIST)
+    klist = Var("klist", KNOWLIST)
+
+    toi = SYMBOLTABLE_KNOWS_SPEC.type_of_interest
+
+    init_p = Operation("INIT'", (), SCOPE_STACK)
+    enterblock_p = Operation(
+        "ENTERBLOCK'", (SCOPE_STACK, KNOWLIST), SCOPE_STACK
+    )
+    leaveblock_p = Operation("LEAVEBLOCK'", (SCOPE_STACK,), SCOPE_STACK)
+    add_p = Operation(
+        "ADD'", (SCOPE_STACK, IDENTIFIER, ATTRIBUTELIST), SCOPE_STACK
+    )
+    is_inblock_p = Operation(
+        "IS_INBLOCK?'", (SCOPE_STACK, IDENTIFIER), BOOLEAN
+    )
+    retrieve_p = Operation(
+        "RETRIEVE'", (SCOPE_STACK, IDENTIFIER), ATTRIBUTELIST
+    )
+
+    top_array = app(FST, app(TOP, stk))
+    top_knows = app(SND, app(TOP, stk))
+
+    defined = [
+        # INIT' :: PUSH(NEWSTACK, MKPAIR(EMPTY, CREATE))
+        DefinedOperation(
+            init_p,
+            (),
+            app(PUSH, app(NEWSTACK), app(MKPAIR, app(EMPTY), app(CREATE))),
+        ),
+        # ENTERBLOCK'(stk, klist) :: PUSH(stk, MKPAIR(EMPTY, klist))
+        DefinedOperation(
+            enterblock_p,
+            (stk, klist),
+            app(PUSH, stk, app(MKPAIR, app(EMPTY), klist)),
+        ),
+        # LEAVEBLOCK' unchanged from the original.
+        DefinedOperation(
+            leaveblock_p,
+            (stk,),
+            Ite(
+                app(IS_NEWSTACK, app(POP, stk)),
+                Err(SCOPE_STACK),
+                app(POP, stk),
+            ),
+        ),
+        # ADD'(stk, id, attrs) :: REPLACE with the array half updated,
+        # the knows half untouched.
+        DefinedOperation(
+            add_p,
+            (stk, ident, attrs),
+            app(
+                REPLACE,
+                stk,
+                app(MKPAIR, app(ASSIGN, top_array, ident, attrs), top_knows),
+            ),
+        ),
+        # IS_INBLOCK?' unchanged in spirit: looks only at the top array.
+        DefinedOperation(
+            is_inblock_p,
+            (stk, ident),
+            Ite(
+                app(IS_NEWSTACK, stk),
+                Err(BOOLEAN),
+                app(NOT, app(IS_UNDEFINED, top_array, ident)),
+            ),
+        ),
+        # RETRIEVE' — the behavioural change: crossing a block boundary
+        # requires the identifier to be in that block's knows list.
+        DefinedOperation(
+            retrieve_p,
+            (stk, ident),
+            Ite(
+                app(IS_NEWSTACK, stk),
+                Err(ATTRIBUTELIST),
+                Ite(
+                    app(IS_UNDEFINED, top_array, ident),
+                    Ite(
+                        app(IS_IN, top_knows, ident),
+                        app(retrieve_p, app(POP, stk), ident),
+                        Err(ATTRIBUTELIST),
+                    ),
+                    app(READ, top_array, ident),
+                ),
+            ),
+        ),
+    ]
+
+    # The abstraction function: as before, but ENTERBLOCK carries the
+    # pair's knows half, and INIT's global scope ignores its (CREATE)
+    # knows list.
+    phi = Operation("Φk", (SCOPE_STACK,), toi)
+    arr = Var("arr", ARRAY)
+    abstract_enterblock = SYMBOLTABLE_KNOWS_SPEC.operation("ENTERBLOCK")
+    abstract_init = SYMBOLTABLE_KNOWS_SPEC.operation("INIT")
+    abstract_add = SYMBOLTABLE_KNOWS_SPEC.operation("ADD")
+    phi_axioms = [
+        Axiom(app(phi, app(NEWSTACK)), Err(toi), "Φk-new"),
+        Axiom(
+            app(phi, app(PUSH, stk, app(MKPAIR, app(EMPTY), klist))),
+            Ite(
+                app(IS_NEWSTACK, stk),
+                app(abstract_init),
+                app(abstract_enterblock, app(phi, stk), klist),
+            ),
+            "Φk-empty",
+        ),
+        Axiom(
+            app(
+                phi,
+                app(
+                    PUSH,
+                    stk,
+                    app(MKPAIR, app(ASSIGN, arr, ident, attrs), klist),
+                ),
+            ),
+            app(
+                abstract_add,
+                app(phi, app(PUSH, stk, app(MKPAIR, arr, klist))),
+                ident,
+                attrs,
+            ),
+            "Φk-assign",
+        ),
+    ]
+
+    concrete = Specification(
+        "KnowsSymboltableRep",
+        Signature([SCOPE_STACK]),
+        SCOPE_STACK,
+        uses=[STACK_OF_SCOPES_SPEC, SCOPE_PAIR_SPEC],
+    )
+
+    return Representation(
+        abstract=SYMBOLTABLE_KNOWS_SPEC,
+        concrete=concrete,
+        rep_sort=SCOPE_STACK,
+        defined=defined,
+        phi=phi,
+        phi_axioms=phi_axioms,
+        generators=("INIT", "ENTERBLOCK", "ADD"),
+    )
+
+
+_REPRESENTATION = None
+
+
+def knows_symboltable_representation():
+    """The (cached) adapted representation for the knows-list variant."""
+    global _REPRESENTATION
+    if _REPRESENTATION is None:
+        _REPRESENTATION = _build_representation()
+    return _REPRESENTATION

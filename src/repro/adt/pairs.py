@@ -1,0 +1,114 @@
+"""Product sorts: the paper's future-work item, implemented.
+
+Section 5 lists as a failing that "all operations be specified as
+functions ... Most programs, on the other hand, are laden with
+procedures that return several values", and conjectures the problem
+"can be solved with only minor changes to the specification techniques".
+
+The minor change is a *product sort*: :func:`make_pair_spec` generates a
+``Pair``-of-(A, B) specification (constructor ``MKPAIR``, projections
+``FST``/``SND``), and an operation returning several values is specified
+as one operation into the product.  :data:`DEQUEUE_SPEC` demonstrates it
+on the motivating case — a queue whose removal returns *both* the
+front item and the remaining queue::
+
+    DEQUEUE: Queue -> Pair            -- (front, rest) at once
+    (D1) DEQUEUE(NEW) = error
+    (D2) DEQUEUE(ADD(q, i)) =
+           MKPAIR(FRONT(ADD(q, i)), REMOVE(ADD(q, i)))
+
+with the expected laws ``FST(DEQUEUE(q)) = FRONT(q)`` and
+``SND(DEQUEUE(q)) = REMOVE(q)`` provable as client theorems.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.signature import Operation, Signature
+from repro.algebra.sorts import Sort
+from repro.algebra.terms import Var, app
+from repro.spec.axioms import Axiom
+from repro.spec.specification import Specification
+
+
+def make_pair_spec(
+    first_sort: Sort,
+    second_sort: Sort,
+    name: str = "Pair",
+    uses: tuple[Specification, ...] = (),
+) -> Specification:
+    """An algebraic product of ``first_sort`` and ``second_sort``.
+
+    Operations::
+
+        MKPAIR: A x B -> Pair
+        FST:    Pair -> A
+        SND:    Pair -> B
+
+    with the projection axioms ``FST(MKPAIR(a, b)) = a`` and
+    ``SND(MKPAIR(a, b)) = b``.  The specification is sufficiently
+    complete (MKPAIR is the only constructor; both projections cover it)
+    and consistent.
+    """
+    pair = Sort(name)
+    mkpair = Operation("MKPAIR", (first_sort, second_sort), pair)
+    fst = Operation("FST", (pair,), first_sort)
+    snd = Operation("SND", (pair,), second_sort)
+    signature = Signature(
+        [pair, first_sort, second_sort], [mkpair, fst, snd]
+    )
+    a = Var("a", first_sort)
+    b = Var("b", second_sort)
+    axioms = [
+        Axiom(app(fst, app(mkpair, a, b)), a, "P1"),
+        Axiom(app(snd, app(mkpair, a, b)), b, "P2"),
+    ]
+    return Specification(name, signature, pair, axioms, uses=uses)
+
+
+def _build_dequeue_spec() -> Specification:
+    from repro.adt.queue import ADD, FRONT, NEW, QUEUE_SPEC, REMOVE
+    from repro.spec.prelude import ITEM
+
+    queue = QUEUE_SPEC.type_of_interest
+    pair_spec = make_pair_spec(
+        ITEM, queue, name="ItemQueuePair", uses=(QUEUE_SPEC,)
+    )
+    mkpair = pair_spec.operation("MKPAIR")
+
+    dequeue = Operation("DEQUEUE", (queue,), pair_spec.type_of_interest)
+    signature = Signature(
+        [queue, pair_spec.type_of_interest, ITEM], [dequeue]
+    )
+    q = Var("q", queue)
+    i = Var("i", ITEM)
+    from repro.algebra.terms import Err
+
+    added = app(ADD, q, i)
+    axioms = [
+        Axiom(
+            app(dequeue, app(NEW)),
+            Err(pair_spec.type_of_interest),
+            "D1",
+        ),
+        Axiom(
+            app(dequeue, added),
+            app(mkpair, app(FRONT, added), app(REMOVE, added)),
+            "D2",
+        ),
+    ]
+    return Specification(
+        "DequeueQueue",
+        signature,
+        queue,
+        axioms,
+        uses=(QUEUE_SPEC, pair_spec),
+    )
+
+
+#: Queue enriched with a two-valued removal operation.
+DEQUEUE_SPEC: Specification = _build_dequeue_spec()
+
+DEQUEUE: Operation = DEQUEUE_SPEC.operation("DEQUEUE")
+ITEM_QUEUE_PAIR_SPEC: Specification = DEQUEUE_SPEC.find_level(
+    "ItemQueuePair"
+)

@@ -1,0 +1,124 @@
+"""Type Queue (of Items) — the paper's short example (section 3).
+
+The distinguishing characteristic of a queue is that it is a first in /
+first out storage device; axioms 1–6 "assert that and only that
+characteristic".  This module gives the algebraic specification (via the
+DSL, so the text mirrors the paper), handy term builders, and a direct
+Python implementation used as the reference model in tests and
+benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.algebra.signature import Operation
+from repro.algebra.sorts import Sort
+from repro.algebra.terms import App, Term, app
+from repro.spec.errors import AlgebraError
+from repro.spec.parser import parse_specification
+from repro.spec.prelude import item
+from repro.spec.specification import Specification
+
+QUEUE_SPEC_TEXT = """
+type Queue [Item]
+uses Boolean, Item
+
+operations
+  NEW:       -> Queue
+  ADD:       Queue x Item -> Queue
+  FRONT:     Queue -> Item
+  REMOVE:    Queue -> Queue
+  IS_EMPTY?: Queue -> Boolean
+
+vars
+  q: Queue
+  i: Item
+
+axioms
+  (1) IS_EMPTY?(NEW) = true
+  (2) IS_EMPTY?(ADD(q, i)) = false
+  (3) FRONT(NEW) = error
+  (4) FRONT(ADD(q, i)) = if IS_EMPTY?(q) then i else FRONT(q)
+  (5) REMOVE(NEW) = error
+  (6) REMOVE(ADD(q, i)) = if IS_EMPTY?(q) then NEW else ADD(REMOVE(q), i)
+"""
+
+QUEUE_SPEC: Specification = parse_specification(QUEUE_SPEC_TEXT)
+
+QUEUE: Sort = QUEUE_SPEC.type_of_interest
+NEW: Operation = QUEUE_SPEC.operation("NEW")
+ADD: Operation = QUEUE_SPEC.operation("ADD")
+FRONT: Operation = QUEUE_SPEC.operation("FRONT")
+REMOVE: Operation = QUEUE_SPEC.operation("REMOVE")
+IS_EMPTY: Operation = QUEUE_SPEC.operation("IS_EMPTY?")
+
+
+def new() -> App:
+    return app(NEW)
+
+
+def add(queue: Term, element: Term) -> App:
+    return app(ADD, queue, element)
+
+
+def queue_term(values: Iterable[object]) -> Term:
+    """The constructor term for a queue holding ``values``, oldest first."""
+    term: Term = new()
+    for value in values:
+        term = add(term, item(value))
+    return term
+
+
+class ListQueue:
+    """The obvious Python model of the Queue type.
+
+    Immutable (operations return new queues), so it is a direct model of
+    the algebra: each operation is a function from values to values.
+    Errors surface as :class:`~repro.spec.errors.AlgebraError`, the
+    Python carrier of the paper's ``error``.
+    """
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items: Iterable[object] = ()) -> None:
+        self._items: tuple[object, ...] = tuple(items)
+
+    # -- the abstract operations -----------------------------------------
+    @staticmethod
+    def new() -> "ListQueue":
+        return ListQueue()
+
+    def add(self, element: object) -> "ListQueue":
+        return ListQueue(self._items + (element,))
+
+    def front(self) -> object:
+        if not self._items:
+            raise AlgebraError("FRONT(NEW)")
+        return self._items[0]
+
+    def remove(self) -> "ListQueue":
+        if not self._items:
+            raise AlgebraError("REMOVE(NEW)")
+        return ListQueue(self._items[1:])
+
+    def is_empty(self) -> bool:
+        return not self._items
+
+    # -- conveniences ------------------------------------------------------
+    def __iter__(self) -> Iterator[object]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ListQueue):
+            return NotImplemented
+        return self._items == other._items
+
+    def __hash__(self) -> int:
+        return hash(self._items)
+
+    def __repr__(self) -> str:
+        return f"ListQueue({list(self._items)!r})"

@@ -1,0 +1,151 @@
+"""Type Stack (of Arrays) — axioms 10–16 of the paper.
+
+The stack is the first half of the Symboltable representation.  Besides
+the algebraic specification, this module contains the paper's concrete
+implementation scheme translated from PL/I to Python: a stack is a
+pointer to a list of cells ``{val: Array, prev: pointer}`` with
+``NEWSTACK' :: null``, plus the abstraction function Φ mapping a chain
+of cells back to a constructor term
+(``Φ(null) = NEWSTACK``; ``Φ(p) = PUSH(Φ(p->prev), p->val)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generic, Iterator, Optional, TypeVar
+
+from repro.algebra.signature import Operation
+from repro.algebra.sorts import Sort
+from repro.algebra.terms import Term, app
+from repro.spec.errors import AlgebraError
+from repro.spec.parser import parse_specification
+from repro.spec.specification import Specification
+
+STACK_SPEC_TEXT = """
+type Stack [Elem]
+uses Boolean
+
+operations
+  NEWSTACK:     -> Stack
+  PUSH:         Stack x Elem -> Stack
+  POP:          Stack -> Stack
+  TOP:          Stack -> Elem
+  IS_NEWSTACK?: Stack -> Boolean
+  REPLACE:      Stack x Elem -> Stack
+
+vars
+  stk: Stack
+  e:   Elem
+
+axioms
+  (10) IS_NEWSTACK?(NEWSTACK) = true
+  (11) IS_NEWSTACK?(PUSH(stk, e)) = false
+  (12) POP(NEWSTACK) = error
+  (13) POP(PUSH(stk, e)) = stk
+  (14) TOP(NEWSTACK) = error
+  (15) TOP(PUSH(stk, e)) = e
+  (16) REPLACE(stk, e) = if IS_NEWSTACK?(stk) then error
+                         else PUSH(POP(stk), e)
+"""
+
+#: The stack-of-Elem schema.  The paper instantiates Elem to Array; the
+#: schema form also backs the generic examples and tests.
+STACK_SPEC: Specification = parse_specification(STACK_SPEC_TEXT)
+
+STACK: Sort = STACK_SPEC.type_of_interest
+ELEM: Sort = Sort("Elem")
+NEWSTACK: Operation = STACK_SPEC.operation("NEWSTACK")
+PUSH: Operation = STACK_SPEC.operation("PUSH")
+POP: Operation = STACK_SPEC.operation("POP")
+TOP: Operation = STACK_SPEC.operation("TOP")
+IS_NEWSTACK: Operation = STACK_SPEC.operation("IS_NEWSTACK?")
+REPLACE: Operation = STACK_SPEC.operation("REPLACE")
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class _Cell(Generic[T]):
+    """One allocated ``stack_elem`` structure: ``val`` + ``prev``."""
+
+    val: T
+    prev: Optional["_Cell[T]"]
+
+
+class LinkedStack(Generic[T]):
+    """The paper's pointer-chain stack, in Python.
+
+    ``None`` plays the role of PL/I's ``null``; a :class:`_Cell` is one
+    ``allocate``d structure.  All operations are persistent: ``PUSH``
+    allocates, ``POP`` returns the tail, ``REPLACE`` (the paper mutates
+    in place) is modelled functionally so the type stays a clean algebra.
+    """
+
+    __slots__ = ("_head",)
+
+    def __init__(self, head: Optional[_Cell[T]] = None) -> None:
+        self._head = head
+
+    # -- the abstract operations -----------------------------------------
+    @staticmethod
+    def newstack() -> "LinkedStack[T]":
+        return LinkedStack()
+
+    def push(self, element: T) -> "LinkedStack[T]":
+        return LinkedStack(_Cell(element, self._head))
+
+    def pop(self) -> "LinkedStack[T]":
+        if self._head is None:
+            raise AlgebraError("POP(NEWSTACK)")
+        return LinkedStack(self._head.prev)
+
+    def top(self) -> T:
+        if self._head is None:
+            raise AlgebraError("TOP(NEWSTACK)")
+        return self._head.val
+
+    def is_newstack(self) -> bool:
+        return self._head is None
+
+    def replace(self, element: T) -> "LinkedStack[T]":
+        if self._head is None:
+            raise AlgebraError("REPLACE on NEWSTACK")
+        return LinkedStack(_Cell(element, self._head.prev))
+
+    # -- conveniences ------------------------------------------------------
+    def __iter__(self) -> Iterator[T]:
+        """Elements top-first."""
+        cell = self._head
+        while cell is not None:
+            yield cell.val
+            cell = cell.prev
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LinkedStack):
+            return NotImplemented
+        return list(self) == list(other)
+
+    def __hash__(self) -> int:
+        return hash(tuple(self))
+
+    def __repr__(self) -> str:
+        return f"LinkedStack(top-first {list(self)!r})"
+
+
+def phi_stack(stack: LinkedStack[Term]) -> Term:
+    """The abstraction function Φ for :class:`LinkedStack`.
+
+    Maps a concrete stack whose elements are already abstract terms to
+    the Stack constructor term it represents::
+
+        Φ(null)  = NEWSTACK
+        Φ(cell)  = PUSH(Φ(cell.prev), cell.val)
+    """
+    elements = list(stack)  # top first
+    term: Term = app(NEWSTACK)
+    for element in reversed(elements):
+        term = app(PUSH, term, element)
+    return term

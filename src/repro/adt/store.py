@@ -1,0 +1,185 @@
+"""Type Store — a transactional key-value store, specified algebraically.
+
+Section 5: "Many complex systems can be viewed as instances of an
+abstract type.  A database management system, for example, might be
+completely characterized by an algebraic specification of the various
+operations available to users."  This module takes the paper at its
+word: a miniature database — reads, writes, and nested transactions with
+commit/rollback — characterised entirely by eleven equations.
+
+The interesting constructor is ``BEGIN_TX``: it is a *third* generator
+alongside ``EMPTY_STORE`` and ``PUT``, and the transaction operations
+are defined by how they act on each:
+
+* ``ROLLBACK`` erases everything back to the matching ``BEGIN_TX``;
+* ``COMMIT`` keeps the writes but erases the mark, by *migrating* each
+  ``PUT`` past it (axiom T10's recursion).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.algebra.signature import Operation
+from repro.algebra.sorts import Sort
+from repro.algebra.terms import Term, app
+from repro.spec.errors import AlgebraError
+from repro.spec.parser import parse_specification
+from repro.spec.prelude import attributes, identifier
+from repro.spec.specification import Specification
+
+STORE_SPEC_TEXT = """
+type Store
+uses Boolean, Identifier, Attributelist
+
+operations
+  EMPTY_STORE: -> Store
+  PUT:         Store x Identifier x Attributelist -> Store
+  GET:         Store x Identifier -> Attributelist
+  HAS?:        Store x Identifier -> Boolean
+  BEGIN_TX:    Store -> Store
+  COMMIT:      Store -> Store
+  ROLLBACK:    Store -> Store
+
+vars
+  s:       Store
+  id, idl: Identifier
+  v:       Attributelist
+
+axioms
+  (T1)  HAS?(EMPTY_STORE, id) = false
+  (T2)  HAS?(PUT(s, id, v), idl) = if ISSAME?(id, idl) then true
+                                   else HAS?(s, idl)
+  (T3)  HAS?(BEGIN_TX(s), id) = HAS?(s, id)
+  (T4)  GET(EMPTY_STORE, id) = error
+  (T5)  GET(PUT(s, id, v), idl) = if ISSAME?(id, idl) then v
+                                  else GET(s, idl)
+  (T6)  GET(BEGIN_TX(s), id) = GET(s, id)
+  (T7)  ROLLBACK(EMPTY_STORE) = error
+  (T8)  ROLLBACK(PUT(s, id, v)) = ROLLBACK(s)
+  (T9)  ROLLBACK(BEGIN_TX(s)) = s
+  (T10) COMMIT(EMPTY_STORE) = error
+  (T11) COMMIT(PUT(s, id, v)) = PUT(COMMIT(s), id, v)
+  (T12) COMMIT(BEGIN_TX(s)) = s
+"""
+
+STORE_SPEC: Specification = parse_specification(STORE_SPEC_TEXT)
+
+STORE: Sort = STORE_SPEC.type_of_interest
+EMPTY_STORE: Operation = STORE_SPEC.operation("EMPTY_STORE")
+PUT: Operation = STORE_SPEC.operation("PUT")
+GET: Operation = STORE_SPEC.operation("GET")
+HAS: Operation = STORE_SPEC.operation("HAS?")
+BEGIN_TX: Operation = STORE_SPEC.operation("BEGIN_TX")
+COMMIT: Operation = STORE_SPEC.operation("COMMIT")
+ROLLBACK: Operation = STORE_SPEC.operation("ROLLBACK")
+
+
+class LayeredStore:
+    """A concrete implementation: a stack of write layers.
+
+    The base layer holds committed state; every open transaction adds a
+    layer.  Reads search top-down; ``commit`` folds the top layer into
+    its parent; ``rollback`` drops it.  Persistent, like everything in
+    this library.
+    """
+
+    __slots__ = ("_layers",)
+
+    def __init__(
+        self, layers: Optional[tuple[dict, ...]] = None
+    ) -> None:
+        self._layers: tuple[dict, ...] = layers if layers is not None else ({},)
+
+    # -- the abstract operations -----------------------------------------
+    @staticmethod
+    def empty() -> "LayeredStore":
+        return LayeredStore()
+
+    def put(self, key: str, value: object) -> "LayeredStore":
+        top = dict(self._layers[-1])
+        top[key] = value
+        return LayeredStore(self._layers[:-1] + (top,))
+
+    def get(self, key: str) -> object:
+        for layer in reversed(self._layers):
+            if key in layer:
+                return layer[key]
+        raise AlgebraError(f"GET: {key!r} unbound")
+
+    def has(self, key: str) -> bool:
+        return any(key in layer for layer in self._layers)
+
+    def begin_tx(self) -> "LayeredStore":
+        return LayeredStore(self._layers + ({},))
+
+    def commit(self) -> "LayeredStore":
+        if len(self._layers) < 2:
+            raise AlgebraError("COMMIT without an open transaction")
+        merged = dict(self._layers[-2])
+        merged.update(self._layers[-1])
+        return LayeredStore(self._layers[:-2] + (merged,))
+
+    def rollback(self) -> "LayeredStore":
+        if len(self._layers) < 2:
+            raise AlgebraError("ROLLBACK without an open transaction")
+        return LayeredStore(self._layers[:-1])
+
+    # -- conveniences ------------------------------------------------------
+    @property
+    def open_transactions(self) -> int:
+        return len(self._layers) - 1
+
+    def visible(self) -> dict:
+        """The bindings a GET can currently see."""
+        merged: dict = {}
+        for layer in self._layers:
+            merged.update(layer)
+        return merged
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LayeredStore):
+            return NotImplemented
+        return self._layers == other._layers
+
+    def __hash__(self) -> int:
+        return hash(
+            tuple(frozenset(layer.items()) for layer in self._layers)
+        )
+
+    def __repr__(self) -> str:
+        return f"LayeredStore(layers={[dict(l) for l in self._layers]!r})"
+
+
+def phi_store(store: LayeredStore) -> Term:
+    """The abstraction function Φ for :class:`LayeredStore`.
+
+    The base layer's bindings become PUTs over EMPTY_STORE (sorted for
+    canonicity); each open transaction contributes a BEGIN_TX followed
+    by its layer's PUTs.
+    """
+    term: Term = app(EMPTY_STORE)
+    for index, layer in enumerate(store._layers):
+        if index:
+            term = app(BEGIN_TX, term)
+        for key in sorted(layer):
+            term = app(PUT, term, identifier(key), attributes(layer[key]))
+    return term
+
+
+def store_binding():
+    """Implementation binding for the axiom oracle."""
+    from repro.testing.oracle import ImplementationBinding
+
+    return ImplementationBinding(
+        STORE_SPEC,
+        {
+            "EMPTY_STORE": LayeredStore.empty,
+            "PUT": lambda s, k, v: s.put(k, v),
+            "GET": lambda s, k: s.get(k),
+            "HAS?": lambda s, k: s.has(k),
+            "BEGIN_TX": lambda s: s.begin_tx(),
+            "COMMIT": lambda s: s.commit(),
+            "ROLLBACK": lambda s: s.rollback(),
+        },
+    )

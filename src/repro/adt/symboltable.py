@@ -1,0 +1,326 @@
+"""Type Symboltable — the paper's extended example (section 4).
+
+The symbol table of a compiler for a block-structured language:
+
+* the **abstract specification** (axioms 1–9), used by the rest of the
+  compiler as the complete meaning of the symbol table subsystem;
+* the **representation**: a value of the type is a Stack of Arrays,
+  one array per open scope; each abstract operation ``f`` gets a defined
+  operation ``f'`` over the lower level, and the abstraction function Φ
+  maps representation values back to abstract constructor terms;
+* the **concrete implementation**: :class:`SymbolTable`, a Python class
+  over :class:`~repro.adt.stack.LinkedStack` and
+  :class:`~repro.adt.array.HashArray` — the paper's PL/I code
+  transliterated.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.algebra.signature import Operation, Signature
+from repro.algebra.sorts import BOOLEAN, Sort
+from repro.algebra.terms import Err, Ite, Term, Var, app
+from repro.spec.axioms import Axiom
+from repro.spec.errors import AlgebraError
+from repro.spec.parser import parse_specification
+from repro.spec.prelude import (
+    ATTRIBUTELIST,
+    IDENTIFIER,
+    NOT,
+    attributes,
+    identifier,
+)
+from repro.spec.specification import Specification
+from repro.adt.array import ARRAY, ARRAY_SPEC, HashArray
+from repro.adt.stack import ELEM, STACK_SPEC, LinkedStack
+
+# ----------------------------------------------------------------------
+# The abstract specification (axioms 1-9)
+# ----------------------------------------------------------------------
+SYMBOLTABLE_SPEC_TEXT = """
+type Symboltable
+uses Boolean, Identifier, Attributelist
+
+operations
+  INIT:        -> Symboltable
+  ENTERBLOCK:  Symboltable -> Symboltable
+  LEAVEBLOCK:  Symboltable -> Symboltable
+  ADD:         Symboltable x Identifier x Attributelist -> Symboltable
+  IS_INBLOCK?: Symboltable x Identifier -> Boolean
+  RETRIEVE:    Symboltable x Identifier -> Attributelist
+
+vars
+  symtab:   Symboltable
+  id, idl:  Identifier
+  attrs:    Attributelist
+
+axioms
+  (1) LEAVEBLOCK(INIT) = error
+  (2) LEAVEBLOCK(ENTERBLOCK(symtab)) = symtab
+  (3) LEAVEBLOCK(ADD(symtab, id, attrs)) = LEAVEBLOCK(symtab)
+  (4) IS_INBLOCK?(INIT, id) = false
+  (5) IS_INBLOCK?(ENTERBLOCK(symtab), id) = false
+  (6) IS_INBLOCK?(ADD(symtab, id, attrs), idl) =
+        if ISSAME?(id, idl) then true
+        else IS_INBLOCK?(symtab, idl)
+  (7) RETRIEVE(INIT, id) = error
+  (8) RETRIEVE(ENTERBLOCK(symtab), id) = RETRIEVE(symtab, id)
+  (9) RETRIEVE(ADD(symtab, id, attrs), idl) =
+        if ISSAME?(id, idl) then attrs
+        else RETRIEVE(symtab, idl)
+"""
+
+SYMBOLTABLE_SPEC: Specification = parse_specification(SYMBOLTABLE_SPEC_TEXT)
+
+SYMBOLTABLE: Sort = SYMBOLTABLE_SPEC.type_of_interest
+INIT: Operation = SYMBOLTABLE_SPEC.operation("INIT")
+ENTERBLOCK: Operation = SYMBOLTABLE_SPEC.operation("ENTERBLOCK")
+LEAVEBLOCK: Operation = SYMBOLTABLE_SPEC.operation("LEAVEBLOCK")
+ADD: Operation = SYMBOLTABLE_SPEC.operation("ADD")
+IS_INBLOCK: Operation = SYMBOLTABLE_SPEC.operation("IS_INBLOCK?")
+RETRIEVE: Operation = SYMBOLTABLE_SPEC.operation("RETRIEVE")
+
+
+# ----------------------------------------------------------------------
+# The representation level: a Stack of Arrays
+# ----------------------------------------------------------------------
+#: Stack instantiated at Elem := Array — the actual representation type.
+STACK_OF_ARRAYS_SPEC: Specification = STACK_SPEC.instantiated(
+    "StackOfArrays", {ELEM: ARRAY}
+)
+
+STACK: Sort = STACK_OF_ARRAYS_SPEC.type_of_interest
+NEWSTACK: Operation = STACK_OF_ARRAYS_SPEC.operation("NEWSTACK")
+PUSH: Operation = STACK_OF_ARRAYS_SPEC.operation("PUSH")
+POP: Operation = STACK_OF_ARRAYS_SPEC.operation("POP")
+TOP: Operation = STACK_OF_ARRAYS_SPEC.operation("TOP")
+IS_NEWSTACK: Operation = STACK_OF_ARRAYS_SPEC.operation("IS_NEWSTACK?")
+REPLACE: Operation = STACK_OF_ARRAYS_SPEC.operation("REPLACE")
+
+from repro.adt.array import ASSIGN, EMPTY, IS_UNDEFINED, READ  # noqa: E402
+
+#: The combined concrete level: Stack-of-Arrays + Array (+ their uses).
+SYMBOLTABLE_REP_SPEC: Specification = Specification(
+    "SymboltableRep",
+    Signature([STACK]),
+    STACK,
+    uses=[STACK_OF_ARRAYS_SPEC, ARRAY_SPEC],
+)
+
+
+def _build_representation():
+    """Construct the paper's representation object.
+
+    Kept in a function so module import stays cheap and the pieces are
+    named close to where the paper defines them.
+    """
+    from repro.verify.representation import DefinedOperation, Representation
+
+    stk = Var("stk", STACK)
+    ident = Var("id", IDENTIFIER)
+    attrs = Var("attrs", ATTRIBUTELIST)
+
+    init_p = Operation("INIT'", (), STACK)
+    enterblock_p = Operation("ENTERBLOCK'", (STACK,), STACK)
+    leaveblock_p = Operation("LEAVEBLOCK'", (STACK,), STACK)
+    add_p = Operation("ADD'", (STACK, IDENTIFIER, ATTRIBUTELIST), STACK)
+    is_inblock_p = Operation("IS_INBLOCK?'", (STACK, IDENTIFIER), BOOLEAN)
+    retrieve_p = Operation("RETRIEVE'", (STACK, IDENTIFIER), ATTRIBUTELIST)
+
+    defined = [
+        # INIT' :: PUSH(NEWSTACK, EMPTY)
+        DefinedOperation(init_p, (), app(PUSH, app(NEWSTACK), app(EMPTY))),
+        # ENTERBLOCK'(stk) :: PUSH(stk, EMPTY)
+        DefinedOperation(
+            enterblock_p, (stk,), app(PUSH, stk, app(EMPTY))
+        ),
+        # LEAVEBLOCK'(stk) :: if IS_NEWSTACK?(POP(stk)) then error
+        #                     else POP(stk)
+        DefinedOperation(
+            leaveblock_p,
+            (stk,),
+            Ite(
+                app(IS_NEWSTACK, app(POP, stk)),
+                Err(STACK),
+                app(POP, stk),
+            ),
+        ),
+        # ADD'(stk, id, attrs) :: REPLACE(stk, ASSIGN(TOP(stk), id, attrs))
+        DefinedOperation(
+            add_p,
+            (stk, ident, attrs),
+            app(REPLACE, stk, app(ASSIGN, app(TOP, stk), ident, attrs)),
+        ),
+        # IS_INBLOCK?'(stk, id) :: if IS_NEWSTACK?(stk) then error
+        #                          else not(IS_UNDEFINED?(TOP(stk), id))
+        DefinedOperation(
+            is_inblock_p,
+            (stk, ident),
+            Ite(
+                app(IS_NEWSTACK, stk),
+                Err(BOOLEAN),
+                app(NOT, app(IS_UNDEFINED, app(TOP, stk), ident)),
+            ),
+        ),
+        # RETRIEVE'(stk, id) :: if IS_NEWSTACK?(stk) then error
+        #                       else if IS_UNDEFINED?(TOP(stk), id)
+        #                            then RETRIEVE'(POP(stk), id)
+        #                            else READ(TOP(stk), id)
+        DefinedOperation(
+            retrieve_p,
+            (stk, ident),
+            Ite(
+                app(IS_NEWSTACK, stk),
+                Err(ATTRIBUTELIST),
+                Ite(
+                    app(IS_UNDEFINED, app(TOP, stk), ident),
+                    app(retrieve_p, app(POP, stk), ident),
+                    app(READ, app(TOP, stk), ident),
+                ),
+            ),
+        ),
+    ]
+
+    # The abstraction function Φ, equations (b)-(d) of the paper
+    # (equation (a), Φ(error) = error, is the engine's strictness rule).
+    phi = Operation("Φ", (STACK,), SYMBOLTABLE)
+    arr = Var("arr", ARRAY)
+    phi_axioms = [
+        Axiom(app(phi, app(NEWSTACK)), Err(SYMBOLTABLE), "Φb"),
+        Axiom(
+            app(phi, app(PUSH, stk, app(EMPTY))),
+            Ite(
+                app(IS_NEWSTACK, stk),
+                app(INIT),
+                app(ENTERBLOCK, app(phi, stk)),
+            ),
+            "Φc",
+        ),
+        Axiom(
+            app(phi, app(PUSH, stk, app(ASSIGN, arr, ident, attrs))),
+            app(ADD, app(phi, app(PUSH, stk, arr)), ident, attrs),
+            "Φd",
+        ),
+    ]
+
+    return Representation(
+        abstract=SYMBOLTABLE_SPEC,
+        concrete=SYMBOLTABLE_REP_SPEC,
+        rep_sort=STACK,
+        defined=defined,
+        phi=phi,
+        phi_axioms=phi_axioms,
+        generators=("INIT", "ENTERBLOCK", "ADD"),
+    )
+
+
+_REPRESENTATION = None
+
+
+def symboltable_representation():
+    """The (cached) stack-of-arrays representation of Symboltable."""
+    global _REPRESENTATION
+    if _REPRESENTATION is None:
+        _REPRESENTATION = _build_representation()
+    return _REPRESENTATION
+
+
+# ----------------------------------------------------------------------
+# The concrete implementation (the paper's PL/I code, in Python)
+# ----------------------------------------------------------------------
+class SymbolTable:
+    """A block-structured symbol table: a linked stack of hash arrays.
+
+    Persistent like every implementation in this package: operations
+    return new tables.  :meth:`init` establishes the global scope
+    (``INIT' :: PUSH(NEWSTACK, EMPTY)``), so a freshly initialised table
+    always has one open block.
+    """
+
+    __slots__ = ("_scopes",)
+
+    def __init__(self, scopes: Optional[LinkedStack[HashArray]] = None) -> None:
+        self._scopes: LinkedStack[HashArray] = (
+            scopes if scopes is not None else LinkedStack()
+        )
+
+    # -- the abstract operations -----------------------------------------
+    @staticmethod
+    def init() -> "SymbolTable":
+        return SymbolTable(LinkedStack().push(HashArray.empty()))
+
+    def enterblock(self) -> "SymbolTable":
+        return SymbolTable(self._scopes.push(HashArray.empty()))
+
+    def leaveblock(self) -> "SymbolTable":
+        popped = self._scopes.pop()
+        if popped.is_newstack():
+            raise AlgebraError("LEAVEBLOCK would discard the global scope")
+        return SymbolTable(popped)
+
+    def add(self, name: str, attrs: object) -> "SymbolTable":
+        top = self._scopes.top()
+        return SymbolTable(self._scopes.replace(top.assign(name, attrs)))
+
+    def is_inblock(self, name: str) -> bool:
+        return not self._scopes.top().is_undefined(name)
+
+    def retrieve(self, name: str) -> object:
+        scopes = self._scopes
+        while not scopes.is_newstack():
+            scope = scopes.top()
+            if not scope.is_undefined(name):
+                return scope.read(name)
+            scopes = scopes.pop()
+        raise AlgebraError(f"RETRIEVE: {name!r} not declared in any scope")
+
+    # -- conveniences ------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Number of open scopes."""
+        return len(self._scopes)
+
+    def scopes(self) -> Iterator[HashArray]:
+        """Scopes, innermost first."""
+        return iter(self._scopes)
+
+    def visible_names(self) -> set[str]:
+        names: set[str] = set()
+        for scope in self._scopes:
+            names |= scope.names()
+        return names
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SymbolTable):
+            return NotImplemented
+        return list(self._scopes) == list(other._scopes)
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._scopes))
+
+    def __repr__(self) -> str:
+        blocks = [sorted(scope.names()) for scope in self._scopes]
+        return f"SymbolTable(scopes innermost-first: {blocks!r})"
+
+
+def phi_symboltable(table: SymbolTable) -> Term:
+    """The abstraction function Φ for :class:`SymbolTable`.
+
+    Maps the concrete stack-of-hash-arrays to a canonical abstract
+    constructor term: INIT for the outermost scope, ENTERBLOCK per inner
+    scope, ADD per visible binding (identifiers in sorted order, so
+    observationally equal tables map to the identical term).
+    """
+    scopes = list(table.scopes())  # innermost first
+    if not scopes:
+        return Err(SYMBOLTABLE)
+    term: Term = app(INIT)
+    for index, scope in enumerate(reversed(scopes)):
+        if index:
+            term = app(ENTERBLOCK, term)
+        for name in sorted(scope.names()):
+            term = app(
+                ADD, term, identifier(name), attributes(scope.read(name))
+            )
+    return term

@@ -1,0 +1,88 @@
+"""One-way matching of patterns against terms.
+
+Matching finds a substitution σ with ``σ(pattern) == subject``.  It is
+the workhorse of rewriting: an axiom's left-hand side is a pattern, and
+a rewrite step fires wherever it matches.
+
+Patterns are ordinary terms; variables in the pattern may be bound,
+everything in the subject is treated as fixed (subject variables only
+match themselves).  ``Ite`` nodes may appear in either side and match
+structurally — axiom left-hand sides in the paper never contain
+if-then-else, but the prover matches inside right-hand sides too.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.algebra.terms import App, Err, Ite, Lit, Position, Term, Var
+from repro.algebra.substitution import Substitution
+
+
+def match(pattern: Term, subject: Term) -> Optional[Substitution]:
+    """The most general substitution σ with ``σ(pattern) == subject``,
+    or ``None`` when no such substitution exists."""
+    bindings: dict[Var, Term] = {}
+    if _match_into(pattern, subject, bindings):
+        return Substitution(bindings)
+    return None
+
+
+def _match_into(pattern: Term, subject: Term, bindings: dict[Var, Term]) -> bool:
+    if isinstance(pattern, Var):
+        if pattern.sort != subject.sort:
+            return False
+        bound = bindings.get(pattern)
+        if bound is None:
+            bindings[pattern] = subject
+            return True
+        return bound == subject
+    if isinstance(pattern, Lit) or isinstance(pattern, Err):
+        return pattern == subject
+    if isinstance(pattern, App):
+        if not isinstance(subject, App) or pattern.op != subject.op:
+            return False
+        return all(
+            _match_into(p, s, bindings)
+            for p, s in zip(pattern.args, subject.args)
+        )
+    if isinstance(pattern, Ite):
+        if not isinstance(subject, Ite):
+            return False
+        return all(
+            _match_into(p, s, bindings)
+            for p, s in zip(pattern.children(), subject.children())
+        )
+    raise TypeError(f"unknown term node: {pattern!r}")
+
+
+def matches(pattern: Term, subject: Term) -> bool:
+    """True when ``pattern`` matches ``subject``."""
+    return match(pattern, subject) is not None
+
+
+def find_matches(
+    pattern: Term, subject: Term
+) -> Iterator[tuple[Position, Substitution]]:
+    """Yield every ``(position, substitution)`` at which ``pattern``
+    matches a subterm of ``subject``, in preorder."""
+    for position, node in subject.subterms():
+        sigma = match(pattern, node)
+        if sigma is not None:
+            yield position, sigma
+
+
+def is_instance_of(general: Term, specific: Term) -> bool:
+    """True when ``specific`` is a substitution instance of ``general``.
+
+    Unlike :func:`matches`, variables in ``specific`` are allowed: they
+    are treated as opaque constants, so ``ADD(q, i)`` is an instance of
+    the more general pattern ``ADD(q', i')`` but not vice versa unless
+    both are renamings of each other.
+    """
+    return match(general, specific) is not None
+
+
+def variant_of(left: Term, right: Term) -> bool:
+    """True when the two terms are equal up to renaming of variables."""
+    return is_instance_of(left, right) and is_instance_of(right, left)

@@ -1,0 +1,123 @@
+"""Substitutions: finite maps from variables to terms.
+
+A substitution assigns terms to typed variables.  Applying one to a term
+replaces every occurrence of a mapped variable; sort discipline is
+enforced at construction (a variable can only be sent to a term of its
+own sort), so application can never build an ill-sorted term.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Optional
+
+from repro.algebra.sorts import SortError
+from repro.algebra.terms import Term, Var
+
+
+class Substitution(Mapping[Var, Term]):
+    """An immutable, sort-respecting map from variables to terms."""
+
+    __slots__ = ("_map",)
+
+    def __init__(self, mapping: Optional[Mapping[Var, Term]] = None) -> None:
+        items = dict(mapping) if mapping else {}
+        for variable, term in items.items():
+            if not isinstance(variable, Var):
+                raise TypeError(f"substitution keys must be variables: {variable!r}")
+            if variable.sort != term.sort:
+                raise SortError(
+                    f"cannot bind {variable} (sort {variable.sort}) to "
+                    f"{term} (sort {term.sort})"
+                )
+        self._map: dict[Var, Term] = items
+
+    # -- Mapping protocol -------------------------------------------------
+    def __getitem__(self, variable: Var) -> Term:
+        return self._map[variable]
+
+    def __iter__(self) -> Iterator[Var]:
+        return iter(self._map)
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._map.items()))
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Substitution):
+            return self._map == other._map
+        if isinstance(other, Mapping):
+            return self._map == dict(other)
+        return NotImplemented
+
+    def __str__(self) -> str:
+        if not self._map:
+            return "{}"
+        inner = ", ".join(
+            f"{v} -> {t}" for v, t in sorted(self._map.items(), key=lambda p: p[0].name)
+        )
+        return "{" + inner + "}"
+
+    def __repr__(self) -> str:
+        return f"Substitution({self})"
+
+    # -- operations --------------------------------------------------------
+    def apply(self, term: Term) -> Term:
+        """``term`` with every mapped variable replaced by its image."""
+        if not self._map:
+            return term
+        return self._apply(term)
+
+    def _apply(self, term: Term) -> Term:
+        if isinstance(term, Var):
+            return self._map.get(term, term)
+        kids = term.children()
+        if not kids:
+            return term
+        new_kids = [self._apply(kid) for kid in kids]
+        if all(new is old for new, old in zip(new_kids, kids)):
+            return term
+        return term.with_children(new_kids)
+
+    def extended(self, variable: Var, term: Term) -> "Substitution":
+        """A new substitution additionally binding ``variable``.
+
+        Raises :class:`ValueError` if ``variable`` is already bound to a
+        different term — bindings never silently change.
+        """
+        existing = self._map.get(variable)
+        if existing is not None:
+            if existing == term:
+                return self
+            raise ValueError(
+                f"{variable} already bound to {existing}, cannot rebind to {term}"
+            )
+        merged = dict(self._map)
+        merged[variable] = term
+        return Substitution(merged)
+
+    def compose(self, inner: "Substitution") -> "Substitution":
+        """``self . inner``: applying the result is applying ``inner``
+        first, then ``self``."""
+        merged: dict[Var, Term] = {
+            variable: self.apply(term) for variable, term in inner._map.items()
+        }
+        for variable, term in self._map.items():
+            merged.setdefault(variable, term)
+        return Substitution(merged)
+
+    def restricted(self, variables: Iterable[Var]) -> "Substitution":
+        """The substitution restricted to ``variables``."""
+        keep = set(variables)
+        return Substitution(
+            {v: t for v, t in self._map.items() if v in keep}
+        )
+
+    def is_ground(self) -> bool:
+        """True when every image term is ground."""
+        return all(term.is_ground() for term in self._map.values())
+
+
+#: The identity substitution.
+EMPTY = Substitution()

@@ -1,0 +1,365 @@
+"""Terms over a many-sorted signature.
+
+A term is one of:
+
+* :class:`Var` — a typed free variable, like the ``q`` and ``i`` in the
+  paper's Queue axioms;
+* :class:`App` — an operation applied to argument terms, e.g.
+  ``ADD(q, i)``;
+* :class:`Lit` — a literal value imported from outside the algebra
+  (identifier names, naturals, item payloads).  Literals let the
+  parameter types of a schema (``Item``, ``Identifier``) have concrete
+  inhabitants without axiomatising them;
+* :class:`Err` — the paper's distinguished ``error`` value, one per sort,
+  with the property that "the value of any operation applied to an
+  argument list containing error is error";
+* :class:`Ite` — the ``if-then-else`` construct used on axiom right-hand
+  sides.  It is a polymorphic term former, not an operation of the
+  signature, exactly as in the paper where it appears only in the
+  metalanguage of axioms.
+
+Terms are immutable and hashable; equality is structural.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional, Sequence, Union
+
+from repro.algebra.signature import Operation
+from repro.algebra.sorts import BOOLEAN, Sort, SortError
+
+#: A position in a term: the path of argument indices from the root.
+#: ``()`` is the root; ``(0, 2)`` is the third argument of the first
+#: argument.  For :class:`Ite`, index 0 is the condition, 1 the then
+#: branch and 2 the else branch.
+Position = tuple[int, ...]
+
+
+class Term:
+    """Abstract base for all term node classes."""
+
+    __slots__ = ()
+
+    #: The sort of the value this term denotes.
+    sort: Sort
+
+    # -- structure -----------------------------------------------------
+    def children(self) -> tuple["Term", ...]:
+        """Immediate subterms, in position order."""
+        raise NotImplementedError
+
+    def with_children(self, children: Sequence["Term"]) -> "Term":
+        """A copy of this node with ``children`` as immediate subterms."""
+        raise NotImplementedError
+
+    # -- queries ---------------------------------------------------------
+    def is_ground(self) -> bool:
+        """True when the term contains no variables."""
+        stack: list[Term] = [self]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, Var):
+                return False
+            stack.extend(node.children())
+        return True
+
+    def variables(self) -> set["Var"]:
+        """The set of variables occurring in the term."""
+        result: set[Var] = set()
+        stack: list[Term] = [self]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, Var):
+                result.add(node)
+            else:
+                stack.extend(node.children())
+        return result
+
+    def size(self) -> int:
+        """Number of nodes in the term."""
+        return sum(1 for _ in self.subterms())
+
+    def depth(self) -> int:
+        """Height of the term: a leaf has depth 1."""
+        deepest = 1
+        stack: list[tuple[Term, int]] = [(self, 1)]
+        while stack:
+            node, level = stack.pop()
+            if level > deepest:
+                deepest = level
+            for child in node.children():
+                stack.append((child, level + 1))
+        return deepest
+
+    def subterms(self) -> Iterator[tuple[Position, "Term"]]:
+        """Yield every ``(position, subterm)`` pair, preorder."""
+        stack: list[tuple[Position, Term]] = [((), self)]
+        while stack:
+            pos, node = stack.pop()
+            yield pos, node
+            for i, child in enumerate(node.children()):
+                stack.append((pos + (i,), child))
+
+    def at(self, position: Position) -> "Term":
+        """The subterm at ``position``."""
+        node: Term = self
+        for index in position:
+            kids = node.children()
+            if index >= len(kids):
+                raise IndexError(f"no position {position} in {self}")
+            node = kids[index]
+        return node
+
+    def replace_at(self, position: Position, replacement: "Term") -> "Term":
+        """A copy of this term with ``replacement`` grafted at ``position``."""
+        if not position:
+            return replacement
+        head, *rest = position
+        kids = list(self.children())
+        if head >= len(kids):
+            raise IndexError(f"no position {position} in {self}")
+        kids[head] = kids[head].replace_at(tuple(rest), replacement)
+        return self.with_children(kids)
+
+    def operations(self) -> set[Operation]:
+        """All operation symbols occurring in the term."""
+        result: set[Operation] = set()
+        stack: list[Term] = [self]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, App):
+                result.add(node.op)
+            stack.extend(node.children())
+        return result
+
+    def contains_error(self) -> bool:
+        """True when an :class:`Err` node occurs anywhere in the term."""
+        return any(isinstance(node, Err) for _, node in self.subterms())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self})"
+
+
+@dataclass(frozen=True, repr=False)
+class Var(Term):
+    """A typed free variable, e.g. ``symtab: Symboltable``."""
+
+    name: str
+    sort: Sort
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("variable name must be non-empty")
+
+    def children(self) -> tuple[Term, ...]:
+        return ()
+
+    def with_children(self, children: Sequence[Term]) -> Term:
+        if children:
+            raise ValueError("variables have no children")
+        return self
+
+    def is_ground(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, repr=False)
+class Lit(Term):
+    """A literal value of a parameter sort (Identifier names, Nats, ...).
+
+    ``value`` must be hashable; two literals are equal when both value
+    and sort agree.
+    """
+
+    value: object
+    sort: Sort
+
+    def children(self) -> tuple[Term, ...]:
+        return ()
+
+    def with_children(self, children: Sequence[Term]) -> Term:
+        if children:
+            raise ValueError("literals have no children")
+        return self
+
+    def __str__(self) -> str:
+        return repr(self.value) if isinstance(self.value, str) else str(self.value)
+
+
+@dataclass(frozen=True, repr=False)
+class Err(Term):
+    """The distinguished ``error`` value of a sort.
+
+    The paper introduces a single polymorphic ``error``; in a many-sorted
+    setting it is one error constant per sort, all printed ``error``.
+    """
+
+    sort: Sort
+
+    def children(self) -> tuple[Term, ...]:
+        return ()
+
+    def with_children(self, children: Sequence[Term]) -> Term:
+        if children:
+            raise ValueError("error constants have no children")
+        return self
+
+    def __str__(self) -> str:
+        return "error"
+
+
+class App(Term):
+    """An operation applied to arguments: ``op(args...)``.
+
+    Argument sorts are checked against the operation's domain at
+    construction time, so ill-sorted terms cannot be built.  ``App`` is a
+    hand-written class (rather than a dataclass) so the hash can be
+    computed once: rewriting hammers on term equality and hashing.
+    """
+
+    __slots__ = ("op", "args", "sort", "_hash")
+
+    def __init__(self, op: Operation, args: Sequence[Term] = ()) -> None:
+        args = tuple(args)
+        if len(args) != op.arity:
+            raise SortError(
+                f"{op.name} expects {op.arity} argument(s), got {len(args)}"
+            )
+        for expected, arg in zip(op.domain, args):
+            if arg.sort != expected:
+                raise SortError(
+                    f"{op.name}: argument {arg} has sort {arg.sort}, "
+                    f"expected {expected}"
+                )
+        self.op = op
+        self.args = args
+        self.sort = op.range
+        self._hash = hash((op.name, op.range, args))
+
+    def children(self) -> tuple[Term, ...]:
+        return self.args
+
+    def with_children(self, children: Sequence[Term]) -> Term:
+        return App(self.op, tuple(children))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, App)
+            and self._hash == other._hash
+            and self.op == other.op
+            and self.args == other.args
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __str__(self) -> str:
+        if not self.args:
+            return self.op.name
+        inner = ", ".join(str(a) for a in self.args)
+        return f"{self.op.name}({inner})"
+
+
+class Ite(Term):
+    """``if cond then then_branch else else_branch``.
+
+    The condition must have sort Boolean and the branches must share a
+    sort, which becomes the sort of the whole term.
+    """
+
+    __slots__ = ("cond", "then_branch", "else_branch", "sort", "_hash")
+
+    def __init__(self, cond: Term, then_branch: Term, else_branch: Term) -> None:
+        if cond.sort != BOOLEAN:
+            raise SortError(f"if-condition must be Boolean, got {cond.sort}")
+        if then_branch.sort != else_branch.sort:
+            raise SortError(
+                "if-branches must share a sort: "
+                f"{then_branch.sort} vs {else_branch.sort}"
+            )
+        self.cond = cond
+        self.then_branch = then_branch
+        self.else_branch = else_branch
+        self.sort = then_branch.sort
+        self._hash = hash(("__ite__", cond, then_branch, else_branch))
+
+    def children(self) -> tuple[Term, ...]:
+        return (self.cond, self.then_branch, self.else_branch)
+
+    def with_children(self, children: Sequence[Term]) -> Term:
+        cond, then_branch, else_branch = children
+        return Ite(cond, then_branch, else_branch)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Ite)
+            and self._hash == other._hash
+            and self.cond == other.cond
+            and self.then_branch == other.then_branch
+            and self.else_branch == other.else_branch
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __str__(self) -> str:
+        return (
+            f"if {self.cond} then {self.then_branch} else {self.else_branch}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Construction helpers
+# ----------------------------------------------------------------------
+def app(op: Operation, *args: Term) -> App:
+    """``app(ADD, q, i)`` reads better than ``App(ADD, (q, i))``."""
+    return App(op, args)
+
+
+def var(name: str, sort: Sort) -> Var:
+    return Var(name, sort)
+
+
+def lit(value: object, sort: Sort) -> Lit:
+    return Lit(value, sort)
+
+
+def err(sort: Sort) -> Err:
+    return Err(sort)
+
+
+def ite(cond: Term, then_branch: Term, else_branch: Term) -> Ite:
+    return Ite(cond, then_branch, else_branch)
+
+
+def constructor_only(term: Term, constructors: set[Operation]) -> bool:
+    """True when every operation in ``term`` is drawn from ``constructors``.
+
+    Sufficient-completeness asks that terms of the type of interest reduce
+    to constructor-only form; terms of other sorts must reduce to terms
+    free of type-of-interest operations entirely.
+    """
+    return all(
+        node.op in constructors
+        for _, node in term.subterms()
+        if isinstance(node, App)
+    )
+
+
+def map_terms(term: Term, fn: Callable[[Term], Optional[Term]]) -> Term:
+    """Rebuild ``term`` bottom-up, replacing nodes where ``fn`` returns
+    a term and keeping them where it returns ``None``."""
+    kids = term.children()
+    if kids:
+        rebuilt = term.with_children([map_terms(kid, fn) for kid in kids])
+    else:
+        rebuilt = term
+    replacement = fn(rebuilt)
+    return rebuilt if replacement is None else replacement
+
+
+TermLike = Union[Term]

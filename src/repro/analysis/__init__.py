@@ -1,0 +1,56 @@
+"""Specification analysis: classification, sufficient completeness,
+consistency, and the interactive completion heuristics."""
+
+from repro.analysis.classify import Classification, classify
+from repro.analysis.sufficient_completeness import (
+    CompletenessReport,
+    MissingCase,
+    NonDecreasingAxiom,
+    OverlappingCase,
+    StuckObservation,
+    case_patterns,
+    check_sufficient_completeness,
+)
+from repro.analysis.consistency import (
+    ConsistencyReport,
+    GroundWitness,
+    Verdict,
+    check_consistency,
+)
+from repro.analysis.coverage import (
+    AxiomCoverageReport,
+    check_axiom_coverage,
+)
+from repro.analysis.lint import LintReport, lint_specification
+from repro.analysis.heuristics import (
+    CompletionSession,
+    Prompt,
+    default_boundary_oracle,
+    prompts_for,
+    scaffold,
+)
+
+__all__ = [
+    "Classification",
+    "classify",
+    "CompletenessReport",
+    "MissingCase",
+    "NonDecreasingAxiom",
+    "OverlappingCase",
+    "StuckObservation",
+    "case_patterns",
+    "check_sufficient_completeness",
+    "ConsistencyReport",
+    "GroundWitness",
+    "Verdict",
+    "check_consistency",
+    "AxiomCoverageReport",
+    "check_axiom_coverage",
+    "LintReport",
+    "lint_specification",
+    "CompletionSession",
+    "Prompt",
+    "default_boundary_oracle",
+    "prompts_for",
+    "scaffold",
+]

@@ -1,0 +1,255 @@
+"""Command-line interface.
+
+Five subcommands, mirroring the workflows the paper describes::
+
+    python -m repro check FILE        analyse spec file(s): completeness
+                                      + consistency; nonzero exit on NO
+    python -m repro show FILE         pretty-print the specification(s)
+    python -m repro prompts FILE      list the missing-case prompts
+    python -m repro eval FILE TERM    normalise TERM under the (last)
+                                      specification in FILE
+    python -m repro compile FILE      scope/type-check a Block program
+                                      [--dialect plain|knows]
+                                      [--backend concrete|native|spec]
+
+Spec files contain one or more ``type ...`` blocks in the DSL (see
+README); later blocks may use earlier ones.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis import (
+    check_consistency,
+    check_sufficient_completeness,
+    prompts_for,
+)
+from repro.report import banner, format_specification
+from repro.spec.parser import parse_specifications, parse_term
+from repro.rewriting import RewriteEngine
+
+
+def _load_specs(path: str):
+    with open(path) as handle:
+        return parse_specifications(handle.read())
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    from repro.analysis import check_axiom_coverage
+
+    status = 0
+    for spec in _load_specs(args.file):
+        completeness = check_sufficient_completeness(spec)
+        consistency = check_consistency(spec)
+        print(banner(f"{spec.name}"))
+        print(completeness)
+        print()
+        print(consistency)
+        if args.coverage:
+            print()
+            coverage = check_axiom_coverage(spec)
+            print(coverage)
+            if not coverage.fully_covered:
+                status = 1
+        if not completeness.sufficiently_complete or not consistency.consistent:
+            status = 1
+    return status
+
+
+def cmd_show(args: argparse.Namespace) -> int:
+    for spec in _load_specs(args.file):
+        print(format_specification(spec))
+        print()
+    return 0
+
+
+def cmd_prompts(args: argparse.Namespace) -> int:
+    status = 0
+    for spec in _load_specs(args.file):
+        prompts = prompts_for(spec)
+        if prompts:
+            status = 1
+            print(f"{spec.name}:")
+            for prompt in prompts:
+                print(f"  {prompt}")
+        else:
+            print(f"{spec.name}: sufficiently complete, nothing to supply")
+    return status
+
+
+def cmd_eval(args: argparse.Namespace) -> int:
+    specs = _load_specs(args.file)
+    spec = specs[-1]
+    term = parse_term(args.term, spec)
+    engine = RewriteEngine.for_specification(spec)
+    result = engine.normalize(term)
+    print(result)
+    if args.stats:
+        print(
+            f"-- {engine.stats.steps} step(s), "
+            f"{engine.stats.rule_firings} rule firing(s), "
+            f"{engine.stats.builtin_firings} builtin call(s)",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    from repro.compiler import (
+        ConcreteBackend,
+        KnowsConcreteBackend,
+        KnowsSpecBackend,
+        NativeBackend,
+        SpecBackend,
+        analyze_source,
+    )
+
+    with open(args.file) as handle:
+        source = handle.read()
+    knows = args.dialect == "knows"
+    backends = {
+        ("concrete", False): ConcreteBackend,
+        ("native", False): NativeBackend,
+        ("spec", False): SpecBackend,
+        ("concrete", True): KnowsConcreteBackend,
+        ("spec", True): KnowsSpecBackend,
+    }
+    factory = backends.get((args.backend, knows))
+    if factory is None:
+        print(
+            f"backend {args.backend!r} is not available for the "
+            f"{args.dialect} dialect",
+            file=sys.stderr,
+        )
+        return 2
+    result = analyze_source(source, factory(), args.dialect)
+    for diagnostic in result.diagnostics.diagnostics:
+        print(diagnostic)
+    if not result.diagnostics.diagnostics:
+        print("clean")
+    print(
+        f"-- {result.stats.total} symbol-table operation(s)",
+        file=sys.stderr,
+    )
+    return 0 if result.ok else 1
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from repro.compiler.interp import BlockRuntimeError, run_source
+    from repro.compiler.vm import compile_and_run
+
+    with open(args.file) as handle:
+        source = handle.read()
+    runner = compile_and_run if args.engine == "vm" else run_source
+    try:
+        result = runner(source)
+    except BlockRuntimeError as exc:
+        print(f"runtime error: {exc}", file=sys.stderr)
+        return 1
+    for name in sorted(result.globals):
+        print(f"{name} = {result.globals[name]}")
+    print(f"-- {result.steps} step(s)", file=sys.stderr)
+    return 0
+
+
+def cmd_prove(args: argparse.Namespace) -> int:
+    from repro.verify.client import parse_client_program, verify_client
+
+    specs = _load_specs(args.specfile)
+    with open(args.programfile) as handle:
+        source = handle.read()
+    program = parse_client_program(source, *specs)
+    report = verify_client(program)
+    print(report)
+    return 0 if report.all_proved else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Algebraic specification of abstract data types "
+        "(Guttag 1977).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    check = commands.add_parser("check", help="analyse a spec file")
+    check.add_argument("file")
+    check.add_argument(
+        "--coverage",
+        action="store_true",
+        help="also report per-axiom firing counts (dead-axiom lint)",
+    )
+    check.set_defaults(run=cmd_check)
+
+    show = commands.add_parser("show", help="pretty-print a spec file")
+    show.add_argument("file")
+    show.set_defaults(run=cmd_show)
+
+    prompts = commands.add_parser(
+        "prompts", help="list missing-case prompts for a spec file"
+    )
+    prompts.add_argument("file")
+    prompts.set_defaults(run=cmd_prompts)
+
+    evaluate = commands.add_parser(
+        "eval", help="normalise a term under a spec file"
+    )
+    evaluate.add_argument("file")
+    evaluate.add_argument("term")
+    evaluate.add_argument(
+        "--stats", action="store_true", help="print rewrite statistics"
+    )
+    evaluate.set_defaults(run=cmd_eval)
+
+    run_cmd = commands.add_parser(
+        "run", help="execute a Block program"
+    )
+    run_cmd.add_argument("file")
+    run_cmd.add_argument(
+        "--engine", choices=("interp", "vm"), default="vm"
+    )
+    run_cmd.set_defaults(run=cmd_run)
+
+    prove = commands.add_parser(
+        "prove",
+        help="verify a client program's assertions from the axioms alone",
+    )
+    prove.add_argument("specfile")
+    prove.add_argument("programfile")
+    prove.set_defaults(run=cmd_prove)
+
+    compile_ = commands.add_parser(
+        "compile", help="scope/type-check a Block program"
+    )
+    compile_.add_argument("file")
+    compile_.add_argument(
+        "--dialect", choices=("plain", "knows"), default="plain"
+    )
+    compile_.add_argument(
+        "--backend",
+        choices=("concrete", "native", "spec"),
+        default="concrete",
+    )
+    compile_.set_defaults(run=cmd_compile)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.run(args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except Exception as exc:  # surfaced cleanly: CLI, not traceback
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

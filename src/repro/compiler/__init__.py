@@ -1,0 +1,114 @@
+"""A front end for the Block language, built on the symbol-table ADT.
+
+Lexer, parser, AST, and a semantic analyser whose scope handling is
+written purely against the abstract symbol-table operations — with
+interchangeable backends (concrete implementation, symbolically
+interpreted specification, hand-rolled native table).
+"""
+
+from repro.compiler.ast import (
+    Assign,
+    BinOp,
+    Block,
+    BoolLit,
+    Declare,
+    Expr,
+    If,
+    IntLit,
+    Name,
+    Span,
+    Stmt,
+    While,
+)
+from repro.compiler.lexer import BlockLexError, tokenize
+from repro.compiler.parser import BlockParseError, parse_program
+from repro.compiler.diagnostics import (
+    Code,
+    Diagnostic,
+    DiagnosticBag,
+    Severity,
+)
+from repro.compiler.backends import (
+    ConcreteBackend,
+    KnowsConcreteBackend,
+    KnowsSpecBackend,
+    NativeBackend,
+    SpecBackend,
+    SymbolTableBackend,
+)
+from repro.compiler.semantic import (
+    AnalysisResult,
+    AnalysisStats,
+    SemanticAnalyzer,
+    analyze_source,
+)
+from repro.compiler.interp import (
+    BlockRuntimeError,
+    ExecutionResult,
+    Interpreter,
+    run_source,
+)
+from repro.compiler.codegen import (
+    CodegenError,
+    CodeGenerator,
+    CompiledProgram,
+    Instr,
+    Op,
+    StorageAttributes,
+    compile_program,
+)
+from repro.compiler.vm import VirtualMachine, compile_and_run
+from repro.compiler.workloads import (
+    DIAGNOSTIC_SAMPLE,
+    WorkloadShape,
+    generate_program,
+)
+
+__all__ = [
+    "Assign",
+    "BinOp",
+    "Block",
+    "BoolLit",
+    "Declare",
+    "Expr",
+    "If",
+    "IntLit",
+    "Name",
+    "Span",
+    "Stmt",
+    "While",
+    "BlockLexError",
+    "tokenize",
+    "BlockParseError",
+    "parse_program",
+    "Code",
+    "Diagnostic",
+    "DiagnosticBag",
+    "Severity",
+    "ConcreteBackend",
+    "KnowsConcreteBackend",
+    "KnowsSpecBackend",
+    "NativeBackend",
+    "SpecBackend",
+    "SymbolTableBackend",
+    "AnalysisResult",
+    "AnalysisStats",
+    "SemanticAnalyzer",
+    "analyze_source",
+    "DIAGNOSTIC_SAMPLE",
+    "WorkloadShape",
+    "generate_program",
+    "BlockRuntimeError",
+    "ExecutionResult",
+    "Interpreter",
+    "run_source",
+    "CodegenError",
+    "CodeGenerator",
+    "CompiledProgram",
+    "Instr",
+    "Op",
+    "StorageAttributes",
+    "compile_program",
+    "VirtualMachine",
+    "compile_and_run",
+]

@@ -1,0 +1,116 @@
+"""Abstract syntax of the Block language.
+
+::
+
+    program  ::= block
+    block    ::= "begin" ["knows" ident ("," ident)*] item* "end"
+    item     ::= declare | stmt
+    declare  ::= "declare" ident ":" type ";"
+    type     ::= "int" | "bool"
+    stmt     ::= assign | block ";" | if | while
+    assign   ::= ident ":=" expr ";"
+    if       ::= "if" expr "then" stmt* ["else" stmt*] "fi" ";"
+    while    ::= "while" expr "do" stmt* "od" ";"
+    expr     ::= comparison
+    comparison ::= sum (("="|"<") sum)?
+    sum      ::= product (("+"|"-") product)*
+    product  ::= atom ("*" atom)*
+    atom     ::= INT | "true" | "false" | ident | "(" expr ")"
+
+The ``knows`` clause is only legal in the knows-list dialect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+
+@dataclass(frozen=True)
+class Span:
+    """Source position of a node (line/column of its first token)."""
+
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"line {self.line}, column {self.column}"
+
+
+# -- expressions --------------------------------------------------------
+@dataclass(frozen=True)
+class IntLit:
+    value: int
+    span: Span
+
+
+@dataclass(frozen=True)
+class BoolLit:
+    value: bool
+    span: Span
+
+
+@dataclass(frozen=True)
+class Name:
+    ident: str
+    span: Span
+
+
+@dataclass(frozen=True)
+class BinOp:
+    op: str  # one of + - * = <
+    left: "Expr"
+    right: "Expr"
+    span: Span
+
+
+Expr = Union[IntLit, BoolLit, Name, BinOp]
+
+
+# -- statements ----------------------------------------------------------
+@dataclass(frozen=True)
+class Declare:
+    ident: str
+    type_name: str  # "int" | "bool"
+    span: Span
+
+
+@dataclass(frozen=True)
+class Assign:
+    ident: str
+    value: Expr
+    span: Span
+
+
+@dataclass(frozen=True)
+class If:
+    condition: Expr
+    then_body: tuple["Stmt", ...]
+    else_body: tuple["Stmt", ...]
+    span: Span
+
+
+@dataclass(frozen=True)
+class While:
+    condition: Expr
+    body: tuple["Stmt", ...]
+    span: Span
+
+
+@dataclass(frozen=True)
+class Block:
+    items: tuple["Stmt", ...]
+    knows: Optional[tuple[str, ...]]  # None = plain dialect
+    span: Span
+
+
+Stmt = Union[Declare, Assign, If, While, Block]
+
+
+def walk_expr_names(expr: Expr):
+    """Yield every :class:`Name` use in ``expr``."""
+    if isinstance(expr, Name):
+        yield expr
+    elif isinstance(expr, BinOp):
+        yield from walk_expr_names(expr.left)
+        yield from walk_expr_names(expr.right)

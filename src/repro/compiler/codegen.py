@@ -1,0 +1,235 @@
+"""Bytecode generation for the Block language.
+
+This pass is where the symbol table earns its keep exactly as the paper
+frames it: "ADD: add an identifier and its attributes to the symbol
+table ... RETRIEVE: return the attributes associated with a specified
+identifier".  Here the *attributes* are storage attributes — the lexical
+address ``(depth, slot)`` assigned at declaration — and code generation
+RETRIEVEs them to emit direct loads and stores, so the emitted code
+never searches scopes at runtime.
+
+The backend is any model of the symbol-table axioms; the generator is
+written against the abstract operations only, like the analyser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+from typing import Optional, Union
+
+from repro.spec.errors import AlgebraError
+from repro.compiler.ast import (
+    Assign,
+    BinOp,
+    Block,
+    BoolLit,
+    Declare,
+    Expr,
+    If,
+    IntLit,
+    Name,
+    Stmt,
+    While,
+)
+from repro.compiler.backends import ConcreteBackend, SymbolTableBackend
+
+
+class Op(Enum):
+    CONST = auto()        # push a constant
+    LOAD = auto()         # push frames[depth][slot]
+    STORE = auto()        # frames[depth][slot] := pop
+    ADD = auto()
+    SUB = auto()
+    MUL = auto()
+    EQ = auto()
+    LT = auto()
+    JUMP = auto()         # pc := arg
+    JUMP_IF_FALSE = auto()  # if not pop: pc := arg
+    ENTER = auto()        # push a new frame
+    LEAVE = auto()        # pop the top frame
+    ALLOC = auto()        # append a default cell to the top frame
+    HALT = auto()
+
+
+@dataclass(frozen=True)
+class Instr:
+    op: Op
+    a: Optional[int] = None
+    b: Optional[Union[int, object]] = None
+
+    def __str__(self) -> str:
+        parts = [self.op.name.lower()]
+        if self.a is not None:
+            parts.append(str(self.a))
+        if self.b is not None:
+            parts.append(repr(self.b))
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class StorageAttributes:
+    """What the symbol table stores per declaration."""
+
+    depth: int
+    slot: int
+    type_name: str
+
+
+@dataclass
+class CompiledProgram:
+    code: list[Instr]
+    global_names: dict[str, int]  # name -> slot in frame 0
+
+    def disassemble(self) -> str:
+        return "\n".join(
+            f"{index:4d}  {instr}" for index, instr in enumerate(self.code)
+        )
+
+
+class CodegenError(Exception):
+    """Raised when generation hits an unresolvable name (should have
+    been caught by semantic analysis)."""
+
+
+_BINOPS = {
+    "+": Op.ADD,
+    "-": Op.SUB,
+    "*": Op.MUL,
+    "=": Op.EQ,
+    "<": Op.LT,
+}
+
+
+class CodeGenerator:
+    """Compiles one checked program to stack-machine code."""
+
+    def __init__(self, backend: Optional[SymbolTableBackend] = None) -> None:
+        self._initial = backend if backend is not None else ConcreteBackend()
+
+    def compile(self, program: Block) -> CompiledProgram:
+        code: list[Instr] = []
+        table = self._initial
+        depth = 0
+        slots = [0]  # next free slot per open frame
+        globals_map: dict[str, int] = {}
+        table = self._gen_items(
+            program.items, table, depth, slots, code, globals_map
+        )
+        code.append(Instr(Op.HALT))
+        return CompiledProgram(code, globals_map)
+
+    # ------------------------------------------------------------------
+    def _gen_items(
+        self, items, table, depth, slots, code, globals_map
+    ):
+        for item in items:
+            table = self._gen_item(
+                item, table, depth, slots, code, globals_map
+            )
+        return table
+
+    def _gen_item(self, item: Stmt, table, depth, slots, code, globals_map):
+        if isinstance(item, Declare):
+            from repro.compiler.interp import DEFAULT_VALUES
+
+            slot = slots[depth]
+            slots[depth] += 1
+            # ALLOC(slot, default) ensures the cell exists *and* resets
+            # it — so re-executing a declaration (inside a loop body)
+            # re-initialises the variable, matching the tree-walker.
+            code.append(
+                Instr(Op.ALLOC, slot, DEFAULT_VALUES[item.type_name])
+            )
+            attributes = StorageAttributes(depth, slot, item.type_name)
+            if depth == 0:
+                globals_map[item.ident] = slot
+            return table.add(item.ident, attributes)
+
+        if isinstance(item, Assign):
+            self._gen_expr(item.value, table, code)
+            attributes = self._storage(table, item.ident)
+            code.append(Instr(Op.STORE, attributes.depth, attributes.slot))
+            return table
+
+        if isinstance(item, If):
+            self._gen_expr(item.condition, table, code)
+            branch_jump = len(code)
+            code.append(Instr(Op.JUMP_IF_FALSE, 0))
+            table = self._gen_items(
+                item.then_body, table, depth, slots, code, globals_map
+            )
+            if item.else_body:
+                exit_jump = len(code)
+                code.append(Instr(Op.JUMP, 0))
+                code[branch_jump] = Instr(Op.JUMP_IF_FALSE, len(code))
+                table = self._gen_items(
+                    item.else_body, table, depth, slots, code, globals_map
+                )
+                code[exit_jump] = Instr(Op.JUMP, len(code))
+            else:
+                code[branch_jump] = Instr(Op.JUMP_IF_FALSE, len(code))
+            return table
+
+        if isinstance(item, While):
+            top = len(code)
+            self._gen_expr(item.condition, table, code)
+            exit_jump = len(code)
+            code.append(Instr(Op.JUMP_IF_FALSE, 0))
+            table = self._gen_items(
+                item.body, table, depth, slots, code, globals_map
+            )
+            code.append(Instr(Op.JUMP, top))
+            code[exit_jump] = Instr(Op.JUMP_IF_FALSE, len(code))
+            return table
+
+        if isinstance(item, Block):
+            code.append(Instr(Op.ENTER))
+            inner = table.enterblock()
+            slots.append(0)
+            inner = self._gen_items(
+                item.items, inner, depth + 1, slots, code, globals_map
+            )
+            slots.pop()
+            inner.leaveblock()
+            code.append(Instr(Op.LEAVE))
+            return table
+
+        raise TypeError(f"unknown statement {item!r}")
+
+    def _gen_expr(self, expr: Expr, table, code) -> None:
+        if isinstance(expr, IntLit):
+            code.append(Instr(Op.CONST, b=expr.value))
+            return
+        if isinstance(expr, BoolLit):
+            code.append(Instr(Op.CONST, b=expr.value))
+            return
+        if isinstance(expr, Name):
+            attributes = self._storage(table, expr.ident)
+            code.append(Instr(Op.LOAD, attributes.depth, attributes.slot))
+            return
+        if isinstance(expr, BinOp):
+            self._gen_expr(expr.left, table, code)
+            self._gen_expr(expr.right, table, code)
+            code.append(Instr(_BINOPS[expr.op]))
+            return
+        raise TypeError(f"unknown expression {expr!r}")
+
+    def _storage(self, table, name: str) -> StorageAttributes:
+        try:
+            attributes = table.retrieve(name)
+        except AlgebraError as exc:
+            raise CodegenError(f"unresolved identifier {name!r}: {exc}") from exc
+        if not isinstance(attributes, StorageAttributes):
+            raise CodegenError(
+                f"{name!r} carries non-storage attributes "
+                f"{attributes!r}; run codegen on its own table"
+            )
+        return attributes
+
+
+def compile_program(
+    program: Block, backend: Optional[SymbolTableBackend] = None
+) -> CompiledProgram:
+    """Compile a (semantically valid) program to bytecode."""
+    return CodeGenerator(backend).compile(program)

@@ -1,0 +1,70 @@
+"""Diagnostics produced by semantic analysis."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, auto
+
+from repro.compiler.ast import Span
+
+
+class Severity(Enum):
+    ERROR = auto()
+    WARNING = auto()
+
+
+class Code(Enum):
+    DUPLICATE_DECLARATION = auto()
+    UNDECLARED_IDENTIFIER = auto()
+    NOT_IN_KNOWS_LIST = auto()
+    TYPE_MISMATCH = auto()
+    EXTRA_END = auto()
+    UNKNOWN_KNOWS_NAME = auto()
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    severity: Severity
+    code: Code
+    message: str
+    span: Span
+
+    def __str__(self) -> str:
+        return f"{self.severity.name.lower()} at {self.span}: {self.message}"
+
+
+@dataclass
+class DiagnosticBag:
+    """Collects diagnostics during a semantic pass."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def error(self, code: Code, message: str, span: Span) -> None:
+        self.diagnostics.append(
+            Diagnostic(Severity.ERROR, code, message, span)
+        )
+
+    def warning(self, code: Code, message: str, span: Span) -> None:
+        self.diagnostics.append(
+            Diagnostic(Severity.WARNING, code, message, span)
+        )
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def codes(self) -> list[Code]:
+        return [d.code for d in self.diagnostics]
+
+    def __str__(self) -> str:
+        if not self.diagnostics:
+            return "no diagnostics"
+        return "\n".join(str(d) for d in self.diagnostics)

@@ -1,0 +1,161 @@
+"""A tree-walking evaluator for the Block language.
+
+Executes programs directly over the AST, with a stack of scope frames
+mirroring the symbol table's blocks.  Serves as the reference semantics
+the bytecode VM (:mod:`repro.compiler.vm`) is differentially tested
+against.
+
+Programs are assumed to have passed semantic analysis; runtime
+violations that analysis cannot rule out (reading a declared-but-never-
+assigned variable) surface as :class:`BlockRuntimeError`.  ``while``
+loops run under a step budget so buggy inputs terminate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.ast import (
+    Assign,
+    BinOp,
+    Block,
+    BoolLit,
+    Declare,
+    Expr,
+    If,
+    IntLit,
+    Name,
+    Stmt,
+    While,
+)
+
+#: A variable that was declared but never assigned reads as the zero
+#: value of its declared type, like the paper's era would initialise
+#: static storage.
+DEFAULT_VALUES = {"int": 0, "bool": False}
+
+
+class BlockRuntimeError(Exception):
+    """Raised on runtime violations (undeclared name, step overrun)."""
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of running a program."""
+
+    globals: dict[str, object]
+    steps: int
+
+    def value(self, name: str) -> object:
+        try:
+            return self.globals[name]
+        except KeyError:
+            raise BlockRuntimeError(
+                f"{name!r} is not a global of the program"
+            ) from None
+
+
+@dataclass
+class _Frame:
+    values: dict[str, object] = field(default_factory=dict)
+
+
+class Interpreter:
+    """Evaluates one program."""
+
+    def __init__(self, max_steps: int = 100_000) -> None:
+        self.max_steps = max_steps
+
+    def run(self, program: Block) -> ExecutionResult:
+        frames: list[_Frame] = [_Frame()]
+        steps = [0]
+        self._run_items(program.items, frames, steps)
+        return ExecutionResult(dict(frames[0].values), steps[0])
+
+    # ------------------------------------------------------------------
+    def _spend(self, steps: list[int]) -> None:
+        steps[0] += 1
+        if steps[0] > self.max_steps:
+            raise BlockRuntimeError(
+                f"program exceeded {self.max_steps} steps"
+            )
+
+    def _run_items(
+        self, items, frames: list[_Frame], steps: list[int]
+    ) -> None:
+        for item in items:
+            self._run_item(item, frames, steps)
+
+    def _run_item(
+        self, item: Stmt, frames: list[_Frame], steps: list[int]
+    ) -> None:
+        self._spend(steps)
+        if isinstance(item, Declare):
+            frames[-1].values[item.ident] = DEFAULT_VALUES[item.type_name]
+            return
+        if isinstance(item, Assign):
+            value = self._eval(item.value, frames, steps)
+            for frame in reversed(frames):
+                if item.ident in frame.values:
+                    frame.values[item.ident] = value
+                    return
+            raise BlockRuntimeError(f"assignment to undeclared {item.ident!r}")
+        if isinstance(item, If):
+            condition = self._eval(item.condition, frames, steps)
+            branch = item.then_body if condition else item.else_body
+            self._run_items(branch, frames, steps)
+            return
+        if isinstance(item, While):
+            while self._eval(item.condition, frames, steps):
+                self._spend(steps)
+                self._run_items(item.body, frames, steps)
+            return
+        if isinstance(item, Block):
+            frames.append(_Frame())
+            try:
+                self._run_items(item.items, frames, steps)
+            finally:
+                frames.pop()
+            return
+        raise TypeError(f"unknown statement {item!r}")
+
+    def _eval(self, expr: Expr, frames: list[_Frame], steps: list[int]):
+        self._spend(steps)
+        if isinstance(expr, IntLit):
+            return expr.value
+        if isinstance(expr, BoolLit):
+            return expr.value
+        if isinstance(expr, Name):
+            for frame in reversed(frames):
+                if expr.ident in frame.values:
+                    return frame.values[expr.ident]
+            raise BlockRuntimeError(f"read of undeclared {expr.ident!r}")
+        if isinstance(expr, BinOp):
+            left = self._eval(expr.left, frames, steps)
+            right = self._eval(expr.right, frames, steps)
+            if expr.op == "+":
+                return left + right
+            if expr.op == "-":
+                return left - right
+            if expr.op == "*":
+                return left * right
+            if expr.op == "=":
+                return left == right
+            if expr.op == "<":
+                return left < right
+            raise TypeError(f"unknown operator {expr.op!r}")
+        raise TypeError(f"unknown expression {expr!r}")
+
+
+def run_source(source: str, max_steps: int = 100_000) -> ExecutionResult:
+    """Parse, check, and run ``source``; analysis errors abort."""
+    from repro.compiler.parser import parse_program
+    from repro.compiler.semantic import SemanticAnalyzer
+
+    program = parse_program(source)
+    analysis = SemanticAnalyzer().analyze(program)
+    if not analysis.ok:
+        raise BlockRuntimeError(
+            "program has semantic errors:\n" + str(analysis.diagnostics)
+        )
+    return Interpreter(max_steps).run(program)

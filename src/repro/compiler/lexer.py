@@ -1,0 +1,84 @@
+"""Lexer for the Block language."""
+
+from __future__ import annotations
+
+from repro.compiler.tokens import KEYWORDS, Tok, TokKind
+
+
+class BlockLexError(Exception):
+    """Raised on characters the Block language does not use."""
+
+
+_PUNCT = {
+    ";": TokKind.SEMI,
+    ",": TokKind.COMMA,
+    "(": TokKind.LPAREN,
+    ")": TokKind.RPAREN,
+    "+": TokKind.PLUS,
+    "-": TokKind.MINUS,
+    "*": TokKind.STAR,
+    "=": TokKind.EQUAL,
+    "<": TokKind.LESS,
+}
+
+
+def tokenize(source: str) -> list[Tok]:
+    """Tokenize ``source``; ``--`` comments run to end of line."""
+    tokens: list[Tok] = []
+    line = 1
+    column = 1
+    i = 0
+    n = len(source)
+    while i < n:
+        char = source[i]
+        if char == "\n":
+            line += 1
+            column = 1
+            i += 1
+            continue
+        if char in " \t\r":
+            i += 1
+            column += 1
+            continue
+        if source.startswith("--", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith(":=", i):
+            tokens.append(Tok(TokKind.ASSIGN, ":=", line, column))
+            i += 2
+            column += 2
+            continue
+        if char == ":":
+            tokens.append(Tok(TokKind.COLON, ":", line, column))
+            i += 1
+            column += 1
+            continue
+        if char in _PUNCT:
+            tokens.append(Tok(_PUNCT[char], char, line, column))
+            i += 1
+            column += 1
+            continue
+        if char.isdigit():
+            j = i
+            while j < n and source[j].isdigit():
+                j += 1
+            tokens.append(Tok(TokKind.INT, source[i:j], line, column))
+            column += j - i
+            i = j
+            continue
+        if char.isalpha() or char == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = TokKind.KEYWORD if text in KEYWORDS else TokKind.IDENT
+            tokens.append(Tok(kind, text, line, column))
+            column += j - i
+            i = j
+            continue
+        raise BlockLexError(
+            f"unexpected character {char!r} at line {line}, column {column}"
+        )
+    tokens.append(Tok(TokKind.EOF, "", line, column))
+    return tokens

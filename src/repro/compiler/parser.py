@@ -1,0 +1,213 @@
+"""Recursive-descent parser for the Block language."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.compiler.ast import (
+    Assign,
+    BinOp,
+    Block,
+    BoolLit,
+    Declare,
+    Expr,
+    If,
+    IntLit,
+    Name,
+    Span,
+    Stmt,
+    While,
+)
+from repro.compiler.lexer import tokenize
+from repro.compiler.tokens import Tok, TokKind
+
+
+class BlockParseError(Exception):
+    """Raised on syntax errors in Block programs."""
+
+
+class _Parser:
+    def __init__(self, tokens: Sequence[Tok], allow_knows: bool) -> None:
+        self._tokens = list(tokens)
+        self._pos = 0
+        self._allow_knows = allow_knows
+
+    # -- plumbing -----------------------------------------------------------
+    def _peek(self) -> Tok:
+        return self._tokens[self._pos]
+
+    def _next(self) -> Tok:
+        token = self._tokens[self._pos]
+        if token.kind is not TokKind.EOF:
+            self._pos += 1
+        return token
+
+    def _expect(self, kind: TokKind, what: str) -> Tok:
+        token = self._next()
+        if token.kind is not kind:
+            raise BlockParseError(f"expected {what}, found {token}")
+        return token
+
+    def _expect_keyword(self, word: str) -> Tok:
+        token = self._next()
+        if not token.is_keyword(word):
+            raise BlockParseError(f"expected {word!r}, found {token}")
+        return token
+
+    @staticmethod
+    def _span(token: Tok) -> Span:
+        return Span(token.line, token.column)
+
+    # -- grammar -----------------------------------------------------------
+    def parse_program(self) -> Block:
+        block = self.parse_block()
+        trailing = self._peek()
+        if trailing.kind is not TokKind.EOF:
+            raise BlockParseError(f"unexpected input after program: {trailing}")
+        return block
+
+    def parse_block(self) -> Block:
+        begin = self._expect_keyword("begin")
+        knows: Optional[tuple[str, ...]] = None
+        if self._peek().is_keyword("knows"):
+            if not self._allow_knows:
+                raise BlockParseError(
+                    f"'knows' clause at {self._span(self._peek())} is only "
+                    f"legal in the knows-list dialect"
+                )
+            self._next()
+            names = [self._expect(TokKind.IDENT, "identifier").text]
+            while self._peek().kind is TokKind.COMMA:
+                self._next()
+                names.append(self._expect(TokKind.IDENT, "identifier").text)
+            knows = tuple(names)
+        elif self._allow_knows:
+            # In the dialect, every non-global block must say what it
+            # knows; an absent clause means "knows nothing".
+            knows = ()
+        items: list[Stmt] = []
+        while not self._peek().is_keyword("end"):
+            if self._peek().kind is TokKind.EOF:
+                raise BlockParseError("unexpected end of input: missing 'end'")
+            items.append(self.parse_item())
+        self._next()  # consume 'end'
+        return Block(tuple(items), knows, self._span(begin))
+
+    def parse_item(self) -> Stmt:
+        token = self._peek()
+        if token.is_keyword("declare"):
+            return self.parse_declare()
+        return self.parse_stmt()
+
+    def parse_declare(self) -> Declare:
+        keyword = self._expect_keyword("declare")
+        name = self._expect(TokKind.IDENT, "identifier")
+        self._expect(TokKind.COLON, "':'")
+        type_token = self._next()
+        if not (type_token.is_keyword("int") or type_token.is_keyword("bool")):
+            raise BlockParseError(f"expected a type, found {type_token}")
+        self._expect(TokKind.SEMI, "';'")
+        return Declare(name.text, type_token.text, self._span(keyword))
+
+    def parse_stmt(self) -> Stmt:
+        token = self._peek()
+        if token.is_keyword("begin"):
+            block = self.parse_block()
+            self._expect(TokKind.SEMI, "';' after block")
+            return block
+        if token.is_keyword("if"):
+            return self.parse_if()
+        if token.is_keyword("while"):
+            return self.parse_while()
+        if token.kind is TokKind.IDENT:
+            name = self._next()
+            self._expect(TokKind.ASSIGN, "':='")
+            value = self.parse_expr()
+            self._expect(TokKind.SEMI, "';'")
+            return Assign(name.text, value, self._span(name))
+        raise BlockParseError(f"expected a statement, found {token}")
+
+    def parse_if(self) -> If:
+        keyword = self._expect_keyword("if")
+        condition = self.parse_expr()
+        self._expect_keyword("then")
+        then_body: list[Stmt] = []
+        while not (
+            self._peek().is_keyword("else") or self._peek().is_keyword("fi")
+        ):
+            then_body.append(self.parse_item())
+        else_body: list[Stmt] = []
+        if self._peek().is_keyword("else"):
+            self._next()
+            while not self._peek().is_keyword("fi"):
+                else_body.append(self.parse_item())
+        self._expect_keyword("fi")
+        self._expect(TokKind.SEMI, "';'")
+        return If(
+            condition, tuple(then_body), tuple(else_body), self._span(keyword)
+        )
+
+    def parse_while(self) -> While:
+        keyword = self._expect_keyword("while")
+        condition = self.parse_expr()
+        self._expect_keyword("do")
+        body: list[Stmt] = []
+        while not self._peek().is_keyword("od"):
+            body.append(self.parse_item())
+        self._next()
+        self._expect(TokKind.SEMI, "';'")
+        return While(condition, tuple(body), self._span(keyword))
+
+    # -- expressions ---------------------------------------------------------
+    def parse_expr(self) -> Expr:
+        left = self.parse_sum()
+        token = self._peek()
+        if token.kind in (TokKind.EQUAL, TokKind.LESS):
+            self._next()
+            right = self.parse_sum()
+            return BinOp(token.text, left, right, self._span(token))
+        return left
+
+    def parse_sum(self) -> Expr:
+        left = self.parse_product()
+        while self._peek().kind in (TokKind.PLUS, TokKind.MINUS):
+            token = self._next()
+            right = self.parse_product()
+            left = BinOp(token.text, left, right, self._span(token))
+        return left
+
+    def parse_product(self) -> Expr:
+        left = self.parse_atom()
+        while self._peek().kind is TokKind.STAR:
+            token = self._next()
+            right = self.parse_atom()
+            left = BinOp(token.text, left, right, self._span(token))
+        return left
+
+    def parse_atom(self) -> Expr:
+        token = self._next()
+        if token.kind is TokKind.INT:
+            return IntLit(int(token.text), self._span(token))
+        if token.is_keyword("true"):
+            return BoolLit(True, self._span(token))
+        if token.is_keyword("false"):
+            return BoolLit(False, self._span(token))
+        if token.kind is TokKind.IDENT:
+            return Name(token.text, self._span(token))
+        if token.kind is TokKind.LPAREN:
+            inner = self.parse_expr()
+            self._expect(TokKind.RPAREN, "')'")
+            return inner
+        raise BlockParseError(f"expected an expression, found {token}")
+
+
+def parse_program(source: str, dialect: str = "plain") -> Block:
+    """Parse a Block program.
+
+    ``dialect`` is ``"plain"`` (lexical scope, full inheritance) or
+    ``"knows"`` (globals visible only through knows lists).
+    """
+    if dialect not in ("plain", "knows"):
+        raise ValueError(f"unknown dialect {dialect!r}")
+    parser = _Parser(tokenize(source), allow_knows=dialect == "knows")
+    return parser.parse_program()

@@ -1,0 +1,281 @@
+"""Semantic analysis of Block programs, driven by the symbol table.
+
+The analyser performs the checks the paper lists as the symbol table's
+reasons for existing:
+
+* ``IS_INBLOCK?`` before each declaration — duplicate declarations in a
+  scope are errors;
+* ``RETRIEVE`` for each identifier use — undeclared identifiers are
+  errors (in the knows dialect, a name hidden by a missing knows-list
+  entry is reported distinctly);
+* the attributes stored at declaration (the declared type) drive a
+  simple type check of assignments and conditions — mismatches are
+  warnings, keeping scope analysis and type analysis distinguishable in
+  the diagnostics.
+
+The analyser is written purely against the abstract operations, so any
+backend from :mod:`repro.compiler.backends` can sit behind it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.spec.errors import AlgebraError
+from repro.compiler.ast import (
+    Assign,
+    BinOp,
+    Block,
+    BoolLit,
+    Declare,
+    Expr,
+    If,
+    IntLit,
+    Name,
+    Stmt,
+    While,
+)
+from repro.compiler.backends import (
+    ConcreteBackend,
+    KnowsConcreteBackend,
+    SymbolTableBackend,
+)
+from repro.compiler.diagnostics import Code, DiagnosticBag
+
+
+@dataclass
+class AnalysisStats:
+    """Symbol-table operation counts (benchmark E9 reports these)."""
+
+    enterblocks: int = 0
+    leaveblocks: int = 0
+    adds: int = 0
+    is_inblocks: int = 0
+    retrieves: int = 0
+
+    @property
+    def total(self) -> int:
+        return (
+            self.enterblocks
+            + self.leaveblocks
+            + self.adds
+            + self.is_inblocks
+            + self.retrieves
+        )
+
+
+@dataclass
+class AnalysisResult:
+    diagnostics: DiagnosticBag
+    stats: AnalysisStats
+
+    @property
+    def ok(self) -> bool:
+        return self.diagnostics.ok
+
+
+class SemanticAnalyzer:
+    """Scope- and type-checks one Block program."""
+
+    def __init__(
+        self,
+        backend: Optional[SymbolTableBackend] = None,
+        knows_dialect: bool = False,
+    ) -> None:
+        if backend is None:
+            backend = (
+                KnowsConcreteBackend() if knows_dialect else ConcreteBackend()
+            )
+        self._initial = backend
+        self._knows_dialect = knows_dialect
+
+    # ------------------------------------------------------------------
+    def analyze(self, program: Block) -> AnalysisResult:
+        bag = DiagnosticBag()
+        stats = AnalysisStats()
+        # The backend is constructed initialised (INIT establishes the
+        # global scope), so the outermost block does not ENTERBLOCK.
+        table = self._initial
+        table = self._analyze_items(program.items, table, bag, stats)
+        return AnalysisResult(bag, stats)
+
+    # ------------------------------------------------------------------
+    def _analyze_items(
+        self,
+        items: Sequence[Stmt],
+        table: SymbolTableBackend,
+        bag: DiagnosticBag,
+        stats: AnalysisStats,
+    ) -> SymbolTableBackend:
+        for item in items:
+            table = self._analyze_item(item, table, bag, stats)
+        return table
+
+    def _analyze_item(
+        self,
+        item: Stmt,
+        table: SymbolTableBackend,
+        bag: DiagnosticBag,
+        stats: AnalysisStats,
+    ) -> SymbolTableBackend:
+        if isinstance(item, Declare):
+            stats.is_inblocks += 1
+            if table.is_inblock(item.ident):
+                bag.error(
+                    Code.DUPLICATE_DECLARATION,
+                    f"{item.ident!r} is already declared in this block",
+                    item.span,
+                )
+                return table
+            stats.adds += 1
+            return table.add(item.ident, item.type_name)
+
+        if isinstance(item, Assign):
+            target_type = self._lookup(item.ident, item.span, table, bag, stats)
+            value_type = self._type_of(item.value, table, bag, stats)
+            if (
+                target_type is not None
+                and value_type is not None
+                and target_type != value_type
+            ):
+                bag.warning(
+                    Code.TYPE_MISMATCH,
+                    f"assigning {value_type} to {item.ident!r} of type "
+                    f"{target_type}",
+                    item.span,
+                )
+            return table
+
+        if isinstance(item, If):
+            self._check_condition(item.condition, table, bag, stats)
+            table = self._analyze_items(item.then_body, table, bag, stats)
+            table = self._analyze_items(item.else_body, table, bag, stats)
+            return table
+
+        if isinstance(item, While):
+            self._check_condition(item.condition, table, bag, stats)
+            return self._analyze_items(item.body, table, bag, stats)
+
+        if isinstance(item, Block):
+            stats.enterblocks += 1
+            if self._knows_dialect:
+                knows = item.knows or ()
+                for name in knows:
+                    if self._lookup_quietly(name, table, stats) is None:
+                        bag.warning(
+                            Code.UNKNOWN_KNOWS_NAME,
+                            f"knows-list name {name!r} is not visible at "
+                            f"block entry",
+                            item.span,
+                        )
+                inner = table.enterblock(knows)  # type: ignore[call-arg]
+            else:
+                inner = table.enterblock()
+            inner = self._analyze_items(item.items, inner, bag, stats)
+            stats.leaveblocks += 1
+            try:
+                inner.leaveblock()
+            except AlgebraError:
+                bag.error(
+                    Code.EXTRA_END,
+                    "extra 'end': no enclosing block to return to",
+                    item.span,
+                )
+            return table
+
+        raise TypeError(f"unknown statement node {item!r}")
+
+    # ------------------------------------------------------------------
+    def _lookup(
+        self,
+        name: str,
+        span,
+        table: SymbolTableBackend,
+        bag: DiagnosticBag,
+        stats: AnalysisStats,
+    ) -> Optional[str]:
+        stats.retrieves += 1
+        try:
+            return table.retrieve(name)  # type: ignore[return-value]
+        except AlgebraError as exc:
+            code = (
+                Code.NOT_IN_KNOWS_LIST
+                if "knows list" in str(exc)
+                else Code.UNDECLARED_IDENTIFIER
+            )
+            bag.error(code, f"{name!r}: {exc}", span)
+            return None
+
+    def _lookup_quietly(
+        self, name: str, table: SymbolTableBackend, stats: AnalysisStats
+    ) -> Optional[str]:
+        stats.retrieves += 1
+        try:
+            return table.retrieve(name)  # type: ignore[return-value]
+        except AlgebraError:
+            return None
+
+    def _type_of(
+        self,
+        expr: Expr,
+        table: SymbolTableBackend,
+        bag: DiagnosticBag,
+        stats: AnalysisStats,
+    ) -> Optional[str]:
+        if isinstance(expr, IntLit):
+            return "int"
+        if isinstance(expr, BoolLit):
+            return "bool"
+        if isinstance(expr, Name):
+            return self._lookup(expr.ident, expr.span, table, bag, stats)
+        if isinstance(expr, BinOp):
+            left = self._type_of(expr.left, table, bag, stats)
+            right = self._type_of(expr.right, table, bag, stats)
+            if expr.op in ("+", "-", "*"):
+                for side, side_type in (("left", left), ("right", right)):
+                    if side_type is not None and side_type != "int":
+                        bag.warning(
+                            Code.TYPE_MISMATCH,
+                            f"{side} operand of {expr.op!r} has type "
+                            f"{side_type}, expected int",
+                            expr.span,
+                        )
+                return "int"
+            if left is not None and right is not None and left != right:
+                bag.warning(
+                    Code.TYPE_MISMATCH,
+                    f"comparing {left} with {right}",
+                    expr.span,
+                )
+            return "bool"
+        raise TypeError(f"unknown expression node {expr!r}")
+
+    def _check_condition(
+        self,
+        expr: Expr,
+        table: SymbolTableBackend,
+        bag: DiagnosticBag,
+        stats: AnalysisStats,
+    ) -> None:
+        condition_type = self._type_of(expr, table, bag, stats)
+        if condition_type is not None and condition_type != "bool":
+            span = getattr(expr, "span")
+            bag.warning(
+                Code.TYPE_MISMATCH,
+                f"condition has type {condition_type}, expected bool",
+                span,
+            )
+
+
+def analyze_source(
+    source: str,
+    backend: Optional[SymbolTableBackend] = None,
+    dialect: str = "plain",
+) -> AnalysisResult:
+    """Parse and analyse ``source`` in one call."""
+    from repro.compiler.parser import parse_program
+
+    program = parse_program(source, dialect)
+    analyzer = SemanticAnalyzer(backend, knows_dialect=dialect == "knows")
+    return analyzer.analyze(program)

@@ -1,0 +1,66 @@
+"""Tokens for the Block language.
+
+The Block language is the small block-structured language this package
+compiles the front half of; its whole purpose is to exercise the symbol
+table the paper designs (nested scopes, shadowing, duplicate-declaration
+checks, and in the dialect of section 4's adaptability exercise, knows
+lists at block entry).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+
+class TokKind(Enum):
+    IDENT = auto()
+    INT = auto()
+    KEYWORD = auto()
+    ASSIGN = auto()      # :=
+    COLON = auto()       # :
+    SEMI = auto()        # ;
+    COMMA = auto()       # ,
+    LPAREN = auto()      # (
+    RPAREN = auto()      # )
+    PLUS = auto()        # +
+    MINUS = auto()       # -
+    STAR = auto()        # *
+    EQUAL = auto()       # =
+    LESS = auto()        # <
+    EOF = auto()
+
+
+KEYWORDS = frozenset(
+    {
+        "begin",
+        "end",
+        "declare",
+        "if",
+        "then",
+        "else",
+        "fi",
+        "while",
+        "do",
+        "od",
+        "true",
+        "false",
+        "knows",
+        "int",
+        "bool",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Tok:
+    kind: TokKind
+    text: str
+    line: int
+    column: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind is TokKind.KEYWORD and self.text == word
+
+    def __str__(self) -> str:
+        return f"{self.text!r} at line {self.line}, column {self.column}"

@@ -1,0 +1,103 @@
+"""The stack-machine VM executing compiled Block programs.
+
+The machine state is an operand stack plus a stack of scope *frames*
+(lists of cells); ``LOAD``/``STORE`` address cells directly by the
+``(depth, slot)`` lexical addresses the code generator retrieved from
+the symbol table — no name lookup happens at runtime, which is the
+payoff of resolving names at compile time.
+"""
+
+from __future__ import annotations
+
+
+from repro.compiler.codegen import CompiledProgram, Op
+from repro.compiler.interp import BlockRuntimeError, ExecutionResult
+
+
+class VirtualMachine:
+    """Executes compiled programs under a step budget."""
+
+    def __init__(self, max_steps: int = 200_000) -> None:
+        self.max_steps = max_steps
+
+    def run(self, program: CompiledProgram) -> ExecutionResult:
+        code = program.code
+        stack: list[object] = []
+        frames: list[list[object]] = [[]]
+        pc = 0
+        steps = 0
+        while True:
+            steps += 1
+            if steps > self.max_steps:
+                raise BlockRuntimeError(
+                    f"VM exceeded {self.max_steps} steps"
+                )
+            instr = code[pc]
+            pc += 1
+            op = instr.op
+            if op is Op.HALT:
+                break
+            if op is Op.CONST:
+                stack.append(instr.b)
+            elif op is Op.LOAD:
+                frames_index, slot = instr.a, instr.b
+                stack.append(frames[frames_index][slot])
+            elif op is Op.STORE:
+                frames_index, slot = instr.a, instr.b
+                frames[frames_index][slot] = stack.pop()
+            elif op is Op.ALLOC:
+                frame = frames[-1]
+                slot = instr.a  # type: ignore[assignment]
+                while len(frame) <= slot:
+                    frame.append(0)
+                frame[slot] = instr.b
+            elif op is Op.ENTER:
+                frames.append([])
+            elif op is Op.LEAVE:
+                frames.pop()
+            elif op is Op.ADD:
+                right = stack.pop()
+                stack.append(stack.pop() + right)  # type: ignore[operator]
+            elif op is Op.SUB:
+                right = stack.pop()
+                stack.append(stack.pop() - right)  # type: ignore[operator]
+            elif op is Op.MUL:
+                right = stack.pop()
+                stack.append(stack.pop() * right)  # type: ignore[operator]
+            elif op is Op.EQ:
+                right = stack.pop()
+                stack.append(stack.pop() == right)
+            elif op is Op.LT:
+                right = stack.pop()
+                stack.append(stack.pop() < right)  # type: ignore[operator]
+            elif op is Op.JUMP:
+                pc = instr.a  # type: ignore[assignment]
+            elif op is Op.JUMP_IF_FALSE:
+                if not stack.pop():
+                    pc = instr.a  # type: ignore[assignment]
+            else:  # pragma: no cover - exhaustive over Op
+                raise BlockRuntimeError(f"unknown instruction {instr}")
+        globals_frame = frames[0]
+        values = {
+            name: globals_frame[slot]
+            for name, slot in program.global_names.items()
+        }
+        return ExecutionResult(values, steps)
+
+
+def compile_and_run(
+    source: str, max_steps: int = 200_000
+) -> ExecutionResult:
+    """Parse, check, compile, and execute ``source``."""
+    from repro.compiler.codegen import compile_program
+    from repro.compiler.parser import parse_program
+    from repro.compiler.semantic import SemanticAnalyzer
+
+    program = parse_program(source)
+    analysis = SemanticAnalyzer().analyze(program)
+    if not analysis.ok:
+        raise BlockRuntimeError(
+            "program has semantic errors:\n" + str(analysis.diagnostics)
+        )
+    compiled = compile_program(program)
+    return VirtualMachine(max_steps).run(compiled)

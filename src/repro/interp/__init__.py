@@ -1,0 +1,18 @@
+"""Symbolic interpretation: running a specification as its own
+implementation."""
+
+from repro.interp.symbolic import (
+    SymbolicInterpreter,
+    SymbolicTypeError,
+    SymbolicValue,
+)
+from repro.interp.facade import FacadeValue, facade_class, python_name
+
+__all__ = [
+    "SymbolicInterpreter",
+    "SymbolicTypeError",
+    "SymbolicValue",
+    "FacadeValue",
+    "facade_class",
+    "python_name",
+]

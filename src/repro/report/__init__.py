@@ -1,0 +1,17 @@
+"""Formatting helpers for terms, specifications and reports."""
+
+from repro.report.pretty import (
+    banner,
+    format_axiom,
+    format_specification,
+    format_table,
+    format_term,
+)
+
+__all__ = [
+    "banner",
+    "format_axiom",
+    "format_specification",
+    "format_table",
+    "format_term",
+]

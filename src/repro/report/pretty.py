@@ -1,0 +1,90 @@
+"""Pretty-printing of specifications, terms and analysis artefacts.
+
+The default ``str`` forms are compact; this module adds the layouts the
+examples and benchmark harnesses print: boxed specification listings,
+indented if-then-else, and aligned report tables.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.algebra.terms import App, Ite, Term
+from repro.spec.axioms import Axiom
+from repro.spec.specification import Specification
+
+
+def format_term(term: Term, indent: int = 0, width: int = 72) -> str:
+    """Render ``term``, breaking if-then-else over lines when long."""
+    flat = str(term)
+    if len(flat) + indent <= width and "\n" not in flat:
+        return flat
+    pad = " " * indent
+    if isinstance(term, Ite):
+        cond = format_term(term.cond, indent + 3, width)
+        then_branch = format_term(term.then_branch, indent + 5, width)
+        else_branch = format_term(term.else_branch, indent + 5, width)
+        return (
+            f"if {cond}\n{pad}then {then_branch}\n{pad}else {else_branch}"
+        )
+    if isinstance(term, App) and term.args:
+        inner = (",\n" + pad + " " * (len(term.op.name) + 1)).join(
+            format_term(arg, indent + len(term.op.name) + 1, width)
+            for arg in term.args
+        )
+        return f"{term.op.name}({inner})"
+    return flat
+
+
+def format_axiom(axiom: Axiom, width: int = 72) -> str:
+    label = f"({axiom.label}) " if axiom.label else ""
+    lhs = str(axiom.lhs)
+    rhs = format_term(axiom.rhs, indent=len(label) + len(lhs) + 3, width=width)
+    return f"{label}{lhs} = {rhs}"
+
+
+def format_specification(spec: Specification, width: int = 72) -> str:
+    """The paper's presentation: Type / Operations / Axioms."""
+    lines = [f"Type: {spec.name}"]
+    if spec.parameter_sorts:
+        params = ", ".join(str(s) for s in spec.parameter_sorts)
+        lines[0] = f"Type: {spec.name} [{params}]"
+    lines.append("Operations:")
+    name_width = max(
+        (len(op.name) + 1 for op in spec.own_operations()), default=0
+    )
+    for operation in spec.own_operations():
+        domain = " x ".join(str(s) for s in operation.domain)
+        arrow = f"{domain} -> {operation.range}" if domain else f"-> {operation.range}"
+        lines.append(f"  {operation.name + ':':<{name_width + 1}} {arrow}")
+    lines.append("Axioms:")
+    for axiom in spec.axioms:
+        lines.append(f"  {format_axiom(axiom, width)}")
+    if spec.uses:
+        lines.append(f"Uses: {', '.join(u.name for u in spec.uses)}")
+    return "\n".join(lines)
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """A plain aligned text table (benchmark harness output)."""
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def render(cells: Sequence[str]) -> str:
+        return "  ".join(
+            cell.ljust(width) for cell, width in zip(cells, widths)
+        ).rstrip()
+
+    lines = [render(list(headers)), render(["-" * w for w in widths])]
+    lines.extend(render(row) for row in materialized)
+    return "\n".join(lines)
+
+
+def banner(title: str, char: str = "=", width: int = 72) -> str:
+    """A section banner for example/bench output."""
+    bar = char * width
+    return f"{bar}\n{title}\n{bar}"

@@ -1,0 +1,330 @@
+"""The rewrite engine: evaluation of terms under a specification.
+
+Two evaluation modes:
+
+* :meth:`RewriteEngine.normalize` — call-by-value evaluation of
+  (typically ground) terms.  Arguments are normalised innermost-first;
+  ``if-then-else`` evaluates its condition, then *only the selected
+  branch* (lazy branches are what make the recursive axioms, e.g.
+  ``RETRIEVE'``, terminate); the distinguished ``error`` propagates
+  strictly through operations and conditions; operations with builtin
+  Python evaluators fire once their arguments are literals.
+
+* :meth:`RewriteEngine.simplify` — symbolic simplification of open
+  terms, for the prover.  Like ``normalize``, but when a condition does
+  not decide, both branches are simplified in place, and trivial
+  conditional identities (``if c then x else x -> x``) are applied.
+
+The engine counts rewrite steps; a configurable *fuel* bound turns
+divergence (possible for user-written axioms under debugging) into a
+:class:`RewriteLimitError` instead of a hang.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import sys
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.algebra.sorts import BOOLEAN
+from repro.algebra.terms import App, Err, Ite, Lit, Term, Var
+from repro.spec.axioms import Axiom
+from repro.spec.errors import AlgebraError
+from repro.spec.prelude import boolean_term, is_false, is_true
+from repro.spec.specification import Specification
+from repro.rewriting.rules import RuleSet
+
+
+class RewriteLimitError(Exception):
+    """Raised when evaluation exceeds its step budget."""
+
+    def __init__(self, term: Term, fuel: int) -> None:
+        try:
+            rendered = str(term)
+        except RecursionError:  # term too deep even to print
+            rendered = f"<term of {term.size()} nodes>"
+        if len(rendered) > 200:
+            rendered = rendered[:200] + "..."
+        super().__init__(
+            f"no normal form within {fuel} rewrite steps for {rendered}"
+        )
+        self.term = term
+        self.fuel = fuel
+
+
+@dataclass
+class EngineStats:
+    """Counters exposed for the benchmarks and the coverage analysis."""
+
+    steps: int = 0
+    rule_firings: int = 0
+    builtin_firings: int = 0
+    error_propagations: int = 0
+    cache_hits: int = 0
+    firings_by_rule: dict = field(default_factory=dict)
+
+    def record_firing(self, rule: "RewriteRule") -> None:
+        self.rule_firings += 1
+        key = id(rule)
+        entry = self.firings_by_rule.get(key)
+        if entry is None:
+            self.firings_by_rule[key] = [rule, 1]
+        else:
+            entry[1] += 1
+
+    def firing_count(self, rule: "RewriteRule") -> int:
+        entry = self.firings_by_rule.get(id(rule))
+        return entry[1] if entry else 0
+
+    def reset(self) -> None:
+        self.steps = 0
+        self.rule_firings = 0
+        self.builtin_firings = 0
+        self.error_propagations = 0
+        self.cache_hits = 0
+        self.firings_by_rule.clear()
+
+
+#: Default step budget.  The paper's specifications normalise any
+#: realistic term in far fewer steps; the bound exists to catch runaway
+#: user axioms.
+DEFAULT_FUEL = 200_000
+
+#: Hard ceiling on the recursion limit :func:`_enough_stack` will set.
+#: Evaluation uses a handful of Python frames per term level; deep terms
+#: need headroom, but an unbounded limit risks a C-stack overflow.
+_MAX_RECURSION_LIMIT = 100_000
+
+
+@contextlib.contextmanager
+def _enough_stack(term: Term):
+    """Temporarily raise the interpreter recursion limit in proportion
+    to the term's depth, so legitimately deep (but finite) evaluations
+    do not masquerade as divergence."""
+    needed = min(_MAX_RECURSION_LIMIT, term.depth() * 12 + 2_000)
+    previous = sys.getrecursionlimit()
+    if needed > previous:
+        sys.setrecursionlimit(needed)
+        try:
+            yield
+        finally:
+            sys.setrecursionlimit(previous)
+    else:
+        yield
+
+
+class RewriteEngine:
+    """Evaluates terms under a rule set.
+
+    Parameters
+    ----------
+    rules:
+        The oriented axioms.
+    fuel:
+        Maximum rewrite steps per ``normalize``/``simplify`` call.
+    use_index:
+        When False, rule lookup scans the whole rule list instead of the
+        head-symbol index.  Exists only for the E10 ablation benchmark;
+        leave True.
+    cache_size:
+        Normal forms of *ground* applications are memoised (the rule set
+        is fixed for the engine's lifetime, so a ground term's normal
+        form never changes).  Clients like the symbolic façade normalise
+        the same growing terms repeatedly, where the cache turns
+        re-evaluation into a lookup.  0 disables caching.
+    """
+
+    def __init__(
+        self,
+        rules: RuleSet,
+        fuel: int = DEFAULT_FUEL,
+        use_index: bool = True,
+        cache_size: int = 4096,
+    ) -> None:
+        self.rules = rules
+        self.fuel = fuel
+        self.use_index = use_index
+        self.stats = EngineStats()
+        self.cache_size = cache_size
+        self._cache: dict[Term, Term] = {}
+
+    @classmethod
+    def for_specification(
+        cls, spec: Specification, fuel: int = DEFAULT_FUEL
+    ) -> "RewriteEngine":
+        return cls(RuleSet.from_specification(spec), fuel=fuel)
+
+    # ------------------------------------------------------------------
+    # Value-mode evaluation
+    # ------------------------------------------------------------------
+    def normalize(self, term: Term) -> Term:
+        """The call-by-value normal form of ``term``."""
+        budget = [self.fuel]
+        with _enough_stack(term):
+            try:
+                return self._eval(term, budget)
+            except RewriteLimitError:
+                raise RewriteLimitError(term, self.fuel) from None
+            except RecursionError:
+                # Divergence can out-run the step budget in Python stack
+                # frames; report it the same way.
+                raise RewriteLimitError(term, self.fuel) from None
+
+    def _spend(self, budget: list[int], term: Term) -> None:
+        self.stats.steps += 1
+        budget[0] -= 1
+        if budget[0] < 0:
+            raise RewriteLimitError(term, self.fuel)
+
+    def _eval(self, term: Term, budget: list[int]) -> Term:
+        if isinstance(term, (Var, Lit, Err)):
+            return term
+        if isinstance(term, Ite):
+            cond = self._eval(term.cond, budget)
+            if isinstance(cond, Err):
+                self.stats.error_propagations += 1
+                return Err(term.sort)
+            if is_true(cond):
+                return self._eval(term.then_branch, budget)
+            if is_false(cond):
+                return self._eval(term.else_branch, budget)
+            # Open condition: value-mode evaluation leaves the node as-is
+            # with the evaluated condition in place.
+            if cond is term.cond:
+                return term
+            return Ite(cond, term.then_branch, term.else_branch)
+        assert isinstance(term, App)
+        cached = self._cache.get(term) if self.cache_size else None
+        if cached is not None:
+            self.stats.cache_hits += 1
+            return cached
+        args = [self._eval(arg, budget) for arg in term.args]
+        if any(isinstance(arg, Err) for arg in args):
+            self.stats.error_propagations += 1
+            return Err(term.sort)
+        node = term if all(new is old for new, old in zip(args, term.args)) else App(term.op, args)
+        result = self._eval_root(node, budget)
+        if (
+            self.cache_size
+            and not isinstance(result, Ite)
+            and term.is_ground()
+        ):
+            if len(self._cache) >= self.cache_size:
+                self._cache.clear()
+            self._cache[term] = result
+        return result
+
+    def _eval_root(self, term: App, budget: list[int]) -> Term:
+        """Rewrite at the root until no step applies; arguments are
+        already in normal form."""
+        while True:
+            step = self._root_step(term, budget)
+            if step is None:
+                return term
+            self._spend(budget, term)
+            if isinstance(step, (Var, Lit, Err)):
+                return step
+            if isinstance(step, Ite) or not _args_normal(step):
+                step = self._eval(step, budget)
+            if not isinstance(step, App):
+                return step
+            if any(isinstance(arg, Err) for arg in step.args):
+                self.stats.error_propagations += 1
+                return Err(step.sort)
+            term = step
+
+    def _root_step(self, term: App, budget: list[int]) -> Optional[Term]:
+        builtin = term.op.builtin
+        if builtin is not None and all(isinstance(a, Lit) for a in term.args):
+            self.stats.builtin_firings += 1
+            return self._run_builtin(term)
+        candidates = (
+            self.rules.for_head(term.op) if self.use_index else self.rules
+        )
+        for rule in candidates:
+            result = rule.apply_at_root(term)
+            if result is not None:
+                self.stats.record_firing(rule)
+                return result
+        return None
+
+    def _run_builtin(self, term: App) -> Term:
+        values = [arg.value for arg in term.args]  # type: ignore[union-attr]
+        try:
+            result = term.op.builtin(*values)  # type: ignore[misc]
+        except AlgebraError:
+            return Err(term.sort)
+        if term.sort == BOOLEAN and isinstance(result, bool):
+            return boolean_term(result)
+        if isinstance(result, Term):
+            return result
+        return Lit(result, term.sort)
+
+    # ------------------------------------------------------------------
+    # Symbolic simplification
+    # ------------------------------------------------------------------
+    def simplify(self, term: Term) -> Term:
+        """Simplify an open term as far as the rules allow.
+
+        Both branches of undecided conditionals are simplified, and the
+        identity ``if c then x else x = x`` is applied — sound because
+        either branch yields ``x``.
+        """
+        budget = [self.fuel]
+        with _enough_stack(term):
+            try:
+                return self._simplify(term, budget)
+            except RecursionError:
+                raise RewriteLimitError(term, self.fuel) from None
+
+    def _simplify(self, term: Term, budget: list[int]) -> Term:
+        if isinstance(term, (Var, Lit, Err)):
+            return term
+        if isinstance(term, Ite):
+            cond = self._simplify(term.cond, budget)
+            if isinstance(cond, Err):
+                self.stats.error_propagations += 1
+                return Err(term.sort)
+            if is_true(cond):
+                return self._simplify(term.then_branch, budget)
+            if is_false(cond):
+                return self._simplify(term.else_branch, budget)
+            then_branch = self._simplify(term.then_branch, budget)
+            else_branch = self._simplify(term.else_branch, budget)
+            if then_branch == else_branch:
+                return then_branch
+            return Ite(cond, then_branch, else_branch)
+        assert isinstance(term, App)
+        args = [self._simplify(arg, budget) for arg in term.args]
+        if any(isinstance(arg, Err) for arg in args):
+            self.stats.error_propagations += 1
+            return Err(term.sort)
+        node = App(term.op, args)
+        step = self._root_step(node, budget)
+        if step is None:
+            return node
+        self._spend(budget, node)
+        return self._simplify(step, budget)
+
+    # ------------------------------------------------------------------
+    # Equality under the rules
+    # ------------------------------------------------------------------
+    def equal(self, left: Term, right: Term) -> bool:
+        """True when both terms normalise to the same normal form."""
+        return self.normalize(left) == self.normalize(right)
+
+    def check_axiom_instance(self, axiom: Axiom, substitution) -> bool:
+        """Evaluate both sides of ``axiom`` under ``substitution`` and
+        compare normal forms — the ground model check used throughout the
+        analysis and verification layers."""
+        return self.equal(
+            substitution.apply(axiom.lhs), substitution.apply(axiom.rhs)
+        )
+
+
+def _args_normal(term: Term) -> bool:
+    """Cheap test used to avoid re-walking already-normal arguments."""
+    if not isinstance(term, App):
+        return True
+    return all(isinstance(arg, (Var, Lit, Err)) for arg in term.args) or not term.args

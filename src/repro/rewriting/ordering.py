@@ -1,0 +1,140 @@
+"""Term orderings for termination analysis.
+
+The engine orients axioms left-to-right; to *argue* that this never
+loops, we check the oriented rules against a recursive path ordering
+(RPO, lexicographic status).  The precedence puts defined operations
+above the constructors they are defined over, which matches the
+definitional shape of Guttag's axiom sets, so each rule strictly
+decreases and the system terminates.
+
+``if-then-else`` is treated as a ternary symbol of minimal precedence;
+literals, errors and variables are minimal elements.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional
+
+from repro.algebra.signature import Operation
+from repro.algebra.terms import App, Err, Ite, Lit, Term, Var
+from repro.spec.axioms import Axiom
+from repro.rewriting.rules import RewriteRule
+
+#: Symbolic names used in the precedence map for non-operation nodes.
+ITE_SYMBOL = "__ite__"
+
+
+class Precedence:
+    """A strict precedence on operation names.
+
+    Bigger rank = bigger symbol.  Names missing from the map share the
+    minimal rank (they compare equal, not less).
+    """
+
+    def __init__(self, ranks: Mapping[str, int]) -> None:
+        self._ranks = dict(ranks)
+
+    def rank(self, name: str) -> int:
+        return self._ranks.get(name, 0)
+
+    def greater(self, left: str, right: str) -> bool:
+        return self.rank(left) > self.rank(right)
+
+    def equal(self, left: str, right: str) -> bool:
+        return self.rank(left) == self.rank(right)
+
+    @classmethod
+    def from_layers(cls, layers: Iterable[Iterable[str]]) -> "Precedence":
+        """Build a precedence from low-to-high layers of names."""
+        ranks: dict[str, int] = {}
+        for level, layer in enumerate(layers, start=1):
+            for name in layer:
+                ranks[name] = level
+        return cls(ranks)
+
+    @classmethod
+    def definitional(
+        cls,
+        constructors: Iterable[Operation],
+        defined: Iterable[Operation],
+    ) -> "Precedence":
+        """Constructors low, defined operations high, ``if`` minimal."""
+        return cls.from_layers(
+            [
+                [ITE_SYMBOL],
+                [op.name for op in constructors],
+                [op.name for op in defined],
+            ]
+        )
+
+
+def _symbol(term: Term) -> Optional[str]:
+    if isinstance(term, App):
+        return term.op.name
+    if isinstance(term, Ite):
+        return ITE_SYMBOL
+    return None
+
+
+def rpo_greater(left: Term, right: Term, precedence: Precedence) -> bool:
+    """``left >_rpo right`` under the lexicographic recursive path ordering."""
+    if isinstance(right, Var):
+        return right in left.variables() and left != right
+    if isinstance(left, (Var, Lit, Err)):
+        return False
+    if isinstance(right, (Lit, Err)):
+        # Leaves other than variables are minimal; any application that
+        # is not itself a leaf dominates them.
+        return True
+
+    left_sym = _symbol(left)
+    right_sym = _symbol(right)
+    assert left_sym is not None and right_sym is not None
+    left_args = left.children()
+    right_args = right.children()
+
+    # Case 1: some argument of left already dominates (or equals) right.
+    if any(arg == right or rpo_greater(arg, right, precedence) for arg in left_args):
+        return True
+    # Case 2: head precedence strictly greater — left must dominate every
+    # argument of right.
+    if precedence.greater(left_sym, right_sym):
+        return all(rpo_greater(left, arg, precedence) for arg in right_args)
+    # Case 3: equal precedence — lexicographic comparison of arguments,
+    # and left must dominate every argument of right.
+    if precedence.equal(left_sym, right_sym):
+        if not all(rpo_greater(left, arg, precedence) for arg in right_args):
+            return False
+        for l_arg, r_arg in zip(left_args, right_args):
+            if l_arg == r_arg:
+                continue
+            return rpo_greater(l_arg, r_arg, precedence)
+        return len(left_args) > len(right_args)
+    return False
+
+
+def rule_decreases(rule: RewriteRule, precedence: Precedence) -> bool:
+    """True when the rule's LHS strictly dominates its RHS under RPO."""
+    return rpo_greater(rule.lhs, rule.rhs, precedence)
+
+
+def orient(
+    axiom: Axiom, precedence: Precedence
+) -> Optional[RewriteRule]:
+    """Orient ``axiom`` into a decreasing rule, either direction.
+
+    Returns ``None`` when neither orientation decreases (the completion
+    procedure then reports the equation as unorientable).
+    """
+    forward = RewriteRule(axiom.lhs, axiom.rhs, axiom.label)
+    if rule_decreases(forward, precedence):
+        return forward
+    if isinstance(axiom.rhs, App):
+        backward = RewriteRule(axiom.rhs, axiom.lhs, axiom.label)
+        try:
+            ok = rule_decreases(backward, precedence)
+        except Exception:
+            ok = False
+        if ok and not (axiom.lhs.variables() - axiom.rhs.variables()):
+            return backward
+    return None

@@ -1,0 +1,108 @@
+"""Rewrite rules and rule sets.
+
+Each axiom ``lhs = rhs`` is *oriented* left-to-right into a rewrite rule;
+the axioms' definitional shape (defined operation over constructor
+patterns on the left) makes this orientation terminating for the paper's
+specifications.  A :class:`RuleSet` indexes rules by their head symbol so
+the engine only tries rules that can possibly apply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Sequence
+
+from repro.algebra.matching import match
+from repro.algebra.signature import Operation
+from repro.algebra.terms import App, Term
+from repro.spec.axioms import Axiom
+from repro.spec.specification import Specification
+
+
+@dataclass(frozen=True)
+class RewriteRule:
+    """An oriented equation ``lhs -> rhs``."""
+
+    lhs: Term
+    rhs: Term
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.lhs, App):
+            raise ValueError(
+                f"rewrite rule left-hand side must be an application: {self.lhs}"
+            )
+        extra = self.rhs.variables() - self.lhs.variables()
+        if extra:
+            names = ", ".join(sorted(v.name for v in extra))
+            raise ValueError(f"rule introduces variables on the right: {names}")
+
+    @property
+    def head(self) -> Operation:
+        assert isinstance(self.lhs, App)
+        return self.lhs.op
+
+    def apply_at_root(self, term: Term) -> Optional[Term]:
+        """The result of one rewrite at the root of ``term``, or ``None``."""
+        sigma = match(self.lhs, term)
+        if sigma is None:
+            return None
+        return sigma.apply(self.rhs)
+
+    def as_axiom(self) -> Axiom:
+        return Axiom(self.lhs, self.rhs, self.label)
+
+    def __str__(self) -> str:
+        prefix = f"[{self.label}] " if self.label else ""
+        return f"{prefix}{self.lhs} -> {self.rhs}"
+
+
+def rule_from_axiom(axiom: Axiom) -> RewriteRule:
+    """Orient ``axiom`` left-to-right."""
+    return RewriteRule(axiom.lhs, axiom.rhs, axiom.label)
+
+
+class RuleSet:
+    """A collection of rewrite rules indexed by head operation name.
+
+    Rule order is preserved: within one head symbol the first matching
+    rule fires, so a specification's axiom order is its match order
+    (the paper's axiom sets are non-overlapping, making order
+    irrelevant for them, but user specs under debugging may overlap).
+    """
+
+    def __init__(self, rules: Iterable[RewriteRule] = ()) -> None:
+        self._rules: list[RewriteRule] = []
+        self._by_head: dict[str, list[RewriteRule]] = {}
+        for rule in rules:
+            self.add(rule)
+
+    def add(self, rule: RewriteRule) -> None:
+        self._rules.append(rule)
+        self._by_head.setdefault(rule.head.name, []).append(rule)
+
+    def for_head(self, operation: Operation) -> Sequence[RewriteRule]:
+        """Rules whose left-hand side is headed by ``operation``."""
+        return self._by_head.get(operation.name, ())
+
+    def heads(self) -> set[str]:
+        """Names of all operations that head some rule."""
+        return set(self._by_head)
+
+    def __iter__(self) -> Iterator[RewriteRule]:
+        return iter(self._rules)
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __str__(self) -> str:
+        return "\n".join(str(rule) for rule in self._rules)
+
+    @classmethod
+    def from_axioms(cls, axioms: Iterable[Axiom]) -> "RuleSet":
+        return cls(rule_from_axiom(axiom) for axiom in axioms)
+
+    @classmethod
+    def from_specification(cls, spec: Specification) -> "RuleSet":
+        """All axioms of ``spec`` and every level it uses, oriented."""
+        return cls.from_axioms(spec.all_axioms())

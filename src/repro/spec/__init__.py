@@ -1,0 +1,88 @@
+"""The algebraic specification language.
+
+Axioms, the error algebra, specifications (with levels, enrichment and
+schema instantiation), the text DSL, and the prelude of predefined types
+(Boolean, Nat, Identifier, Item, Attributelist).
+"""
+
+from repro.spec.axioms import Axiom, AxiomError, check_definitional, lhs_argument_shape
+from repro.spec.errors import AlgebraError, is_error, propagate_error
+from repro.spec.specification import Specification, SpecificationError
+from repro.spec.parser import (
+    ParseError,
+    parse_specification,
+    parse_specifications,
+    parse_term,
+)
+from repro.spec.printer import save_specification, term_to_dsl, to_dsl
+from repro.spec.prelude import (
+    ATTRIBUTELIST,
+    ATTRIBUTELIST_SPEC,
+    BOOLEAN_SPEC,
+    FALSE,
+    HASH,
+    HASH_BUCKETS,
+    IDENTIFIER,
+    IDENTIFIER_SPEC,
+    ISSAME,
+    ITEM,
+    ITEM_SPEC,
+    NAT_SPEC,
+    SUCC,
+    TRUE,
+    ZERO,
+    attributes,
+    boolean_term,
+    false_term,
+    identifier,
+    is_false,
+    is_true,
+    item,
+    nat_lit,
+    nat_term,
+    true_term,
+)
+
+__all__ = [
+    "Axiom",
+    "AxiomError",
+    "check_definitional",
+    "lhs_argument_shape",
+    "AlgebraError",
+    "is_error",
+    "propagate_error",
+    "Specification",
+    "SpecificationError",
+    "ParseError",
+    "parse_specification",
+    "parse_specifications",
+    "parse_term",
+    "save_specification",
+    "term_to_dsl",
+    "to_dsl",
+    "ATTRIBUTELIST",
+    "ATTRIBUTELIST_SPEC",
+    "BOOLEAN_SPEC",
+    "FALSE",
+    "HASH",
+    "HASH_BUCKETS",
+    "IDENTIFIER",
+    "IDENTIFIER_SPEC",
+    "ISSAME",
+    "ITEM",
+    "ITEM_SPEC",
+    "NAT_SPEC",
+    "SUCC",
+    "TRUE",
+    "ZERO",
+    "attributes",
+    "boolean_term",
+    "false_term",
+    "identifier",
+    "is_false",
+    "is_true",
+    "item",
+    "nat_lit",
+    "nat_term",
+    "true_term",
+]

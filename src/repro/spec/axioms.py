@@ -1,0 +1,154 @@
+"""Axioms: the relations that give operations their meaning.
+
+An axiom is an oriented equation ``lhs = rhs`` between terms of the same
+sort, read as a definitional fact about the operations ("a set of
+individual statements of fact", section 3).  Axioms in the paper have a
+restricted left-hand-side shape that this module checks and exploits:
+
+* the LHS is an operation applied to variables and *constructor
+  patterns* (never ``if-then-else``, never nested defined operations);
+* every variable of the RHS appears in the LHS;
+* both sides share a sort.
+
+Those restrictions are what make the specifications executable by
+rewriting and analysable for sufficient completeness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.algebra.signature import Operation
+from repro.algebra.terms import App, Err, Ite, Lit, Term, Var
+
+
+class AxiomError(Exception):
+    """Raised for malformed axioms."""
+
+
+@dataclass(frozen=True)
+class Axiom:
+    """An equation ``lhs = rhs``, optionally named.
+
+    ``label`` carries the paper's axiom numbers ("(1)", "(9)"), used in
+    reports and proof transcripts.
+    """
+
+    lhs: Term
+    rhs: Term
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.lhs.sort != self.rhs.sort:
+            raise AxiomError(
+                f"axiom sides have different sorts: "
+                f"{self.lhs} : {self.lhs.sort} = {self.rhs} : {self.rhs.sort}"
+            )
+        if isinstance(self.lhs, (Var, Lit, Err)):
+            raise AxiomError(
+                f"axiom left-hand side must be an operation application: {self.lhs}"
+            )
+        if isinstance(self.lhs, Ite):
+            raise AxiomError(
+                f"axiom left-hand side may not be an if-then-else: {self.lhs}"
+            )
+        missing = self.rhs.variables() - self.lhs.variables()
+        if missing:
+            names = ", ".join(sorted(v.name for v in missing))
+            raise AxiomError(
+                f"right-hand side variables not bound on the left: {names} "
+                f"(in {self})"
+            )
+
+    @property
+    def head(self) -> Operation:
+        """The operation being defined (the LHS's outermost symbol)."""
+        assert isinstance(self.lhs, App)
+        return self.lhs.op
+
+    def variables(self) -> set[Var]:
+        return self.lhs.variables() | self.rhs.variables()
+
+    def operations(self) -> set[Operation]:
+        return self.lhs.operations() | self.rhs.operations()
+
+    def is_left_linear(self) -> bool:
+        """True when no variable occurs twice in the LHS.
+
+        Left-linearity makes case-coverage analysis exact; the paper's
+        axioms are all left-linear (equality tests go through ``ISSAME?``
+        rather than repeated variables).
+        """
+        seen: set[Var] = set()
+        for _, node in self.lhs.subterms():
+            if isinstance(node, Var):
+                if node in seen:
+                    return False
+                seen.add(node)
+        return True
+
+    def renamed(self, suffix: str) -> "Axiom":
+        """A variant of the axiom with every variable renamed by ``suffix``."""
+        from repro.algebra.substitution import Substitution
+
+        renaming = {
+            v: Var(v.name + suffix, v.sort) for v in self.variables()
+        }
+        sigma = Substitution(renaming)
+        return Axiom(sigma.apply(self.lhs), sigma.apply(self.rhs), self.label)
+
+    def __str__(self) -> str:
+        prefix = f"({self.label}) " if self.label else ""
+        return f"{prefix}{self.lhs} = {self.rhs}"
+
+
+def lhs_argument_shape(axiom: Axiom) -> tuple[Optional[Operation], ...]:
+    """The constructor pattern of each LHS argument.
+
+    For ``FRONT(ADD(q, i))`` this is ``(ADD,)``; for
+    ``IS_INBLOCK?(ADD(symtab, id, attrs), idl)`` it is ``(ADD, None)``
+    where ``None`` marks a bare variable (matching any value).  Literals
+    are reported as ``None`` too — they match only themselves, which the
+    completeness checker flags separately.
+    """
+    assert isinstance(axiom.lhs, App)
+    shape: list[Optional[Operation]] = []
+    for arg in axiom.lhs.args:
+        shape.append(arg.op if isinstance(arg, App) else None)
+    return tuple(shape)
+
+
+def check_definitional(axioms: Iterable[Axiom]) -> list[str]:
+    """Sanity-check a set of axioms for the paper's definitional shape.
+
+    Returns a list of human-readable problems (empty when clean):
+
+    * LHS arguments nested more than one constructor deep;
+    * non-left-linear axioms;
+    * two axioms with identical LHS but different RHS (a direct
+      inconsistency).
+    """
+    problems: list[str] = []
+    seen: dict[Term, Axiom] = {}
+    for axiom in axioms:
+        assert isinstance(axiom.lhs, App)
+        for arg in axiom.lhs.args:
+            if isinstance(arg, App):
+                for inner in arg.args:
+                    if isinstance(inner, App):
+                        problems.append(
+                            f"{axiom}: LHS argument {arg} nests operation "
+                            f"{inner.op.name}; only one constructor level "
+                            f"is analysable"
+                        )
+        if not axiom.is_left_linear():
+            problems.append(f"{axiom}: left-hand side is not linear")
+        prior = seen.get(axiom.lhs)
+        if prior is not None and prior.rhs != axiom.rhs:
+            problems.append(
+                f"axioms {prior} and {axiom} share a left-hand side but "
+                f"disagree on the right"
+            )
+        seen.setdefault(axiom.lhs, axiom)
+    return problems

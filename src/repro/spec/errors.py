@@ -1,0 +1,61 @@
+"""The error algebra.
+
+Guttag's axioms use a distinguished value ``error`` "with the property
+that the value of any operation applied to an argument list containing
+error is error":
+
+    f(x1, ..., xi, error, x_{i+2}, ..., xn) = error
+
+This module provides that strictness rule as a term transformation, plus
+the Python-level exception used when a concrete implementation (or a
+builtin such as ``HASH``) wants to yield the error value.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.algebra.terms import App, Err, Ite, Term
+
+
+class AlgebraError(Exception):
+    """Python-level signal for the algebra's ``error`` value.
+
+    Concrete implementations of abstract operations raise this (e.g. a
+    linked-stack ``POP`` on the empty stack) and the testing/verification
+    harness converts it back to the :class:`~repro.algebra.terms.Err`
+    term, so errors can be compared like any other result.
+    """
+
+    def __init__(self, message: str = "error") -> None:
+        super().__init__(message)
+
+
+def propagate_error(term: Term) -> Optional[Term]:
+    """One step of error strictness at the root of ``term``.
+
+    Returns ``Err(term.sort)`` if the rule applies, else ``None``:
+
+    * an operation applied to any ``error`` argument is ``error``;
+    * ``if error then a else b`` is ``error`` (the condition is an
+      argument list position like any other).
+
+    The *branches* of an if-then-else do not propagate: the conditional
+    chooses between them, so an error in the untaken branch is harmless
+    (e.g. axiom 6 of Queue maps REMOVE(ADD(NEW, i)) through a branch
+    whose sibling would be an error).
+    """
+    if isinstance(term, App):
+        if any(isinstance(arg, Err) for arg in term.args):
+            return Err(term.sort)
+        return None
+    if isinstance(term, Ite):
+        if isinstance(term.cond, Err):
+            return Err(term.sort)
+        return None
+    return None
+
+
+def is_error(term: Term) -> bool:
+    """True when ``term`` is an error constant."""
+    return isinstance(term, Err)

@@ -1,0 +1,165 @@
+"""Lexer for the specification DSL.
+
+The DSL mirrors the paper's notation as closely as plain text allows::
+
+    type Queue [Item]
+    uses Boolean
+
+    operations
+      NEW:       -> Queue
+      ADD:       Queue Item -> Queue
+      FRONT:     Queue -> Item
+      REMOVE:    Queue -> Queue
+      IS_EMPTY?: Queue -> Boolean
+
+    vars
+      q: Queue
+      i: Item
+
+    axioms
+      (1) IS_EMPTY?(NEW) = true
+      (2) IS_EMPTY?(ADD(q, i)) = false
+      (3) FRONT(NEW) = error
+      (4) FRONT(ADD(q, i)) = if IS_EMPTY?(q) then i else FRONT(q)
+      (5) REMOVE(NEW) = error
+      (6) REMOVE(ADD(q, i)) = if IS_EMPTY?(q) then NEW
+                              else ADD(REMOVE(q), i)
+
+Identifiers may contain letters, digits, ``_``, ``.`` and a trailing
+``?`` (the paper's ``IS_EMPTY?``, ``IS.NEWSTACK?``).  ``--`` starts a
+comment running to end of line.  String literals (single or double
+quoted) and integers become :class:`~repro.algebra.terms.Lit` leaves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+from typing import Iterator
+
+
+class TokenKind(Enum):
+    IDENT = auto()
+    INT = auto()
+    STRING = auto()
+    ARROW = auto()       # ->
+    COLON = auto()       # :
+    COMMA = auto()       # ,
+    EQUALS = auto()      # =
+    LPAREN = auto()      # (
+    RPAREN = auto()      # )
+    LBRACKET = auto()    # [
+    RBRACKET = auto()    # ]
+    CROSS = auto()       # x (domain separator) — lexed as IDENT, promoted by parser
+    EOF = auto()
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.text!r} at line {self.line}, column {self.column}"
+
+
+class LexError(Exception):
+    """Raised on characters the DSL does not use."""
+
+
+_SINGLE_CHAR = {
+    ":": TokenKind.COLON,
+    ",": TokenKind.COMMA,
+    "=": TokenKind.EQUALS,
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+}
+
+
+def _is_ident_start(char: str) -> bool:
+    return char.isalpha() or char == "_"
+
+
+def _is_ident_char(char: str) -> bool:
+    return char.isalnum() or char in "_."
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source`` into a list ending with an EOF token."""
+    tokens: list[Token] = []
+    line = 1
+    column = 1
+    i = 0
+    n = len(source)
+    while i < n:
+        char = source[i]
+        if char == "\n":
+            line += 1
+            column = 1
+            i += 1
+            continue
+        if char in " \t\r":
+            i += 1
+            column += 1
+            continue
+        if source.startswith("--", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("->", i):
+            tokens.append(Token(TokenKind.ARROW, "->", line, column))
+            i += 2
+            column += 2
+            continue
+        if char in _SINGLE_CHAR:
+            tokens.append(Token(_SINGLE_CHAR[char], char, line, column))
+            i += 1
+            column += 1
+            continue
+        if char in "'\"":
+            quote = char
+            j = i + 1
+            while j < n and source[j] != quote:
+                if source[j] == "\n":
+                    raise LexError(
+                        f"unterminated string at line {line}, column {column}"
+                    )
+                j += 1
+            if j >= n:
+                raise LexError(
+                    f"unterminated string at line {line}, column {column}"
+                )
+            text = source[i + 1 : j]
+            tokens.append(Token(TokenKind.STRING, text, line, column))
+            column += j + 1 - i
+            i = j + 1
+            continue
+        if char.isdigit():
+            j = i
+            while j < n and source[j].isdigit():
+                j += 1
+            tokens.append(Token(TokenKind.INT, source[i:j], line, column))
+            column += j - i
+            i = j
+            continue
+        if _is_ident_start(char):
+            j = i
+            while j < n and _is_ident_char(source[j]):
+                j += 1
+            if j < n and source[j] == "?":
+                j += 1
+            tokens.append(Token(TokenKind.IDENT, source[i:j], line, column))
+            column += j - i
+            i = j
+            continue
+        raise LexError(f"unexpected character {char!r} at line {line}, column {column}")
+    tokens.append(Token(TokenKind.EOF, "", line, column))
+    return tokens
+
+
+def iter_tokens(source: str) -> Iterator[Token]:
+    return iter(tokenize(source))

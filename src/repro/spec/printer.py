@@ -1,0 +1,97 @@
+"""Printing specifications back to the DSL.
+
+:func:`to_dsl` emits text that :func:`~repro.spec.parser.parse_specification`
+accepts and that round-trips: parsing the output yields a specification
+with the same signature, axioms and labels.  Useful for saving
+programmatically built or repaired specifications (e.g. the output of a
+:class:`~repro.analysis.heuristics.CompletionSession`) to ``.spec``
+files.
+"""
+
+from __future__ import annotations
+
+
+from repro.algebra.terms import App, Err, Ite, Lit, Term, Var
+from repro.spec.specification import Specification
+
+
+class UnprintableSpecification(Exception):
+    """Raised when a specification cannot be expressed in the DSL
+    (e.g. it contains literal values with no textual form)."""
+
+
+def term_to_dsl(term: Term) -> str:
+    """``term`` in DSL syntax."""
+    if isinstance(term, Var):
+        return term.name
+    if isinstance(term, Err):
+        return "error"
+    if isinstance(term, Lit):
+        if isinstance(term.value, str):
+            return f"'{term.value}'"
+        if isinstance(term.value, int) and not isinstance(term.value, bool):
+            return str(term.value)
+        raise UnprintableSpecification(
+            f"literal {term.value!r} has no DSL form"
+        )
+    if isinstance(term, Ite):
+        return (
+            f"if {term_to_dsl(term.cond)} "
+            f"then {term_to_dsl(term.then_branch)} "
+            f"else {term_to_dsl(term.else_branch)}"
+        )
+    assert isinstance(term, App)
+    if not term.args:
+        return term.op.name
+    inner = ", ".join(term_to_dsl(arg) for arg in term.args)
+    return f"{term.op.name}({inner})"
+
+
+def to_dsl(spec: Specification) -> str:
+    """``spec`` as a parseable DSL ``type`` block.
+
+    The ``uses`` clause names the directly used specifications; callers
+    saving to a file must provide those in the parse environment (the
+    prelude types resolve automatically).
+    """
+    lines = [f"type {spec.name}"]
+    if spec.parameter_sorts:
+        params = ", ".join(str(s) for s in spec.parameter_sorts)
+        lines[0] = f"type {spec.name} [{params}]"
+    if spec.uses:
+        lines.append("uses " + ", ".join(u.name for u in spec.uses))
+    lines.append("")
+    lines.append("operations")
+    for operation in spec.own_operations():
+        domain = " x ".join(str(s) for s in operation.domain)
+        profile = f"{domain} -> {operation.range}" if domain else f"-> {operation.range}"
+        lines.append(f"  {operation.name}: {profile}")
+
+    variables = sorted(
+        {v for axiom in spec.axioms for v in axiom.variables()},
+        key=lambda v: (str(v.sort), v.name),
+    )
+    if variables:
+        lines.append("")
+        lines.append("vars")
+        by_sort: dict[str, list[str]] = {}
+        for variable in variables:
+            by_sort.setdefault(str(variable.sort), []).append(variable.name)
+        for sort_name, names in by_sort.items():
+            lines.append(f"  {', '.join(names)}: {sort_name}")
+
+    if spec.axioms:
+        lines.append("")
+        lines.append("axioms")
+        for axiom in spec.axioms:
+            label = f"({axiom.label}) " if axiom.label else ""
+            lines.append(
+                f"  {label}{term_to_dsl(axiom.lhs)} = {term_to_dsl(axiom.rhs)}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def save_specification(spec: Specification, path: str) -> None:
+    """Write ``spec`` (DSL form) to ``path``."""
+    with open(path, "w") as handle:
+        handle.write(to_dsl(spec))

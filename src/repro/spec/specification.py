@@ -1,0 +1,275 @@
+"""Algebraic specifications of abstract data types.
+
+A :class:`Specification` packages the two halves of Guttag's definition:
+the *syntactic specification* (a signature, with one distinguished "type
+of interest") and the *set of relations* (axioms).  Specifications form
+levels: the Symboltable spec *uses* Identifier and AttributeList; its
+representation level uses Stack and Array; the knows-list variant adds a
+Knowlist level.  ``uses`` records that structure and ``flat()`` collapses
+it for the engines that want one big rule set.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.algebra.signature import Operation, Signature
+from repro.algebra.sorts import Sort
+from repro.spec.axioms import Axiom
+
+
+class SpecificationError(Exception):
+    """Raised for malformed specifications."""
+
+
+class Specification:
+    """An abstract data type: signature + type of interest + axioms.
+
+    Parameters
+    ----------
+    name:
+        Name of the specification, conventionally the type of interest's
+        name (``"Queue"``, ``"Symboltable"``).
+    signature:
+        The operations of this level only (not of used specs).
+    type_of_interest:
+        The sort this specification defines.  Guttag's analyses are all
+        relative to this sort: constructors generate its values,
+        sufficient completeness asks that observers on it be defined.
+    axioms:
+        The relations.  Their operations must be resolvable in this
+        signature or a used specification's.
+    uses:
+        Specifications this level builds on (e.g. Boolean, Identifier).
+    parameter_sorts:
+        Sorts that act as schema parameters (``Item`` in Queue-of-Items).
+        Recorded so :meth:`instantiated` can substitute actuals.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        signature: Signature,
+        type_of_interest: Sort,
+        axioms: Sequence[Axiom] = (),
+        uses: Sequence["Specification"] = (),
+        parameter_sorts: Sequence[Sort] = (),
+    ) -> None:
+        if not name:
+            raise SpecificationError("specification name must be non-empty")
+        if str(type_of_interest) not in {str(s) for s in signature.sorts}:
+            raise SpecificationError(
+                f"type of interest {type_of_interest} not declared in the "
+                f"signature of {name}"
+            )
+        self.name = name
+        self.signature = signature
+        self.type_of_interest = type_of_interest
+        self.axioms: tuple[Axiom, ...] = tuple(axioms)
+        self.uses: tuple[Specification, ...] = tuple(uses)
+        self.parameter_sorts: tuple[Sort, ...] = tuple(parameter_sorts)
+        self._full_signature: Optional[Signature] = None
+        self._validate()
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        full = self.full_signature()
+        for axiom in self.axioms:
+            for operation in axiom.operations():
+                if not full.has_operation(operation.name):
+                    raise SpecificationError(
+                        f"{self.name}: axiom {axiom} uses operation "
+                        f"{operation.name!r} not declared here or in any "
+                        f"used specification"
+                    )
+                declared = full.operation(operation.name)
+                if declared != operation:
+                    raise SpecificationError(
+                        f"{self.name}: axiom {axiom} uses {operation} but the "
+                        f"declaration is {declared}"
+                    )
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def full_signature(self) -> Signature:
+        """This level's signature merged with every used level's."""
+        if self._full_signature is None:
+            merged = Signature(self.signature.sorts, self.signature.operations)
+            for used in self.uses:
+                merged = merged.merged(used.full_signature())
+            self._full_signature = merged
+        return self._full_signature
+
+    def all_axioms(self) -> tuple[Axiom, ...]:
+        """Axioms of this level and of every used level, deduplicated."""
+        seen: dict[tuple, Axiom] = {}
+        for spec in self._levels():
+            for axiom in spec.axioms:
+                seen.setdefault((axiom.lhs, axiom.rhs), axiom)
+        return tuple(seen.values())
+
+    def _levels(self) -> list["Specification"]:
+        """This spec and all (transitively) used specs, deepest last."""
+        order: list[Specification] = []
+        visited: set[int] = set()
+
+        def visit(spec: Specification) -> None:
+            if id(spec) in visited:
+                return
+            visited.add(id(spec))
+            order.append(spec)
+            for used in spec.uses:
+                visit(used)
+
+        visit(self)
+        return order
+
+    def level_names(self) -> tuple[str, ...]:
+        return tuple(spec.name for spec in self._levels())
+
+    def find_level(self, name: str) -> "Specification":
+        for spec in self._levels():
+            if spec.name == name:
+                return spec
+        raise SpecificationError(f"{self.name}: no used specification {name!r}")
+
+    # ------------------------------------------------------------------
+    # Convenience lookups
+    # ------------------------------------------------------------------
+    def operation(self, name: str) -> Operation:
+        return self.full_signature().operation(name)
+
+    def sort(self, name: str) -> Sort:
+        return self.full_signature().sort(name)
+
+    def own_operations(self) -> tuple[Operation, ...]:
+        """Operations declared at this level (not inherited)."""
+        return self.signature.operations
+
+    def axioms_for(self, operation: Operation) -> tuple[Axiom, ...]:
+        """All axioms (any level) whose LHS head is ``operation``."""
+        return tuple(a for a in self.all_axioms() if a.head == operation)
+
+    # ------------------------------------------------------------------
+    # Derived specifications
+    # ------------------------------------------------------------------
+    def enriched(
+        self,
+        name: str,
+        operations: Iterable[Operation] = (),
+        axioms: Iterable[Axiom] = (),
+        sorts: Iterable[Sort] = (),
+    ) -> "Specification":
+        """A new specification extending this one.
+
+        Enrichment is the paper's adaptation story: the knows-list change
+        replaces ENTERBLOCK's axioms but keeps everything else; we model
+        it as building a fresh level that uses the unchanged parts.
+        """
+        signature = Signature(self.signature.sorts, self.signature.operations)
+        for sort in sorts:
+            signature.add_sort(sort)
+        for operation in operations:
+            signature.add_operation(operation)
+        return Specification(
+            name,
+            signature,
+            self.type_of_interest,
+            tuple(self.axioms) + tuple(axioms),
+            self.uses,
+            self.parameter_sorts,
+        )
+
+    def without_axioms(self, labels: Iterable[str]) -> tuple[Axiom, ...]:
+        """This level's axioms minus those labelled in ``labels``.
+
+        Helper for building variants ("all relations, and only those
+        relations, that explicitly deal with the ENTERBLOCK operation
+        would have to be altered").
+        """
+        drop = set(labels)
+        return tuple(a for a in self.axioms if a.label not in drop)
+
+    def instantiated(
+        self, name: str, binding: Mapping[Sort, Sort]
+    ) -> "Specification":
+        """Instantiate schema parameters (``Item`` -> an actual sort).
+
+        Only parameter sorts may be rebound; the actual sorts must come
+        from used specifications (or be parameter-free).
+        """
+        bad = set(binding) - set(self.parameter_sorts)
+        if bad:
+            names = ", ".join(sorted(str(s) for s in bad))
+            raise SpecificationError(
+                f"{self.name}: cannot rebind non-parameter sorts: {names}"
+            )
+        bind = dict(binding)
+        signature = Signature()
+        for sort in self.signature.sorts:
+            signature.add_sort(sort.instantiate(bind))
+        for used in self.uses:
+            for sort in used.full_signature().sorts:
+                signature.add_sort(sort)
+        operations = {
+            op.name: op.instantiate(bind) for op in self.signature.operations
+        }
+        for op in operations.values():
+            signature.add_operation(op)
+
+        def rebuild(term):
+            from repro.algebra.terms import App, Err, Ite, Lit, Var
+
+            if isinstance(term, Var):
+                return Var(term.name, term.sort.instantiate(bind))
+            if isinstance(term, Lit):
+                return Lit(term.value, term.sort.instantiate(bind))
+            if isinstance(term, Err):
+                return Err(term.sort.instantiate(bind))
+            if isinstance(term, App):
+                new_op = operations.get(term.op.name, term.op)
+                return App(new_op, [rebuild(a) for a in term.args])
+            if isinstance(term, Ite):
+                return Ite(
+                    rebuild(term.cond),
+                    rebuild(term.then_branch),
+                    rebuild(term.else_branch),
+                )
+            raise TypeError(f"unknown term node {term!r}")
+
+        axioms = tuple(
+            Axiom(rebuild(a.lhs), rebuild(a.rhs), a.label) for a in self.axioms
+        )
+        remaining = tuple(s for s in self.parameter_sorts if s not in bind)
+        return Specification(
+            name,
+            signature,
+            self.type_of_interest.instantiate(bind),
+            axioms,
+            self.uses,
+            remaining,
+        )
+
+    # ------------------------------------------------------------------
+    def __str__(self) -> str:
+        lines = [f"Type: {self.name}"]
+        if self.parameter_sorts:
+            params = ", ".join(str(s) for s in self.parameter_sorts)
+            lines[0] += f" [{params}]"
+        lines.append("Operations:")
+        lines.extend(f"  {op}" for op in self.signature.operations)
+        lines.append("Axioms:")
+        lines.extend(f"  {axiom}" for axiom in self.axioms)
+        if self.uses:
+            used = ", ".join(u.name for u in self.uses)
+            lines.append(f"Uses: {used}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"Specification({self.name!r}, operations="
+            f"{len(self.signature.operations)}, axioms={len(self.axioms)})"
+        )

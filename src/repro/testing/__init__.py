@@ -1,0 +1,62 @@
+"""Spec-based testing: ground-term generation, the axiom oracle, and
+hypothesis strategies."""
+
+from repro.testing.termgen import (
+    DEFAULT_POOLS,
+    GenerationError,
+    GroundTermGenerator,
+)
+from repro.testing.oracle import (
+    BindingError,
+    ERROR,
+    ImplementationBinding,
+    OracleFailure,
+    OracleReport,
+    check_axioms,
+)
+from repro.testing.bindings import (
+    ALL_BINDINGS,
+    array_binding,
+    bag_binding,
+    bounded_queue_binding,
+    knowlist_binding,
+    list_binding,
+    map_binding,
+    queue_binding,
+    set_binding,
+    stack_binding,
+    symboltable_binding,
+)
+from repro.testing.strategies import (
+    constructor_table,
+    substitution_strategy,
+    term_strategy,
+    value_strategy,
+)
+
+__all__ = [
+    "DEFAULT_POOLS",
+    "GenerationError",
+    "GroundTermGenerator",
+    "BindingError",
+    "ERROR",
+    "ImplementationBinding",
+    "OracleFailure",
+    "OracleReport",
+    "check_axioms",
+    "ALL_BINDINGS",
+    "array_binding",
+    "bag_binding",
+    "bounded_queue_binding",
+    "knowlist_binding",
+    "list_binding",
+    "map_binding",
+    "queue_binding",
+    "set_binding",
+    "stack_binding",
+    "symboltable_binding",
+    "constructor_table",
+    "substitution_strategy",
+    "term_strategy",
+    "value_strategy",
+]

@@ -1,0 +1,226 @@
+"""Standard implementation bindings for the ADT library.
+
+One :class:`~repro.testing.oracle.ImplementationBinding` per concrete
+implementation, ready for the axiom oracle and the hypothesis-based
+property tests.
+"""
+
+from __future__ import annotations
+
+from repro.testing.oracle import ImplementationBinding
+from repro.adt.array import ARRAY_SPEC, HashArray
+from repro.adt.boundedqueue import BOUNDED_QUEUE_SPEC, RingBufferQueue
+from repro.adt.extras import (
+    BAG_SPEC,
+    FrozenSetModel,
+    LIST_SPEC,
+    MAP_SPEC,
+    SET_SPEC,
+    TupleBag,
+)
+from repro.adt.knowlist import (
+    KNOWLIST_SPEC,
+    TupleKnowlist,
+)
+from repro.adt.queue import ListQueue, QUEUE_SPEC
+from repro.adt.stack import STACK_SPEC, LinkedStack
+from repro.adt.symboltable import SYMBOLTABLE_SPEC, SymbolTable
+
+
+def queue_binding() -> ImplementationBinding:
+    return ImplementationBinding(
+        QUEUE_SPEC,
+        {
+            "NEW": ListQueue.new,
+            "ADD": lambda q, i: q.add(i),
+            "FRONT": lambda q: q.front(),
+            "REMOVE": lambda q: q.remove(),
+            "IS_EMPTY?": lambda q: q.is_empty(),
+        },
+    )
+
+
+def stack_binding() -> ImplementationBinding:
+    return ImplementationBinding(
+        STACK_SPEC,
+        {
+            "NEWSTACK": LinkedStack.newstack,
+            "PUSH": lambda s, e: s.push(e),
+            "POP": lambda s: s.pop(),
+            "TOP": lambda s: s.top(),
+            "IS_NEWSTACK?": lambda s: s.is_newstack(),
+            "REPLACE": lambda s, e: s.replace(e),
+        },
+    )
+
+
+def array_binding() -> ImplementationBinding:
+    return ImplementationBinding(
+        ARRAY_SPEC,
+        {
+            "EMPTY": HashArray.empty,
+            "ASSIGN": lambda a, i, v: a.assign(i, v),
+            "READ": lambda a, i: a.read(i),
+            "IS_UNDEFINED?": lambda a, i: a.is_undefined(i),
+        },
+    )
+
+
+def symboltable_binding() -> ImplementationBinding:
+    return ImplementationBinding(
+        SYMBOLTABLE_SPEC,
+        {
+            "INIT": SymbolTable.init,
+            "ENTERBLOCK": lambda t: t.enterblock(),
+            "LEAVEBLOCK": lambda t: t.leaveblock(),
+            "ADD": lambda t, i, a: t.add(i, a),
+            "IS_INBLOCK?": lambda t, i: t.is_inblock(i),
+            "RETRIEVE": lambda t, i: t.retrieve(i),
+        },
+    )
+
+
+def bounded_queue_binding(capacity: int = 64) -> ImplementationBinding:
+    """Ring buffer checked against the (unbounded) queue axioms.
+
+    The capacity is set above the oracle's term depth so no generated
+    instance overflows — the conditional-correctness reading (stay
+    within capacity and the queue axioms hold).
+    """
+    return ImplementationBinding(
+        BOUNDED_QUEUE_SPEC,
+        {
+            "EMPTY_Q": lambda: RingBufferQueue.empty(capacity),
+            "ADD_Q": lambda q, i: q.add(i),
+            "FRONT_Q": lambda q: q.front(),
+            "REMOVE_Q": lambda q: q.remove(),
+            "IS_EMPTY_Q?": lambda q: q.is_empty(),
+            "SIZE_Q": lambda q: q.size(),
+        },
+    )
+
+
+def knowlist_binding() -> ImplementationBinding:
+    return ImplementationBinding(
+        KNOWLIST_SPEC,
+        {
+            "CREATE": TupleKnowlist.create,
+            "APPEND": lambda k, i: k.append(i),
+            "IS_IN?": lambda k, i: k.is_in(i),
+        },
+    )
+
+
+def set_binding() -> ImplementationBinding:
+    return ImplementationBinding(
+        SET_SPEC,
+        {
+            "EMPTY_SET": FrozenSetModel.empty,
+            "INSERT": lambda s, i: s.insert(i),
+            "DELETE": lambda s, i: s.delete(i),
+            "HAS?": lambda s, i: s.has(i),
+        },
+    )
+
+
+def bag_binding() -> ImplementationBinding:
+    return ImplementationBinding(
+        BAG_SPEC,
+        {
+            "EMPTY_BAG": TupleBag.empty,
+            "PUT": lambda b, i: b.put(i),
+            "TAKE": lambda b, i: b.take(i),
+            "COUNT": lambda b, i: b.count(i),
+        },
+    )
+
+
+def list_binding() -> ImplementationBinding:
+    return ImplementationBinding(
+        LIST_SPEC,
+        {
+            "NIL": tuple,
+            "CONS": lambda i, l: (i,) + l,
+            "HEAD": _head,
+            "TAIL": _tail,
+            "LENGTH": len,
+            "APPEND_L": lambda l, m: l + m,
+            "IS_NIL?": lambda l: not l,
+            "LAST": _last,
+            "BUTLAST": _butlast,
+        },
+    )
+
+
+def _head(items: tuple) -> object:
+    from repro.spec.errors import AlgebraError
+
+    if not items:
+        raise AlgebraError("HEAD(NIL)")
+    return items[0]
+
+
+def _tail(items: tuple) -> tuple:
+    from repro.spec.errors import AlgebraError
+
+    if not items:
+        raise AlgebraError("TAIL(NIL)")
+    return items[1:]
+
+
+def _last(items: tuple) -> object:
+    from repro.spec.errors import AlgebraError
+
+    if not items:
+        raise AlgebraError("LAST(NIL)")
+    return items[-1]
+
+
+def _butlast(items: tuple) -> tuple:
+    from repro.spec.errors import AlgebraError
+
+    if not items:
+        raise AlgebraError("BUTLAST(NIL)")
+    return items[:-1]
+
+
+def map_binding() -> ImplementationBinding:
+    """Maps modelled as tuples of (key, value) pairs, newest first."""
+    from repro.spec.errors import AlgebraError
+
+    def lookup(binding_pairs: tuple, key: str) -> object:
+        for bound_key, value in binding_pairs:
+            if bound_key == key:
+                return value
+        raise AlgebraError(f"LOOKUP: {key!r} unbound")
+
+    return ImplementationBinding(
+        MAP_SPEC,
+        {
+            "EMPTY_MAP": tuple,
+            "BIND": lambda m, k, v: ((k, v),) + m,
+            "LOOKUP": lookup,
+            "BOUND?": lambda m, k: any(bk == k for bk, _ in m),
+        },
+    )
+
+
+def layered_store_binding():
+    from repro.adt.store import store_binding
+
+    return store_binding()
+
+
+ALL_BINDINGS = {
+    "Queue": queue_binding,
+    "Store": layered_store_binding,
+    "Stack": stack_binding,
+    "Array": array_binding,
+    "Symboltable": symboltable_binding,
+    "BoundedQueue": bounded_queue_binding,
+    "Knowlist": knowlist_binding,
+    "Set": set_binding,
+    "Bag": bag_binding,
+    "List": list_binding,
+    "Map": map_binding,
+}

@@ -1,0 +1,205 @@
+"""The axiom oracle: testing implementations against specifications.
+
+Section 5: "a system in which implementations and algebraic
+specifications of abstract types are interchangeable ... should prove
+valuable as a vehicle for facilitating the testing of software."
+
+An :class:`ImplementationBinding` maps each operation of a specification
+to a Python callable; the oracle then evaluates both sides of every
+axiom on generated ground instances *through the implementation* and
+compares results.  The paper's ``error`` corresponds to the callable
+raising :class:`~repro.spec.errors.AlgebraError`; two sides are equal
+when they produce equal values or both error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Optional
+
+from repro.algebra.substitution import Substitution
+from repro.algebra.terms import App, Err, Ite, Lit, Term, Var
+from repro.spec.axioms import Axiom
+from repro.spec.errors import AlgebraError
+from repro.spec.specification import Specification
+
+
+class _ErrorValue:
+    """Sentinel for the algebra's ``error`` in Python evaluation."""
+
+    _instance: Optional["_ErrorValue"] = None
+
+    def __new__(cls) -> "_ErrorValue":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "ERROR"
+
+
+#: The unique error value.
+ERROR = _ErrorValue()
+
+
+class BindingError(Exception):
+    """Raised when a term mentions an operation the binding lacks."""
+
+
+@dataclass
+class ImplementationBinding:
+    """Python callables implementing a specification's operations.
+
+    ``impls`` maps operation names to callables; operations with a
+    ``builtin`` evaluator (``ISSAME?``) and the Boolean prelude
+    (``true``/``false``/``not``/``and``/``or``) need no entry.
+    """
+
+    spec: Specification
+    impls: Mapping[str, Callable[..., object]]
+
+    def evaluate(self, term: Term, env: Mapping[Var, object]) -> object:
+        """The Python value of ``term`` under ``env``.
+
+        Strict in ``error`` except through if-then-else branches,
+        mirroring the term algebra's semantics.
+        """
+        if isinstance(term, Var):
+            try:
+                return env[term]
+            except KeyError:
+                raise BindingError(f"unbound variable {term}") from None
+        if isinstance(term, Lit):
+            return term.value
+        if isinstance(term, Err):
+            return ERROR
+        if isinstance(term, Ite):
+            condition = self.evaluate(term.cond, env)
+            if condition is ERROR:
+                return ERROR
+            if not isinstance(condition, bool):
+                raise BindingError(
+                    f"if-condition evaluated to non-boolean {condition!r}"
+                )
+            branch = term.then_branch if condition else term.else_branch
+            return self.evaluate(branch, env)
+        assert isinstance(term, App)
+        arguments = []
+        for argument in term.args:
+            value = self.evaluate(argument, env)
+            if value is ERROR:
+                return ERROR
+            arguments.append(value)
+        return self._apply(term.op.name, term.op, arguments)
+
+    def _apply(self, name: str, operation, arguments: list) -> object:
+        fn = self.impls.get(name)
+        if fn is None:
+            fn = _PRELUDE_IMPLS.get(name)
+        if fn is None and operation.builtin is not None:
+            fn = operation.builtin
+        if fn is None:
+            raise BindingError(f"no implementation bound for {name!r}")
+        try:
+            return fn(*arguments)
+        except AlgebraError:
+            return ERROR
+
+
+def _not(value: bool) -> bool:
+    return not value
+
+
+def _and(left: bool, right: bool) -> bool:
+    return left and right
+
+
+def _or(left: bool, right: bool) -> bool:
+    return left or right
+
+
+_PRELUDE_IMPLS: dict[str, Callable[..., object]] = {
+    "true": lambda: True,
+    "false": lambda: False,
+    "not": _not,
+    "and": _and,
+    "or": _or,
+    "zero": lambda: 0,
+    "succ": lambda n: n + 1,
+}
+
+
+@dataclass(frozen=True)
+class OracleFailure:
+    """One axiom instance the implementation got wrong."""
+
+    axiom: Axiom
+    substitution: Substitution
+    lhs_value: object
+    rhs_value: object
+
+    def __str__(self) -> str:
+        return (
+            f"axiom {self.axiom} violated at {self.substitution}: "
+            f"lhs = {self.lhs_value!r}, rhs = {self.rhs_value!r}"
+        )
+
+
+@dataclass
+class OracleReport:
+    spec_name: str
+    instances_checked: int = 0
+    failures: list[OracleFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def __str__(self) -> str:
+        verdict = "PASS" if self.ok else "FAIL"
+        lines = [
+            f"axiom oracle for {self.spec_name}: {verdict} "
+            f"({self.instances_checked} instance(s))"
+        ]
+        lines.extend(f"  {failure}" for failure in self.failures[:10])
+        return "\n".join(lines)
+
+
+def check_axioms(
+    binding: ImplementationBinding,
+    instances_per_axiom: int = 25,
+    max_depth: int = 5,
+    seed: int = 2026,
+    axioms: Optional[tuple[Axiom, ...]] = None,
+) -> OracleReport:
+    """Evaluate every axiom of the binding's spec on random ground
+    instances through the implementation."""
+    from repro.testing.termgen import GenerationError, GroundTermGenerator
+
+    spec = binding.spec
+    generator = GroundTermGenerator(spec, seed=seed, max_depth=max_depth)
+    report = OracleReport(spec.name)
+    for axiom in axioms if axioms is not None else spec.axioms:
+        for _ in range(instances_per_axiom):
+            try:
+                sigma = generator.substitution_for(axiom.variables())
+            except GenerationError:
+                continue
+            env = {
+                variable: binding.evaluate(term, {})
+                for variable, term in sigma.items()
+            }
+            report.instances_checked += 1
+            lhs_value = binding.evaluate(axiom.lhs, env)
+            rhs_value = binding.evaluate(axiom.rhs, env)
+            if not _values_equal(lhs_value, rhs_value):
+                report.failures.append(
+                    OracleFailure(axiom, sigma, lhs_value, rhs_value)
+                )
+    return report
+
+
+def _values_equal(left: object, right: object) -> bool:
+    if left is ERROR or right is ERROR:
+        return left is right
+    return left == right

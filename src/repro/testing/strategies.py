@@ -1,0 +1,168 @@
+"""Hypothesis strategies over a specification's term algebra.
+
+``term_strategy(spec, sort)`` draws ground constructor terms of ``sort``
+with proper shrinking (smaller terms first), so property tests get
+minimal counterexamples.  ``value_strategy(binding, sort)`` additionally
+evaluates the drawn term through an implementation binding, yielding
+Python values of the abstract type for direct property testing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from hypothesis import strategies as st
+
+from repro.algebra.signature import Operation
+from repro.algebra.sorts import Sort
+from repro.algebra.terms import App, Lit, Term
+from repro.spec.specification import Specification
+from repro.testing.termgen import DEFAULT_POOLS
+from repro.testing.oracle import ImplementationBinding
+
+
+def constructor_table(spec: Specification) -> dict[Sort, list[Operation]]:
+    """Free constructors per sort (operations never rewritten away)."""
+    heads = {axiom.head.name for axiom in spec.all_axioms()}
+    table: dict[Sort, list[Operation]] = {}
+    for operation in spec.full_signature().operations:
+        if operation.name in heads or operation.builtin is not None:
+            continue
+        table.setdefault(operation.range, []).append(operation)
+    return table
+
+
+def term_strategy(
+    spec: Specification,
+    sort: Sort,
+    max_leaves: int = 12,
+    pools: Optional[dict[str, Sequence[object]]] = None,
+) -> st.SearchStrategy[Term]:
+    """Ground constructor terms of ``sort`` under ``spec``."""
+    table = constructor_table(spec)
+    literal_pools = dict(DEFAULT_POOLS)
+    if pools:
+        for name, values in pools.items():
+            literal_pools[name] = tuple(values)
+
+    # Fail fast on uninhabited sorts (st.deferred would only surface the
+    # problem at draw time).
+    _check_inhabited(sort, table, literal_pools, spec)
+
+    cache: dict[Sort, st.SearchStrategy[Term]] = {}
+
+    def for_sort(target: Sort) -> st.SearchStrategy[Term]:
+        if target in cache:
+            return cache[target]
+        strategy = st.deferred(lambda: build(target))
+        cache[target] = strategy
+        return strategy
+
+    def build(target: Sort) -> st.SearchStrategy[Term]:
+        alternatives: list[st.SearchStrategy[Term]] = []
+        pool = literal_pools.get(str(target))
+        if pool:
+            alternatives.append(
+                st.sampled_from(pool).map(lambda v, s=target: Lit(v, s))
+            )
+        constructors = table.get(target, [])
+        bases = [op for op in constructors if not op.domain]
+        recursives = [op for op in constructors if op.domain]
+        alternatives.extend(st.just(App(op, ())) for op in bases)
+        if not alternatives and not recursives:
+            raise ValueError(f"sort {target} is uninhabited under {spec.name}")
+        base = st.one_of(alternatives) if alternatives else None
+        extensions = [
+            st.tuples(*[for_sort(s) for s in op.domain]).map(
+                lambda args, o=op: App(o, args)
+            )
+            for op in recursives
+        ]
+        if base is None:
+            # Purely recursive sorts cannot terminate; guarded above.
+            return st.one_of(extensions)
+        if not extensions:
+            return base
+        return st.recursive(
+            base,
+            lambda children: st.one_of(
+                [
+                    st.tuples(
+                        *[
+                            children if s == target else for_sort(s)
+                            for s in op.domain
+                        ]
+                    ).map(lambda args, o=op: App(o, args))
+                    for op in recursives
+                ]
+            ),
+            max_leaves=max_leaves,
+        )
+
+    return for_sort(sort)
+
+
+def _check_inhabited(
+    sort: Sort,
+    table: dict[Sort, list[Operation]],
+    pools: dict[str, Sequence[object]],
+    spec: Specification,
+) -> None:
+    """Raise ValueError unless ground terms of ``sort`` exist.
+
+    Least-fixed-point over the constructor table: a sort is inhabited
+    when it has a literal pool or some constructor whose whole domain is
+    inhabited.
+    """
+    inhabited: set[Sort] = {
+        s
+        for s in table
+        if any(not op.domain for op in table[s])
+    }
+    for name, pool in pools.items():
+        if not pool:
+            continue
+        try:
+            inhabited.add(Sort(name))
+        except ValueError:
+            continue  # pool key is not a plain sort name
+    changed = True
+    while changed:
+        changed = False
+        for target, constructors in table.items():
+            if target in inhabited:
+                continue
+            for op in constructors:
+                if all(s in inhabited for s in op.domain):
+                    inhabited.add(target)
+                    changed = True
+                    break
+    if sort not in inhabited:
+        raise ValueError(f"sort {sort} is uninhabited under {spec.name}")
+
+
+def value_strategy(
+    binding: ImplementationBinding,
+    sort: Optional[Sort] = None,
+    max_leaves: int = 12,
+) -> st.SearchStrategy[object]:
+    """Implementation values of the (by default) type of interest."""
+    spec = binding.spec
+    target = sort if sort is not None else spec.type_of_interest
+    return term_strategy(spec, target, max_leaves=max_leaves).map(
+        lambda term: binding.evaluate(term, {})
+    )
+
+
+def substitution_strategy(
+    spec: Specification,
+    variables,
+    max_leaves: int = 8,
+) -> st.SearchStrategy:
+    """Ground substitutions covering ``variables`` (for axiom checks)."""
+    from repro.algebra.substitution import Substitution
+
+    ordered = sorted(variables, key=lambda v: v.name)
+    return st.tuples(
+        *[term_strategy(spec, v.sort, max_leaves=max_leaves) for v in ordered]
+    ).map(lambda terms: Substitution(dict(zip(ordered, terms))))

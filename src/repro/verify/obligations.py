@@ -1,0 +1,150 @@
+"""Proof obligations for representation correctness.
+
+For every abstract axiom ``f(x*) = z`` the paper demands (section 4):
+
+* (a) if the range of ``f`` is the type being defined,
+  ``Φ(f'(x*)) = Φ(z')`` for all legal assignments to the free variables;
+* (b) otherwise, ``f'(x*) = z'``.
+
+These are the *inherent invariants*.  This module builds one
+:class:`ProofObligation` per abstract axiom, including the variable
+constraints induced by environment assumptions such as the paper's
+Assumption 1 ("for any term ADD'(symtab, id, attrs),
+IS_NEWSTACK?(symtab) = false").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.algebra.terms import App, Term, Var
+from repro.spec.axioms import Axiom
+from repro.verify.representation import Representation
+
+
+@dataclass(frozen=True)
+class Assumption:
+    """A constraint an environment assumption places on one variable.
+
+    ``predicate_name`` names a Boolean observer of the representation
+    sort; the assumption is that it yields ``value`` on the variable.
+    Assumption 1 is ``Assumption(var, "IS_NEWSTACK?", False)``.
+    """
+
+    variable: Var
+    predicate_name: str
+    value: bool
+
+    def __str__(self) -> str:
+        return f"{self.predicate_name}({self.variable}) = {str(self.value).lower()}"
+
+
+@dataclass
+class ProofObligation:
+    """One inherent invariant to discharge.
+
+    ``lhs``/``rhs`` are already translated to the concrete level and,
+    when the abstract axiom's sort is the type of interest, wrapped in
+    Φ.  ``rep_variables`` are the free variables of representation sort
+    (the ones induction or case analysis ranges over).
+    """
+
+    label: str
+    axiom: Axiom
+    lhs: Term
+    rhs: Term
+    rep_variables: tuple[Var, ...]
+    assumptions: tuple[Assumption, ...] = ()
+
+    @property
+    def uses_phi(self) -> bool:
+        return isinstance(self.lhs, App) and self.lhs.op.name.startswith("Φ")
+
+    def __str__(self) -> str:
+        header = f"obligation ({self.label}): {self.lhs} = {self.rhs}"
+        if self.assumptions:
+            assumed = " and ".join(str(a) for a in self.assumptions)
+            header += f"  [assuming {assumed}]"
+        return header
+
+
+def derive_assumption_1(
+    representation: Representation, lhs: Term, rhs: Term
+) -> tuple[Assumption, ...]:
+    """Instances of the paper's Assumption 1 present in an obligation.
+
+    Every occurrence of ``ADD'(v, ...)`` with ``v`` a variable yields
+    the constraint ``IS_NEWSTACK?(v) = false``.
+    """
+    add_defined = representation.defined.get("ADD")
+    if add_defined is None:
+        return ()
+    # Assumption 1 is stated in terms of the representation's emptiness
+    # predicate; a representation whose concrete level has no
+    # IS_NEWSTACK? (e.g. Queue over lists) has no such assumption.
+    concrete = representation.concrete.full_signature()
+    if not concrete.has_operation("IS_NEWSTACK?"):
+        return ()
+    predicate = concrete.operation("IS_NEWSTACK?")
+    if predicate.domain != (representation.rep_sort,):
+        return ()
+    found: dict[Var, Assumption] = {}
+    for side in (lhs, rhs):
+        for _, node in side.subterms():
+            if (
+                isinstance(node, App)
+                and node.op == add_defined.operation
+                and node.args
+                and isinstance(node.args[0], Var)
+            ):
+                variable = node.args[0]
+                found[variable] = Assumption(variable, "IS_NEWSTACK?", False)
+    return tuple(found.values())
+
+
+def obligations_for(
+    representation: Representation,
+    with_assumption_1: bool = False,
+    axioms: Optional[Iterable[Axiom]] = None,
+) -> list[ProofObligation]:
+    """The inherent-invariant obligations of ``representation``.
+
+    ``with_assumption_1`` attaches the paper's environment assumption to
+    the obligations it applies to (those whose translation contains
+    ``ADD'`` applied to a variable).
+    """
+    source = tuple(axioms) if axioms is not None else representation.abstract.axioms
+    toi = representation.abstract.type_of_interest
+    result: list[ProofObligation] = []
+    for axiom in source:
+        vmap: dict[Var, Var] = {}
+        lhs = representation.translate(axiom.lhs, vmap)
+        rhs = representation.translate(axiom.rhs, vmap)
+        if axiom.lhs.sort == toi:
+            lhs = representation.wrap_phi(lhs)
+            rhs = representation.wrap_phi(rhs)
+        rep_vars = tuple(
+            sorted(
+                {
+                    v
+                    for v in (lhs.variables() | rhs.variables())
+                    if v.sort == representation.rep_sort
+                },
+                key=lambda v: v.name,
+            )
+        )
+        assumptions: tuple[Assumption, ...] = ()
+        if with_assumption_1:
+            assumptions = derive_assumption_1(representation, lhs, rhs)
+        result.append(
+            ProofObligation(
+                axiom.label or str(axiom.head.name),
+                axiom,
+                lhs,
+                rhs,
+                rep_vars,
+                assumptions,
+            )
+        )
+    return result

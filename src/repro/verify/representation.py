@@ -1,0 +1,278 @@
+"""Representations of abstract types (section 4 of the paper).
+
+"A representation of a type T consists of (i) an interpretation of the
+operations of the type that is a model for the axioms of the
+specification of T, and (ii) a function Φ that maps terms in the model
+domain onto their representatives in the abstract domain."
+
+Concretely, a :class:`Representation` is:
+
+* the **abstract** specification being implemented (Symboltable);
+* the **concrete** specification implementing it (Stack-of-Arrays plus
+  Array, themselves algebraic specifications — the paper's levels);
+* one **defined operation** ``f'`` per abstract operation ``f``, whose
+  body is a term over the concrete level (the paper's ``::`` "code");
+* the **abstraction function Φ**, given — exactly as in the paper — by
+  equations over the concrete constructors;
+* optionally, a set of **generators**: the abstract operations whose
+  primed forms produce every *reachable* concrete value.  Generator
+  induction quantifies over these.
+
+The class turns all of that into the rewrite rules the prover runs on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.algebra.signature import Operation
+from repro.algebra.sorts import Sort
+from repro.algebra.terms import App, Err, Ite, Lit, Term, Var
+from repro.spec.axioms import Axiom
+from repro.spec.specification import Specification
+from repro.rewriting.rules import RewriteRule, RuleSet
+
+
+class RepresentationError(Exception):
+    """Raised for ill-formed representations."""
+
+
+@dataclass(frozen=True)
+class DefinedOperation:
+    """``f'(params...) :: body`` — an abstract operation's implementation
+    as a term over the concrete level (plus other defined operations,
+    which may be recursive, like ``RETRIEVE'``)."""
+
+    operation: Operation
+    params: tuple[Var, ...]
+    body: Term
+
+    def __post_init__(self) -> None:
+        if len(self.params) != self.operation.arity:
+            raise RepresentationError(
+                f"{self.operation.name}: {len(self.params)} parameter(s) "
+                f"for arity {self.operation.arity}"
+            )
+        for param, sort in zip(self.params, self.operation.domain):
+            if param.sort != sort:
+                raise RepresentationError(
+                    f"{self.operation.name}: parameter {param} has sort "
+                    f"{param.sort}, expected {sort}"
+                )
+        if self.body.sort != self.operation.range:
+            raise RepresentationError(
+                f"{self.operation.name}: body sort {self.body.sort} does "
+                f"not match range {self.operation.range}"
+            )
+        stray = self.body.variables() - set(self.params)
+        if stray:
+            names = ", ".join(sorted(v.name for v in stray))
+            raise RepresentationError(
+                f"{self.operation.name}: body mentions unbound {names}"
+            )
+
+    def definition_rule(self) -> RewriteRule:
+        """``f'(params...) -> body`` for the prover's rule set."""
+        return RewriteRule(
+            App(self.operation, self.params),
+            self.body,
+            f"def {self.operation.name}",
+        )
+
+    def rules(self) -> tuple[RewriteRule, ...]:
+        return (self.definition_rule(),)
+
+    def __str__(self) -> str:
+        params = ", ".join(str(p) for p in self.params)
+        head = f"{self.operation.name}({params})" if params else self.operation.name
+        return f"{head} :: {self.body}"
+
+
+@dataclass(frozen=True)
+class CaseDefinedOperation:
+    """An implementation operation defined by per-constructor case
+    axioms rather than a single body.
+
+    Recursive observers over a representation (``READ'`` over an
+    association list) are most naturally written one equation per
+    constructor of the representation sort — the same definitional shape
+    as specification axioms, and structure-consuming, so the prover
+    unfolds them freely.
+    """
+
+    operation: Operation
+    cases: tuple[Axiom, ...]
+
+    def __post_init__(self) -> None:
+        if not self.cases:
+            raise RepresentationError(
+                f"{self.operation.name}: at least one case is required"
+            )
+        for case in self.cases:
+            if case.head != self.operation:
+                raise RepresentationError(
+                    f"{self.operation.name}: case {case} is headed by "
+                    f"{case.head.name}"
+                )
+
+    def rules(self) -> tuple[RewriteRule, ...]:
+        return tuple(
+            RewriteRule(case.lhs, case.rhs, case.label or f"def {self.operation.name}")
+            for case in self.cases
+        )
+
+    def __str__(self) -> str:
+        return "\n".join(f"{case.lhs} :: {case.rhs}" for case in self.cases)
+
+
+class Representation:
+    """Everything needed to state — and prove — that an implementation
+    satisfies its abstract specification."""
+
+    def __init__(
+        self,
+        abstract: Specification,
+        concrete: Specification,
+        rep_sort: Sort,
+        defined: Sequence[DefinedOperation],
+        phi: Operation,
+        phi_axioms: Sequence[Axiom],
+        generators: Sequence[str] = (),
+    ) -> None:
+        self.abstract = abstract
+        self.concrete = concrete
+        self.rep_sort = rep_sort
+        self.defined: dict[str, DefinedOperation] = {}
+        for definition in defined:
+            base = _unprimed(definition.operation.name)
+            if not abstract.full_signature().has_operation(base):
+                raise RepresentationError(
+                    f"defined operation {definition.operation.name} does not "
+                    f"correspond to an abstract operation"
+                )
+            self.defined[base] = definition
+        self.phi = phi
+        if phi.domain != (rep_sort,) or phi.range != abstract.type_of_interest:
+            raise RepresentationError(
+                f"Φ must map {rep_sort} to {abstract.type_of_interest}, "
+                f"got {phi}"
+            )
+        self.phi_axioms = tuple(phi_axioms)
+        for name in generators:
+            if name not in self.defined:
+                raise RepresentationError(
+                    f"generator {name!r} has no defined operation"
+                )
+        self.generators = tuple(generators)
+        self._check_coverage()
+
+    def _check_coverage(self) -> None:
+        missing = [
+            op.name
+            for op in self.abstract.own_operations()
+            if op.name not in self.defined
+        ]
+        if missing:
+            raise RepresentationError(
+                f"no defined operation for abstract operation(s): "
+                f"{', '.join(missing)}"
+            )
+
+    # ------------------------------------------------------------------
+    def defined_for(self, operation: Operation) -> DefinedOperation:
+        try:
+            return self.defined[operation.name]
+        except KeyError:
+            raise RepresentationError(
+                f"no defined operation for {operation.name}"
+            ) from None
+
+    def rules(self) -> RuleSet:
+        """The prover's rule set: the concrete level's axioms, the
+        definitions of the primed operations, and the Φ equations.
+
+        The *abstract* axioms are deliberately excluded — they are the
+        proof obligations; including them would beg the question.
+        """
+        ruleset = RuleSet.from_specification(self.concrete)
+        for definition in self.defined.values():
+            for rule in definition.rules():
+                ruleset.add(rule)
+        for axiom in self.phi_axioms:
+            ruleset.add(RewriteRule(axiom.lhs, axiom.rhs, axiom.label or "Φ"))
+        return ruleset
+
+    # ------------------------------------------------------------------
+    def translate(self, term: Term, variable_map: Optional[dict[Var, Var]] = None) -> Term:
+        """Replace abstract operations with their primed counterparts.
+
+        Variables of the abstract type of interest become variables of
+        the representation sort ("replace all instances of each function
+        appearing in the axiomatization with its interpretation").
+        """
+        if variable_map is None:
+            variable_map = {}
+        return self._translate(term, variable_map)
+
+    def _translate(self, term: Term, vmap: dict[Var, Var]) -> Term:
+        toi = self.abstract.type_of_interest
+        if isinstance(term, Var):
+            if term.sort == toi:
+                mapped = vmap.get(term)
+                if mapped is None:
+                    mapped = Var(term.name, self.rep_sort)
+                    vmap[term] = mapped
+                return mapped
+            return term
+        if isinstance(term, Lit):
+            return term
+        if isinstance(term, Err):
+            return Err(self.rep_sort) if term.sort == toi else term
+        if isinstance(term, Ite):
+            return Ite(
+                self._translate(term.cond, vmap),
+                self._translate(term.then_branch, vmap),
+                self._translate(term.else_branch, vmap),
+            )
+        assert isinstance(term, App)
+        args = [self._translate(arg, vmap) for arg in term.args]
+        definition = self.defined.get(term.op.name)
+        if definition is not None:
+            return App(definition.operation, args)
+        return App(term.op, args)
+
+    def wrap_phi(self, term: Term) -> Term:
+        """``Φ(term)`` — applied to obligation sides of the rep sort."""
+        return App(self.phi, (term,))
+
+    def generator_definitions(self) -> tuple[DefinedOperation, ...]:
+        return tuple(self.defined[name] for name in self.generators)
+
+    def __str__(self) -> str:
+        lines = [
+            f"representation of {self.abstract.name} over {self.rep_sort}",
+            "defined operations:",
+        ]
+        lines.extend(f"  {d}" for d in self.defined.values())
+        lines.append("Φ equations:")
+        lines.extend(f"  {a}" for a in self.phi_axioms)
+        if self.generators:
+            lines.append(f"generators: {', '.join(self.generators)}")
+        return "\n".join(lines)
+
+
+def _unprimed(name: str) -> str:
+    """``INIT_P`` / ``INIT'`` → ``INIT``.
+
+    Primed operation names use a ``_P`` suffix in code (``'`` is not an
+    identifier character in the DSL); both spellings are accepted.
+    """
+    if name.endswith("'"):
+        return name[:-1]
+    if name.endswith("_P"):
+        return name[:-2]
+    # ``IS_INBLOCK?_P`` style: the suffix sits before a trailing '?'.
+    if name.endswith("_P?"):
+        return name[:-3] + "?"
+    return name

@@ -1,0 +1,68 @@
+"""Skolemization: fixed-but-arbitrary constants for proof variables.
+
+The prover establishes ``∀ x. lhs(x) = rhs(x)`` by proving
+``lhs(c) = rhs(c)`` for a *fresh constant* ``c``.  Using constants
+instead of free variables keeps every assumption the prover accumulates
+(case-split facts like ``ISSAME?(c1, c2) = true``, Assumption 1
+instances, induction hypotheses at the induction constant) an *exact*
+rewrite about specific values — a free variable in an assumption would
+silently generalise it to everything of its sort, which is unsound.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Mapping
+
+from repro.algebra.signature import Operation
+from repro.algebra.sorts import Sort
+from repro.algebra.substitution import Substitution
+from repro.algebra.terms import App, Term, Var
+
+_counter = itertools.count(1)
+
+
+def fresh_constant(name: str, sort: Sort) -> App:
+    """A fresh skolem constant of ``sort``, printed ``name$k``."""
+    operation = Operation(f"{name}${next(_counter)}", (), sort)
+    return App(operation, ())
+
+
+def is_skolem(term: Term) -> bool:
+    """True when ``term`` is a skolem constant from this module."""
+    return isinstance(term, App) and not term.args and "$" in term.op.name
+
+
+def skolemize(
+    term: Term, skolems: Mapping[Var, Term] | None = None
+) -> tuple[Term, dict[Var, Term]]:
+    """Replace every free variable of ``term`` with a skolem constant.
+
+    ``skolems`` carries constants already chosen for some variables (so
+    that the two sides of an equation share them).  Returns the
+    skolemised term and the updated mapping.
+    """
+    mapping: dict[Var, Term] = dict(skolems) if skolems else {}
+    for variable in sorted(term.variables(), key=lambda v: v.name):
+        if variable not in mapping:
+            mapping[variable] = fresh_constant(variable.name, variable.sort)
+    return Substitution(mapping).apply(term), mapping
+
+
+def skolemize_pair(
+    lhs: Term, rhs: Term, keep: Iterable[Var] = ()
+) -> tuple[Term, Term, dict[Var, Term]]:
+    """Skolemise both sides of an equation with shared constants.
+
+    Variables listed in ``keep`` are left free (the induction engine
+    keeps its induction variable free until it expands it into
+    constructor cases).
+    """
+    kept = set(keep)
+    mapping: dict[Var, Term] = {}
+    for variable in sorted(
+        (lhs.variables() | rhs.variables()) - kept, key=lambda v: v.name
+    ):
+        mapping[variable] = fresh_constant(variable.name, variable.sort)
+    sigma = Substitution(mapping)
+    return sigma.apply(lhs), sigma.apply(rhs), mapping

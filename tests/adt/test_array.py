@@ -1,0 +1,135 @@
+"""Tests for the Array ADT (axioms 17-20) and the hash implementation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spec.errors import AlgebraError
+from repro.spec.prelude import HASH_BUCKETS, _hash_identifier
+from repro.adt.array import HashArray, phi_array
+from repro.testing.bindings import array_binding
+from repro.testing.oracle import check_axioms
+
+names = st.text(
+    alphabet="abcdefgh", min_size=1, max_size=4
+)
+
+
+class TestHashArray:
+    def test_empty_is_undefined_everywhere(self):
+        assert HashArray.empty().is_undefined("x")
+
+    def test_assign_then_read(self):
+        array = HashArray.empty().assign("x", "int")
+        assert array.read("x") == "int"
+        assert not array.is_undefined("x")
+
+    def test_read_undefined_errors(self):
+        with pytest.raises(AlgebraError):
+            HashArray.empty().read("x")
+
+    def test_reassignment_shadows(self):
+        array = HashArray.empty().assign("x", "int").assign("x", "real")
+        assert array.read("x") == "real"
+
+    def test_persistence(self):
+        base = HashArray.empty().assign("x", "int")
+        updated = base.assign("x", "real")
+        assert base.read("x") == "int"
+        assert updated.read("x") == "real"
+
+    def test_distinct_names_independent(self):
+        array = HashArray.empty().assign("x", "int").assign("y", "real")
+        assert array.read("x") == "int"
+        assert array.read("y") == "real"
+
+    def test_names(self):
+        array = HashArray.empty().assign("x", 1).assign("y", 2)
+        assert array.names() == {"x", "y"}
+
+    def test_observational_equality(self):
+        # Different assignment histories, same visible bindings.
+        first = HashArray.empty().assign("x", "int").assign("x", "real")
+        second = HashArray.empty().assign("x", "real")
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_inequality(self):
+        assert HashArray.empty().assign("x", 1) != HashArray.empty()
+
+
+class TestHashCollisions:
+    def _colliding_pair(self):
+        """Two distinct names landing in the same bucket."""
+        by_bucket: dict[int, str] = {}
+        index = 0
+        while True:
+            name = f"n{index}"
+            bucket = _hash_identifier(name)
+            if bucket in by_bucket and by_bucket[bucket] != name:
+                return by_bucket[bucket], name
+            by_bucket[bucket] = name
+            index += 1
+
+    def test_chaining_keeps_both(self):
+        first, second = self._colliding_pair()
+        array = HashArray.empty().assign(first, 1).assign(second, 2)
+        assert array.read(first) == 1
+        assert array.read(second) == 2
+
+    def test_collision_shadowing_correct(self):
+        first, second = self._colliding_pair()
+        array = (
+            HashArray.empty()
+            .assign(first, 1)
+            .assign(second, 2)
+            .assign(first, 3)
+        )
+        assert array.read(first) == 3
+        assert array.read(second) == 2
+
+    def test_hash_range(self):
+        for index in range(100):
+            assert 1 <= _hash_identifier(f"name{index}") <= HASH_BUCKETS
+
+
+class TestAxiomConformance:
+    def test_oracle_passes(self):
+        report = check_axioms(array_binding(), instances_per_axiom=30)
+        assert report.ok, str(report)
+
+    @given(
+        assignments=st.lists(
+            st.tuples(names, st.integers(0, 5)), max_size=10
+        ),
+        probe=names,
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_read_returns_latest_assignment(self, assignments, probe):
+        """Axiom 20's recursion finds the outermost (latest) ASSIGN."""
+        array = HashArray.empty()
+        expected: dict[str, int] = {}
+        for name, value in assignments:
+            array = array.assign(name, value)
+            expected[name] = value
+        if probe in expected:
+            assert array.read(probe) == expected[probe]
+        else:
+            assert array.is_undefined(probe)
+
+
+class TestPhiArray:
+    def test_empty_maps_to_empty(self):
+        assert str(phi_array(HashArray.empty())) == "EMPTY"
+
+    def test_canonical_order(self):
+        left = HashArray.empty().assign("b", 2).assign("a", 1)
+        right = HashArray.empty().assign("a", 1).assign("b", 2)
+        assert phi_array(left) == phi_array(right)
+
+    def test_shadowed_entries_dropped(self):
+        array = HashArray.empty().assign("x", 1).assign("x", 2)
+        term = phi_array(array)
+        # Only the visible binding appears.
+        assert str(term).count("ASSIGN") == 1
+        assert "2" in str(term) and "1" not in str(term)

@@ -1,0 +1,139 @@
+"""Tests for the bounded queue and the Φ⁻¹-one-to-many demonstration."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spec.errors import AlgebraError
+from repro.adt.boundedqueue import (
+    DEFAULT_CAPACITY,
+    GARBAGE,
+    RingBufferQueue,
+    paper_first_segment,
+    paper_second_segment,
+    phi_ring_buffer,
+)
+from repro.testing.bindings import bounded_queue_binding
+from repro.testing.oracle import check_axioms
+
+
+class TestRingBuffer:
+    def test_empty(self):
+        queue = RingBufferQueue.empty()
+        assert queue.is_empty()
+        assert queue.size() == 0
+
+    def test_add_front(self):
+        queue = RingBufferQueue.empty().add("a").add("b")
+        assert queue.front() == "a"
+        assert queue.size() == 2
+
+    def test_remove_advances_pointer(self):
+        queue = RingBufferQueue.empty().add("a").add("b").remove()
+        assert queue.front() == "b"
+        assert queue.front_index == 1
+
+    def test_remove_leaves_garbage_in_slot(self):
+        queue = RingBufferQueue.empty().add("a").remove()
+        # The paper's point: the slot still physically holds 'a'.
+        assert queue.raw_buffer[0] == "a"
+        assert queue.is_empty()
+
+    def test_wraparound(self):
+        queue = RingBufferQueue.empty(3)
+        queue = queue.add("a").add("b").add("c").remove().add("d")
+        assert queue.live_window() == ("b", "c", "d")
+        # 'd' physically wrapped into slot 0.
+        assert queue.raw_buffer[0] == "d"
+
+    def test_overflow_errors(self):
+        queue = RingBufferQueue.empty(2).add("a").add("b")
+        with pytest.raises(AlgebraError):
+            queue.add("c")
+
+    def test_front_empty_errors(self):
+        with pytest.raises(AlgebraError):
+            RingBufferQueue.empty().front()
+
+    def test_remove_empty_errors(self):
+        with pytest.raises(AlgebraError):
+            RingBufferQueue.empty().remove()
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            RingBufferQueue.empty(0)
+
+    def test_persistence(self):
+        base = RingBufferQueue.empty().add("a")
+        base.add("b")
+        assert base.size() == 1
+
+
+class TestPhiManyToOne:
+    """Section 4's two program segments: same value, different reps."""
+
+    def test_segments_differ_physically(self):
+        first = paper_first_segment()
+        second = paper_second_segment()
+        assert not first.same_representation(second)
+
+    def test_segments_equal_abstractly(self):
+        assert paper_first_segment() == paper_second_segment()
+
+    def test_phi_maps_both_to_same_term(self):
+        first = phi_ring_buffer(paper_first_segment())
+        second = phi_ring_buffer(paper_second_segment())
+        assert first == second
+        assert str(first) == "ADD_Q(ADD_Q(ADD_Q(EMPTY_Q, 'B'), 'C'), 'D')"
+
+    def test_first_segment_matches_paper_figure(self):
+        # Ring buffer [D, B, C] with the front pointer at B.
+        first = paper_first_segment()
+        assert first.raw_buffer == ("D", "B", "C")
+        assert first.front_index == 1
+
+    def test_second_segment_matches_paper_figure(self):
+        second = paper_second_segment()
+        assert second.raw_buffer == ("B", "C", "D")
+        assert second.front_index == 0
+
+    @given(
+        prefix=st.lists(st.integers(0, 9), max_size=3),
+        rotations=st.integers(0, 5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_rotation_never_changes_abstract_value(self, prefix, rotations):
+        """Pushing the window around the ring (add/remove churn) yields
+        physically different but abstractly equal states."""
+        capacity = 4
+        queue = RingBufferQueue.empty(capacity)
+        for value in prefix:
+            queue = queue.add(value)
+        rotated = queue
+        for spin in range(rotations):
+            if rotated.size() == capacity:
+                rotated = rotated.remove()
+            rotated = rotated.add(f"s{spin}").remove() if not rotated.is_empty() else rotated.add(f"s{spin}")
+        # Whatever the churn, Φ reads only the live window.
+        assert phi_ring_buffer(rotated) == phi_ring_buffer(
+            RingBufferQueue.empty(capacity)
+            if rotated.is_empty()
+            else _rebuild(rotated, capacity)
+        )
+
+
+def _rebuild(queue: RingBufferQueue, capacity: int) -> RingBufferQueue:
+    rebuilt = RingBufferQueue.empty(capacity)
+    for value in queue.live_window():
+        rebuilt = rebuilt.add(value)
+    return rebuilt
+
+
+class TestAxiomConformance:
+    def test_oracle_passes_within_capacity(self):
+        report = check_axioms(bounded_queue_binding(), instances_per_axiom=25)
+        assert report.ok, str(report)
+
+    def test_size_matches_window(self):
+        queue = RingBufferQueue.empty().add("a").add("b").remove()
+        assert queue.size() == len(queue.live_window()) == 1

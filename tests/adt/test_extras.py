@@ -1,0 +1,147 @@
+"""Tests for the extra library types (Set, Bag, List, Map)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import check_consistency, check_sufficient_completeness
+from repro.adt.extras import (
+    BAG_SPEC,
+    FrozenSetModel,
+    LIST_SPEC,
+    MAP_SPEC,
+    SET_SPEC,
+    TupleBag,
+    list_term,
+)
+from repro.testing.bindings import (
+    bag_binding,
+    list_binding,
+    map_binding,
+    set_binding,
+)
+from repro.testing.oracle import check_axioms
+
+
+class TestSpecsAnalyse:
+    @pytest.mark.parametrize(
+        "spec", [SET_SPEC, BAG_SPEC, LIST_SPEC, MAP_SPEC], ids=lambda s: s.name
+    )
+    def test_sufficiently_complete(self, spec):
+        report = check_sufficient_completeness(spec)
+        assert report.sufficiently_complete, str(report)
+
+    @pytest.mark.parametrize(
+        "spec", [SET_SPEC, BAG_SPEC, LIST_SPEC, MAP_SPEC], ids=lambda s: s.name
+    )
+    def test_consistent(self, spec):
+        report = check_consistency(spec)
+        assert report.verdict.name != "INCONSISTENT", str(report)
+
+
+class TestOracles:
+    @pytest.mark.parametrize(
+        "make",
+        [set_binding, bag_binding, list_binding, map_binding],
+        ids=["Set", "Bag", "List", "Map"],
+    )
+    def test_axioms_hold(self, make):
+        report = check_axioms(make(), instances_per_axiom=25)
+        assert report.ok, str(report)
+
+
+class TestFrozenSetModel:
+    def test_insert_idempotent(self):
+        model = FrozenSetModel.empty().insert("a").insert("a")
+        assert len(model) == 1
+
+    def test_delete_removes(self):
+        model = FrozenSetModel.empty().insert("a").delete("a")
+        assert not model.has("a")
+
+    def test_delete_absent_is_noop(self):
+        model = FrozenSetModel.empty().insert("a").delete("b")
+        assert model.has("a")
+
+    @given(
+        values=st.lists(st.integers(0, 6), max_size=12),
+        probe=st.integers(0, 6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_python_set(self, values, probe):
+        model = FrozenSetModel.empty()
+        mirror: set = set()
+        for value in values:
+            model = model.insert(value)
+            mirror.add(value)
+        assert model.has(probe) == (probe in mirror)
+
+
+class TestTupleBag:
+    def test_count_tracks_multiplicity(self):
+        bag = TupleBag.empty().put("a").put("a").put("b")
+        assert bag.count("a") == 2
+        assert bag.count("b") == 1
+        assert bag.count("c") == 0
+
+    def test_take_removes_one(self):
+        bag = TupleBag.empty().put("a").put("a").take("a")
+        assert bag.count("a") == 1
+
+    def test_take_absent_is_noop(self):
+        bag = TupleBag.empty().put("a").take("z")
+        assert bag.count("a") == 1
+
+    @given(
+        ops=st.lists(
+            st.tuples(st.sampled_from(["put", "take"]), st.integers(0, 3)),
+            max_size=14,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_counter(self, ops):
+        from collections import Counter
+
+        bag = TupleBag.empty()
+        counter: Counter = Counter()
+        for op, value in ops:
+            if op == "put":
+                bag = bag.put(value)
+                counter[value] += 1
+            elif counter[value] > 0:
+                bag = bag.take(value)
+                counter[value] -= 1
+            else:
+                bag = bag.take(value)
+        for value in range(4):
+            assert bag.count(value) == counter[value]
+
+
+class TestListSpecEngine:
+    def test_append_via_axioms(self):
+        from repro.algebra.terms import app
+        from repro.rewriting import RewriteEngine
+
+        engine = RewriteEngine.for_specification(LIST_SPEC)
+        append_l = LIST_SPEC.operation("APPEND_L")
+        joined = engine.normalize(
+            app(append_l, list_term(["a", "b"]), list_term(["c"]))
+        )
+        assert joined == engine.normalize(list_term(["a", "b", "c"]))
+
+    def test_length_via_axioms(self):
+        from repro.algebra.terms import app
+        from repro.rewriting import RewriteEngine
+        from repro.spec.prelude import nat_term
+
+        engine = RewriteEngine.for_specification(LIST_SPEC)
+        length = LIST_SPEC.operation("LENGTH")
+        assert engine.normalize(app(length, list_term([1, 2, 3]))) == nat_term(3)
+
+    def test_head_of_nil_errors(self):
+        from repro.algebra.terms import Err, app
+        from repro.rewriting import RewriteEngine
+
+        engine = RewriteEngine.for_specification(LIST_SPEC)
+        head = LIST_SPEC.operation("HEAD")
+        assert isinstance(engine.normalize(app(head, list_term([]))), Err)

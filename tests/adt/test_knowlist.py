@@ -1,0 +1,177 @@
+"""Tests for Knowlist and the knows-list Symboltable variant."""
+
+import pytest
+
+from repro.spec.errors import AlgebraError
+from repro.analysis import check_consistency, check_sufficient_completeness
+from repro.adt.knowlist import (
+    KNOWLIST_SPEC,
+    KnowsSymbolTable,
+    SYMBOLTABLE_KNOWS_SPEC,
+    TupleKnowlist,
+    knowlist_term,
+)
+from repro.adt.symboltable import SYMBOLTABLE_SPEC
+from repro.testing.bindings import knowlist_binding
+from repro.testing.oracle import check_axioms
+
+
+class TestTupleKnowlist:
+    def test_create_is_empty(self):
+        assert not TupleKnowlist.create().is_in("x")
+
+    def test_append_and_member(self):
+        klist = TupleKnowlist.create().append("x").append("y")
+        assert klist.is_in("x") and klist.is_in("y")
+        assert not klist.is_in("z")
+
+    def test_oracle_passes(self):
+        report = check_axioms(knowlist_binding(), instances_per_axiom=30)
+        assert report.ok, str(report)
+
+    def test_knowlist_term(self):
+        assert (
+            str(knowlist_term(["a", "b"]))
+            == "APPEND(APPEND(CREATE, 'a'), 'b')"
+        )
+
+
+class TestSpecModification:
+    """The paper's claim: only the ENTERBLOCK relations change."""
+
+    def test_unchanged_axioms_kept_verbatim(self):
+        original = {a.label: str(a) for a in SYMBOLTABLE_SPEC.axioms}
+        modified = {a.label: str(a) for a in SYMBOLTABLE_KNOWS_SPEC.axioms}
+        for label in ("1", "3", "4", "6", "7", "9"):
+            assert modified[label] == original[label]
+
+    def test_enterblock_axioms_replaced(self):
+        labels = {a.label for a in SYMBOLTABLE_KNOWS_SPEC.axioms}
+        assert {"2k", "5k", "8k"} <= labels
+        assert not {"2", "5", "8"} & labels
+
+    def test_enterblock_gains_knowlist_argument(self):
+        enterblock = SYMBOLTABLE_KNOWS_SPEC.operation("ENTERBLOCK")
+        assert len(enterblock.domain) == 2
+        assert str(enterblock.domain[1]) == "Knowlist"
+
+    def test_knowlist_level_added(self):
+        assert "Knowlist" in SYMBOLTABLE_KNOWS_SPEC.level_names()
+
+    def test_variant_still_sufficiently_complete(self):
+        report = check_sufficient_completeness(SYMBOLTABLE_KNOWS_SPEC)
+        assert report.sufficiently_complete, str(report)
+
+    def test_variant_still_consistent(self):
+        report = check_consistency(SYMBOLTABLE_KNOWS_SPEC)
+        assert report.consistent, str(report)
+
+
+class TestKnowsSymbolTable:
+    def test_local_declarations_always_visible(self):
+        table = (
+            KnowsSymbolTable.init()
+            .enterblock(TupleKnowlist())
+            .add("l", "int")
+        )
+        assert table.retrieve("l") == "int"
+
+    def test_global_visible_when_known(self):
+        table = (
+            KnowsSymbolTable.init()
+            .add("g", "int")
+            .enterblock(TupleKnowlist(["g"]))
+        )
+        assert table.retrieve("g") == "int"
+
+    def test_global_hidden_when_not_known(self):
+        table = (
+            KnowsSymbolTable.init()
+            .add("g", "int")
+            .enterblock(TupleKnowlist())
+        )
+        with pytest.raises(AlgebraError, match="knows list"):
+            table.retrieve("g")
+
+    def test_knows_filter_applies_per_block(self):
+        table = (
+            KnowsSymbolTable.init()
+            .add("g", "int")
+            .enterblock(TupleKnowlist(["g"]))
+            .enterblock(TupleKnowlist())  # inner block knows nothing
+        )
+        with pytest.raises(AlgebraError):
+            table.retrieve("g")
+
+    def test_chained_knows(self):
+        table = (
+            KnowsSymbolTable.init()
+            .add("g", "int")
+            .enterblock(TupleKnowlist(["g"]))
+            .enterblock(TupleKnowlist(["g"]))
+        )
+        assert table.retrieve("g") == "int"
+
+    def test_shadowing_beats_knows_filter(self):
+        table = (
+            KnowsSymbolTable.init()
+            .add("x", "int")
+            .enterblock(TupleKnowlist())
+            .add("x", "real")
+        )
+        assert table.retrieve("x") == "real"
+
+    def test_leaveblock(self):
+        table = (
+            KnowsSymbolTable.init()
+            .add("g", "int")
+            .enterblock(TupleKnowlist())
+        )
+        assert table.leaveblock().retrieve("g") == "int"
+
+    def test_leaveblock_on_global_errors(self):
+        with pytest.raises(AlgebraError):
+            KnowsSymbolTable.init().leaveblock()
+
+    def test_is_inblock(self):
+        table = KnowsSymbolTable.init().enterblock(TupleKnowlist()).add("x", 1)
+        assert table.is_inblock("x")
+        assert not table.is_inblock("y")
+
+
+class TestVariantMatchesSpec:
+    """The concrete variant agrees with the symbolically-run spec."""
+
+    def test_retrieve_through_knows_boundary(self):
+        from repro.algebra.terms import app
+        from repro.spec.prelude import attributes, identifier
+        from repro.rewriting import RewriteEngine
+
+        engine = RewriteEngine.for_specification(SYMBOLTABLE_KNOWS_SPEC)
+        init = SYMBOLTABLE_KNOWS_SPEC.operation("INIT")
+        enterblock = SYMBOLTABLE_KNOWS_SPEC.operation("ENTERBLOCK")
+        add = SYMBOLTABLE_KNOWS_SPEC.operation("ADD")
+        retrieve = SYMBOLTABLE_KNOWS_SPEC.operation("RETRIEVE")
+
+        known = app(
+            retrieve,
+            app(
+                enterblock,
+                app(add, app(init), identifier("g"), attributes("int")),
+                knowlist_term(["g"]),
+            ),
+            identifier("g"),
+        )
+        hidden = app(
+            retrieve,
+            app(
+                enterblock,
+                app(add, app(init), identifier("g"), attributes("int")),
+                knowlist_term([]),
+            ),
+            identifier("g"),
+        )
+        from repro.algebra.terms import Err, Lit
+
+        assert engine.normalize(known) == Lit("int", known.sort)
+        assert isinstance(engine.normalize(hidden), Err)

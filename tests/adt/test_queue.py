@@ -1,0 +1,89 @@
+"""Tests for the Queue ADT: model behaviour and axiom conformance."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spec.errors import AlgebraError
+from repro.adt.queue import ListQueue, QUEUE_SPEC, queue_term
+from repro.testing.bindings import queue_binding
+from repro.testing.oracle import check_axioms
+
+
+class TestListQueue:
+    def test_new_is_empty(self):
+        assert ListQueue.new().is_empty()
+
+    def test_add_makes_nonempty(self):
+        assert not ListQueue.new().add("a").is_empty()
+
+    def test_front_is_first_in(self):
+        queue = ListQueue.new().add("a").add("b")
+        assert queue.front() == "a"
+
+    def test_remove_is_first_out(self):
+        queue = ListQueue.new().add("a").add("b").remove()
+        assert queue.front() == "b"
+
+    def test_front_empty_errors(self):
+        with pytest.raises(AlgebraError):
+            ListQueue.new().front()
+
+    def test_remove_empty_errors(self):
+        with pytest.raises(AlgebraError):
+            ListQueue.new().remove()
+
+    def test_persistence(self):
+        base = ListQueue.new().add("a")
+        grown = base.add("b")
+        assert len(base) == 1
+        assert len(grown) == 2
+
+    def test_equality_and_hash(self):
+        assert ListQueue(["a", "b"]) == ListQueue(["a", "b"])
+        assert hash(ListQueue(["a"])) == hash(ListQueue(["a"]))
+        assert ListQueue(["a"]) != ListQueue(["b"])
+
+    def test_iteration_order(self):
+        assert list(ListQueue(["a", "b", "c"])) == ["a", "b", "c"]
+
+
+class TestAxiomConformance:
+    def test_oracle_passes(self):
+        report = check_axioms(queue_binding(), instances_per_axiom=30)
+        assert report.ok, str(report)
+
+    @given(values=st.lists(st.integers(0, 9), max_size=8))
+    @settings(max_examples=60, deadline=None)
+    def test_fifo_property(self, values):
+        """Draining the queue yields insertion order — the behaviour the
+        axioms '(assert) that and only that' (section 3)."""
+        queue = ListQueue.new()
+        for value in values:
+            queue = queue.add(value)
+        drained = []
+        while not queue.is_empty():
+            drained.append(queue.front())
+            queue = queue.remove()
+        assert drained == values
+
+    @given(values=st.lists(st.integers(0, 9), min_size=1, max_size=6))
+    @settings(max_examples=40, deadline=None)
+    def test_model_matches_spec_engine(self, values):
+        """The Python model and the rewrite engine agree on FRONT."""
+        from repro.algebra.terms import App, app
+        from repro.adt.queue import FRONT
+        from repro.rewriting import RewriteEngine
+
+        engine = RewriteEngine.for_specification(QUEUE_SPEC)
+        front = engine.normalize(app(FRONT, queue_term(values)))
+        model = ListQueue(values).front()
+        assert front.value == model  # type: ignore[union-attr]
+
+
+class TestQueueTerm:
+    def test_empty(self):
+        assert str(queue_term([])) == "NEW"
+
+    def test_order(self):
+        assert str(queue_term(["a", "b"])) == "ADD(ADD(NEW, 'a'), 'b')"

@@ -1,0 +1,108 @@
+"""Tests for the Stack ADT (axioms 10-16) and its linked implementation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spec.errors import AlgebraError
+from repro.adt.stack import LinkedStack, STACK_SPEC, phi_stack
+from repro.testing.bindings import stack_binding
+from repro.testing.oracle import check_axioms
+
+
+class TestLinkedStack:
+    def test_newstack_is_new(self):
+        assert LinkedStack.newstack().is_newstack()
+
+    def test_push_pop_roundtrip(self):
+        stack = LinkedStack.newstack().push("a").push("b")
+        assert stack.top() == "b"
+        assert stack.pop().top() == "a"
+
+    def test_pop_empty_errors(self):
+        with pytest.raises(AlgebraError):
+            LinkedStack().pop()
+
+    def test_top_empty_errors(self):
+        with pytest.raises(AlgebraError):
+            LinkedStack().top()
+
+    def test_replace_swaps_top(self):
+        stack = LinkedStack().push("a").push("b").replace("z")
+        assert stack.top() == "z"
+        assert stack.pop().top() == "a"
+
+    def test_replace_empty_errors(self):
+        with pytest.raises(AlgebraError):
+            LinkedStack().replace("z")
+
+    def test_persistence_through_sharing(self):
+        base = LinkedStack().push("a")
+        left = base.push("l")
+        right = base.push("r")
+        assert left.pop() == right.pop() == base
+
+    def test_iteration_top_first(self):
+        stack = LinkedStack().push(1).push(2).push(3)
+        assert list(stack) == [3, 2, 1]
+
+    def test_len(self):
+        assert len(LinkedStack().push("a").push("b")) == 2
+
+    def test_equality_and_hash(self):
+        assert LinkedStack().push("a") == LinkedStack().push("a")
+        assert hash(LinkedStack().push("a")) == hash(LinkedStack().push("a"))
+
+
+class TestAxiomConformance:
+    def test_oracle_passes(self):
+        report = check_axioms(stack_binding(), instances_per_axiom=30)
+        assert report.ok, str(report)
+
+    @given(ops=st.lists(st.sampled_from(["push", "pop", "replace"]), max_size=12))
+    @settings(max_examples=60, deadline=None)
+    def test_replace_equals_push_after_pop(self, ops):
+        """Axiom 16: REPLACE(stk, e) = PUSH(POP(stk), e) whenever legal."""
+        stack: LinkedStack = LinkedStack()
+        counter = 0
+        for op in ops:
+            counter += 1
+            if op == "push":
+                stack = stack.push(counter)
+            elif op == "pop" and not stack.is_newstack():
+                stack = stack.pop()
+            elif op == "replace" and not stack.is_newstack():
+                via_replace = stack.replace(counter)
+                via_pop_push = stack.pop().push(counter)
+                assert via_replace == via_pop_push
+                stack = via_replace
+
+
+class TestPhiStack:
+    def test_empty_maps_to_newstack(self):
+        from repro.algebra.terms import App
+
+        term = phi_stack(LinkedStack())
+        assert isinstance(term, App) and term.op.name == "NEWSTACK"
+
+    def test_push_order_preserved(self):
+        from repro.algebra.terms import lit
+        from repro.algebra.sorts import Sort
+
+        elem = Sort("Elem")
+        stack = LinkedStack().push(lit("a", elem)).push(lit("b", elem))
+        assert str(phi_stack(stack)) == "PUSH(PUSH(NEWSTACK, 'a'), 'b')"
+
+
+class TestSchema:
+    def test_stack_is_a_schema(self):
+        from repro.algebra.sorts import Sort
+
+        assert STACK_SPEC.parameter_sorts == (Sort("Elem"),)
+
+    def test_instantiation_at_array(self):
+        from repro.adt.symboltable import STACK_OF_ARRAYS_SPEC
+        from repro.algebra.sorts import Sort
+
+        push = STACK_OF_ARRAYS_SPEC.operation("PUSH")
+        assert push.domain[1] == Sort("Array")

@@ -1,0 +1,181 @@
+"""Tests for the transactional Store ADT (the section-5 DBMS claim)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spec.errors import AlgebraError
+from repro.analysis import check_consistency, check_sufficient_completeness
+from repro.adt.store import (
+    LayeredStore,
+    STORE_SPEC,
+    phi_store,
+    store_binding,
+)
+from repro.testing.oracle import check_axioms
+
+keys = st.sampled_from(["k1", "k2", "k3"])
+values = st.integers(0, 9)
+
+
+class TestSpec:
+    def test_sufficiently_complete(self):
+        report = check_sufficient_completeness(STORE_SPEC)
+        assert report.sufficiently_complete, str(report)
+
+    def test_consistent(self):
+        report = check_consistency(STORE_SPEC)
+        assert report.consistent, str(report)
+
+    def test_three_constructors(self):
+        from repro.analysis import classify
+
+        cls = classify(STORE_SPEC)
+        assert {op.name for op in cls.constructors} == {
+            "EMPTY_STORE",
+            "PUT",
+            "BEGIN_TX",
+        }
+
+
+class TestLayeredStore:
+    def test_put_get(self):
+        store = LayeredStore.empty().put("k", 1)
+        assert store.get("k") == 1
+        assert store.has("k")
+
+    def test_get_missing_errors(self):
+        with pytest.raises(AlgebraError):
+            LayeredStore.empty().get("ghost")
+
+    def test_rollback_discards_writes(self):
+        base = LayeredStore.empty().put("k", 1)
+        txn = base.begin_tx().put("k", 2).put("j", 3)
+        assert txn.rollback() == base
+
+    def test_commit_keeps_writes(self):
+        base = LayeredStore.empty().put("k", 1)
+        committed = base.begin_tx().put("k", 2).commit()
+        assert committed.get("k") == 2
+        assert committed.open_transactions == 0
+
+    def test_nested_transactions(self):
+        store = (
+            LayeredStore.empty()
+            .put("k", 1)
+            .begin_tx()
+            .put("k", 2)
+            .begin_tx()
+            .put("k", 3)
+        )
+        assert store.get("k") == 3
+        assert store.rollback().get("k") == 2
+        assert store.rollback().rollback().get("k") == 1
+        assert store.commit().commit().get("k") == 3
+
+    def test_commit_without_transaction_errors(self):
+        with pytest.raises(AlgebraError):
+            LayeredStore.empty().commit()
+
+    def test_rollback_without_transaction_errors(self):
+        with pytest.raises(AlgebraError):
+            LayeredStore.empty().rollback()
+
+    def test_reads_see_through_transactions(self):
+        store = LayeredStore.empty().put("k", 1).begin_tx()
+        assert store.get("k") == 1
+        assert store.has("k")
+
+    def test_persistence(self):
+        base = LayeredStore.empty().put("k", 1)
+        base.begin_tx().put("k", 2)
+        assert base.get("k") == 1
+
+
+class TestAxiomConformance:
+    def test_oracle_passes(self):
+        report = check_axioms(store_binding(), instances_per_axiom=30)
+        assert report.ok, str(report)
+
+    @given(
+        script=st.lists(
+            st.one_of(
+                st.tuples(st.just("put"), keys, values),
+                st.tuples(st.just("begin")),
+                st.tuples(st.just("commit")),
+                st.tuples(st.just("rollback")),
+            ),
+            max_size=14,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_against_reference_model(self, script):
+        """LayeredStore agrees with a straightforward undo-log model."""
+        store = LayeredStore.empty()
+        # Reference: a current dict plus a stack of snapshots.
+        current: dict = {}
+        snapshots: list[dict] = []
+        for step in script:
+            if step[0] == "put":
+                _, key, value = step
+                store = store.put(key, value)
+                current[key] = value
+            elif step[0] == "begin":
+                store = store.begin_tx()
+                snapshots.append(dict(current))
+            elif step[0] == "commit" and snapshots:
+                store = store.commit()
+                snapshots.pop()
+            elif step[0] == "rollback" and snapshots:
+                store = store.rollback()
+                current = snapshots.pop()
+        assert store.visible() == current
+        assert store.open_transactions == len(snapshots)
+
+
+class TestClientTheorems:
+    def test_transaction_laws(self):
+        from repro.verify import parse_client_program, verify_client
+
+        program = parse_client_program(
+            """
+            input s0: Store
+            input k: Identifier
+            input v: Attributelist
+            let tx := PUT(BEGIN_TX(s0), k, v)
+            assert GET(tx, k) = v
+            assert GET(COMMIT(tx), k) = v
+            assert ROLLBACK(tx) = s0
+            assert HAS?(COMMIT(tx), k) = true
+            """,
+            STORE_SPEC,
+        )
+        report = verify_client(program)
+        assert report.all_proved, str(report)
+
+
+class TestPhiStore:
+    def test_empty(self):
+        assert str(phi_store(LayeredStore.empty())) == "EMPTY_STORE"
+
+    def test_layers_become_begin_tx(self):
+        store = LayeredStore.empty().put("k", 1).begin_tx().put("j", 2)
+        term = str(phi_store(store))
+        # The base layer's 'k' sits *inside* BEGIN_TX; the transaction's
+        # 'j' wraps it: PUT(BEGIN_TX(PUT(EMPTY_STORE,'k',..)),'j',..).
+        assert term.startswith("PUT(BEGIN_TX(PUT(EMPTY_STORE")
+        assert term.index("'k'") < term.index("'j'")
+
+    def test_phi_commutes_with_get(self):
+        from repro.algebra.terms import app
+        from repro.adt.store import GET
+        from repro.rewriting import RewriteEngine
+        from repro.spec.prelude import identifier
+
+        engine = RewriteEngine.for_specification(STORE_SPEC)
+        store = (
+            LayeredStore.empty().put("k", 1).begin_tx().put("k", 2)
+        )
+        image = phi_store(store)
+        result = engine.normalize(app(GET, image, identifier("k")))
+        assert result.value == store.get("k")  # type: ignore[union-attr]

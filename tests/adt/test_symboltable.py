@@ -1,0 +1,152 @@
+"""Tests for the SymbolTable implementation and its Φ."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spec.errors import AlgebraError
+from repro.adt.symboltable import SymbolTable, phi_symboltable
+from repro.testing.bindings import symboltable_binding
+from repro.testing.oracle import check_axioms
+
+names = st.sampled_from(["x", "y", "z", "w"])
+types = st.sampled_from(["int", "real", "bool"])
+
+
+class TestScopes:
+    def test_init_has_one_scope(self):
+        assert SymbolTable.init().depth == 1
+
+    def test_enterblock_adds_scope(self):
+        assert SymbolTable.init().enterblock().depth == 2
+
+    def test_leaveblock_restores(self):
+        table = SymbolTable.init().add("x", "int")
+        inner = table.enterblock().add("y", "real")
+        assert inner.leaveblock() == table
+
+    def test_leaveblock_on_global_errors(self):
+        with pytest.raises(AlgebraError):
+            SymbolTable.init().leaveblock()
+
+    def test_shadowing(self):
+        table = (
+            SymbolTable.init()
+            .add("x", "int")
+            .enterblock()
+            .add("x", "real")
+        )
+        assert table.retrieve("x") == "real"
+        assert table.leaveblock().retrieve("x") == "int"
+
+    def test_outer_scope_visible(self):
+        table = SymbolTable.init().add("x", "int").enterblock()
+        assert table.retrieve("x") == "int"
+
+    def test_is_inblock_only_sees_current_scope(self):
+        table = SymbolTable.init().add("x", "int").enterblock()
+        assert not table.is_inblock("x")
+        assert table.add("x", "real").is_inblock("x")
+
+    def test_retrieve_undeclared_errors(self):
+        with pytest.raises(AlgebraError):
+            SymbolTable.init().retrieve("ghost")
+
+    def test_visible_names(self):
+        table = (
+            SymbolTable.init().add("x", 1).enterblock().add("y", 2)
+        )
+        assert table.visible_names() == {"x", "y"}
+
+    def test_persistence(self):
+        base = SymbolTable.init().add("x", "int")
+        base.enterblock().add("y", "real")
+        assert base.visible_names() == {"x"}
+
+
+class TestAxiomConformance:
+    def test_oracle_passes(self):
+        report = check_axioms(symboltable_binding(), instances_per_axiom=30)
+        assert report.ok, str(report)
+
+    @given(
+        script=st.lists(
+            st.one_of(
+                st.tuples(st.just("enter")),
+                st.tuples(st.just("leave")),
+                st.tuples(st.just("add"), names, types),
+            ),
+            max_size=15,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_against_reference_scope_model(self, script):
+        """SymbolTable agrees with a plain list-of-dicts reference."""
+        table = SymbolTable.init()
+        reference: list[dict] = [{}]
+        for step in script:
+            if step[0] == "enter":
+                table = table.enterblock()
+                reference.append({})
+            elif step[0] == "leave":
+                if len(reference) > 1:
+                    table = table.leaveblock()
+                    reference.pop()
+                else:
+                    with pytest.raises(AlgebraError):
+                        table.leaveblock()
+            else:
+                _, name, type_name = step
+                table = table.add(name, type_name)
+                reference[-1][name] = type_name
+        for name in ("x", "y", "z", "w"):
+            expected = next(
+                (scope[name] for scope in reversed(reference) if name in scope),
+                None,
+            )
+            if expected is None:
+                with pytest.raises(AlgebraError):
+                    table.retrieve(name)
+            else:
+                assert table.retrieve(name) == expected
+            assert table.is_inblock(name) == (name in reference[-1])
+
+
+class TestPhiSymboltable:
+    def test_init_maps_to_init(self):
+        assert str(phi_symboltable(SymbolTable.init())) == "INIT"
+
+    def test_scopes_map_to_enterblocks(self):
+        term = phi_symboltable(SymbolTable.init().enterblock())
+        assert str(term) == "ENTERBLOCK(INIT)"
+
+    def test_bindings_map_to_adds(self):
+        term = phi_symboltable(SymbolTable.init().add("x", "int"))
+        assert str(term) == "ADD(INIT, 'x', 'int')"
+
+    def test_canonical_within_scope(self):
+        left = SymbolTable.init().add("b", 2).add("a", 1)
+        right = SymbolTable.init().add("a", 1).add("b", 2)
+        assert phi_symboltable(left) == phi_symboltable(right)
+
+    def test_phi_image_satisfies_retrieve(self, representation):
+        """Φ commutes with RETRIEVE on a sample table: retrieving from
+        the abstract image equals retrieving concretely."""
+        from repro.algebra.terms import app
+        from repro.adt.symboltable import RETRIEVE
+        from repro.spec.prelude import identifier
+        from repro.rewriting import RewriteEngine
+        from repro.adt.symboltable import SYMBOLTABLE_SPEC
+
+        table = (
+            SymbolTable.init()
+            .add("x", "int")
+            .enterblock()
+            .add("x", "real")
+            .add("y", "bool")
+        )
+        engine = RewriteEngine.for_specification(SYMBOLTABLE_SPEC)
+        image = phi_symboltable(table)
+        for name in ("x", "y"):
+            abstract = engine.normalize(app(RETRIEVE, image, identifier(name)))
+            assert abstract.value == table.retrieve(name)  # type: ignore[union-attr]

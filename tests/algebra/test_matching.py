@@ -1,0 +1,113 @@
+"""Unit tests for pattern matching."""
+
+import pytest
+
+from repro.algebra.matching import (
+    find_matches,
+    is_instance_of,
+    match,
+    matches,
+    variant_of,
+)
+from repro.algebra.signature import Operation
+from repro.algebra.sorts import Sort
+from repro.algebra.terms import app, err, ite, lit, var
+
+T = Sort("T")
+E = Sort("E")
+B = Sort("Boolean")
+
+MK = Operation("mk", (), T)
+GROW = Operation("grow", (T, E), T)
+PEEK = Operation("peek", (T,), E)
+EMPTYP = Operation("empty?", (T,), B)
+
+t = var("t", T)
+e = var("e", E)
+
+
+class TestMatch:
+    def test_variable_matches_anything_of_its_sort(self):
+        sigma = match(t, app(GROW, app(MK), lit("a", E)))
+        assert sigma is not None
+        assert sigma[t] == app(GROW, app(MK), lit("a", E))
+
+    def test_variable_sort_mismatch_fails(self):
+        assert match(t, lit("a", E)) is None
+
+    def test_structural_match_binds_arguments(self):
+        sigma = match(app(GROW, t, e), app(GROW, app(MK), lit("a", E)))
+        assert sigma is not None
+        assert sigma[t] == app(MK)
+        assert sigma[e] == lit("a", E)
+
+    def test_head_mismatch_fails(self):
+        assert match(app(PEEK, t), app(GROW, app(MK), lit("a", E))) is None
+
+    def test_nonlinear_pattern_requires_equal_bindings(self):
+        pattern = app(GROW, app(GROW, t, e), e)
+        subject_ok = app(
+            GROW, app(GROW, app(MK), lit("a", E)), lit("a", E)
+        )
+        subject_bad = app(
+            GROW, app(GROW, app(MK), lit("a", E)), lit("b", E)
+        )
+        assert matches(pattern, subject_ok)
+        assert not matches(pattern, subject_bad)
+
+    def test_literal_matches_only_itself(self):
+        assert matches(lit("a", E), lit("a", E))
+        assert not matches(lit("a", E), lit("b", E))
+
+    def test_error_matches_only_error(self):
+        assert matches(err(T), err(T))
+        assert not matches(err(T), app(MK))
+
+    def test_subject_variable_only_matches_same_variable(self):
+        other = var("u", T)
+        assert matches(t, t)
+        # pattern var binds subject var; that's a match
+        assert matches(t, other)
+        # but a structured pattern cannot match a bare variable
+        assert not matches(app(GROW, t, e), other)
+
+    def test_ite_matches_structurally(self):
+        pattern = ite(app(EMPTYP, t), t, app(MK))
+        subject = ite(app(EMPTYP, app(MK)), app(MK), app(MK))
+        sigma = match(pattern, subject)
+        assert sigma is not None
+        assert sigma[t] == app(MK)
+
+    def test_match_substitution_reproduces_subject(self):
+        pattern = app(GROW, t, e)
+        subject = app(GROW, app(GROW, app(MK), lit("x", E)), lit("y", E))
+        sigma = match(pattern, subject)
+        assert sigma.apply(pattern) == subject
+
+
+class TestFindMatches:
+    def test_finds_all_positions(self):
+        subject = app(GROW, app(GROW, app(MK), lit("a", E)), lit("b", E))
+        hits = list(find_matches(app(GROW, t, e), subject))
+        assert {pos for pos, _ in hits} == {(), (0,)}
+
+    def test_no_match_yields_nothing(self):
+        assert list(find_matches(app(PEEK, t), app(MK))) == []
+
+
+class TestGenerality:
+    def test_is_instance_of(self):
+        general = app(GROW, t, e)
+        specific = app(GROW, app(MK), lit("a", E))
+        assert is_instance_of(general, specific)
+        assert not is_instance_of(specific, general)
+
+    def test_variant_of_true_for_renaming(self):
+        left = app(GROW, var("x", T), var("y", E))
+        right = app(GROW, var("p", T), var("q", E))
+        assert variant_of(left, right)
+
+    def test_variant_of_false_for_specialisation(self):
+        left = app(GROW, t, e)
+        right = app(GROW, app(MK), e)
+        assert not variant_of(left, right)

@@ -1,0 +1,135 @@
+"""Unit tests for operations and signatures."""
+
+import pytest
+
+from repro.algebra.signature import (
+    Operation,
+    Signature,
+    SignatureError,
+    make_signature,
+)
+from repro.algebra.sorts import BOOLEAN, Sort, SortError
+
+T = Sort("T")
+E = Sort("E")
+
+
+class TestOperation:
+    def test_str_with_domain(self):
+        op = Operation("grow", (T, E), T)
+        assert str(op) == "grow: T x E -> T"
+
+    def test_str_constant(self):
+        op = Operation("mk", (), T)
+        assert str(op) == "mk: -> T"
+
+    def test_arity(self):
+        assert Operation("grow", (T, E), T).arity == 2
+        assert Operation("mk", (), T).is_constant
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Operation("", (), T)
+
+    def test_equality_ignores_builtin(self):
+        plain = Operation("f", (T,), T)
+        with_builtin = Operation("f", (T,), T, builtin=lambda x: x)
+        assert plain == with_builtin
+
+    def test_instantiate_rewrites_sorts(self):
+        op = Operation("grow", (T, E), T)
+        new = op.instantiate({E: Sort("Item")})
+        assert new.domain == (T, Sort("Item"))
+        assert new.range == T
+
+
+class TestSignature:
+    def test_add_and_lookup_sort(self):
+        sig = Signature()
+        sig.add_sort(T)
+        assert sig.sort("T") == T
+        assert sig.has_sort("T")
+
+    def test_unknown_sort_raises(self):
+        with pytest.raises(SortError):
+            Signature().sort("Nope")
+
+    def test_add_sort_idempotent(self):
+        sig = Signature()
+        sig.add_sort(T)
+        sig.add_sort(T)
+        assert len(sig.sorts) == 1
+
+    def test_operation_requires_declared_sorts(self):
+        sig = Signature([T])
+        with pytest.raises(SignatureError, match="undeclared"):
+            sig.add_operation(Operation("peek", (T,), E))
+
+    def test_duplicate_operation_same_profile_ok(self):
+        sig = Signature([T])
+        op = Operation("mk", (), T)
+        sig.add_operation(op)
+        assert sig.add_operation(Operation("mk", (), T)) == op
+
+    def test_duplicate_operation_conflicting_profile_rejected(self):
+        sig = Signature([T, E])
+        sig.add_operation(Operation("mk", (), T))
+        with pytest.raises(SignatureError, match="declared twice"):
+            sig.add_operation(Operation("mk", (), E))
+
+    def test_unknown_operation_raises(self):
+        with pytest.raises(SignatureError, match="unknown operation"):
+            Signature().operation("nope")
+
+    def test_contains_and_len(self, tiny_signature):
+        assert "grow" in tiny_signature
+        assert "nope" not in tiny_signature
+        assert len(tiny_signature) == 4
+
+    def test_operations_with_range(self, tiny_signature):
+        names = {op.name for op in tiny_signature.operations_with_range(T)}
+        assert names == {"mk", "grow"}
+
+    def test_operations_using(self, tiny_signature):
+        names = {op.name for op in tiny_signature.operations_using(E)}
+        assert names == {"grow", "peek"}
+
+    def test_iteration_preserves_insertion_order(self, tiny_signature):
+        assert [op.name for op in tiny_signature] == [
+            "mk",
+            "grow",
+            "peek",
+            "empty?",
+        ]
+
+
+class TestMerge:
+    def test_merged_combines_disjoint(self, tiny_signature):
+        other = make_signature(["X"], {"zip": ([], "X")})
+        merged = tiny_signature.merged(other)
+        assert merged.has_operation("zip") and merged.has_operation("mk")
+
+    def test_merged_shared_names_must_agree(self, tiny_signature):
+        other = make_signature(["T"], {"mk": (["T"], "T")})
+        with pytest.raises(SignatureError):
+            tiny_signature.merged(other)
+
+    def test_merged_does_not_mutate_operands(self, tiny_signature):
+        other = make_signature(["X"], {"zip": ([], "X")})
+        tiny_signature.merged(other)
+        assert not tiny_signature.has_operation("zip")
+        assert not other.has_operation("mk")
+
+
+class TestMakeSignature:
+    def test_builds_operations(self):
+        sig = make_signature(
+            ["Queue", "Item"], {"ADD": (["Queue", "Item"], "Queue")}
+        )
+        add = sig.operation("ADD")
+        assert add.domain == (Sort("Queue"), Sort("Item"))
+        assert add.range == Sort("Queue")
+
+    def test_unknown_domain_sort_fails(self):
+        with pytest.raises(SortError):
+            make_signature(["Queue"], {"ADD": (["Nope"], "Queue")})

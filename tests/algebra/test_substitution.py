@@ -1,0 +1,114 @@
+"""Unit tests for substitutions."""
+
+import pytest
+
+from repro.algebra.signature import Operation
+from repro.algebra.sorts import Sort, SortError
+from repro.algebra.substitution import EMPTY, Substitution
+from repro.algebra.terms import App, app, ite, lit, var
+
+T = Sort("T")
+E = Sort("E")
+B = Sort("Boolean")
+
+MK = Operation("mk", (), T)
+GROW = Operation("grow", (T, E), T)
+EMPTYP = Operation("empty?", (T,), B)
+
+t = var("t", T)
+e = var("e", E)
+
+
+class TestConstruction:
+    def test_sort_discipline_enforced(self):
+        with pytest.raises(SortError):
+            Substitution({t: lit("a", E)})
+
+    def test_keys_must_be_variables(self):
+        with pytest.raises(TypeError):
+            Substitution({app(MK): app(MK)})  # type: ignore[dict-item]
+
+    def test_empty_is_shared_identity(self):
+        term = app(GROW, t, e)
+        assert EMPTY.apply(term) is term
+
+
+class TestApply:
+    def test_replaces_mapped_variables(self):
+        sigma = Substitution({t: app(MK)})
+        assert sigma.apply(app(GROW, t, e)) == app(GROW, app(MK), e)
+
+    def test_unmapped_variables_survive(self):
+        sigma = Substitution({t: app(MK)})
+        assert sigma.apply(e) == e
+
+    def test_applies_inside_ite(self):
+        sigma = Substitution({t: app(MK)})
+        term = ite(app(EMPTYP, t), t, app(MK))
+        assert sigma.apply(term) == ite(app(EMPTYP, app(MK)), app(MK), app(MK))
+
+    def test_no_change_returns_same_object(self):
+        sigma = Substitution({t: app(MK)})
+        term = app(GROW, app(MK), e)
+        assert sigma.apply(term) is term
+
+    def test_ground_image_makes_ground(self):
+        sigma = Substitution({t: app(MK), e: lit("a", E)})
+        assert sigma.apply(app(GROW, t, e)).is_ground()
+        assert sigma.is_ground()
+
+
+class TestCombinators:
+    def test_extended_adds_binding(self):
+        sigma = Substitution({t: app(MK)}).extended(e, lit("a", E))
+        assert sigma[e] == lit("a", E)
+
+    def test_extended_same_binding_is_noop(self):
+        sigma = Substitution({t: app(MK)})
+        assert sigma.extended(t, app(MK)) is sigma
+
+    def test_extended_conflicting_binding_rejected(self):
+        sigma = Substitution({e: lit("a", E)})
+        with pytest.raises(ValueError, match="already bound"):
+            sigma.extended(e, lit("b", E))
+
+    def test_compose_inner_first(self):
+        inner = Substitution({t: app(GROW, t, e)})
+        outer = Substitution({e: lit("a", E)})
+        composed = outer.compose(inner)
+        # applying composed == applying inner then outer
+        term = app(GROW, t, e)
+        assert composed.apply(term) == outer.apply(inner.apply(term))
+
+    def test_compose_keeps_outer_bindings(self):
+        inner = Substitution({t: app(MK)})
+        outer = Substitution({e: lit("a", E)})
+        composed = outer.compose(inner)
+        assert composed[e] == lit("a", E)
+        assert composed[t] == app(MK)
+
+    def test_restricted(self):
+        sigma = Substitution({t: app(MK), e: lit("a", E)})
+        restricted = sigma.restricted([t])
+        assert t in restricted and e not in restricted
+
+
+class TestMappingProtocol:
+    def test_len_iter_getitem(self):
+        sigma = Substitution({t: app(MK), e: lit("a", E)})
+        assert len(sigma) == 2
+        assert set(sigma) == {t, e}
+        assert sigma[t] == app(MK)
+
+    def test_equality_with_dict(self):
+        sigma = Substitution({t: app(MK)})
+        assert sigma == {t: app(MK)}
+
+    def test_hashable(self):
+        first = Substitution({t: app(MK)})
+        second = Substitution({t: app(MK)})
+        assert hash(first) == hash(second)
+
+    def test_str_sorted_by_name(self):
+        sigma = Substitution({t: app(MK), e: lit("a", E)})
+        assert str(sigma) == "{e -> 'a', t -> mk}"

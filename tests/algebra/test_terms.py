@@ -1,0 +1,220 @@
+"""Unit tests for the term algebra."""
+
+import pytest
+
+from repro.algebra.signature import Operation
+from repro.algebra.sorts import BOOLEAN, Sort, SortError
+from repro.algebra.terms import (
+    App,
+    Err,
+    Ite,
+    Lit,
+    Term,
+    Var,
+    app,
+    constructor_only,
+    err,
+    ite,
+    lit,
+    map_terms,
+    var,
+)
+
+T = Sort("T")
+E = Sort("E")
+
+MK = Operation("mk", (), T)
+GROW = Operation("grow", (T, E), T)
+PEEK = Operation("peek", (T,), E)
+EMPTYP = Operation("empty?", (T,), BOOLEAN)
+
+
+def grown(*values):
+    term = app(MK)
+    for value in values:
+        term = app(GROW, term, lit(value, E))
+    return term
+
+
+class TestConstruction:
+    def test_app_checks_arity(self):
+        with pytest.raises(SortError, match="expects 2"):
+            App(GROW, (app(MK),))
+
+    def test_app_checks_argument_sorts(self):
+        with pytest.raises(SortError, match="expected E"):
+            app(GROW, app(MK), app(MK))
+
+    def test_app_sort_is_range(self):
+        assert app(PEEK, grown("a")).sort == E
+
+    def test_var_requires_name(self):
+        with pytest.raises(ValueError):
+            Var("", T)
+
+    def test_ite_condition_must_be_boolean(self):
+        with pytest.raises(SortError, match="Boolean"):
+            ite(lit(1, E), app(MK), app(MK))
+
+    def test_ite_branches_must_agree(self):
+        cond = app(EMPTYP, app(MK))
+        with pytest.raises(SortError, match="share a sort"):
+            ite(cond, app(MK), lit("x", E))
+
+    def test_ite_sort_is_branch_sort(self):
+        cond = app(EMPTYP, app(MK))
+        assert ite(cond, app(MK), app(MK)).sort == T
+
+
+class TestEqualityAndHash:
+    def test_structural_equality(self):
+        assert grown("a", "b") == grown("a", "b")
+
+    def test_inequality_on_leaf(self):
+        assert grown("a") != grown("b")
+
+    def test_lit_sort_matters(self):
+        assert lit("a", E) != lit("a", T)
+
+    def test_err_equality_per_sort(self):
+        assert err(T) == err(T)
+        assert err(T) != err(E)
+
+    def test_hash_consistency(self):
+        assert hash(grown("a", "b")) == hash(grown("a", "b"))
+
+    def test_terms_usable_in_sets(self):
+        terms = {grown("a"), grown("a"), grown("b")}
+        assert len(terms) == 2
+
+    def test_ite_equality(self):
+        cond = app(EMPTYP, app(MK))
+        assert ite(cond, app(MK), grown("a")) == ite(cond, app(MK), grown("a"))
+
+
+class TestStructure:
+    def test_size(self):
+        # grow(grow(mk, 'a'), 'b') = 5 nodes
+        assert grown("a", "b").size() == 5
+
+    def test_depth(self):
+        assert app(MK).depth() == 1
+        assert grown("a").depth() == 2
+        assert grown("a", "b").depth() == 3
+
+    def test_is_ground(self):
+        assert grown("a").is_ground()
+        assert not app(GROW, var("t", T), lit("a", E)).is_ground()
+
+    def test_variables(self):
+        t = var("t", T)
+        e = var("e", E)
+        assert app(GROW, t, e).variables() == {t, e}
+
+    def test_variables_of_ground_term_empty(self):
+        assert grown("a", "b").variables() == set()
+
+    def test_operations(self):
+        ops = grown("a").operations()
+        assert ops == {MK, GROW}
+
+    def test_children_order(self):
+        term = app(GROW, app(MK), lit("a", E))
+        assert term.children() == (app(MK), lit("a", E))
+
+    def test_ite_children_are_cond_then_else(self):
+        cond = app(EMPTYP, app(MK))
+        node = ite(cond, app(MK), grown("x"))
+        assert node.children() == (cond, app(MK), grown("x"))
+
+    def test_contains_error(self):
+        assert app(GROW, app(MK), Lit("a", E)).contains_error() is False
+        assert app(PEEK, err(T)).contains_error()
+
+
+class TestPositions:
+    def test_at_root(self):
+        term = grown("a")
+        assert term.at(()) is term
+
+    def test_at_nested(self):
+        term = grown("a", "b")
+        assert term.at((0, 1)) == lit("a", E)
+
+    def test_at_invalid_raises(self):
+        with pytest.raises(IndexError):
+            grown("a").at((5,))
+
+    def test_subterms_cover_all_nodes(self):
+        term = grown("a", "b")
+        positions = {pos for pos, _ in term.subterms()}
+        assert positions == {(), (0,), (1,), (0, 0), (0, 1)}
+
+    def test_subterms_values_match_at(self):
+        term = grown("a", "b")
+        for pos, node in term.subterms():
+            assert term.at(pos) == node
+
+    def test_replace_at_root(self):
+        assert grown("a").replace_at((), app(MK)) == app(MK)
+
+    def test_replace_at_nested(self):
+        term = grown("a", "b")
+        replaced = term.replace_at((0, 1), lit("z", E))
+        assert replaced == app(
+            GROW, app(GROW, app(MK), lit("z", E)), lit("b", E)
+        )
+
+    def test_replace_at_does_not_mutate(self):
+        term = grown("a")
+        term.replace_at((1,), lit("z", E))
+        assert term == grown("a")
+
+
+class TestHelpers:
+    def test_constructor_only_true(self):
+        assert constructor_only(grown("a"), {MK, GROW})
+
+    def test_constructor_only_false(self):
+        assert not constructor_only(app(PEEK, grown("a")), {MK, GROW})
+
+    def test_map_terms_replaces_bottom_up(self):
+        term = grown("a", "b")
+        swapped = map_terms(
+            term,
+            lambda node: lit("z", E) if node == lit("a", E) else None,
+        )
+        assert swapped == grown("z", "b")
+
+    def test_map_terms_identity(self):
+        term = grown("a")
+        assert map_terms(term, lambda node: None) == term
+
+    def test_with_children_rejects_extra_on_leaves(self):
+        with pytest.raises(ValueError):
+            var("t", T).with_children([app(MK)])
+        with pytest.raises(ValueError):
+            lit("a", E).with_children([app(MK)])
+        with pytest.raises(ValueError):
+            err(T).with_children([app(MK)])
+
+
+class TestStr:
+    def test_app_str(self):
+        assert str(grown("a")) == "grow(mk, 'a')"
+
+    def test_nullary_str(self):
+        assert str(app(MK)) == "mk"
+
+    def test_err_str(self):
+        assert str(err(T)) == "error"
+
+    def test_ite_str(self):
+        cond = app(EMPTYP, app(MK))
+        assert (
+            str(ite(cond, app(MK), grown("a")))
+            == "if empty?(mk) then mk else grow(mk, 'a')"
+        )
+
+    def test_int_lit_str(self):
+        assert str(lit(3, E)) == "3"

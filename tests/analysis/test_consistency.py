@@ -1,0 +1,101 @@
+"""Unit tests for the consistency checker."""
+
+import pytest
+
+from repro.spec.parser import parse_specification
+from repro.analysis.consistency import Verdict, check_consistency
+
+
+class TestConsistentSpecs:
+    @pytest.mark.parametrize(
+        "fixture_name",
+        ["queue_spec", "stack_spec", "array_spec", "symboltable_spec"],
+    )
+    def test_paper_specs_consistent(self, fixture_name, request):
+        spec = request.getfixturevalue(fixture_name)
+        report = check_consistency(spec)
+        assert report.consistent, str(report)
+
+    def test_ground_instances_checked(self, queue_spec):
+        report = check_consistency(queue_spec, ground_instances=30)
+        assert report.ground_instances_checked > 0
+        assert not report.ground_witnesses
+
+
+class TestInconsistentSpecs:
+    def test_direct_clash_detected(self):
+        source = """
+        type F
+        uses Boolean
+        operations
+          MKF: -> F
+          UP?: F -> Boolean
+        vars
+          f: F
+        axioms
+          UP?(MKF) = true
+          UP?(MKF) = false
+        """
+        report = check_consistency(parse_specification(source))
+        assert report.verdict is Verdict.INCONSISTENT
+        assert report.direct_clashes
+
+    def test_renamed_clash_detected(self):
+        source = """
+        type F
+        uses Boolean
+        operations
+          MKF: -> F
+          GROW: F -> F
+          UP?: F -> Boolean
+        vars
+          f, g: F
+        axioms
+          UP?(GROW(f)) = true
+          UP?(GROW(g)) = false
+        """
+        report = check_consistency(parse_specification(source))
+        assert report.verdict is Verdict.INCONSISTENT
+
+    def test_overlap_contradiction_detected(self):
+        # A general axiom and a special case that disagree.
+        source = """
+        type F
+        uses Boolean
+        operations
+          MKF: -> F
+          GROW: F -> F
+          UP?: F -> Boolean
+        vars
+          f: F
+        axioms
+          UP?(f) = true
+          UP?(MKF) = false
+        """
+        report = check_consistency(parse_specification(source))
+        assert report.verdict is Verdict.INCONSISTENT
+
+    def test_witness_explains_failure(self):
+        source = """
+        type F
+        uses Boolean
+        operations
+          MKF: -> F
+          GROW: F -> F
+          UP?: F -> Boolean
+        vars
+          f: F
+        axioms
+          UP?(f) = true
+          UP?(MKF) = false
+        """
+        report = check_consistency(parse_specification(source))
+        text = str(report)
+        assert "inconsistent" in text
+
+
+class TestReportStr:
+    def test_consistent_report_mentions_verdict(self, queue_spec):
+        text = str(check_consistency(queue_spec))
+        assert "consistent" in text
+        assert "Queue" in text

@@ -1,0 +1,135 @@
+"""Unit tests for the completion heuristics and prompting session."""
+
+import pytest
+
+from repro.algebra.terms import App, Err
+from repro.spec.axioms import Axiom
+from repro.spec.parser import parse_specification
+from repro.analysis.heuristics import (
+    CompletionSession,
+    Prompt,
+    default_boundary_oracle,
+    prompts_for,
+    scaffold,
+)
+from repro.analysis.sufficient_completeness import check_sufficient_completeness
+
+DRAFT_QUEUE = """
+type Queue [Item]
+uses Boolean, Item
+operations
+  NEW: -> Queue
+  ADD: Queue x Item -> Queue
+  FRONT: Queue -> Item
+  REMOVE: Queue -> Queue
+  IS_EMPTY?: Queue -> Boolean
+vars
+  q: Queue
+  i: Item
+axioms
+  (1) IS_EMPTY?(NEW) = true
+  (2) IS_EMPTY?(ADD(q, i)) = false
+  (4) FRONT(ADD(q, i)) = if IS_EMPTY?(q) then i else FRONT(q)
+  (6) REMOVE(ADD(q, i)) = if IS_EMPTY?(q) then NEW else ADD(REMOVE(q), i)
+"""
+
+
+@pytest.fixture()
+def draft():
+    return parse_specification(DRAFT_QUEUE)
+
+
+class TestScaffold:
+    def test_grid_covers_every_defined_operation(self, queue_spec):
+        grid = scaffold(queue_spec)
+        assert set(grid) == {"FRONT", "REMOVE", "IS_EMPTY?"}
+
+    def test_grid_cells_per_constructor(self, queue_spec):
+        grid = scaffold(queue_spec)
+        assert len(grid["REMOVE"]) == 2  # NEW and ADD cases
+
+
+class TestPrompts:
+    def test_missing_cases_prompted(self, draft):
+        prompts = prompts_for(draft)
+        patterns = {str(p.pattern) for p in prompts}
+        assert patterns == {"FRONT(NEW)", "REMOVE(NEW)"}
+
+    def test_boundary_cases_marked_and_first(self, draft):
+        prompts = prompts_for(draft)
+        assert all(p.is_boundary for p in prompts)
+
+    def test_boundary_ordering(self):
+        # Drop a recursive case too; boundary prompts must come first.
+        source = DRAFT_QUEUE.replace(
+            "  (4) FRONT(ADD(q, i)) = if IS_EMPTY?(q) then i else FRONT(q)\n",
+            "",
+        )
+        spec = parse_specification(source)
+        prompts = prompts_for(spec)
+        boundary_flags = [p.is_boundary for p in prompts]
+        assert boundary_flags == sorted(boundary_flags, reverse=True)
+
+    def test_suggestions_mention_error_for_boundary(self, draft):
+        prompts = prompts_for(draft)
+        assert all("error" in p.suggestion for p in prompts)
+
+    def test_complete_spec_has_no_prompts(self, queue_spec):
+        assert prompts_for(queue_spec) == []
+
+    def test_prompt_str(self, draft):
+        prompt = prompts_for(draft)[0]
+        assert "please supply" in str(prompt)
+        assert "[boundary condition]" in str(prompt)
+
+
+class TestSession:
+    def test_boundary_oracle_completes_draft(self, draft):
+        session = CompletionSession(draft, default_boundary_oracle)
+        completed = session.run()
+        report = check_sufficient_completeness(completed)
+        assert report.sufficiently_complete
+        assert session.rounds == 1
+
+    def test_added_axioms_are_error_cases(self, draft):
+        session = CompletionSession(draft, default_boundary_oracle)
+        completed = session.run()
+        added = [a for a in completed.axioms if a.label == "auto"]
+        assert len(added) == 2
+        assert all(isinstance(a.rhs, Err) for a in added)
+
+    def test_unresponsive_oracle_stops(self, draft):
+        session = CompletionSession(draft, lambda prompt: None)
+        completed = session.run()
+        assert completed is draft or len(completed.axioms) == len(draft.axioms)
+        assert session.rounds == 1
+
+    def test_oracle_sees_every_prompt(self, draft):
+        seen = []
+
+        def oracle(prompt: Prompt):
+            seen.append(str(prompt.pattern))
+            return default_boundary_oracle(prompt)
+
+        CompletionSession(draft, oracle).run()
+        assert set(seen) == {"FRONT(NEW)", "REMOVE(NEW)"}
+
+    def test_incremental_answers_take_multiple_rounds(self, draft):
+        answered = []
+
+        def one_at_a_time(prompt: Prompt):
+            if answered:
+                answered.clear()
+                return None
+            answered.append(prompt)
+            return default_boundary_oracle(prompt)
+
+        session = CompletionSession(draft, one_at_a_time)
+        completed = session.run()
+        assert session.rounds >= 2
+        assert check_sufficient_completeness(completed).sufficiently_complete
+
+    def test_original_spec_untouched(self, draft):
+        before = len(draft.axioms)
+        CompletionSession(draft, default_boundary_oracle).run()
+        assert len(draft.axioms) == before

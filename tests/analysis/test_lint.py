@@ -1,0 +1,88 @@
+"""Tests for the one-call lint facade."""
+
+import pytest
+
+from repro.spec.parser import parse_specification
+from repro.analysis.lint import lint_specification
+
+
+class TestCleanSpecs:
+    @pytest.mark.parametrize(
+        "fixture_name",
+        ["queue_spec", "stack_spec", "array_spec", "symboltable_spec"],
+    )
+    def test_paper_specs_lint_clean(self, fixture_name, request):
+        spec = request.getfixturevalue(fixture_name)
+        report = lint_specification(spec)
+        assert report.clean, str(report)
+        assert report.problems() == []
+
+    def test_coverage_optional(self, queue_spec):
+        report = lint_specification(queue_spec, with_coverage=False)
+        assert report.coverage is None
+        assert report.clean
+
+
+class TestDirtySpecs:
+    def test_missing_case_reported(self):
+        spec = parse_specification(
+            """
+            type T
+            uses Boolean
+            operations
+              MKT: -> T
+              GROW: T -> T
+              SHRINK: T -> T
+              FLAG?: T -> Boolean
+            vars
+              t: T
+            axioms
+              FLAG?(MKT) = true
+              FLAG?(GROW(t)) = false
+              SHRINK(GROW(t)) = t
+            """
+        )
+        report = lint_specification(spec)
+        assert not report.clean
+        assert any("SHRINK(MKT)" in p for p in report.problems())
+
+    def test_dead_axiom_reported(self):
+        spec = parse_specification(
+            """
+            type F
+            uses Boolean
+            operations
+              MKF: -> F
+              GROW: F -> F
+              UP?: F -> Boolean
+            vars
+              f: F
+            axioms
+              (general) UP?(f) = true
+              (dead) UP?(MKF) = true
+            """
+        )
+        report = lint_specification(spec)
+        assert not report.clean
+        assert any("never fires" in p for p in report.problems())
+
+    def test_shape_problem_reported(self):
+        # Non-left-linear axiom.
+        spec = parse_specification(
+            """
+            type P
+            uses Boolean
+            operations
+              MKP: -> P
+              TWIN?: P x P -> Boolean
+            vars
+              p: P
+            axioms
+              TWIN?(p, p) = true
+            """
+        )
+        report = lint_specification(spec, with_coverage=False)
+        assert any("linear" in p for p in report.problems())
+
+    def test_str_verdicts(self, queue_spec):
+        assert "CLEAN" in str(lint_specification(queue_spec))

@@ -1,0 +1,276 @@
+"""Tests for the tree-walking interpreter and the bytecode VM,
+including differential testing between the two."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.codegen import CodegenError, Op, compile_program
+from repro.compiler.interp import (
+    BlockRuntimeError,
+    Interpreter,
+    run_source,
+)
+from repro.compiler.parser import parse_program
+from repro.compiler.vm import VirtualMachine, compile_and_run
+
+
+class TestInterpreter:
+    def test_assignment_and_arithmetic(self):
+        result = run_source(
+            "begin declare x: int; x := 2 + 3 * 4; end"
+        )
+        assert result.value("x") == 14
+
+    def test_declared_defaults(self):
+        result = run_source(
+            "begin declare x: int; declare f: bool; end"
+        )
+        assert result.value("x") == 0
+        assert result.value("f") is False
+
+    def test_if_branches(self):
+        result = run_source(
+            """
+            begin
+              declare x: int;
+              if 1 < 2 then x := 10; else x := 20; fi;
+            end
+            """
+        )
+        assert result.value("x") == 10
+
+    def test_else_branch(self):
+        result = run_source(
+            """
+            begin
+              declare x: int;
+              if 2 < 1 then x := 10; else x := 20; fi;
+            end
+            """
+        )
+        assert result.value("x") == 20
+
+    def test_while_loop(self):
+        result = run_source(
+            """
+            begin
+              declare i: int;
+              declare total: int;
+              while i < 5 do
+                total := total + i;
+                i := i + 1;
+              od;
+            end
+            """
+        )
+        assert result.value("total") == 10
+
+    def test_shadowing_isolated(self):
+        result = run_source(
+            """
+            begin
+              declare x: int;
+              x := 1;
+              begin
+                declare x: int;
+                x := 99;
+              end;
+            end
+            """
+        )
+        assert result.value("x") == 1
+
+    def test_inner_block_writes_outer(self):
+        result = run_source(
+            """
+            begin
+              declare x: int;
+              begin
+                x := 42;
+              end;
+            end
+            """
+        )
+        assert result.value("x") == 42
+
+    def test_step_budget(self):
+        source = """
+        begin
+          declare t: bool;
+          t := true;
+          while t do
+            t := true;
+          od;
+        end
+        """
+        with pytest.raises(BlockRuntimeError, match="steps"):
+            run_source(source, max_steps=500)
+
+    def test_semantic_errors_abort(self):
+        with pytest.raises(BlockRuntimeError, match="semantic"):
+            run_source("begin ghost := 1; end")
+
+    def test_missing_global(self):
+        result = run_source("begin declare x: int; end")
+        with pytest.raises(BlockRuntimeError):
+            result.value("nope")
+
+
+class TestCodegen:
+    def test_lexical_addresses_resolved(self):
+        program = parse_program(
+            """
+            begin
+              declare x: int;
+              begin
+                declare y: int;
+                y := x;
+              end;
+            end
+            """
+        )
+        compiled = compile_program(program)
+        loads = [i for i in compiled.code if i.op is Op.LOAD]
+        stores = [i for i in compiled.code if i.op is Op.STORE]
+        # y := x loads (depth 0, slot 0) and stores (depth 1, slot 0).
+        assert (loads[0].a, loads[0].b) == (0, 0)
+        assert (stores[0].a, stores[0].b) == (1, 0)
+
+    def test_shadowing_addresses_innermost(self):
+        program = parse_program(
+            """
+            begin
+              declare x: int;
+              begin
+                declare x: int;
+                x := 1;
+              end;
+            end
+            """
+        )
+        compiled = compile_program(program)
+        stores = [i for i in compiled.code if i.op is Op.STORE]
+        assert (stores[0].a, stores[0].b) == (1, 0)
+
+    def test_globals_map(self):
+        program = parse_program(
+            "begin declare a: int; declare b: bool; end"
+        )
+        compiled = compile_program(program)
+        assert compiled.global_names == {"a": 0, "b": 1}
+
+    def test_unresolved_name_raises(self):
+        program = parse_program("begin x := 1; end")
+        with pytest.raises(CodegenError, match="unresolved"):
+            compile_program(program)
+
+    def test_disassembly(self):
+        program = parse_program("begin declare x: int; x := 1; end")
+        text = compile_program(program).disassemble()
+        assert "const" in text and "store" in text and "halt" in text
+
+    def test_jump_targets_resolved(self):
+        program = parse_program(
+            "begin declare x: int; if x < 1 then x := 1; else x := 2; fi; end"
+        )
+        compiled = compile_program(program)
+        for instr in compiled.code:
+            if instr.op in (Op.JUMP, Op.JUMP_IF_FALSE):
+                assert 0 <= instr.a <= len(compiled.code)
+
+
+class TestVm:
+    def test_matches_interpreter_on_sum(self):
+        source = """
+        begin
+          declare i: int;
+          declare total: int;
+          while i < 10 do
+            total := total + i;
+            i := i + 1;
+          od;
+        end
+        """
+        assert compile_and_run(source).globals == run_source(source).globals
+
+    def test_step_budget(self):
+        source = """
+        begin
+          declare t: bool;
+          t := true;
+          while t do t := true; od;
+        end
+        """
+        with pytest.raises(BlockRuntimeError, match="steps"):
+            compile_and_run(source, max_steps=500)
+
+    def test_declare_in_loop_resets(self):
+        source = """
+        begin
+          declare i: int;
+          declare seen: int;
+          while i < 3 do
+            declare fresh: int;
+            seen := seen + fresh;
+            fresh := 7;
+            i := i + 1;
+          od;
+        end
+        """
+        vm_result = compile_and_run(source)
+        interp_result = run_source(source)
+        # `fresh` re-initialises to 0 each iteration, so `seen` stays 0.
+        assert vm_result.value("seen") == 0
+        assert vm_result.globals == interp_result.globals
+
+
+PROGRAM_HEADERS = """
+begin
+  declare a: int;
+  declare b: int;
+  declare c: bool;
+"""
+
+
+@st.composite
+def straight_line_programs(draw):
+    """Terminating programs: assignments, ifs, and bounded whiles."""
+    lines = []
+    statements = draw(st.integers(1, 8))
+    names = ["a", "b"]
+    for _ in range(statements):
+        kind = draw(st.sampled_from(["assign", "if", "while", "block"]))
+        target = draw(st.sampled_from(names))
+        operand = draw(st.sampled_from(names + ["1", "2"]))
+        operator = draw(st.sampled_from(["+", "-", "*"]))
+        assign = f"{target} := {target} {operator} {operand};"
+        if kind == "assign":
+            lines.append(assign)
+        elif kind == "if":
+            lines.append(
+                f"if {names[0]} < {names[1]} then {assign} "
+                f"else {target} := 0; fi;"
+            )
+        elif kind == "while":
+            # Bounded: b is reserved as the loop counter and strictly
+            # increases to a constant; the body may only touch `a`.
+            bound = draw(st.integers(1, 5))
+            body_operand = draw(st.sampled_from(["a", "1", "2"]))
+            body = f"a := a {operator} {body_operand};"
+            lines.append("b := 0;")
+            lines.append(
+                f"while b < {bound} do {body} b := b + 1; od;"
+            )
+        else:
+            lines.append(f"begin declare d: int; d := {operand}; {assign} end;")
+    return PROGRAM_HEADERS + "\n".join(lines) + "\nend"
+
+
+class TestDifferential:
+    @given(source=straight_line_programs())
+    @settings(max_examples=60, deadline=None)
+    def test_vm_agrees_with_interpreter(self, source):
+        interp_result = run_source(source, max_steps=50_000)
+        vm_result = compile_and_run(source, max_steps=100_000)
+        assert vm_result.globals == interp_result.globals

@@ -1,0 +1,64 @@
+"""Unit tests for the Block language lexer."""
+
+import pytest
+
+from repro.compiler.lexer import BlockLexError, tokenize
+from repro.compiler.tokens import TokKind
+
+
+def texts(source: str) -> list[str]:
+    return [token.text for token in tokenize(source)][:-1]
+
+
+class TestTokens:
+    def test_keywords_recognised(self):
+        tokens = tokenize("begin end declare if while knows")
+        assert all(t.kind is TokKind.KEYWORD for t in tokens[:-1])
+
+    def test_identifiers(self):
+        tokens = tokenize("foo bar_1 _x")
+        assert all(t.kind is TokKind.IDENT for t in tokens[:-1])
+
+    def test_assign_vs_colon(self):
+        kinds = [t.kind for t in tokenize("x := 1; y : int")][:-1]
+        assert TokKind.ASSIGN in kinds
+        assert TokKind.COLON in kinds
+
+    def test_integers(self):
+        token = tokenize("123")[0]
+        assert token.kind is TokKind.INT and token.text == "123"
+
+    def test_operators(self):
+        kinds = [t.kind for t in tokenize("+ - * = <")][:-1]
+        assert kinds == [
+            TokKind.PLUS,
+            TokKind.MINUS,
+            TokKind.STAR,
+            TokKind.EQUAL,
+            TokKind.LESS,
+        ]
+
+    def test_punctuation(self):
+        kinds = [t.kind for t in tokenize("; , ( )")][:-1]
+        assert kinds == [
+            TokKind.SEMI,
+            TokKind.COMMA,
+            TokKind.LPAREN,
+            TokKind.RPAREN,
+        ]
+
+    def test_comments_skipped(self):
+        assert texts("x -- comment\ny") == ["x", "y"]
+
+    def test_positions(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_bad_character(self):
+        with pytest.raises(BlockLexError):
+            tokenize("x @ y")
+
+    def test_is_keyword_helper(self):
+        token = tokenize("begin")[0]
+        assert token.is_keyword("begin")
+        assert not token.is_keyword("end")

@@ -1,0 +1,151 @@
+"""Unit tests for the Block language parser."""
+
+import pytest
+
+from repro.compiler.ast import (
+    Assign,
+    BinOp,
+    Block,
+    BoolLit,
+    Declare,
+    If,
+    IntLit,
+    Name,
+    While,
+)
+from repro.compiler.parser import BlockParseError, parse_program
+
+
+class TestBlocks:
+    def test_empty_program(self):
+        program = parse_program("begin end")
+        assert isinstance(program, Block)
+        assert program.items == ()
+        assert program.knows is None
+
+    def test_nested_blocks(self):
+        program = parse_program("begin begin end; end")
+        assert isinstance(program.items[0], Block)
+
+    def test_missing_end(self):
+        with pytest.raises(BlockParseError, match="missing 'end'"):
+            parse_program("begin declare x: int;")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(BlockParseError, match="unexpected input"):
+            parse_program("begin end extra")
+
+    def test_block_statement_requires_semicolon(self):
+        with pytest.raises(BlockParseError):
+            parse_program("begin begin end end")
+
+
+class TestDeclarations:
+    def test_declare(self):
+        program = parse_program("begin declare x: int; end")
+        declare = program.items[0]
+        assert isinstance(declare, Declare)
+        assert declare.ident == "x" and declare.type_name == "int"
+
+    def test_bool_type(self):
+        program = parse_program("begin declare f: bool; end")
+        assert program.items[0].type_name == "bool"
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(BlockParseError, match="expected a type"):
+            parse_program("begin declare x: float; end")
+
+
+class TestStatements:
+    def test_assign(self):
+        program = parse_program("begin x := 1; end")
+        assign = program.items[0]
+        assert isinstance(assign, Assign)
+        assert assign.ident == "x"
+        assert isinstance(assign.value, IntLit)
+
+    def test_if_then_else(self):
+        program = parse_program(
+            "begin if x = 1 then y := 2; else y := 3; fi; end"
+        )
+        node = program.items[0]
+        assert isinstance(node, If)
+        assert len(node.then_body) == 1 and len(node.else_body) == 1
+
+    def test_if_without_else(self):
+        program = parse_program("begin if x = 1 then y := 2; fi; end")
+        node = program.items[0]
+        assert node.else_body == ()
+
+    def test_while(self):
+        program = parse_program("begin while x < 3 do x := x + 1; od; end")
+        node = program.items[0]
+        assert isinstance(node, While)
+        assert len(node.body) == 1
+
+    def test_declares_allowed_inside_if(self):
+        program = parse_program(
+            "begin if x = 1 then declare y: int; y := 1; fi; end"
+        )
+        node = program.items[0]
+        assert isinstance(node.then_body[0], Declare)
+
+
+class TestExpressions:
+    def _expr(self, text: str):
+        program = parse_program(f"begin x := {text}; end")
+        return program.items[0].value
+
+    def test_precedence_product_over_sum(self):
+        expr = self._expr("1 + 2 * 3")
+        assert isinstance(expr, BinOp) and expr.op == "+"
+        assert isinstance(expr.right, BinOp) and expr.right.op == "*"
+
+    def test_comparison_lowest(self):
+        expr = self._expr("1 + 2 < 3 * 4")
+        assert expr.op == "<"
+
+    def test_parentheses(self):
+        expr = self._expr("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert isinstance(expr.left, BinOp) and expr.left.op == "+"
+
+    def test_bool_literals(self):
+        assert isinstance(self._expr("true"), BoolLit)
+        assert self._expr("false").value is False
+
+    def test_names(self):
+        expr = self._expr("y")
+        assert isinstance(expr, Name) and expr.ident == "y"
+
+    def test_left_associativity(self):
+        expr = self._expr("1 - 2 - 3")
+        assert expr.op == "-"
+        assert isinstance(expr.left, BinOp) and expr.left.op == "-"
+        assert isinstance(expr.right, IntLit)
+
+
+class TestKnowsDialect:
+    def test_knows_clause_parsed(self):
+        program = parse_program(
+            "begin begin knows a, b end; end", dialect="knows"
+        )
+        inner = program.items[0]
+        assert inner.knows == ("a", "b")
+
+    def test_absent_clause_means_knows_nothing(self):
+        program = parse_program("begin begin end; end", dialect="knows")
+        inner = program.items[0]
+        assert inner.knows == ()
+
+    def test_knows_rejected_in_plain_dialect(self):
+        with pytest.raises(BlockParseError, match="dialect"):
+            parse_program("begin begin knows a end; end", dialect="plain")
+
+    def test_unknown_dialect_rejected(self):
+        with pytest.raises(ValueError):
+            parse_program("begin end", dialect="fancy")
+
+    def test_plain_blocks_have_none_knows(self):
+        program = parse_program("begin begin end; end")
+        assert program.items[0].knows is None

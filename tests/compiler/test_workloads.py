@@ -1,0 +1,56 @@
+"""Unit tests for the workload generator."""
+
+import pytest
+
+from repro.compiler.parser import parse_program
+from repro.compiler.semantic import analyze_source
+from repro.compiler.workloads import WorkloadShape, generate_program
+
+
+class TestGeneration:
+    def test_output_parses(self):
+        source = generate_program(WorkloadShape(blocks=5, seed=1))
+        parse_program(source)  # must not raise
+
+    def test_deterministic(self):
+        shape = WorkloadShape(blocks=5, seed=42)
+        assert generate_program(shape) == generate_program(shape)
+
+    def test_seed_changes_output(self):
+        assert generate_program(WorkloadShape(seed=1)) != generate_program(
+            WorkloadShape(seed=2)
+        )
+
+    def test_clean_programs_analyse_clean(self):
+        source = generate_program(WorkloadShape(blocks=6, seed=3))
+        result = analyze_source(source)
+        assert not result.diagnostics.errors, str(result.diagnostics)
+
+    def test_error_rate_injects_errors(self):
+        shape = WorkloadShape(
+            blocks=6, statements_per_block=8, error_rate=0.5, seed=4
+        )
+        result = analyze_source(generate_program(shape))
+        assert result.diagnostics.errors
+
+    def test_size_scales_with_blocks(self):
+        small = generate_program(WorkloadShape(blocks=2, seed=5))
+        large = generate_program(WorkloadShape(blocks=20, seed=5))
+        assert len(large) > len(small)
+
+    def test_knows_dialect_output_parses(self):
+        source = generate_program(
+            WorkloadShape(blocks=5, seed=6), dialect="knows"
+        )
+        parse_program(source, dialect="knows")
+
+    def test_knows_dialect_analyses_clean(self):
+        source = generate_program(
+            WorkloadShape(blocks=5, seed=7), dialect="knows"
+        )
+        result = analyze_source(
+            source,
+            backend=None,
+            dialect="knows",
+        )
+        assert not result.diagnostics.errors, str(result.diagnostics)

@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra import Sort, make_signature
+from repro.adt.queue import QUEUE_SPEC
+from repro.adt.stack import STACK_SPEC
+from repro.adt.array import ARRAY_SPEC
+from repro.adt.symboltable import SYMBOLTABLE_SPEC, symboltable_representation
+from repro.rewriting import RewriteEngine
+
+
+@pytest.fixture(scope="session")
+def queue_spec():
+    return QUEUE_SPEC
+
+
+@pytest.fixture(scope="session")
+def stack_spec():
+    return STACK_SPEC
+
+
+@pytest.fixture(scope="session")
+def array_spec():
+    return ARRAY_SPEC
+
+
+@pytest.fixture(scope="session")
+def symboltable_spec():
+    return SYMBOLTABLE_SPEC
+
+
+@pytest.fixture()
+def queue_engine(queue_spec):
+    return RewriteEngine.for_specification(queue_spec)
+
+
+@pytest.fixture(scope="session")
+def representation():
+    return symboltable_representation()
+
+
+@pytest.fixture(scope="session")
+def tiny_signature():
+    """A small two-sort signature used by the algebra unit tests."""
+    return make_signature(
+        ["T", "E", "Boolean"],
+        {
+            "mk": ([], "T"),
+            "grow": (["T", "E"], "T"),
+            "peek": (["T"], "E"),
+            "empty?": (["T"], "Boolean"),
+        },
+    )

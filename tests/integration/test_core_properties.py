@@ -1,0 +1,144 @@
+"""Hypothesis property tests on the core algebraic machinery.
+
+These pin down the metatheoretic invariants everything else leans on:
+normal forms are fixed points, matching inverts substitution, unifiers
+unify, the path ordering is a strict order, and error strictness is
+total on ground observations.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.matching import match
+from repro.algebra.substitution import Substitution
+from repro.algebra.terms import App, Err, Ite, Lit, Term, Var, app
+from repro.algebra.unification import unify
+from repro.rewriting import RewriteEngine
+from repro.testing.strategies import substitution_strategy, term_strategy
+from repro.adt.queue import FRONT, IS_EMPTY, QUEUE_SPEC, REMOVE
+from repro.adt.symboltable import SYMBOLTABLE_SPEC
+
+queue_terms = term_strategy(QUEUE_SPEC, QUEUE_SPEC.type_of_interest)
+table_terms = term_strategy(
+    SYMBOLTABLE_SPEC, SYMBOLTABLE_SPEC.type_of_interest, max_leaves=10
+)
+
+
+class TestNormalForms:
+    engine = RewriteEngine.for_specification(QUEUE_SPEC)
+    table_engine = RewriteEngine.for_specification(SYMBOLTABLE_SPEC)
+
+    @given(term=queue_terms)
+    @settings(max_examples=60, deadline=None)
+    def test_normalize_idempotent(self, term):
+        once = self.engine.normalize(app(REMOVE, term))
+        assert self.engine.normalize(once) == once
+
+    @given(term=queue_terms)
+    @settings(max_examples=60, deadline=None)
+    def test_constructor_terms_already_normal(self, term):
+        # Generated terms use only constructors: no rule applies.
+        assert self.engine.normalize(term) == term
+
+    @given(term=queue_terms)
+    @settings(max_examples=60, deadline=None)
+    def test_observations_fully_reduce(self, term):
+        """Sufficient completeness, dynamically: every observation of a
+        ground value reduces to a TOI-free result."""
+        result = self.engine.normalize(app(IS_EMPTY, term))
+        assert str(result) in ("true", "false")
+        front = self.engine.normalize(app(FRONT, term))
+        assert isinstance(front, (Lit, Err))
+
+    @given(term=table_terms)
+    @settings(max_examples=40, deadline=None)
+    def test_symboltable_observations_reduce(self, term):
+        from repro.adt.symboltable import RETRIEVE
+        from repro.spec.prelude import identifier
+
+        result = self.table_engine.normalize(
+            app(RETRIEVE, term, identifier("x"))
+        )
+        assert isinstance(result, (Lit, Err))
+
+    @given(term=queue_terms)
+    @settings(max_examples=40, deadline=None)
+    def test_simplify_agrees_with_normalize_on_ground(self, term):
+        probe = app(REMOVE, term)
+        assert self.engine.simplify(probe) == self.engine.normalize(probe)
+
+
+class TestSubstitutionLaws:
+    axiom = QUEUE_SPEC.axioms[5]  # REMOVE(ADD(q,i)) = ...
+
+    @given(sigma=substitution_strategy(QUEUE_SPEC, axiom.variables()))
+    @settings(max_examples=50, deadline=None)
+    def test_match_inverts_substitution(self, sigma):
+        instance = sigma.apply(self.axiom.lhs)
+        recovered = match(self.axiom.lhs, instance)
+        assert recovered is not None
+        assert recovered.apply(self.axiom.lhs) == instance
+
+    @given(
+        first=substitution_strategy(QUEUE_SPEC, axiom.variables()),
+        second=substitution_strategy(QUEUE_SPEC, axiom.variables()),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_composition_law(self, first, second):
+        term = self.axiom.rhs
+        composed = first.compose(second)
+        assert composed.apply(term) == first.apply(second.apply(term))
+
+
+class TestUnificationLaws:
+    @given(sigma=substitution_strategy(QUEUE_SPEC, QUEUE_SPEC.axioms[5].variables()))
+    @settings(max_examples=50, deadline=None)
+    def test_unifier_unifies(self, sigma):
+        pattern = QUEUE_SPEC.axioms[5].lhs
+        instance = sigma.apply(pattern)
+        unifier = unify(pattern, instance)
+        assert unifier is not None
+        assert unifier.apply(pattern) == unifier.apply(instance)
+
+
+class TestErrorStrictness:
+    engine = RewriteEngine.for_specification(QUEUE_SPEC)
+
+    @given(term=queue_terms)
+    @settings(max_examples=40, deadline=None)
+    def test_poisoned_arguments_poison_results(self, term):
+        from repro.adt.queue import ADD
+        from repro.spec.prelude import item
+
+        toi = QUEUE_SPEC.type_of_interest
+        poisoned = app(ADD, Err(toi), item("x"))
+        assert isinstance(self.engine.normalize(poisoned), Err)
+        # Grafting error anywhere inside also poisons observation.
+        grafted = app(FRONT, app(ADD, term, item("y")).replace_at((0,), Err(toi)))
+        assert isinstance(self.engine.normalize(grafted), Err)
+
+
+class TestOrderingLaws:
+    from repro.analysis.classify import classify
+    from repro.rewriting.ordering import Precedence
+
+    cls = classify(QUEUE_SPEC)
+    precedence = Precedence.definitional(cls.constructors, cls.defined_operations)
+
+    @given(term=queue_terms)
+    @settings(max_examples=40, deadline=None)
+    def test_irreflexive(self, term):
+        from repro.rewriting.ordering import rpo_greater
+
+        assert not rpo_greater(term, term, self.precedence)
+
+    @given(term=queue_terms)
+    @settings(max_examples=40, deadline=None)
+    def test_subterms_strictly_smaller(self, term):
+        from repro.rewriting.ordering import rpo_greater
+
+        for position, node in term.subterms():
+            if position:
+                assert rpo_greater(term, node, self.precedence)
+                assert not rpo_greater(node, term, self.precedence)

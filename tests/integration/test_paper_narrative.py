@@ -1,0 +1,176 @@
+"""End-to-end integration: the paper's full narrative, executed.
+
+Each test walks one of the paper's storylines through the library's
+public API: specify → analyse → implement → verify → use.
+"""
+
+import pytest
+
+from repro import (
+    Mode,
+    check_consistency,
+    check_sufficient_completeness,
+    facade_class,
+    obligations_for,
+    parse_specification,
+    verify_representation,
+)
+
+
+class TestSection3Storyline:
+    """Specify Queue, check it, run it."""
+
+    def test_specify_analyse_run(self):
+        spec = parse_specification(
+            """
+            type Queue [Item]
+            uses Boolean, Item
+            operations
+              NEW: -> Queue
+              ADD: Queue x Item -> Queue
+              FRONT: Queue -> Item
+              REMOVE: Queue -> Queue
+              IS_EMPTY?: Queue -> Boolean
+            vars
+              q: Queue
+              i: Item
+            axioms
+              (1) IS_EMPTY?(NEW) = true
+              (2) IS_EMPTY?(ADD(q, i)) = false
+              (3) FRONT(NEW) = error
+              (4) FRONT(ADD(q, i)) = if IS_EMPTY?(q) then i else FRONT(q)
+              (5) REMOVE(NEW) = error
+              (6) REMOVE(ADD(q, i)) = if IS_EMPTY?(q) then NEW
+                                      else ADD(REMOVE(q), i)
+            """
+        )
+        assert check_sufficient_completeness(spec).sufficiently_complete
+        assert check_consistency(spec).consistent
+        Queue = facade_class(spec)
+        queue = Queue.new().add(1).add(2).add(3)
+        assert queue.front() == 1
+        assert queue.remove().front() == 2
+
+
+class TestSection4Storyline:
+    """The symbol-table development, end to end."""
+
+    def test_top_down_development(self, representation):
+        # 1. The abstract spec is a complete, consistent problem
+        #    statement ("a sufficient specification of the problem").
+        abstract = representation.abstract
+        assert check_sufficient_completeness(abstract).sufficiently_complete
+        assert check_consistency(abstract).consistent
+
+        # 2. The representation level's own types check out too.
+        concrete = representation.concrete
+        assert check_consistency(concrete).verdict.name != "INCONSISTENT"
+
+        # 3. The inherent invariants are mechanically discharged under
+        #    Assumption 1 (the paper's conditional correctness)...
+        conditional = verify_representation(representation, Mode.CONDITIONAL)
+        assert conditional.all_proved
+
+        # 4. ...and axioms 6/9 really do need it.
+        free = verify_representation(representation, Mode.UNCONDITIONAL)
+        assert set(free.failed_labels) == {"6", "9"}
+
+    def test_implementation_serves_a_compiler(self):
+        from repro.compiler import analyze_source
+        from repro.compiler.diagnostics import Code
+
+        source = """
+        begin
+          declare x: int;
+          begin
+            declare x: bool;   -- shadows
+            x := true;
+          end;
+          x := 1;
+          y := 2;              -- undeclared
+        end
+        """
+        result = analyze_source(source)
+        assert result.diagnostics.codes() == [Code.UNDECLARED_IDENTIFIER]
+
+
+class TestAdaptabilityStoryline:
+    """The knows-list change: axioms swapped, front end follows."""
+
+    def test_spec_change_propagates_to_frontend(self):
+        from repro.adt.knowlist import SYMBOLTABLE_KNOWS_SPEC
+        from repro.compiler import analyze_source
+        from repro.compiler.diagnostics import Code
+
+        assert check_sufficient_completeness(
+            SYMBOLTABLE_KNOWS_SPEC
+        ).sufficiently_complete
+
+        source = """
+        begin
+          declare g: int;
+          begin knows g
+            g := 1;
+          end;
+          begin
+            g := 2;            -- hidden: not in the knows list
+          end;
+        end
+        """
+        result = analyze_source(source, dialect="knows")
+        assert result.diagnostics.codes() == [Code.NOT_IN_KNOWS_LIST]
+
+
+class TestInterchangeabilityStoryline:
+    """Specs and implementations swap freely behind one client."""
+
+    def test_three_backends_one_front_end(self):
+        from repro.compiler import (
+            ConcreteBackend,
+            NativeBackend,
+            SpecBackend,
+            analyze_source,
+        )
+        from repro.compiler.workloads import WorkloadShape, generate_program
+
+        source = generate_program(
+            WorkloadShape(blocks=4, error_rate=0.15, seed=11)
+        )
+        results = [
+            analyze_source(source, backend)
+            for backend in (ConcreteBackend(), SpecBackend(), NativeBackend())
+        ]
+        codes = [[d.code for d in r.diagnostics.diagnostics] for r in results]
+        assert codes[0] == codes[1] == codes[2]
+
+
+class TestDebuggingStoryline:
+    """An incomplete draft gets repaired by the prompting system."""
+
+    def test_interactive_completion(self):
+        from repro.analysis import CompletionSession, default_boundary_oracle
+
+        draft = parse_specification(
+            """
+            type Counter
+            uses Boolean, Nat
+            operations
+              ZERO_C: -> Counter
+              BUMP: Counter -> Counter
+              DROP: Counter -> Counter
+              VALUE: Counter -> Nat
+            vars
+              c: Counter
+            axioms
+              (1) VALUE(ZERO_C) = zero
+              (2) VALUE(BUMP(c)) = succ(VALUE(c))
+              (3) DROP(BUMP(c)) = c
+            """
+        )
+        report = check_sufficient_completeness(draft)
+        assert not report.sufficiently_complete
+        assert [str(m.pattern) for m in report.missing] == ["DROP(ZERO_C)"]
+
+        session = CompletionSession(draft, default_boundary_oracle)
+        repaired = session.run()
+        assert check_sufficient_completeness(repaired).sufficiently_complete

@@ -1,0 +1,145 @@
+"""Property tests: the concrete Φ functions are homomorphisms.
+
+For random operation scripts, applying an operation concretely and then
+abstracting must equal abstracting first and applying the abstract
+operation under the rewrite engine:
+
+    Φ(f'(x, args)) == f(Φ(x), args)    (evaluated to normal form)
+
+This is condition (i)+(ii) of the paper's definition of a representation,
+checked on the real Python implementations.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.terms import app
+from repro.rewriting import RewriteEngine
+from repro.spec.errors import AlgebraError
+from repro.spec.prelude import attributes, identifier, item
+
+
+class TestSymboltablePhi:
+    engine = None
+
+    @classmethod
+    def setup_class(cls):
+        from repro.adt.symboltable import SYMBOLTABLE_SPEC
+
+        cls.engine = RewriteEngine.for_specification(SYMBOLTABLE_SPEC)
+
+    @given(
+        script=st.lists(
+            st.one_of(
+                st.tuples(st.just("enter")),
+                st.tuples(st.just("leave")),
+                st.tuples(
+                    st.just("add"),
+                    st.sampled_from(["x", "y", "z"]),
+                    st.sampled_from(["int", "real"]),
+                ),
+            ),
+            max_size=10,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_phi_commutes_with_observers(self, script):
+        from repro.adt.symboltable import (
+            IS_INBLOCK,
+            RETRIEVE,
+            SymbolTable,
+            phi_symboltable,
+        )
+        from repro.spec.prelude import is_false, is_true
+
+        table = SymbolTable.init()
+        for step in script:
+            if step[0] == "enter":
+                table = table.enterblock()
+            elif step[0] == "leave" and table.depth > 1:
+                table = table.leaveblock()
+            elif step[0] == "add":
+                table = table.add(step[1], step[2])
+        image = phi_symboltable(table)
+        for name in ("x", "y", "z"):
+            abstract_in = self.engine.normalize(
+                app(IS_INBLOCK, image, identifier(name))
+            )
+            assert is_true(abstract_in) == table.is_inblock(name)
+            abstract_lookup = self.engine.normalize(
+                app(RETRIEVE, image, identifier(name))
+            )
+            try:
+                concrete = table.retrieve(name)
+            except AlgebraError:
+                from repro.algebra.terms import Err
+
+                assert isinstance(abstract_lookup, Err)
+            else:
+                assert abstract_lookup.value == concrete  # type: ignore[union-attr]
+
+
+class TestRingBufferPhi:
+    @given(
+        script=st.lists(
+            st.one_of(
+                st.tuples(st.just("add"), st.integers(0, 9)),
+                st.tuples(st.just("remove")),
+            ),
+            max_size=12,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_phi_commutes_with_front(self, script):
+        from repro.adt.boundedqueue import (
+            BOUNDED_QUEUE_SPEC,
+            FRONT_Q,
+            IS_EMPTY_Q,
+            RingBufferQueue,
+            phi_ring_buffer,
+        )
+        from repro.spec.prelude import is_true
+
+        engine = RewriteEngine.for_specification(BOUNDED_QUEUE_SPEC)
+        queue = RingBufferQueue.empty(capacity=16)
+        for step in script:
+            if step[0] == "add":
+                queue = queue.add(step[1])
+            elif not queue.is_empty():
+                queue = queue.remove()
+        image = phi_ring_buffer(queue)
+        empty = engine.normalize(app(IS_EMPTY_Q, image))
+        assert is_true(empty) == queue.is_empty()
+        if not queue.is_empty():
+            front = engine.normalize(app(FRONT_Q, image))
+            assert front.value == queue.front()  # type: ignore[union-attr]
+
+
+class TestHashArrayPhi:
+    @given(
+        assignments=st.lists(
+            st.tuples(
+                st.sampled_from(["a", "b", "c", "d"]), st.integers(0, 5)
+            ),
+            max_size=10,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_phi_commutes_with_read(self, assignments):
+        from repro.adt.array import ARRAY_SPEC, HashArray, IS_UNDEFINED, READ, phi_array
+        from repro.spec.prelude import is_true
+
+        engine = RewriteEngine.for_specification(ARRAY_SPEC)
+        array = HashArray.empty()
+        for name, value in assignments:
+            array = array.assign(name, value)
+        image = phi_array(array)
+        for name in ("a", "b", "c", "d"):
+            undefined = engine.normalize(
+                app(IS_UNDEFINED, image, identifier(name))
+            )
+            assert is_true(undefined) == array.is_undefined(name)
+            if not array.is_undefined(name):
+                read = engine.normalize(app(READ, image, identifier(name)))
+                assert read.value == array.read(name)  # type: ignore[union-attr]

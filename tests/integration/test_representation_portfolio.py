@@ -1,0 +1,72 @@
+"""The representation portfolio: one summary test per claim.
+
+Four representations are verified in this repository; their differing
+correctness profiles are the quantitative heart of the reproduction
+(experiments E4 and E6).  This integration test pins the whole portfolio
+in one place, so any regression in the prover or the representations
+shows up as a single readable failure.
+"""
+
+import pytest
+
+from repro.verify import Mode, not_newstack_lemma, verify_representation
+
+
+@pytest.fixture(scope="module")
+def portfolio():
+    from repro.adt.array_listrep import array_list_representation
+    from repro.adt.knowlist_rep import knows_symboltable_representation
+    from repro.adt.queue_listrep import queue_list_representation
+    from repro.adt.symboltable import symboltable_representation
+
+    return {
+        "symboltable": symboltable_representation(),
+        "knows": knows_symboltable_representation(),
+        "queue": queue_list_representation(),
+        "array": array_list_representation(),
+    }
+
+
+class TestPortfolio:
+    def test_unconditional_profiles(self, portfolio):
+        """Who needs Assumption 1, and who does not."""
+        profiles = {
+            name: set(
+                verify_representation(rep, Mode.UNCONDITIONAL).failed_labels
+            )
+            for name, rep in portfolio.items()
+        }
+        assert profiles == {
+            # Both symbol tables fail on exactly the ADD' obligations.
+            "symboltable": {"6", "9"},
+            "knows": {"6", "9"},
+            # List-backed representations have no unreachable states.
+            "queue": set(),
+            "array": set(),
+        }
+
+    def test_conditional_closes_everything(self, portfolio):
+        for name, rep in portfolio.items():
+            result = verify_representation(rep, Mode.CONDITIONAL)
+            assert result.all_proved, f"{name}: {result}"
+
+    def test_reachable_closes_everything(self, portfolio):
+        for name, rep in portfolio.items():
+            lemmas = (
+                [not_newstack_lemma(rep)]
+                if name in ("symboltable", "knows")
+                else []
+            )
+            result = verify_representation(
+                rep, Mode.REACHABLE, lemmas=lemmas
+            )
+            assert result.all_proved, f"{name}: {result}"
+
+    def test_every_abstract_operation_implemented(self, portfolio):
+        for name, rep in portfolio.items():
+            abstract = {op.name for op in rep.abstract.own_operations()}
+            assert set(rep.defined) == abstract, name
+
+    def test_phi_functions_distinct(self, portfolio):
+        names = {rep.phi.name for rep in portfolio.values()}
+        assert len(names) == len(portfolio)

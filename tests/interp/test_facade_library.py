@@ -1,0 +1,110 @@
+"""Façade classes across the whole library: every specification can be
+run as its own implementation."""
+
+import pytest
+
+from repro.spec.errors import AlgebraError
+from repro.interp import facade_class
+from repro.adt.boundedqueue import BOUNDED_QUEUE_SPEC
+from repro.adt.extras import BAG_SPEC, LIST_SPEC, SET_SPEC
+from repro.adt.knowlist import KNOWLIST_SPEC
+from repro.adt.stack import STACK_SPEC
+from repro.adt.store import STORE_SPEC
+
+
+class TestStoreFacade:
+    Store = facade_class(STORE_SPEC)
+
+    def test_put_get(self):
+        store = self.Store.empty_store().put("k", 1)
+        assert store.get("k") == 1
+        assert store.has("k") is True
+
+    def test_transactions(self):
+        base = self.Store.empty_store().put("k", 1)
+        txn = base.begin_tx().put("k", 2)
+        assert txn.get("k") == 2
+        assert txn.rollback().get("k") == 1
+        assert txn.commit().get("k") == 2
+
+    def test_rollback_without_tx_errors(self):
+        with pytest.raises(AlgebraError):
+            self.Store.empty_store().rollback()
+
+    def test_commit_keeps_earlier_writes(self):
+        store = (
+            self.Store.empty_store()
+            .put("a", 1)
+            .begin_tx()
+            .put("b", 2)
+            .commit()
+        )
+        assert store.get("a") == 1
+        assert store.get("b") == 2
+
+
+class TestStackFacade:
+    Stack = facade_class(STACK_SPEC)
+
+    def test_lifo(self):
+        stack = self.Stack.newstack().push("a").push("b")
+        assert stack.top() == "b"
+        assert stack.pop().top() == "a"
+
+    def test_replace(self):
+        stack = self.Stack.newstack().push("a").replace("z")
+        assert stack.top() == "z"
+
+    def test_empty_errors(self):
+        with pytest.raises(AlgebraError):
+            self.Stack.newstack().top()
+
+
+class TestBoundedQueueFacade:
+    Q = facade_class(BOUNDED_QUEUE_SPEC)
+
+    def test_fifo_and_size(self):
+        queue = self.Q.empty_q().add_q("a").add_q("b")
+        assert queue.front_q() == "a"
+        assert queue.size_q() == 2
+
+    def test_size_of_empty(self):
+        assert self.Q.empty_q().size_q() == 0
+
+
+class TestKnowlistFacade:
+    K = facade_class(KNOWLIST_SPEC)
+
+    def test_membership(self):
+        klist = self.K.create().append("x")
+        assert klist.is_in("x") is True
+        assert klist.is_in("y") is False
+
+
+class TestSetAndBagFacades:
+    def test_set_semantics(self):
+        Set = facade_class(SET_SPEC)
+        s = Set.empty_set().insert("a").insert("a")
+        assert s.has("a") is True
+        assert s.delete("a").has("a") is False
+
+    def test_bag_counts(self):
+        Bag = facade_class(BAG_SPEC)
+        bag = Bag.empty_bag().put("x").put("x")
+        assert bag.count("x") == 2
+        assert bag.take("x").count("x") == 1
+
+
+class TestListFacade:
+    L = facade_class(LIST_SPEC)
+
+    def test_cons_head_tail(self):
+        lst = self.L.nil()
+        # CONS's first argument is the Item, so it is a static method.
+        lst = self.L.cons("a", lst)
+        assert lst.head() == "a"
+        assert lst.is_nil() is False
+
+    def test_length(self):
+        lst = self.L.cons("a", self.L.cons("b", self.L.nil()))
+        assert lst.length() == 2

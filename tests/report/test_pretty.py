@@ -1,0 +1,80 @@
+"""Unit tests for pretty-printing."""
+
+from repro.algebra.terms import app, ite
+from repro.report.pretty import (
+    banner,
+    format_axiom,
+    format_specification,
+    format_table,
+    format_term,
+)
+from repro.adt.queue import QUEUE_SPEC, queue_term
+
+
+class TestFormatTerm:
+    def test_short_terms_stay_flat(self):
+        assert format_term(queue_term(["a"])) == "ADD(NEW, 'a')"
+
+    def test_long_ite_breaks_lines(self):
+        from repro.adt.queue import FRONT, IS_EMPTY
+        from repro.spec.prelude import item
+
+        q = queue_term(["first", "second", "third", "fourth", "fifth"])
+        node = ite(app(IS_EMPTY, q), item("empty-result"), app(FRONT, q))
+        rendered = format_term(node, width=40)
+        assert "\n" in rendered
+        assert rendered.startswith("if ")
+
+    def test_long_application_breaks(self):
+        q = queue_term(["a" * 30, "b" * 30, "c" * 30])
+        rendered = format_term(q, width=40)
+        assert "\n" in rendered
+
+
+class TestFormatAxiom:
+    def test_label_included(self):
+        rendered = format_axiom(QUEUE_SPEC.axioms[0])
+        assert rendered.startswith("(1) ")
+
+
+class TestFormatSpecification:
+    def test_sections_present(self):
+        rendered = format_specification(QUEUE_SPEC)
+        assert "Type: Queue [Item]" in rendered
+        assert "Operations:" in rendered
+        assert "Axioms:" in rendered
+        assert "Uses: Boolean, Item" in rendered
+
+    def test_operation_alignment(self):
+        rendered = format_specification(QUEUE_SPEC)
+        lines = [
+            line
+            for line in rendered.splitlines()
+            if line.startswith("  ") and "->" in line
+        ]
+        # The profile (everything after the padded name) starts in the
+        # same column on every line.
+        starts = {line.index(line.split(None, 1)[1]) for line in lines}
+        assert len(starts) == 1
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(
+            ["name", "value"], [["queue", 1], ["symboltable", 22]]
+        )
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert lines[1].startswith("----")
+        assert "symboltable" in lines[3]
+
+    def test_column_width_fits_longest(self):
+        table = format_table(["h"], [["longvalue"]])
+        header, rule, row = table.splitlines()
+        assert len(rule) >= len("longvalue")
+
+
+class TestBanner:
+    def test_shape(self):
+        lines = banner("Title", width=10).splitlines()
+        assert lines == ["=" * 10, "Title", "=" * 10]

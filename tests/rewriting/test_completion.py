@@ -1,0 +1,102 @@
+"""Unit tests for the bounded completion procedure."""
+
+import pytest
+
+from repro.algebra.signature import Operation
+from repro.algebra.sorts import BOOLEAN, Sort
+from repro.algebra.terms import app, lit, var
+from repro.spec.prelude import false_term, true_term
+from repro.analysis.classify import classify
+from repro.rewriting.completion import CompletionStatus, complete
+from repro.rewriting.ordering import Precedence
+from repro.rewriting.rules import RewriteRule, RuleSet
+
+T = Sort("T")
+E = Sort("E")
+
+MK = Operation("mk", (), T)
+GROW = Operation("grow", (T, E), T)
+SHRINK = Operation("shrink", (T,), T)
+PEEK = Operation("peek", (T,), E)
+FLAG = Operation("flag?", (T,), BOOLEAN)
+
+t = var("t", T)
+e = var("e", E)
+
+PREC = Precedence.definitional([MK, GROW], [SHRINK, PEEK, FLAG])
+
+
+class TestComplete:
+    def test_orthogonal_rules_complete_immediately(self, queue_spec):
+        from repro.rewriting.rules import RuleSet
+
+        cls = classify(queue_spec)
+        precedence = Precedence.definitional(
+            cls.constructors, cls.defined_operations
+        )
+        result = complete(
+            RuleSet.from_specification(queue_spec), precedence
+        )
+        assert result.status is CompletionStatus.COMPLETE
+        assert result.added == []
+
+    def test_contradiction_detected(self):
+        rules = [
+            RewriteRule(app(FLAG, app(MK)), true_term()),
+            RewriteRule(app(FLAG, t), false_term()),
+        ]
+        result = complete(rules, PREC)
+        assert result.status is CompletionStatus.INCONSISTENT
+        assert any("contradiction" in f for f in result.failures)
+
+    def test_joinable_overlap_accepted(self):
+        # peek(shrink(grow(t,e))) joins both ways once the derived rule
+        # is added (or directly).
+        rules = [
+            RewriteRule(app(SHRINK, app(GROW, t, e)), t),
+            RewriteRule(app(PEEK, t), lit("c", E)),
+        ]
+        result = complete(rules, PREC)
+        assert result.status is CompletionStatus.COMPLETE
+
+    def test_derived_rule_added(self):
+        # f(g(x)) -> x and h(x) -> g(x) overlap at f(h(x)) ... build a
+        # case where joining requires a new rule.
+        wrap = Operation("wrap", (T,), T)
+        unwrap = Operation("unwrap", (T,), T)
+        prec = Precedence.from_layers([["mk"], ["wrap"], ["unwrap"], ["peek2"]])
+        peek2 = Operation("peek2", (T,), E)
+        rules = [
+            RewriteRule(app(unwrap, app(wrap, t)), t),
+            RewriteRule(app(peek2, app(unwrap, t)), lit("u", E)),
+        ]
+        result = complete(rules, Precedence.from_layers(
+            [["mk", "wrap"], ["unwrap"], ["peek2"]]
+        ))
+        # peek2(unwrap(wrap(t))) reduces to both peek2(t) and 'u';
+        # completion must add peek2(t) -> 'u' (up to renaming).
+        assert result.status is CompletionStatus.COMPLETE
+        assert any(
+            rule.head.name == "peek2" and str(rule.rhs) == "'u'"
+            for rule in result.added
+        )
+
+    def test_unorientable_residue_is_inconclusive(self):
+        # Two rules rewriting the same term to mix(t,u) and mix(u,t):
+        # the residual equation mix(t,u) = mix(u,t) cannot be oriented.
+        mix = Operation("mix", (T, T), T)
+        pair = Operation("pair", (T, T), T)
+        norm = Operation("norm", (T,), T)
+        u = var("u", T)
+        rules = [
+            RewriteRule(app(norm, app(pair, t, u)), app(mix, t, u)),
+            RewriteRule(app(norm, app(pair, t, u)), app(mix, u, t)),
+        ]
+        prec = Precedence.from_layers([["mix", "pair"], ["norm"]])
+        result = complete(rules, prec, max_rounds=3)
+        assert result.status is CompletionStatus.INCONCLUSIVE
+        assert any("unorientable" in f for f in result.failures)
+
+    def test_result_str_mentions_status(self):
+        result = complete([], PREC)
+        assert "complete" in str(result)

@@ -1,0 +1,103 @@
+"""Unit tests for critical pairs and completion."""
+
+import pytest
+
+from repro.algebra.signature import Operation
+from repro.algebra.sorts import BOOLEAN, Sort
+from repro.algebra.terms import app, lit, var
+from repro.spec.prelude import false_term, true_term
+from repro.rewriting.critical_pairs import (
+    all_critical_pairs,
+    critical_pairs_between,
+    joinable,
+    unjoinable_pairs,
+)
+from repro.rewriting.engine import RewriteEngine
+from repro.rewriting.rules import RewriteRule, RuleSet
+
+T = Sort("T")
+E = Sort("E")
+
+MK = Operation("mk", (), T)
+GROW = Operation("grow", (T, E), T)
+SHRINK = Operation("shrink", (T,), T)
+PEEK = Operation("peek", (T,), E)
+
+t = var("t", T)
+e = var("e", E)
+
+
+class TestCriticalPairs:
+    def test_nested_overlap_found(self):
+        # peek(shrink(grow(t,e))) can reduce two ways:
+        outer = RewriteRule(app(PEEK, app(SHRINK, t)), lit("deep", E))
+        inner = RewriteRule(app(SHRINK, app(GROW, t, e)), t)
+        pairs = list(critical_pairs_between(outer, inner))
+        assert len(pairs) == 1
+        pair = pairs[0]
+        assert pair.left == lit("deep", E)
+        # The inner rule's variables are renamed apart, so compare up to
+        # renaming.
+        from repro.algebra.matching import variant_of
+
+        assert variant_of(pair.right, app(PEEK, t))
+
+    def test_no_overlap_no_pairs(self):
+        first = RewriteRule(app(PEEK, app(MK)), lit("a", E))
+        second = RewriteRule(app(SHRINK, app(GROW, t, e)), t)
+        assert list(critical_pairs_between(first, second)) == []
+
+    def test_self_root_overlap_skipped(self):
+        rule = RewriteRule(app(SHRINK, app(GROW, t, e)), t)
+        pairs = list(critical_pairs_between(rule, rule))
+        # Only proper (non-root) self-overlaps, of which there are none.
+        assert pairs == []
+
+    def test_root_overlap_between_distinct_rules(self):
+        first = RewriteRule(app(PEEK, app(MK)), lit("a", E))
+        second = RewriteRule(app(PEEK, t), lit("b", E))
+        pairs = list(critical_pairs_between(first, second))
+        assert len(pairs) == 1
+        assert {str(pairs[0].left), str(pairs[0].right)} == {"'a'", "'b'"}
+
+    def test_variable_positions_not_overlapped(self):
+        # inner rule unifying only below a variable of outer is ignored
+        outer = RewriteRule(app(PEEK, t), lit("a", E))
+        inner = RewriteRule(app(SHRINK, app(GROW, t, e)), t)
+        pairs = list(critical_pairs_between(inner, outer))
+        assert pairs == []
+
+    def test_all_critical_pairs_queue_spec_all_joinable(self, queue_spec):
+        ruleset = RuleSet.from_specification(queue_spec)
+        engine = RewriteEngine(ruleset)
+        assert unjoinable_pairs(ruleset, engine) == []
+
+    def test_unjoinable_pair_detected(self):
+        conflicting = RuleSet(
+            [
+                RewriteRule(app(PEEK, app(MK)), lit("a", E)),
+                RewriteRule(app(PEEK, t), lit("b", E)),
+            ]
+        )
+        engine = RewriteEngine(conflicting)
+        bad = unjoinable_pairs(conflicting, engine)
+        assert bad  # 'a' vs 'b' does not join
+
+
+class TestJoinable:
+    def test_trivial_pair_is_joinable(self):
+        rule = RewriteRule(app(PEEK, app(MK)), lit("a", E))
+        pairs = list(critical_pairs_between(rule, rule, include_root_self=True))
+        assert all(p.is_trivial for p in pairs)
+
+    def test_joinable_via_rewriting(self):
+        # Two routes to the same normal form.
+        rules = RuleSet(
+            [
+                RewriteRule(app(SHRINK, app(GROW, t, e)), t),
+                RewriteRule(app(PEEK, app(SHRINK, app(GROW, t, e))), app(PEEK, t)),
+            ]
+        )
+        engine = RewriteEngine(rules)
+        for pair in all_critical_pairs(rules):
+            assert joinable(pair, engine)

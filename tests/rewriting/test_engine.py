@@ -1,0 +1,316 @@
+"""Unit tests for the rewrite engine."""
+
+import pytest
+
+from repro.algebra.terms import App, Err, Ite, Lit, app, err, ite, var
+from repro.spec.parser import parse_specification
+from repro.spec.prelude import (
+    boolean_term,
+    false_term,
+    identifier,
+    item,
+    true_term,
+)
+from repro.rewriting import (
+    RewriteEngine,
+    RewriteLimitError,
+    RuleSet,
+)
+from repro.adt.queue import ADD, FRONT, IS_EMPTY, NEW, QUEUE_SPEC, REMOVE, queue_term
+
+
+class TestQueueEvaluation:
+    """The paper's Queue axioms drive correct FIFO behaviour."""
+
+    def test_front_of_singleton(self, queue_engine):
+        assert queue_engine.normalize(app(FRONT, queue_term(["a"]))) == item("a")
+
+    def test_front_is_oldest(self, queue_engine):
+        term = app(FRONT, queue_term(["a", "b", "c"]))
+        assert queue_engine.normalize(term) == item("a")
+
+    def test_remove_drops_oldest(self, queue_engine):
+        term = app(REMOVE, queue_term(["a", "b", "c"]))
+        assert queue_engine.normalize(term) == queue_term(["b", "c"])
+
+    def test_is_empty(self, queue_engine):
+        assert queue_engine.normalize(app(IS_EMPTY, queue_term([]))) == true_term()
+        assert (
+            queue_engine.normalize(app(IS_EMPTY, queue_term(["a"])))
+            == false_term()
+        )
+
+    def test_front_of_empty_is_error(self, queue_engine):
+        result = queue_engine.normalize(app(FRONT, queue_term([])))
+        assert isinstance(result, Err)
+
+    def test_remove_of_empty_is_error(self, queue_engine):
+        result = queue_engine.normalize(app(REMOVE, queue_term([])))
+        assert isinstance(result, Err)
+
+    def test_fifo_drain_order(self, queue_engine):
+        values = ["p", "q", "r", "s"]
+        term = queue_term(values)
+        seen = []
+        for _ in values:
+            front = queue_engine.normalize(app(FRONT, term))
+            seen.append(front.value)  # type: ignore[union-attr]
+            term = queue_engine.normalize(app(REMOVE, term))
+        assert seen == values
+
+    def test_normal_form_is_constructor_only(self, queue_engine):
+        term = queue_engine.normalize(app(REMOVE, queue_term(["a", "b"])))
+        assert term.operations() <= {NEW, ADD}
+
+
+class TestErrorStrictness:
+    def test_error_argument_poisons_application(self, queue_engine):
+        poisoned = app(ADD, err(QUEUE_SPEC.type_of_interest), item("a"))
+        result = queue_engine.normalize(app(FRONT, poisoned))
+        assert isinstance(result, Err)
+
+    def test_error_propagates_through_chains(self, queue_engine):
+        # REMOVE(REMOVE(NEW)) = REMOVE(error) = error
+        term = app(REMOVE, app(REMOVE, queue_term([])))
+        assert isinstance(queue_engine.normalize(term), Err)
+
+    def test_error_condition_poisons_ite(self, queue_engine):
+        from repro.algebra.sorts import BOOLEAN
+
+        node = ite(err(BOOLEAN), queue_term([]), queue_term([]))
+        assert isinstance(queue_engine.normalize(node), Err)
+
+    def test_stats_count_error_propagations(self, queue_engine):
+        queue_engine.normalize(app(REMOVE, app(REMOVE, queue_term([]))))
+        assert queue_engine.stats.error_propagations >= 1
+
+
+class TestConditionalLaziness:
+    """Only the selected branch is evaluated in value mode.
+
+    This is what makes recursive right-hand sides terminate: axiom 6's
+    else-branch recursion must not run when the condition is true.
+    """
+
+    def test_untaken_error_branch_harmless(self, queue_engine):
+        # REMOVE(ADD(NEW, i)): condition IS_EMPTY?(NEW) = true selects
+        # NEW; the else branch ADD(REMOVE(NEW), i) would be an error.
+        term = app(REMOVE, queue_term(["only"]))
+        assert queue_engine.normalize(term) == queue_term([])
+
+    def test_open_condition_left_in_place(self, queue_engine):
+        q = var("q", QUEUE_SPEC.type_of_interest)
+        node = ite(app(IS_EMPTY, q), queue_term([]), queue_term(["a"]))
+        result = queue_engine.normalize(node)
+        assert isinstance(result, Ite)
+
+
+class TestBuiltins:
+    def test_builtin_fires_on_literals(self):
+        from repro.spec.prelude import IDENTIFIER_SPEC, ISSAME
+
+        engine = RewriteEngine.for_specification(IDENTIFIER_SPEC)
+        term = app(ISSAME, identifier("a"), identifier("a"))
+        assert engine.normalize(term) == true_term()
+        assert engine.stats.builtin_firings == 1
+
+    def test_builtin_waits_for_literals(self):
+        from repro.spec.prelude import IDENTIFIER, IDENTIFIER_SPEC, ISSAME
+
+        engine = RewriteEngine.for_specification(IDENTIFIER_SPEC)
+        open_term = app(ISSAME, var("x", IDENTIFIER), identifier("a"))
+        assert engine.normalize(open_term) == open_term
+
+    def test_builtin_algebra_error_becomes_err(self):
+        from repro.algebra.signature import Operation
+        from repro.algebra.sorts import NAT, Sort
+        from repro.spec.errors import AlgebraError
+
+        def fail(_value):
+            raise AlgebraError("nope")
+
+        probe = Operation("probe", (NAT,), NAT, builtin=fail)
+        engine = RewriteEngine(RuleSet())
+        result = engine.normalize(app(probe, Lit(1, NAT)))
+        assert isinstance(result, Err)
+
+
+class TestFuel:
+    def _looping_engine(self):
+        source = """
+        type L
+        operations
+          MKL: -> L
+          SPIN: L -> L
+        vars
+          l: L
+        axioms
+          SPIN(l) = SPIN(SPIN(l))
+        """
+        spec = parse_specification(source)
+        return spec, RewriteEngine.for_specification(spec)
+
+    def test_divergence_raises_limit_error(self):
+        spec, engine = self._looping_engine()
+        engine.fuel = 500
+        term = app(spec.operation("SPIN"), app(spec.operation("MKL")))
+        with pytest.raises(RewriteLimitError):
+            engine.normalize(term)
+
+    def test_limit_error_carries_term_and_fuel(self):
+        spec, engine = self._looping_engine()
+        engine.fuel = 100
+        term = app(spec.operation("SPIN"), app(spec.operation("MKL")))
+        with pytest.raises(RewriteLimitError) as excinfo:
+            engine.normalize(term)
+        assert excinfo.value.fuel == 100
+
+
+class TestDeepTerms:
+    def test_thousands_deep_terms_evaluate(self, queue_spec):
+        """Deep (but finite) terms must not masquerade as divergence:
+        the engine raises the interpreter recursion limit in proportion
+        to term depth."""
+        engine = RewriteEngine(
+            RuleSet.from_specification(queue_spec), fuel=10_000_000
+        )
+        term = app(FRONT, queue_term(range(2000)))
+        result = engine.normalize(term)
+        assert result.value == 0  # type: ignore[union-attr]
+
+    def test_recursion_limit_restored(self, queue_spec):
+        import sys
+
+        before = sys.getrecursionlimit()
+        engine = RewriteEngine(
+            RuleSet.from_specification(queue_spec), fuel=10_000_000
+        )
+        engine.normalize(app(FRONT, queue_term(range(1500))))
+        assert sys.getrecursionlimit() == before
+
+    def test_limit_error_message_truncated(self, queue_spec):
+        from repro.spec.parser import parse_specification
+
+        source = """
+        type L
+        operations
+          MKL: -> L
+          SPIN: L -> L
+        vars
+          l: L
+        axioms
+          SPIN(l) = SPIN(SPIN(l))
+        """
+        spec = parse_specification(source)
+        engine = RewriteEngine.for_specification(spec)
+        engine.fuel = 200
+        term = app(spec.operation("SPIN"), app(spec.operation("MKL")))
+        with pytest.raises(RewriteLimitError) as excinfo:
+            engine.normalize(term)
+        assert len(str(excinfo.value)) < 400
+
+
+class TestIndexAblation:
+    """With and without head-symbol indexing, results agree (E10)."""
+
+    def test_same_normal_forms(self, queue_spec):
+        rules = RuleSet.from_specification(queue_spec)
+        indexed = RewriteEngine(rules, use_index=True)
+        linear = RewriteEngine(rules, use_index=False)
+        for values in (["a"], ["a", "b"], ["a", "b", "c", "d"]):
+            term = app(REMOVE, queue_term(values))
+            assert indexed.normalize(term) == linear.normalize(term)
+
+
+class TestCache:
+    def test_cache_hits_counted(self, queue_spec):
+        engine = RewriteEngine(RuleSet.from_specification(queue_spec))
+        term = app(FRONT, queue_term(["a", "b", "c"]))
+        first = engine.normalize(term)
+        hits_after_first = engine.stats.cache_hits
+        second = engine.normalize(term)
+        assert second == first
+        # The repeat call is answered from the cache.
+        assert engine.stats.cache_hits > hits_after_first
+
+    def test_cached_and_uncached_agree(self, queue_spec):
+        rules = RuleSet.from_specification(queue_spec)
+        cached = RewriteEngine(rules, cache_size=4096)
+        uncached = RewriteEngine(rules, cache_size=0)
+        for values in ([], ["a"], ["a", "b", "c"]):
+            for op in (FRONT, REMOVE, IS_EMPTY):
+                term = app(op, queue_term(values))
+                assert cached.normalize(term) == uncached.normalize(term)
+
+    def test_cache_disabled_stores_nothing(self, queue_spec):
+        engine = RewriteEngine(
+            RuleSet.from_specification(queue_spec), cache_size=0
+        )
+        engine.normalize(app(FRONT, queue_term(["a"])))
+        assert engine._cache == {}
+
+    def test_cache_bounded(self, queue_spec):
+        engine = RewriteEngine(
+            RuleSet.from_specification(queue_spec), cache_size=4
+        )
+        for index in range(40):
+            engine.normalize(app(FRONT, queue_term([index])))
+        assert len(engine._cache) <= 4
+
+    def test_open_terms_not_cached(self, queue_spec):
+        engine = RewriteEngine(RuleSet.from_specification(queue_spec))
+        q = var("q", QUEUE_SPEC.type_of_interest)
+        engine.normalize(app(IS_EMPTY, app(ADD, q, item("a"))))
+        assert all(key.is_ground() for key in engine._cache)
+
+
+class TestEquality:
+    def test_equal_normal_forms(self, queue_engine):
+        left = app(REMOVE, queue_term(["a", "b"]))
+        right = queue_term(["b"])
+        assert queue_engine.equal(left, right)
+
+    def test_unequal_normal_forms(self, queue_engine):
+        assert not queue_engine.equal(queue_term(["a"]), queue_term(["b"]))
+
+    def test_check_axiom_instance(self, queue_spec, queue_engine):
+        from repro.algebra.substitution import Substitution
+
+        axiom = queue_spec.axioms[3]  # FRONT(ADD(q, i)) = ...
+        variables = {v.name: v for v in axiom.variables()}
+        sigma = Substitution(
+            {
+                variables["q"]: queue_term(["x"]),
+                variables["i"]: item("y"),
+            }
+        )
+        assert queue_engine.check_axiom_instance(axiom, sigma)
+
+
+class TestSimplify:
+    def test_simplify_open_term(self, queue_engine):
+        q = var("q", QUEUE_SPEC.type_of_interest)
+        term = app(IS_EMPTY, app(ADD, q, item("a")))
+        assert queue_engine.simplify(term) == false_term()
+
+    def test_simplify_collapses_equal_branches(self, queue_engine):
+        q = var("q", QUEUE_SPEC.type_of_interest)
+        node = ite(app(IS_EMPTY, q), queue_term([]), queue_term([]))
+        assert queue_engine.simplify(node) == queue_term([])
+
+    def test_simplify_normalises_both_branches(self, queue_engine):
+        q = var("q", QUEUE_SPEC.type_of_interest)
+        node = ite(
+            app(IS_EMPTY, q),
+            app(REMOVE, queue_term(["a"])),
+            queue_term(["b"]),
+        )
+        result = queue_engine.simplify(node)
+        assert isinstance(result, Ite)
+        assert result.then_branch == queue_term([])
+
+    def test_stats_reset(self, queue_engine):
+        queue_engine.normalize(app(FRONT, queue_term(["a"])))
+        assert queue_engine.stats.steps > 0
+        queue_engine.stats.reset()
+        assert queue_engine.stats.steps == 0

@@ -1,0 +1,126 @@
+"""Unit tests for the recursive path ordering."""
+
+import pytest
+
+from repro.algebra.signature import Operation
+from repro.algebra.sorts import BOOLEAN, Sort
+from repro.algebra.terms import app, err, lit, var
+from repro.spec.axioms import Axiom
+from repro.analysis.classify import classify
+from repro.rewriting.ordering import (
+    ITE_SYMBOL,
+    Precedence,
+    orient,
+    rpo_greater,
+    rule_decreases,
+)
+from repro.rewriting.rules import rule_from_axiom
+
+T = Sort("T")
+E = Sort("E")
+
+MK = Operation("mk", (), T)
+GROW = Operation("grow", (T, E), T)
+SHRINK = Operation("shrink", (T,), T)
+PEEK = Operation("peek", (T,), E)
+
+t = var("t", T)
+e = var("e", E)
+
+PREC = Precedence.from_layers([[ITE_SYMBOL], ["mk", "grow"], ["shrink", "peek"]])
+
+
+class TestPrecedence:
+    def test_layers_give_ranks(self):
+        assert PREC.greater("peek", "grow")
+        assert not PREC.greater("grow", "peek")
+
+    def test_equal_ranks(self):
+        assert PREC.equal("mk", "grow")
+        assert PREC.equal("unknown1", "unknown2")
+
+    def test_definitional_constructor_below_defined(self):
+        prec = Precedence.definitional([MK, GROW], [PEEK, SHRINK])
+        assert prec.greater("peek", "grow")
+        assert prec.greater("shrink", "mk")
+
+
+class TestRpo:
+    def test_term_dominates_its_variables(self):
+        assert rpo_greater(app(GROW, t, e), t, PREC)
+
+    def test_variable_never_dominates(self):
+        assert not rpo_greater(t, app(MK), PREC)
+
+    def test_strictness(self):
+        term = app(GROW, t, e)
+        assert not rpo_greater(term, term, PREC)
+
+    def test_unrelated_variable_not_dominated(self):
+        other = var("u", T)
+        assert not rpo_greater(app(GROW, t, e), other, PREC)
+
+    def test_bigger_head_dominates(self):
+        # peek(t) > mk  (peek has higher precedence, no args to beat)
+        assert rpo_greater(app(PEEK, t), app(MK), PREC)
+
+    def test_subterm_dominance(self):
+        # grow(mk, e) > mk because an argument equals it
+        assert rpo_greater(app(GROW, app(MK), e), app(MK), PREC)
+
+    def test_lexicographic_same_head(self):
+        bigger = app(GROW, app(GROW, t, e), e)
+        smaller = app(GROW, t, e)
+        assert rpo_greater(bigger, smaller, PREC)
+        assert not rpo_greater(smaller, bigger, PREC)
+
+    def test_leaves_are_minimal(self):
+        assert rpo_greater(app(MK), lit("a", E), PREC)
+        assert rpo_greater(app(MK), err(T), PREC)
+        assert not rpo_greater(lit("a", E), app(MK), PREC)
+
+
+class TestRuleDecreases:
+    def test_definitional_rule_decreases(self):
+        rule = rule_from_axiom(Axiom(app(PEEK, app(GROW, t, e)), e))
+        assert rule_decreases(rule, PREC)
+
+    def test_growing_rule_does_not_decrease(self):
+        rule = rule_from_axiom(
+            Axiom(app(SHRINK, t), app(SHRINK, app(SHRINK, t)))
+        )
+        assert not rule_decreases(rule, PREC)
+
+    def test_all_paper_axioms_decrease(
+        self, queue_spec, stack_spec, array_spec, symboltable_spec
+    ):
+        for spec in (queue_spec, stack_spec, array_spec, symboltable_spec):
+            cls = classify(spec)
+            precedence = Precedence.definitional(
+                cls.constructors, cls.defined_operations
+            )
+            for axiom in spec.axioms:
+                assert rule_decreases(rule_from_axiom(axiom), precedence), (
+                    f"axiom {axiom} of {spec.name} should decrease"
+                )
+
+
+class TestOrient:
+    def test_forward_orientation_preferred(self):
+        axiom = Axiom(app(PEEK, app(GROW, t, e)), e)
+        rule = orient(axiom, PREC)
+        assert rule is not None and rule.lhs == axiom.lhs
+
+    def test_backward_orientation_when_needed(self):
+        # mk = shrink(mk): only shrink(mk) -> mk decreases.
+        axiom = Axiom(app(GROW, app(MK), e), app(GROW, app(SHRINK, app(MK)), e))
+        rule = orient(axiom, PREC)
+        assert rule is not None
+        assert rule.lhs == app(GROW, app(SHRINK, app(MK)), e)
+
+    def test_unorientable_returns_none(self):
+        # x + y = y + x style: two variables swapped, same head.
+        comm = Operation("mix", (T, T), T)
+        u = var("u", T)
+        axiom = Axiom(app(comm, t, u), app(comm, u, t))
+        assert orient(axiom, PREC) is None

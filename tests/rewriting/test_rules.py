@@ -1,0 +1,92 @@
+"""Unit tests for rewrite rules and rule sets."""
+
+import pytest
+
+from repro.algebra.signature import Operation
+from repro.algebra.sorts import BOOLEAN, Sort
+from repro.algebra.terms import app, lit, var
+from repro.spec.axioms import Axiom
+from repro.spec.prelude import true_term
+from repro.rewriting.rules import RewriteRule, RuleSet, rule_from_axiom
+
+T = Sort("T")
+E = Sort("E")
+
+MK = Operation("mk", (), T)
+GROW = Operation("grow", (T, E), T)
+PEEK = Operation("peek", (T,), E)
+
+t = var("t", T)
+e = var("e", E)
+
+
+class TestRewriteRule:
+    def test_lhs_must_be_application(self):
+        with pytest.raises(ValueError):
+            RewriteRule(t, app(MK))
+
+    def test_rhs_variables_must_come_from_lhs(self):
+        with pytest.raises(ValueError, match="introduces variables"):
+            RewriteRule(app(PEEK, app(MK)), e)
+
+    def test_apply_at_root_success(self):
+        rule = RewriteRule(app(PEEK, app(GROW, t, e)), e)
+        result = rule.apply_at_root(
+            app(PEEK, app(GROW, app(MK), lit("a", E)))
+        )
+        assert result == lit("a", E)
+
+    def test_apply_at_root_no_match(self):
+        rule = RewriteRule(app(PEEK, app(GROW, t, e)), e)
+        assert rule.apply_at_root(app(PEEK, app(MK))) is None
+
+    def test_head(self):
+        rule = RewriteRule(app(PEEK, t), lit("x", E))
+        assert rule.head == PEEK
+
+    def test_as_axiom_roundtrip(self):
+        axiom = Axiom(app(PEEK, app(GROW, t, e)), e, "4")
+        rule = rule_from_axiom(axiom)
+        back = rule.as_axiom()
+        assert back.lhs == axiom.lhs and back.rhs == axiom.rhs
+        assert back.label == "4"
+
+    def test_str_includes_label(self):
+        rule = RewriteRule(app(PEEK, app(GROW, t, e)), e, "4")
+        assert str(rule).startswith("[4]")
+
+
+class TestRuleSet:
+    def _rules(self):
+        return [
+            RewriteRule(app(PEEK, app(GROW, t, e)), e, "a"),
+            RewriteRule(app(PEEK, app(MK)), lit("none", E), "b"),
+        ]
+
+    def test_indexes_by_head(self):
+        ruleset = RuleSet(self._rules())
+        assert len(ruleset.for_head(PEEK)) == 2
+        assert len(ruleset.for_head(GROW)) == 0
+
+    def test_order_preserved_within_head(self):
+        ruleset = RuleSet(self._rules())
+        labels = [rule.label for rule in ruleset.for_head(PEEK)]
+        assert labels == ["a", "b"]
+
+    def test_heads(self):
+        assert RuleSet(self._rules()).heads() == {"peek"}
+
+    def test_len_and_iter(self):
+        ruleset = RuleSet(self._rules())
+        assert len(ruleset) == 2
+        assert len(list(ruleset)) == 2
+
+    def test_from_specification_includes_used_levels(self, queue_spec):
+        ruleset = RuleSet.from_specification(queue_spec)
+        heads = ruleset.heads()
+        # Queue's own axioms plus Boolean's not/and/or.
+        assert {"IS_EMPTY?", "FRONT", "REMOVE", "not"} <= heads
+
+    def test_from_axioms(self, queue_spec):
+        ruleset = RuleSet.from_axioms(queue_spec.axioms)
+        assert len(ruleset) == 6

@@ -1,0 +1,128 @@
+"""Unit tests for axioms."""
+
+import pytest
+
+from repro.algebra.signature import Operation
+from repro.algebra.sorts import BOOLEAN, Sort
+from repro.algebra.terms import app, err, ite, lit, var
+from repro.spec.axioms import (
+    Axiom,
+    AxiomError,
+    check_definitional,
+    lhs_argument_shape,
+)
+from repro.spec.prelude import false_term, true_term
+
+T = Sort("T")
+E = Sort("E")
+
+MK = Operation("mk", (), T)
+GROW = Operation("grow", (T, E), T)
+SHRINK = Operation("shrink", (T,), T)
+PEEK = Operation("peek", (T,), E)
+EMPTYP = Operation("empty?", (T,), BOOLEAN)
+
+t = var("t", T)
+e = var("e", E)
+
+
+class TestValidation:
+    def test_sides_must_share_sort(self):
+        with pytest.raises(AxiomError, match="different sorts"):
+            Axiom(app(PEEK, t), app(MK))
+
+    def test_lhs_must_be_application(self):
+        with pytest.raises(AxiomError):
+            Axiom(t, app(MK))
+        with pytest.raises(AxiomError):
+            Axiom(lit("a", E), lit("a", E))
+        with pytest.raises(AxiomError):
+            Axiom(err(T), app(MK))
+
+    def test_lhs_may_not_be_ite(self):
+        node = ite(app(EMPTYP, t), app(MK), t)
+        with pytest.raises(AxiomError, match="if-then-else"):
+            Axiom(node, t)
+
+    def test_rhs_variables_must_be_bound(self):
+        with pytest.raises(AxiomError, match="not bound"):
+            Axiom(app(SHRINK, app(MK)), t)
+
+    def test_valid_axiom_constructs(self):
+        axiom = Axiom(app(PEEK, app(GROW, t, e)), e, "4")
+        assert axiom.label == "4"
+        assert axiom.head == PEEK
+
+
+class TestQueries:
+    def test_variables_union(self):
+        axiom = Axiom(app(PEEK, app(GROW, t, e)), e)
+        assert axiom.variables() == {t, e}
+
+    def test_operations_union(self):
+        axiom = Axiom(app(PEEK, app(GROW, t, e)), e)
+        assert axiom.operations() == {PEEK, GROW}
+
+    def test_left_linear(self):
+        assert Axiom(app(PEEK, app(GROW, t, e)), e).is_left_linear()
+
+    def test_non_left_linear_detected(self):
+        dup = Operation("pair?", (T, T), BOOLEAN)
+        axiom = Axiom(app(dup, t, t), true_term())
+        assert not axiom.is_left_linear()
+
+    def test_renamed_produces_variant(self):
+        from repro.algebra.matching import variant_of
+
+        axiom = Axiom(app(PEEK, app(GROW, t, e)), e)
+        renamed = axiom.renamed("_1")
+        assert variant_of(axiom.lhs, renamed.lhs)
+        assert renamed.label == axiom.label
+        assert t not in renamed.variables()
+
+    def test_str_includes_label(self):
+        axiom = Axiom(app(EMPTYP, app(MK)), true_term(), "1")
+        assert str(axiom) == "(1) empty?(mk) = true"
+
+
+class TestArgumentShape:
+    def test_constructor_argument_reported(self):
+        axiom = Axiom(app(PEEK, app(GROW, t, e)), e)
+        assert lhs_argument_shape(axiom) == (GROW,)
+
+    def test_bare_variable_reported_none(self):
+        axiom = Axiom(app(PEEK, t), err(E))
+        assert lhs_argument_shape(axiom) == (None,)
+
+    def test_mixed_arguments(self):
+        pick = Operation("pick", (T, E), E)
+        axiom = Axiom(app(pick, app(MK), e), e)
+        assert lhs_argument_shape(axiom) == (MK, None)
+
+
+class TestCheckDefinitional:
+    def test_clean_axioms_no_problems(self):
+        axioms = [
+            Axiom(app(EMPTYP, app(MK)), true_term()),
+            Axiom(app(EMPTYP, app(GROW, t, e)), false_term()),
+        ]
+        assert check_definitional(axioms) == []
+
+    def test_deep_nesting_reported(self):
+        deep = Axiom(
+            app(PEEK, app(GROW, app(GROW, t, e), var("f", E))),
+            e,
+        )
+        problems = check_definitional([deep])
+        assert any("nests" in p for p in problems)
+
+    def test_shared_lhs_different_rhs_reported(self):
+        first = Axiom(app(EMPTYP, app(MK)), true_term())
+        second = Axiom(app(EMPTYP, app(MK)), false_term())
+        problems = check_definitional([first, second])
+        assert any("disagree" in p for p in problems)
+
+    def test_non_left_linear_reported(self):
+        dup = Operation("pair?", (T, T), BOOLEAN)
+        problems = check_definitional([Axiom(app(dup, t, t), true_term())])
+        assert any("linear" in p for p in problems)

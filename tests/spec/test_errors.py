@@ -1,0 +1,62 @@
+"""Unit tests for the error algebra."""
+
+from repro.algebra.signature import Operation
+from repro.algebra.sorts import BOOLEAN, Sort
+from repro.algebra.terms import app, err, ite, lit, var
+from repro.spec.errors import AlgebraError, is_error, propagate_error
+from repro.spec.prelude import true_term
+
+T = Sort("T")
+E = Sort("E")
+
+MK = Operation("mk", (), T)
+GROW = Operation("grow", (T, E), T)
+EMPTYP = Operation("empty?", (T,), BOOLEAN)
+
+
+class TestPropagation:
+    def test_operation_with_error_argument_is_error(self):
+        result = propagate_error(app(GROW, err(T), lit("a", E)))
+        assert result == err(T)
+
+    def test_error_in_any_position_propagates(self):
+        result = propagate_error(app(GROW, app(MK), err(E)))
+        assert result == err(T)
+
+    def test_result_takes_operation_range_sort(self):
+        result = propagate_error(app(EMPTYP, err(T)))
+        assert result == err(BOOLEAN)
+
+    def test_clean_application_unaffected(self):
+        assert propagate_error(app(GROW, app(MK), lit("a", E))) is None
+
+    def test_error_condition_poisons_ite(self):
+        result = propagate_error(ite(err(BOOLEAN), app(MK), app(MK)))
+        assert result == err(T)
+
+    def test_error_in_branch_does_not_propagate(self):
+        # The conditional chooses; an error in the untaken branch is fine.
+        node = ite(true_term(), app(MK), err(T))
+        assert propagate_error(node) is None
+
+    def test_leaves_are_never_propagated(self):
+        assert propagate_error(var("t", T)) is None
+        assert propagate_error(lit("a", E)) is None
+        assert propagate_error(err(T)) is None
+
+
+class TestIsError:
+    def test_recognises_error(self):
+        assert is_error(err(T))
+
+    def test_rejects_values(self):
+        assert not is_error(app(MK))
+        assert not is_error(lit("a", E))
+
+
+class TestAlgebraError:
+    def test_default_message(self):
+        assert str(AlgebraError()) == "error"
+
+    def test_custom_message(self):
+        assert "FRONT" in str(AlgebraError("FRONT(NEW)"))

@@ -1,0 +1,91 @@
+"""Unit tests for the specification DSL lexer."""
+
+import pytest
+
+from repro.spec.lexer import LexError, Token, TokenKind, tokenize
+
+
+def kinds(source: str) -> list[TokenKind]:
+    return [token.kind for token in tokenize(source)]
+
+
+def texts(source: str) -> list[str]:
+    return [token.text for token in tokenize(source)][:-1]  # drop EOF
+
+
+class TestBasics:
+    def test_empty_input_gives_eof(self):
+        assert kinds("") == [TokenKind.EOF]
+
+    def test_identifiers(self):
+        assert texts("NEW ADD q") == ["NEW", "ADD", "q"]
+
+    def test_question_suffix_kept(self):
+        assert texts("IS_EMPTY?") == ["IS_EMPTY?"]
+
+    def test_dotted_identifier(self):
+        assert texts("IS.NEWSTACK?") == ["IS.NEWSTACK?"]
+
+    def test_question_mark_only_trailing(self):
+        # The '?' binds to the preceding identifier, not the following.
+        tokens = texts("A?B")
+        assert tokens == ["A?", "B"]
+
+    def test_arrow(self):
+        assert kinds("->")[:-1] == [TokenKind.ARROW]
+
+    def test_punctuation(self):
+        assert kinds("( ) [ ] , : =")[:-1] == [
+            TokenKind.LPAREN,
+            TokenKind.RPAREN,
+            TokenKind.LBRACKET,
+            TokenKind.RBRACKET,
+            TokenKind.COMMA,
+            TokenKind.COLON,
+            TokenKind.EQUALS,
+        ]
+
+    def test_integer(self):
+        tokens = tokenize("42")
+        assert tokens[0].kind is TokenKind.INT
+        assert tokens[0].text == "42"
+
+    def test_single_quoted_string(self):
+        tokens = tokenize("'hello'")
+        assert tokens[0].kind is TokenKind.STRING
+        assert tokens[0].text == "hello"
+
+    def test_double_quoted_string(self):
+        tokens = tokenize('"hi there"')
+        assert tokens[0].text == "hi there"
+
+
+class TestCommentsAndLayout:
+    def test_comment_to_end_of_line(self):
+        assert texts("NEW -- a comment\nADD") == ["NEW", "ADD"]
+
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_whitespace_between_tokens(self):
+        assert texts("a\t b \r\n c") == ["a", "b", "c"]
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(LexError, match="unexpected character"):
+            tokenize("@")
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError, match="unterminated"):
+            tokenize("'oops")
+
+    def test_string_may_not_span_lines(self):
+        with pytest.raises(LexError):
+            tokenize("'one\ntwo'")
+
+    def test_error_reports_position(self):
+        with pytest.raises(LexError, match="line 2"):
+            tokenize("ok\n  @")

@@ -1,0 +1,56 @@
+"""Tests for the standalone term parser (`parse_term`)."""
+
+import pytest
+
+from repro.algebra.sorts import Sort
+from repro.algebra.terms import App, Err, Ite, Lit, Var
+from repro.spec.parser import ParseError, parse_term
+from repro.adt.queue import QUEUE_SPEC
+
+
+class TestParseTerm:
+    def test_ground_application(self):
+        term = parse_term("ADD(NEW, 'a')", QUEUE_SPEC)
+        assert isinstance(term, App)
+        assert str(term) == "ADD(NEW, 'a')"
+
+    def test_nullary_operation(self):
+        assert str(parse_term("NEW", QUEUE_SPEC)) == "NEW"
+
+    def test_nested(self):
+        term = parse_term("FRONT(REMOVE(ADD(ADD(NEW, 1), 2)))", QUEUE_SPEC)
+        assert term.sort == Sort("Item")
+
+    def test_variables_from_mapping(self):
+        q = Var("q", QUEUE_SPEC.type_of_interest)
+        term = parse_term("IS_EMPTY?(q)", QUEUE_SPEC, variables={"q": q})
+        assert q in term.variables()
+
+    def test_unknown_name(self):
+        with pytest.raises(ParseError, match="unknown name"):
+            parse_term("IS_EMPTY?(q)", QUEUE_SPEC)
+
+    def test_expected_sort_for_error(self):
+        term = parse_term(
+            "error", QUEUE_SPEC, expected=QUEUE_SPEC.type_of_interest
+        )
+        assert isinstance(term, Err)
+
+    def test_error_without_context_rejected(self):
+        with pytest.raises(ParseError):
+            parse_term("error", QUEUE_SPEC)
+
+    def test_trailing_input_rejected(self):
+        with pytest.raises(ParseError, match="unexpected input"):
+            parse_term("NEW NEW", QUEUE_SPEC)
+
+    def test_if_then_else(self):
+        term = parse_term(
+            "if IS_EMPTY?(NEW) then NEW else ADD(NEW, 'a')", QUEUE_SPEC
+        )
+        assert isinstance(term, Ite)
+
+    def test_uses_full_signature(self):
+        # Boolean's `true` comes from the used level.
+        term = parse_term("true", QUEUE_SPEC)
+        assert str(term) == "true"

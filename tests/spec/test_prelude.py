@@ -1,0 +1,120 @@
+"""Unit tests for the prelude types."""
+
+import pytest
+
+from repro.algebra.sorts import BOOLEAN, NAT
+from repro.algebra.terms import App, Lit, app
+from repro.rewriting import RewriteEngine
+from repro.spec.prelude import (
+    AND,
+    BOOLEAN_SPEC,
+    FALSE,
+    HASH,
+    HASH_BUCKETS,
+    IDENTIFIER,
+    IDENTIFIER_SPEC,
+    ISSAME,
+    NAT_SPEC,
+    NOT,
+    OR,
+    TRUE,
+    boolean_term,
+    false_term,
+    identifier,
+    is_false,
+    is_true,
+    nat_lit,
+    nat_term,
+    true_term,
+)
+
+
+class TestBooleanAlgebra:
+    @pytest.fixture()
+    def engine(self):
+        return RewriteEngine.for_specification(BOOLEAN_SPEC)
+
+    def test_not(self, engine):
+        assert engine.normalize(app(NOT, true_term())) == false_term()
+        assert engine.normalize(app(NOT, false_term())) == true_term()
+
+    @pytest.mark.parametrize(
+        "left, right, expected",
+        [
+            (True, True, True),
+            (True, False, False),
+            (False, True, False),
+            (False, False, False),
+        ],
+    )
+    def test_and_truth_table(self, engine, left, right, expected):
+        term = app(AND, boolean_term(left), boolean_term(right))
+        assert engine.normalize(term) == boolean_term(expected)
+
+    @pytest.mark.parametrize(
+        "left, right, expected",
+        [
+            (True, True, True),
+            (True, False, True),
+            (False, True, True),
+            (False, False, False),
+        ],
+    )
+    def test_or_truth_table(self, engine, left, right, expected):
+        term = app(OR, boolean_term(left), boolean_term(right))
+        assert engine.normalize(term) == boolean_term(expected)
+
+    def test_is_true_is_false(self):
+        assert is_true(true_term()) and not is_true(false_term())
+        assert is_false(false_term()) and not is_false(true_term())
+
+    def test_boolean_term(self):
+        assert boolean_term(True) == true_term()
+        assert boolean_term(False) == false_term()
+
+
+class TestNat:
+    def test_nat_term_builds_peano(self):
+        three = nat_term(3)
+        assert three.sort == NAT
+        assert three.size() == 4  # succ(succ(succ(zero)))
+
+    def test_nat_term_zero(self):
+        assert str(nat_term(0)) == "zero"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            nat_term(-1)
+        with pytest.raises(ValueError):
+            nat_lit(-1)
+
+    def test_nat_lit(self):
+        assert nat_lit(7) == Lit(7, NAT)
+
+
+class TestIdentifier:
+    def test_identifier_literal(self):
+        assert identifier("x") == Lit("x", IDENTIFIER)
+
+    def test_issame_builtin_fires_in_engine(self):
+        engine = RewriteEngine.for_specification(IDENTIFIER_SPEC)
+        same = app(ISSAME, identifier("x"), identifier("x"))
+        different = app(ISSAME, identifier("x"), identifier("y"))
+        assert engine.normalize(same) == true_term()
+        assert engine.normalize(different) == false_term()
+
+    def test_hash_stable_and_in_range(self):
+        engine = RewriteEngine.for_specification(IDENTIFIER_SPEC)
+        result = engine.normalize(app(HASH, identifier("counter")))
+        again = engine.normalize(app(HASH, identifier("counter")))
+        assert result == again
+        assert isinstance(result, Lit)
+        assert 1 <= result.value <= HASH_BUCKETS  # type: ignore[operator]
+
+    def test_hash_spreads_names(self):
+        engine = RewriteEngine.for_specification(IDENTIFIER_SPEC)
+        buckets = {
+            engine.normalize(app(HASH, identifier(name))).value  # type: ignore[union-attr]
+            for name in ("a", "b", "c", "d", "e", "f", "g", "h")
+        }
+        assert len(buckets) > 1

@@ -1,0 +1,133 @@
+"""Tests for the DSL printer, including parse/print round-trips."""
+
+import pytest
+
+from repro.spec.parser import parse_specification
+from repro.spec.printer import (
+    UnprintableSpecification,
+    term_to_dsl,
+    to_dsl,
+)
+from repro.adt.array import ARRAY_SPEC
+from repro.adt.boundedqueue import BOUNDED_QUEUE_SPEC
+from repro.adt.knowlist import KNOWLIST_SPEC
+from repro.adt.queue import QUEUE_SPEC
+from repro.adt.stack import STACK_SPEC
+from repro.adt.store import STORE_SPEC
+from repro.adt.symboltable import SYMBOLTABLE_SPEC
+
+ROUND_TRIP_SPECS = [
+    QUEUE_SPEC,
+    STACK_SPEC,
+    ARRAY_SPEC,
+    SYMBOLTABLE_SPEC,
+    BOUNDED_QUEUE_SPEC,
+    KNOWLIST_SPEC,
+    STORE_SPEC,
+]
+
+
+def _environment_for(spec):
+    return {used.name: used for used in spec.uses}
+
+
+class TestTermToDsl:
+    def test_nullary(self):
+        from repro.adt.queue import NEW
+        from repro.algebra.terms import app
+
+        assert term_to_dsl(app(NEW)) == "NEW"
+
+    def test_application(self, queue_spec):
+        from repro.adt.queue import queue_term
+
+        assert term_to_dsl(queue_term(["a"])) == "ADD(NEW, 'a')"
+
+    def test_int_literal(self):
+        from repro.algebra.sorts import NAT
+        from repro.algebra.terms import Lit
+
+        assert term_to_dsl(Lit(3, NAT)) == "3"
+
+    def test_error(self):
+        from repro.algebra.terms import Err
+        from repro.algebra.sorts import Sort
+
+        assert term_to_dsl(Err(Sort("T"))) == "error"
+
+    def test_ite(self, queue_spec):
+        axiom = queue_spec.axioms[3]  # FRONT(ADD(q,i)) = if ...
+        rendered = term_to_dsl(axiom.rhs)
+        assert rendered.startswith("if IS_EMPTY?(q) then i else")
+
+    def test_unprintable_literal(self):
+        from repro.algebra.sorts import Sort
+        from repro.algebra.terms import Lit
+
+        with pytest.raises(UnprintableSpecification):
+            term_to_dsl(Lit(("tu", "ple"), Sort("T")))
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("spec", ROUND_TRIP_SPECS, ids=lambda s: s.name)
+    def test_signature_survives(self, spec):
+        reparsed = parse_specification(to_dsl(spec), _environment_for(spec))
+        assert reparsed.name == spec.name
+        original_ops = {
+            op.name: (op.domain, op.range)
+            for op in spec.own_operations()
+        }
+        reparsed_ops = {
+            op.name: (op.domain, op.range)
+            for op in reparsed.own_operations()
+        }
+        assert reparsed_ops == original_ops
+
+    @pytest.mark.parametrize("spec", ROUND_TRIP_SPECS, ids=lambda s: s.name)
+    def test_axioms_survive(self, spec):
+        reparsed = parse_specification(to_dsl(spec), _environment_for(spec))
+        assert [(a.label, a.lhs, a.rhs) for a in reparsed.axioms] == [
+            (a.label, a.lhs, a.rhs) for a in spec.axioms
+        ]
+
+    @pytest.mark.parametrize("spec", ROUND_TRIP_SPECS, ids=lambda s: s.name)
+    def test_parameters_survive(self, spec):
+        reparsed = parse_specification(to_dsl(spec), _environment_for(spec))
+        assert reparsed.parameter_sorts == spec.parameter_sorts
+
+    def test_round_trip_preserves_analysis_verdicts(self):
+        from repro.analysis import check_sufficient_completeness
+
+        reparsed = parse_specification(
+            to_dsl(QUEUE_SPEC), _environment_for(QUEUE_SPEC)
+        )
+        assert check_sufficient_completeness(reparsed).sufficiently_complete
+
+
+class TestSave:
+    def test_save_and_reload(self, tmp_path):
+        path = tmp_path / "queue.spec"
+        from repro.spec.printer import save_specification
+
+        save_specification(QUEUE_SPEC, str(path))
+        reparsed = parse_specification(path.read_text())
+        assert len(reparsed.axioms) == 6
+
+    def test_repaired_spec_saves(self, tmp_path):
+        """The completion session's output can be persisted."""
+        from repro.analysis import CompletionSession, default_boundary_oracle
+        from repro.spec.specification import Specification
+
+        draft = Specification(
+            QUEUE_SPEC.name,
+            QUEUE_SPEC.signature,
+            QUEUE_SPEC.type_of_interest,
+            tuple(a for a in QUEUE_SPEC.axioms if a.label != "5"),
+            QUEUE_SPEC.uses,
+            QUEUE_SPEC.parameter_sorts,
+        )
+        repaired = CompletionSession(draft, default_boundary_oracle).run()
+        text = to_dsl(repaired)
+        assert "REMOVE(NEW) = error" in text
+        reparsed = parse_specification(text)
+        assert len(reparsed.axioms) == 6

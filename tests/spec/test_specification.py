@@ -1,0 +1,144 @@
+"""Unit tests for specifications (levels, enrichment, instantiation)."""
+
+import pytest
+
+from repro.algebra.signature import Operation, Signature
+from repro.algebra.sorts import BOOLEAN, Sort
+from repro.algebra.terms import app, var
+from repro.spec.axioms import Axiom
+from repro.spec.prelude import BOOLEAN_SPEC, false_term, true_term
+from repro.spec.specification import Specification, SpecificationError
+
+T = Sort("T")
+E = Sort("E")
+
+
+def _tiny_spec() -> Specification:
+    mk = Operation("mk", (), T)
+    grow = Operation("grow", (T, E), T)
+    emptyp = Operation("empty?", (T,), BOOLEAN)
+    sig = Signature([T, E, BOOLEAN], [mk, grow, emptyp])
+    t = var("t", T)
+    e = var("e", E)
+    axioms = [
+        Axiom(app(emptyp, app(mk)), true_term(), "1"),
+        Axiom(app(emptyp, app(grow, t, e)), false_term(), "2"),
+    ]
+    return Specification(
+        "Tiny", sig, T, axioms, uses=[BOOLEAN_SPEC], parameter_sorts=[E]
+    )
+
+
+class TestValidation:
+    def test_toi_must_be_declared(self):
+        sig = Signature([T])
+        with pytest.raises(SpecificationError, match="not declared"):
+            Specification("Bad", sig, Sort("Other"))
+
+    def test_name_required(self):
+        with pytest.raises(SpecificationError):
+            Specification("", Signature([T]), T)
+
+    def test_axiom_operations_must_resolve(self):
+        stray = Operation("stray", (), T)
+        sig = Signature([T], [Operation("mk", (), T)])
+        with pytest.raises(SpecificationError, match="stray"):
+            Specification("Bad", sig, T, [Axiom(app(stray), app(stray))])
+
+    def test_axiom_profile_must_match_declaration(self):
+        mk = Operation("mk", (), T)
+        sig = Signature([T, E], [mk])
+        conflicting_mk = Operation("mk", (), E)
+        with pytest.raises(SpecificationError):
+            Specification(
+                "Bad",
+                sig,
+                T,
+                [Axiom(app(conflicting_mk), app(conflicting_mk))],
+            )
+
+
+class TestLevels:
+    def test_full_signature_includes_used(self):
+        spec = _tiny_spec()
+        assert spec.full_signature().has_operation("true")
+        assert spec.full_signature().has_operation("grow")
+
+    def test_all_axioms_include_used_levels(self):
+        spec = _tiny_spec()
+        labels = {a.label for a in spec.all_axioms()}
+        assert {"1", "2", "B1"} <= labels
+
+    def test_level_names(self):
+        assert _tiny_spec().level_names() == ("Tiny", "Boolean")
+
+    def test_find_level(self):
+        spec = _tiny_spec()
+        assert spec.find_level("Boolean") is BOOLEAN_SPEC
+        with pytest.raises(SpecificationError):
+            spec.find_level("Nope")
+
+    def test_axioms_for(self):
+        spec = _tiny_spec()
+        emptyp = spec.operation("empty?")
+        assert len(spec.axioms_for(emptyp)) == 2
+
+    def test_own_operations_excludes_inherited(self):
+        names = {op.name for op in _tiny_spec().own_operations()}
+        assert "true" not in names
+        assert names == {"mk", "grow", "empty?"}
+
+
+class TestEnrichment:
+    def test_enriched_adds_operation_and_axiom(self):
+        spec = _tiny_spec()
+        size = Operation("size?", (T,), BOOLEAN)
+        t = var("t", T)
+        enriched = spec.enriched(
+            "TinySized",
+            operations=[size],
+            axioms=[Axiom(app(size, t), true_term(), "S")],
+        )
+        assert enriched.full_signature().has_operation("size?")
+        assert len(enriched.axioms) == len(spec.axioms) + 1
+        # The original is untouched.
+        assert not spec.signature.has_operation("size?")
+
+    def test_without_axioms(self):
+        spec = _tiny_spec()
+        remaining = spec.without_axioms(["1"])
+        assert [a.label for a in remaining] == ["2"]
+
+
+class TestInstantiation:
+    def test_parameter_rebinding(self):
+        spec = _tiny_spec()
+        job = Sort("Job")
+        mono = spec.instantiated("TinyOfJob", {E: job})
+        grow = mono.operation("grow")
+        assert grow.domain == (T, job)
+        assert mono.parameter_sorts == ()
+
+    def test_axioms_rebuilt(self):
+        spec = _tiny_spec()
+        mono = spec.instantiated("TinyOfJob", {E: Sort("Job")})
+        axiom2 = [a for a in mono.axioms if a.label == "2"][0]
+        grow_var_sorts = {v.sort for v in axiom2.variables()}
+        assert Sort("Job") in grow_var_sorts
+
+    def test_non_parameter_rebinding_rejected(self):
+        spec = _tiny_spec()
+        with pytest.raises(SpecificationError, match="non-parameter"):
+            spec.instantiated("Bad", {T: Sort("Job")})
+
+
+class TestPresentation:
+    def test_str_lists_sections(self):
+        text = str(_tiny_spec())
+        assert "Type: Tiny [E]" in text
+        assert "Operations:" in text
+        assert "Axioms:" in text
+        assert "Uses: Boolean" in text
+
+    def test_repr_compact(self):
+        assert "Tiny" in repr(_tiny_spec())

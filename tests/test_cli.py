@@ -1,0 +1,234 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+QUEUE_SPEC_TEXT = """
+type Queue [Item]
+uses Boolean, Item
+operations
+  NEW: -> Queue
+  ADD: Queue x Item -> Queue
+  FRONT: Queue -> Item
+  REMOVE: Queue -> Queue
+  IS_EMPTY?: Queue -> Boolean
+vars
+  q: Queue
+  i: Item
+axioms
+  (1) IS_EMPTY?(NEW) = true
+  (2) IS_EMPTY?(ADD(q, i)) = false
+  (3) FRONT(NEW) = error
+  (4) FRONT(ADD(q, i)) = if IS_EMPTY?(q) then i else FRONT(q)
+  (5) REMOVE(NEW) = error
+  (6) REMOVE(ADD(q, i)) = if IS_EMPTY?(q) then NEW else ADD(REMOVE(q), i)
+"""
+
+INCOMPLETE_SPEC_TEXT = "\n".join(
+    line
+    for line in QUEUE_SPEC_TEXT.splitlines()
+    if not line.strip().startswith("(5)")
+)
+
+PROGRAM = """
+begin
+  declare x: int;
+  x := 1;
+  ghost := 2;
+end
+"""
+
+
+@pytest.fixture()
+def queue_file(tmp_path):
+    path = tmp_path / "queue.spec"
+    path.write_text(QUEUE_SPEC_TEXT)
+    return str(path)
+
+
+@pytest.fixture()
+def incomplete_file(tmp_path):
+    path = tmp_path / "incomplete.spec"
+    path.write_text(INCOMPLETE_SPEC_TEXT)
+    return str(path)
+
+
+@pytest.fixture()
+def program_file(tmp_path):
+    path = tmp_path / "sample.block"
+    path.write_text(PROGRAM)
+    return str(path)
+
+
+class TestCheck:
+    def test_complete_spec_exits_zero(self, queue_file, capsys):
+        assert main(["check", queue_file]) == 0
+        out = capsys.readouterr().out
+        assert "sufficiently complete: YES" in out
+        assert "consistent" in out
+
+    def test_incomplete_spec_exits_nonzero(self, incomplete_file, capsys):
+        assert main(["check", incomplete_file]) == 1
+        assert "REMOVE(NEW)" in capsys.readouterr().out
+
+    def test_missing_file(self, capsys):
+        assert main(["check", "/no/such/file.spec"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_coverage_flag(self, queue_file, capsys):
+        assert main(["check", queue_file, "--coverage"]) == 0
+        assert "axiom coverage" in capsys.readouterr().out
+
+    def test_coverage_flags_dead_axiom(self, tmp_path, capsys):
+        path = tmp_path / "dead.spec"
+        path.write_text(
+            """
+            type F
+            uses Boolean
+            operations
+              MKF: -> F
+              GROW: F -> F
+              UP?: F -> Boolean
+            vars
+              f: F
+            axioms
+              (general) UP?(f) = true
+              (dead) UP?(MKF) = true
+            """
+        )
+        assert main(["check", str(path), "--coverage"]) == 1
+        assert "never fired" in capsys.readouterr().out
+
+
+class TestShow:
+    def test_pretty_prints(self, queue_file, capsys):
+        assert main(["show", queue_file]) == 0
+        out = capsys.readouterr().out
+        assert "Type: Queue [Item]" in out
+
+
+class TestPrompts:
+    def test_complete_spec_has_none(self, queue_file, capsys):
+        assert main(["prompts", queue_file]) == 0
+        assert "nothing to supply" in capsys.readouterr().out
+
+    def test_incomplete_spec_lists_cases(self, incomplete_file, capsys):
+        assert main(["prompts", incomplete_file]) == 1
+        assert "REMOVE(NEW)" in capsys.readouterr().out
+
+
+class TestEval:
+    def test_normalises_term(self, queue_file, capsys):
+        code = main(
+            ["eval", queue_file, "FRONT(ADD(ADD(NEW, 'a'), 'b'))"]
+        )
+        assert code == 0
+        assert capsys.readouterr().out.strip() == "'a'"
+
+    def test_error_value_printed(self, queue_file, capsys):
+        assert main(["eval", queue_file, "FRONT(NEW)"]) == 0
+        assert capsys.readouterr().out.strip() == "error"
+
+    def test_stats_flag(self, queue_file, capsys):
+        main(["eval", queue_file, "REMOVE(ADD(NEW, 'a'))", "--stats"])
+        captured = capsys.readouterr()
+        assert "step(s)" in captured.err
+
+    def test_bad_term_reports_cleanly(self, queue_file, capsys):
+        assert main(["eval", queue_file, "ZAP(1,2)"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestRun:
+    SOURCE = """
+    begin
+      declare x: int;
+      declare i: int;
+      while i < 4 do
+        x := x + i;
+        i := i + 1;
+      od;
+    end
+    """
+
+    def test_vm_engine(self, tmp_path, capsys):
+        path = tmp_path / "p.block"
+        path.write_text(self.SOURCE)
+        assert main(["run", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "x = 6" in out and "i = 4" in out
+
+    def test_interp_engine(self, tmp_path, capsys):
+        path = tmp_path / "p.block"
+        path.write_text(self.SOURCE)
+        assert main(["run", str(path), "--engine", "interp"]) == 0
+        assert "x = 6" in capsys.readouterr().out
+
+    def test_semantic_error_fails(self, tmp_path, capsys):
+        path = tmp_path / "bad.block"
+        path.write_text("begin ghost := 1; end")
+        assert main(["run", str(path)]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestProve:
+    PROGRAM = """
+    input i: Item
+    let q := ADD(NEW, i)
+    assert FRONT(q) = i
+    """
+    WRONG = """
+    input i: Item
+    input j: Item
+    assert FRONT(ADD(ADD(NEW, i), j)) = j
+    """
+
+    def test_proves_theorems(self, queue_file, tmp_path, capsys):
+        program = tmp_path / "thm.prove"
+        program.write_text(self.PROGRAM)
+        assert main(["prove", queue_file, str(program)]) == 0
+        assert "proved" in capsys.readouterr().out
+
+    def test_wrong_claims_exit_nonzero(self, queue_file, tmp_path, capsys):
+        program = tmp_path / "wrong.prove"
+        program.write_text(self.WRONG)
+        assert main(["prove", queue_file, str(program)]) == 1
+        assert "NOT PROVED" in capsys.readouterr().out
+
+
+class TestCompile:
+    def test_diagnostics_printed_and_exit_one(self, program_file, capsys):
+        assert main(["compile", program_file]) == 1
+        assert "ghost" in capsys.readouterr().out
+
+    def test_clean_program(self, tmp_path, capsys):
+        path = tmp_path / "ok.block"
+        path.write_text("begin declare x: int; x := 1; end")
+        assert main(["compile", str(path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_spec_backend(self, program_file, capsys):
+        assert main(["compile", program_file, "--backend", "spec"]) == 1
+
+    def test_native_backend_unavailable_for_knows(self, program_file, capsys):
+        code = main(
+            [
+                "compile",
+                program_file,
+                "--dialect",
+                "knows",
+                "--backend",
+                "native",
+            ]
+        )
+        assert code == 2
+        assert "not available" in capsys.readouterr().err
+
+    def test_knows_dialect(self, tmp_path, capsys):
+        path = tmp_path / "k.block"
+        path.write_text(
+            "begin declare g: int; begin g := 1; end; end"
+        )
+        assert main(["compile", str(path), "--dialect", "knows"]) == 1
+        assert "knows list" in capsys.readouterr().out

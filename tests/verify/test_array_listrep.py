@@ -1,0 +1,120 @@
+"""Tests for the Array-over-list-of-pairs representation."""
+
+import pytest
+
+from repro.algebra.terms import App, Err, Lit, app
+from repro.verify import (
+    Mode,
+    obligations_for,
+    verify_representation,
+)
+from repro.verify.representation import (
+    CaseDefinedOperation,
+    RepresentationError,
+)
+from repro.adt.array_listrep import (
+    BCONS,
+    BNIL,
+    MKPAIR,
+    array_list_representation,
+)
+
+
+@pytest.fixture(scope="module")
+def rep():
+    return array_list_representation()
+
+
+class TestCaseDefinedOperation:
+    def test_requires_cases(self):
+        from repro.algebra.signature import Operation
+        from repro.algebra.sorts import Sort
+
+        op = Operation("F'", (Sort("T"),), Sort("T"))
+        with pytest.raises(RepresentationError, match="at least one"):
+            CaseDefinedOperation(op, ())
+
+    def test_cases_must_match_head(self, rep):
+        from repro.algebra.signature import Operation
+        from repro.algebra.sorts import Sort
+        from repro.algebra.terms import Var
+        from repro.spec.axioms import Axiom
+
+        T = Sort("T")
+        f = Operation("F'", (T,), T)
+        g = Operation("G'", (T,), T)
+        x = Var("x", T)
+        wrong = Axiom(app(g, x), x)
+        with pytest.raises(RepresentationError, match="headed by"):
+            CaseDefinedOperation(f, (wrong,))
+
+    def test_rules_one_per_case(self, rep):
+        read = rep.defined["READ"]
+        assert isinstance(read, CaseDefinedOperation)
+        assert len(read.rules()) == 2
+
+
+class TestVerification:
+    def test_four_obligations(self, rep):
+        assert [o.label for o in obligations_for(rep)] == [
+            "17",
+            "18",
+            "19",
+            "20",
+        ]
+
+    def test_fully_correct_unconditionally(self, rep):
+        result = verify_representation(rep, Mode.UNCONDITIONAL)
+        assert result.all_proved, str(result)
+
+    def test_also_by_generator_induction(self, rep):
+        result = verify_representation(rep, Mode.REACHABLE)
+        assert result.all_proved, str(result)
+
+
+class TestBehaviour:
+    def test_read_finds_newest_binding(self, rep):
+        from repro.rewriting import RewriteEngine
+        from repro.spec.prelude import attributes, identifier
+
+        engine = RewriteEngine(rep.rules())
+        assign_p = rep.defined["ASSIGN"].operation
+        read_p = rep.defined["READ"].operation
+        empty_p = rep.defined["EMPTY"].operation
+        state = app(
+            assign_p,
+            app(assign_p, app(empty_p), identifier("x"), attributes("int")),
+            identifier("x"),
+            attributes("real"),
+        )
+        result = engine.normalize(app(read_p, state, identifier("x")))
+        assert result == Lit("real", result.sort)
+
+    def test_read_missing_is_error(self, rep):
+        from repro.rewriting import RewriteEngine
+        from repro.spec.prelude import identifier
+
+        engine = RewriteEngine(rep.rules())
+        read_p = rep.defined["READ"].operation
+        empty_p = rep.defined["EMPTY"].operation
+        result = engine.normalize(
+            app(read_p, app(empty_p), identifier("ghost"))
+        )
+        assert isinstance(result, Err)
+
+    def test_phi_rebuilds_assign_chain(self, rep):
+        from repro.rewriting import RewriteEngine
+        from repro.spec.prelude import attributes, identifier
+
+        engine = RewriteEngine(rep.rules())
+        assign_p = rep.defined["ASSIGN"].operation
+        empty_p = rep.defined["EMPTY"].operation
+        state = app(
+            assign_p, app(empty_p), identifier("x"), attributes("int")
+        )
+        image = engine.normalize(app(rep.phi, state))
+        assert str(image) == "ASSIGN(EMPTY, 'x', 'int')"
+
+    def test_str_renders_cases(self, rep):
+        text = str(rep.defined["READ"])
+        assert "READ'" in text and "::" in text

@@ -1,0 +1,87 @@
+"""The headline reproduction (E4): three-mode verification results.
+
+The paper reports: axioms 1 through 8 verify mechanically ("quite
+straightforward ... done completely mechanically by David Musser");
+axiom 9 is provable only under Assumption 1 (conditional correctness),
+or by restricting attention to reachable states.
+"""
+
+import pytest
+
+from repro.verify.driver import Mode, verify_representation
+from repro.verify.induction import not_newstack_lemma
+
+
+@pytest.fixture(scope="module")
+def unconditional(representation_module):
+    return verify_representation(representation_module, Mode.UNCONDITIONAL)
+
+
+@pytest.fixture(scope="module")
+def representation_module():
+    from repro.adt.symboltable import symboltable_representation
+
+    return symboltable_representation()
+
+
+@pytest.fixture(scope="module")
+def conditional(representation_module):
+    return verify_representation(representation_module, Mode.CONDITIONAL)
+
+
+@pytest.fixture(scope="module")
+def reachable(representation_module):
+    return verify_representation(
+        representation_module,
+        Mode.REACHABLE,
+        lemmas=[not_newstack_lemma(representation_module)],
+    )
+
+
+class TestUnconditionalMode:
+    def test_add_axioms_fail_without_assumption(self, unconditional):
+        assert set(unconditional.failed_labels) == {"6", "9"}
+
+    def test_other_axioms_prove(self, unconditional):
+        proved = {
+            o.obligation.label for o in unconditional.outcomes if o.proved
+        }
+        assert proved == {"1", "2", "3", "4", "5", "7", "8"}
+
+    def test_not_all_proved(self, unconditional):
+        assert not unconditional.all_proved
+
+
+class TestConditionalMode:
+    def test_assumption_1_closes_everything(self, conditional):
+        assert conditional.all_proved, str(conditional)
+
+    def test_axiom_9_specifically(self, conditional):
+        nine = [
+            o for o in conditional.outcomes if o.obligation.label == "9"
+        ][0]
+        assert nine.proved
+        assert nine.obligation.assumptions  # it really used Assumption 1
+
+
+class TestReachableMode:
+    def test_generator_induction_closes_everything(self, reachable):
+        assert reachable.all_proved, str(reachable)
+
+    def test_reachability_lemma_proved(self, reachable):
+        assert reachable.lemma_outcomes == [("reachable-not-newstack", True)]
+
+    def test_no_assumptions_needed(self, reachable):
+        for outcome in reachable.outcomes:
+            assert outcome.obligation.assumptions == ()
+
+
+class TestReportRendering:
+    def test_str_mentions_mode_and_verdict(self, conditional):
+        text = str(conditional)
+        assert "conditional" in text
+        assert "all proved" in text
+
+    def test_failed_report_lists_labels(self, unconditional):
+        text = str(unconditional)
+        assert "failed: 6, 9" in text

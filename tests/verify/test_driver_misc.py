@@ -1,0 +1,85 @@
+"""Additional driver-level behaviours: lemma necessity, report
+rendering, and mode plumbing."""
+
+import pytest
+
+from repro.verify import Mode, not_newstack_lemma, verify_representation
+
+
+class TestLemmaNecessity:
+    def test_induction_without_lemma_fails(self, representation):
+        """Generator induction alone is not enough: without the
+        reachability lemma the ADD' unfoldings stay stuck on
+        IS_NEWSTACK?(x0) — the lemma carries real proof weight."""
+        result = verify_representation(representation, Mode.REACHABLE)
+        assert not result.all_proved
+        assert "9" in result.failed_labels
+
+    def test_lemma_restores_the_proof(self, representation):
+        result = verify_representation(
+            representation,
+            Mode.REACHABLE,
+            lemmas=[not_newstack_lemma(representation)],
+        )
+        assert result.all_proved
+
+    def test_failed_lemma_recorded(self, representation):
+        from repro.algebra.terms import App, Var, app
+        from repro.spec.prelude import true_term
+        from repro.verify.induction import Lemma
+
+        wrong = Lemma(
+            "wrong-lemma",
+            Var("reachable", representation.rep_sort),
+            app(
+                representation.concrete.operation("IS_NEWSTACK?"),
+                Var("reachable", representation.rep_sort),
+            ),
+            true_term(),
+        )
+        result = verify_representation(
+            representation, Mode.REACHABLE, lemmas=[wrong]
+        )
+        assert ("wrong-lemma", False) in result.lemma_outcomes
+
+
+class TestReportRendering:
+    def test_outcome_str(self, representation):
+        result = verify_representation(representation, Mode.CONDITIONAL)
+        lines = str(result).splitlines()
+        assert any("(9) proved" in line for line in lines)
+
+    def test_lemma_outcomes_rendered(self, representation):
+        result = verify_representation(
+            representation,
+            Mode.REACHABLE,
+            lemmas=[not_newstack_lemma(representation)],
+        )
+        assert "lemma reachable-not-newstack: proved" in str(result)
+
+    def test_failed_labels_empty_when_clean(self, representation):
+        result = verify_representation(representation, Mode.CONDITIONAL)
+        assert result.failed_labels == ()
+
+
+class TestModePlumbing:
+    def test_fuel_parameter_respected(self, representation):
+        from repro.rewriting import RewriteLimitError
+
+        # A starvation-level budget must fail gracefully, not hang.
+        result = verify_representation(
+            representation, Mode.CONDITIONAL, fuel=3
+        )
+        assert not result.all_proved
+
+    def test_assumptionless_representation_in_conditional_mode(self):
+        """CONDITIONAL on a representation with no IS_NEWSTACK? (Queue
+        over lists) degrades gracefully to assumption-free proofs."""
+        from repro.adt.queue_listrep import queue_list_representation
+
+        result = verify_representation(
+            queue_list_representation(), Mode.CONDITIONAL
+        )
+        assert result.all_proved
+        for outcome in result.outcomes:
+            assert outcome.obligation.assumptions == ()

@@ -1,0 +1,116 @@
+"""Unit tests for generator induction."""
+
+import pytest
+
+from repro.algebra.terms import App, Var, app, var
+from repro.spec.prelude import false_term
+from repro.verify.driver import make_prover
+from repro.verify.induction import (
+    GeneratorInduction,
+    Lemma,
+    not_newstack_lemma,
+)
+
+
+@pytest.fixture()
+def induction(representation):
+    return GeneratorInduction(representation, make_prover(representation))
+
+
+class TestReachabilityLemma:
+    def test_lemma_shape(self, representation):
+        lemma = not_newstack_lemma(representation)
+        assert "IS_NEWSTACK?" in str(lemma.lhs)
+        assert lemma.rhs == false_term()
+
+    def test_lemma_provable(self, induction, representation):
+        lemma = not_newstack_lemma(representation)
+        outcome = induction.establish_lemma(lemma)
+        assert outcome.proved, str(outcome)
+        # One case per generator.
+        assert len(outcome.cases) == 3
+
+    def test_established_lemma_registered(self, induction, representation):
+        lemma = not_newstack_lemma(representation)
+        induction.establish_lemma(lemma)
+        assert lemma in induction.lemmas
+
+    def test_failed_lemma_not_registered(self, induction, representation):
+        from repro.spec.prelude import true_term
+
+        wrong = Lemma(
+            "wrong",
+            Var("reachable", representation.rep_sort),
+            app(
+                representation.concrete.operation("IS_NEWSTACK?"),
+                Var("reachable", representation.rep_sort),
+            ),
+            true_term(),
+        )
+        outcome = induction.establish_lemma(wrong)
+        assert not outcome.proved
+        assert wrong not in induction.lemmas
+
+    def test_lemma_instantiate(self, representation):
+        from repro.verify.skolem import fresh_constant
+
+        lemma = not_newstack_lemma(representation)
+        constant = fresh_constant("s", representation.rep_sort)
+        rule = lemma.instantiate(constant)
+        assert constant in [c for _, c in rule.lhs.subterms()]
+
+
+class TestInductiveProofs:
+    def test_axiom_2_by_induction(self, induction, representation):
+        """Φ(LEAVEBLOCK'(ENTERBLOCK'(x))) = Φ(x) for reachable x."""
+        from repro.verify.obligations import obligations_for
+
+        induction.establish_lemma(not_newstack_lemma(representation))
+        obligations = {
+            o.label: o for o in obligations_for(representation)
+        }
+        two = obligations["2"]
+        outcome = induction.prove(two.lhs, two.rhs, two.rep_variables[0])
+        assert outcome.proved, str(outcome)
+
+    def test_axiom_9_by_induction(self, induction, representation):
+        """The paper's hard case, closed by reachability."""
+        from repro.verify.obligations import obligations_for
+
+        induction.establish_lemma(not_newstack_lemma(representation))
+        obligations = {
+            o.label: o for o in obligations_for(representation)
+        }
+        nine = obligations["9"]
+        outcome = induction.prove(nine.lhs, nine.rhs, nine.rep_variables[0])
+        assert outcome.proved, str(outcome)
+
+    def test_wrong_variable_sort_rejected(self, induction):
+        from repro.algebra.sorts import Sort
+
+        bad = var("x", Sort("Boolean"))
+        with pytest.raises(ValueError, match="representation sort"):
+            induction.prove(bad, bad, bad)
+
+    def test_requires_generators(self, representation):
+        from repro.verify.representation import Representation
+
+        stripped = Representation(
+            representation.abstract,
+            representation.concrete,
+            representation.rep_sort,
+            tuple(representation.defined.values()),
+            representation.phi,
+            representation.phi_axioms,
+            generators=(),
+        )
+        with pytest.raises(ValueError, match="generators"):
+            GeneratorInduction(stripped, make_prover(representation))
+
+    def test_case_names_follow_generators(self, induction, representation):
+        lemma = not_newstack_lemma(representation)
+        outcome = induction.prove(lemma.lhs, lemma.rhs, lemma.variable)
+        names = [name for name, _ in outcome.cases]
+        assert any("INIT'" in name for name in names)
+        assert any("ENTERBLOCK'" in name for name in names)
+        assert any("ADD'" in name for name in names)

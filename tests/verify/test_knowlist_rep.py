@@ -1,0 +1,130 @@
+"""Tests for the adapted knows-list Symboltable representation."""
+
+import pytest
+
+from repro.algebra.terms import App, Err, Lit, app
+from repro.verify import (
+    Mode,
+    not_newstack_lemma,
+    obligations_for,
+    verify_representation,
+)
+from repro.adt.knowlist_rep import knows_symboltable_representation
+
+
+@pytest.fixture(scope="module")
+def rep():
+    return knows_symboltable_representation()
+
+
+class TestShape:
+    def test_nine_obligations(self, rep):
+        labels = {o.label for o in obligations_for(rep)}
+        assert labels == {"1", "3", "4", "6", "7", "9", "2k", "5k", "8k"}
+
+    def test_enterblock_prime_takes_knowlist(self, rep):
+        enterblock = rep.defined["ENTERBLOCK"].operation
+        assert len(enterblock.domain) == 2
+
+    def test_assumption_profile_matches_original(self, rep):
+        """Assumption 1 attaches to exactly the ADD' obligations — the
+        same conditional-correctness shape as the unmodified table."""
+        obligations = obligations_for(rep, with_assumption_1=True)
+        with_assumption = {
+            o.label for o in obligations if o.assumptions
+        }
+        assert with_assumption == {"3", "6", "9"}
+
+
+class TestVerification:
+    def test_unconditional_fails_same_axioms(self, rep):
+        result = verify_representation(rep, Mode.UNCONDITIONAL)
+        assert set(result.failed_labels) == {"6", "9"}
+
+    def test_conditional_all_proved(self, rep):
+        result = verify_representation(rep, Mode.CONDITIONAL)
+        assert result.all_proved, str(result)
+
+    def test_reachable_all_proved(self, rep):
+        result = verify_representation(
+            rep, Mode.REACHABLE, lemmas=[not_newstack_lemma(rep)]
+        )
+        assert result.all_proved, str(result)
+
+    def test_new_axioms_prove_even_unconditionally(self, rep):
+        """The *changed* relations (2k, 5k, 8k) are the easy ones: the
+        knows-list machinery adds no new unreachable-state hazards."""
+        result = verify_representation(rep, Mode.UNCONDITIONAL)
+        proved = {
+            o.obligation.label for o in result.outcomes if o.proved
+        }
+        assert {"2k", "5k", "8k"} <= proved
+
+
+class TestBehaviour:
+    def _state(self, rep, engine):
+        """ADD(ENTERBLOCK(ADD(INIT,'g','int'), [g]), 'l', 'real')"""
+        from repro.adt.knowlist import knowlist_term
+        from repro.spec.prelude import attributes, identifier
+
+        init_p = rep.defined["INIT"].operation
+        enter_p = rep.defined["ENTERBLOCK"].operation
+        add_p = rep.defined["ADD"].operation
+        global_scope = app(
+            add_p, app(init_p), identifier("g"), attributes("int")
+        )
+        inner = app(
+            enter_p, global_scope, engine.normalize(knowlist_term(["g"]))
+        )
+        return app(add_p, inner, identifier("l"), attributes("real"))
+
+    def test_retrieve_through_knows_boundary(self, rep):
+        from repro.rewriting import RewriteEngine
+        from repro.spec.prelude import identifier
+
+        engine = RewriteEngine(rep.rules())
+        retrieve_p = rep.defined["RETRIEVE"].operation
+        state = self._state(rep, engine)
+        local = engine.normalize(app(retrieve_p, state, identifier("l")))
+        known = engine.normalize(app(retrieve_p, state, identifier("g")))
+        assert local.value == "real"  # type: ignore[union-attr]
+        assert known.value == "int"  # type: ignore[union-attr]
+
+    def test_unknown_global_hidden(self, rep):
+        from repro.adt.knowlist import knowlist_term
+        from repro.rewriting import RewriteEngine
+        from repro.spec.prelude import attributes, identifier
+
+        engine = RewriteEngine(rep.rules())
+        init_p = rep.defined["INIT"].operation
+        enter_p = rep.defined["ENTERBLOCK"].operation
+        add_p = rep.defined["ADD"].operation
+        retrieve_p = rep.defined["RETRIEVE"].operation
+        state = app(
+            enter_p,
+            app(add_p, app(init_p), identifier("g"), attributes("int")),
+            engine.normalize(knowlist_term([])),  # knows nothing
+        )
+        result = engine.normalize(app(retrieve_p, state, identifier("g")))
+        assert isinstance(result, Err)
+
+    def test_phi_image_in_abstract_algebra(self, rep):
+        from repro.rewriting import RewriteEngine
+        from repro.spec.prelude import identifier
+
+        engine = RewriteEngine(rep.rules())
+        state = self._state(rep, engine)
+        image = engine.normalize(app(rep.phi, state))
+        # The image is an abstract constructor term of the knows spec.
+        assert "ENTERBLOCK" in str(image) and "ADD" in str(image)
+        # And the abstract engine agrees on retrieval through it.
+        from repro.adt.knowlist import SYMBOLTABLE_KNOWS_SPEC
+
+        abstract_engine = RewriteEngine.for_specification(
+            SYMBOLTABLE_KNOWS_SPEC
+        )
+        retrieve = SYMBOLTABLE_KNOWS_SPEC.operation("RETRIEVE")
+        result = abstract_engine.normalize(
+            app(retrieve, image, identifier("g"))
+        )
+        assert result.value == "int"  # type: ignore[union-attr]

@@ -1,0 +1,89 @@
+"""Unit tests for proof-obligation generation."""
+
+import pytest
+
+from repro.algebra.terms import App
+from repro.verify.obligations import (
+    derive_assumption_1,
+    obligations_for,
+)
+
+
+class TestObligationShape:
+    def test_one_per_abstract_axiom(self, representation):
+        obligations = obligations_for(representation)
+        assert len(obligations) == 9
+        assert [o.label for o in obligations] == [str(i) for i in range(1, 10)]
+
+    def test_toi_axioms_wrapped_in_phi(self, representation):
+        obligations = {o.label: o for o in obligations_for(representation)}
+        # Axioms 1-3 return Symboltable: Φ on both sides.
+        for label in ("1", "2", "3"):
+            obligation = obligations[label]
+            assert isinstance(obligation.lhs, App)
+            assert obligation.lhs.op == representation.phi
+            assert isinstance(obligation.rhs, App) or str(obligation.rhs) == "error"
+
+    def test_observer_axioms_not_wrapped(self, representation):
+        obligations = {o.label: o for o in obligations_for(representation)}
+        # Axioms 4-9 return Boolean/Attributelist: compared directly.
+        for label in ("4", "5", "6", "7", "8", "9"):
+            obligation = obligations[label]
+            if isinstance(obligation.lhs, App):
+                assert obligation.lhs.op != representation.phi
+
+    def test_rep_variables_detected(self, representation):
+        obligations = {o.label: o for o in obligations_for(representation)}
+        with_var = {"2", "3", "5", "6", "8", "9"}
+        for label, obligation in obligations.items():
+            if label in with_var:
+                assert obligation.rep_variables, label
+            else:
+                assert not obligation.rep_variables, label
+
+    def test_operations_translated_to_primed(self, representation):
+        obligations = {o.label: o for o in obligations_for(representation)}
+        names = {
+            node.op.name
+            for _, node in obligations["9"].lhs.subterms()
+            if isinstance(node, App)
+        }
+        assert "RETRIEVE'" in names and "ADD'" in names
+        assert "RETRIEVE" not in names and "ADD" not in names
+
+
+class TestAssumption1:
+    def test_attached_to_add_obligations(self, representation):
+        obligations = {
+            o.label: o
+            for o in obligations_for(representation, with_assumption_1=True)
+        }
+        for label in ("3", "6", "9"):
+            assumptions = obligations[label].assumptions
+            assert len(assumptions) == 1
+            assert assumptions[0].predicate_name == "IS_NEWSTACK?"
+            assert assumptions[0].value is False
+
+    def test_not_attached_elsewhere(self, representation):
+        obligations = {
+            o.label: o
+            for o in obligations_for(representation, with_assumption_1=True)
+        }
+        for label in ("1", "2", "4", "5", "7", "8"):
+            assert obligations[label].assumptions == ()
+
+    def test_disabled_by_default(self, representation):
+        for obligation in obligations_for(representation):
+            assert obligation.assumptions == ()
+
+    def test_derive_finds_variable_under_add(self, representation):
+        obligations = {o.label: o for o in obligations_for(representation)}
+        found = derive_assumption_1(
+            representation, obligations["9"].lhs, obligations["9"].rhs
+        )
+        assert len(found) == 1
+
+    def test_str_mentions_assumption(self, representation):
+        obligations = obligations_for(representation, with_assumption_1=True)
+        nine = [o for o in obligations if o.label == "9"][0]
+        assert "assuming" in str(nine)

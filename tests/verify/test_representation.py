@@ -1,0 +1,171 @@
+"""Unit tests for representations and their translation machinery."""
+
+import pytest
+
+from repro.algebra.signature import Operation
+from repro.algebra.sorts import Sort
+from repro.algebra.terms import App, Var, app, var
+from repro.verify.representation import (
+    DefinedOperation,
+    RepresentationError,
+)
+
+
+class TestDefinedOperation:
+    def test_param_count_checked(self):
+        T = Sort("T")
+        op = Operation("F'", (T,), T)
+        with pytest.raises(RepresentationError, match="parameter"):
+            DefinedOperation(op, (), var("x", T))
+
+    def test_param_sorts_checked(self):
+        T, E = Sort("T"), Sort("E")
+        op = Operation("F'", (T,), T)
+        with pytest.raises(RepresentationError, match="sort"):
+            DefinedOperation(op, (var("x", E),), var("x", E))
+
+    def test_body_sort_checked(self):
+        T, E = Sort("T"), Sort("E")
+        op = Operation("F'", (T,), T)
+        with pytest.raises(RepresentationError, match="body sort"):
+            DefinedOperation(op, (var("x", T),), var("y", E))
+
+    def test_unbound_body_variables_rejected(self):
+        T = Sort("T")
+        op = Operation("F'", (T,), T)
+        with pytest.raises(RepresentationError, match="unbound"):
+            DefinedOperation(op, (var("x", T),), var("y", T))
+
+    def test_definition_rule(self):
+        T = Sort("T")
+        op = Operation("F'", (T,), T)
+        x = var("x", T)
+        definition = DefinedOperation(op, (x,), x)
+        rule = definition.definition_rule()
+        assert rule.lhs == app(op, x)
+        assert rule.rhs == x
+
+
+class TestSymboltableRepresentation:
+    def test_every_abstract_operation_defined(self, representation):
+        abstract_names = {
+            op.name for op in representation.abstract.own_operations()
+        }
+        assert set(representation.defined) == abstract_names
+
+    def test_generators_are_the_constructors(self, representation):
+        assert set(representation.generators) == {"INIT", "ENTERBLOCK", "ADD"}
+
+    def test_phi_profile(self, representation):
+        assert representation.phi.domain == (representation.rep_sort,)
+        assert (
+            representation.phi.range
+            == representation.abstract.type_of_interest
+        )
+
+    def test_rules_exclude_abstract_axioms(self, representation):
+        heads = representation.rules().heads()
+        # Abstract RETRIEVE must not be a rule head; RETRIEVE' is.
+        assert "RETRIEVE'" in heads
+        assert "RETRIEVE" not in heads
+
+    def test_rules_include_concrete_and_phi(self, representation):
+        heads = representation.rules().heads()
+        assert {"POP", "TOP", "READ", "Φ"} <= heads
+
+
+class TestTranslate:
+    def test_operations_primed(self, representation):
+        spec = representation.abstract
+        symtab = var("symtab", spec.type_of_interest)
+        term = app(spec.operation("LEAVEBLOCK"), symtab)
+        translated = representation.translate(term)
+        assert isinstance(translated, App)
+        assert translated.op.name == "LEAVEBLOCK'"
+
+    def test_toi_variables_resorted(self, representation):
+        spec = representation.abstract
+        symtab = var("symtab", spec.type_of_interest)
+        translated = representation.translate(symtab)
+        assert isinstance(translated, Var)
+        assert translated.sort == representation.rep_sort
+
+    def test_non_toi_parts_untouched(self, representation):
+        from repro.spec.prelude import identifier
+
+        spec = representation.abstract
+        symtab = var("symtab", spec.type_of_interest)
+        term = app(spec.operation("RETRIEVE"), symtab, identifier("x"))
+        translated = representation.translate(term)
+        assert translated.children()[1] == identifier("x")
+
+    def test_variable_map_shared_across_sides(self, representation):
+        spec = representation.abstract
+        symtab = var("symtab", spec.type_of_interest)
+        vmap: dict = {}
+        first = representation.translate(symtab, vmap)
+        second = representation.translate(symtab, vmap)
+        assert first is second
+
+    def test_wrap_phi(self, representation):
+        concrete_var = var("stk", representation.rep_sort)
+        wrapped = representation.wrap_phi(concrete_var)
+        assert wrapped.op == representation.phi
+
+
+class TestDefinitionEvaluation:
+    """The primed definitions compute correctly on ground inputs."""
+
+    def test_init_prime(self, representation):
+        from repro.rewriting import RewriteEngine
+
+        engine = RewriteEngine(representation.rules())
+        init_p = representation.defined["INIT"].operation
+        value = engine.normalize(app(init_p))
+        assert str(value) == "PUSH(NEWSTACK, EMPTY)"
+
+    def test_retrieve_prime_searches_scopes(self, representation):
+        from repro.algebra.terms import Lit
+        from repro.rewriting import RewriteEngine
+        from repro.spec.prelude import attributes, identifier
+
+        engine = RewriteEngine(representation.rules())
+        init_p = representation.defined["INIT"].operation
+        enterblock_p = representation.defined["ENTERBLOCK"].operation
+        add_p = representation.defined["ADD"].operation
+        retrieve_p = representation.defined["RETRIEVE"].operation
+
+        state = app(
+            enterblock_p,
+            app(add_p, app(init_p), identifier("x"), attributes("int")),
+        )
+        result = engine.normalize(app(retrieve_p, state, identifier("x")))
+        assert result == Lit("int", result.sort)
+
+    def test_phi_of_init_prime(self, representation):
+        from repro.rewriting import RewriteEngine
+
+        engine = RewriteEngine(representation.rules())
+        init_p = representation.defined["INIT"].operation
+        image = engine.normalize(app(representation.phi, app(init_p)))
+        assert str(image) == "INIT"
+
+    def test_phi_of_add_prime(self, representation):
+        from repro.rewriting import RewriteEngine
+        from repro.spec.prelude import attributes, identifier
+
+        engine = RewriteEngine(representation.rules())
+        init_p = representation.defined["INIT"].operation
+        add_p = representation.defined["ADD"].operation
+        state = app(add_p, app(init_p), identifier("x"), attributes("int"))
+        image = engine.normalize(app(representation.phi, state))
+        assert str(image) == "ADD(INIT, 'x', 'int')"
+
+    def test_phi_of_newstack_is_error(self, representation):
+        from repro.algebra.terms import Err
+        from repro.rewriting import RewriteEngine
+
+        engine = RewriteEngine(representation.rules())
+        newstack = representation.concrete.operation("NEWSTACK")
+        image = engine.normalize(app(representation.phi, app(newstack)))
+        assert isinstance(image, Err)

@@ -1,0 +1,65 @@
+"""Unit tests for skolemization."""
+
+from repro.algebra.signature import Operation
+from repro.algebra.sorts import Sort
+from repro.algebra.terms import App, app, var
+from repro.verify.skolem import (
+    fresh_constant,
+    is_skolem,
+    skolemize,
+    skolemize_pair,
+)
+
+T = Sort("T")
+E = Sort("E")
+
+GROW = Operation("grow", (T, E), T)
+
+t = var("t", T)
+e = var("e", E)
+
+
+class TestFreshConstant:
+    def test_sort_preserved(self):
+        constant = fresh_constant("t", T)
+        assert constant.sort == T
+
+    def test_uniqueness(self):
+        assert fresh_constant("t", T) != fresh_constant("t", T)
+
+    def test_recognised_as_skolem(self):
+        assert is_skolem(fresh_constant("t", T))
+
+    def test_ordinary_terms_not_skolem(self):
+        assert not is_skolem(app(GROW, fresh_constant("t", T), fresh_constant("e", E)))
+        assert not is_skolem(t)
+
+
+class TestSkolemize:
+    def test_all_variables_replaced(self):
+        term, mapping = skolemize(app(GROW, t, e))
+        assert not term.variables()
+        assert set(mapping) == {t, e}
+
+    def test_existing_mapping_reused(self):
+        first, mapping = skolemize(t)
+        second, _ = skolemize(app(GROW, t, e), mapping)
+        assert second.children()[0] == first
+
+    def test_ground_term_unchanged(self):
+        constant = fresh_constant("t", T)
+        term, mapping = skolemize(constant)
+        assert term == constant and mapping == {}
+
+
+class TestSkolemizePair:
+    def test_shared_constants(self):
+        lhs, rhs, mapping = skolemize_pair(app(GROW, t, e), t)
+        assert lhs.children()[0] == rhs
+        assert set(mapping) == {t, e}
+
+    def test_keep_leaves_variable_free(self):
+        lhs, rhs, mapping = skolemize_pair(app(GROW, t, e), t, keep=[t])
+        assert t in lhs.variables()
+        assert t not in mapping
+        assert e in mapping
