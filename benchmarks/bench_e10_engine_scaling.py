@@ -101,6 +101,55 @@ def test_e10_normalize_vs_simplify(benchmark):
     assert engine.normalize(term) == engine.simplify(term)
 
 
+def test_e10_engine_ablation(benchmark):
+    """The engine's three design choices toggled back one at a time:
+    hash-consed terms (vs fresh nodes), discrimination-tree indexing
+    (vs the flat per-head list), and LRU memoisation (vs the seed's
+    clear-on-full).  ``seed-config`` switches all three at once — the
+    closest in-repo approximation of the seed engine (the true seed
+    also recomputed ``is_ground``/``size``/``depth`` by walking the
+    term, which the new substrate answers in O(1) everywhere)."""
+    import time
+
+    from repro.algebra import set_interning
+
+    configs = [
+        ("full", True, True, "lru"),
+        ("no-interning", False, True, "lru"),
+        ("head-index", True, "head", "lru"),
+        ("clear-cache", True, True, "clear"),
+        ("seed-config", False, "head", "clear"),
+    ]
+
+    def measure():
+        timings = {}
+        for name, interning, index, policy in configs:
+            previous = set_interning(interning)
+            try:
+                engine = RewriteEngine(
+                    RULES, use_index=index, cache_policy=policy
+                )
+                start = time.perf_counter()
+                drained = _drain(engine, 48)
+                timings[name] = time.perf_counter() - start
+            finally:
+                set_interning(previous)
+            assert drained == 48
+        return timings
+
+    timings = benchmark(measure)
+    full = timings["full"]
+    report(
+        "E10: engine design ablation (drain of 48)",
+        ["configuration", "relative"],
+        [[name, f"{timings[name] / full:.2f}x"] for name, *_ in configs],
+    )
+    for name, *_ in configs:
+        benchmark.extra_info[name.replace("-", "_") + "_over_full"] = round(
+            timings[name] / full, 2
+        )
+
+
 def test_e10_cache_ablation(benchmark):
     """Ground normal-form memoisation on vs off, on the symbolic-façade
     workload that motivates it (repeated observation of growing terms)."""

@@ -1,0 +1,275 @@
+#!/usr/bin/env python
+"""Benchmark driver for the engine-performance experiments.
+
+Regenerates the committed artefacts ``BENCH_E7.json`` and
+``BENCH_E10.json``: throughput (ops/sec), normal-form cache hit rate and
+peak interned-term count for the E7 symbolic-vs-concrete workload and
+the E10 drain workload, across the engine's design-choice ablations.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py            # full
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --quick    # smoke
+
+``--quick`` runs tiny sizes with one repetition — it exists so the
+tier-1 test suite can exercise the driver end to end in a few seconds.
+The full run additionally times the *actual seed engine* (the commit
+before the hash-consing PR) in a subprocess against a ``git worktree``
+checkout, because the in-repo ablation flags cannot reproduce the seed's
+O(n) ``is_ground``/``size``/``depth`` walks on the new term substrate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.algebra import intern_table_size, set_interning  # noqa: E402
+from repro.algebra.terms import Err, app  # noqa: E402
+from repro.adt.queue import FRONT, QUEUE_SPEC, REMOVE, queue_term  # noqa: E402
+from repro.interp import facade_class  # noqa: E402
+from repro.rewriting import RewriteEngine, RuleSet  # noqa: E402
+
+#: Last commit with the seed engine (pre-interning term substrate).
+SEED_COMMIT = "36c9cdc54882083980002dcdff8599446679a833"
+
+RULES = RuleSet.from_specification(QUEUE_SPEC)
+
+#: Engine configurations measured by E10.  ``full`` is the engine as
+#: shipped; ``seed-config`` flips every ablation flag back at once.
+E10_CONFIGS = [
+    ("full", True, True, "lru"),
+    ("no-interning", False, True, "lru"),
+    ("head-index", True, "head", "lru"),
+    ("linear-scan", True, False, "lru"),
+    ("clear-cache", True, True, "clear"),
+    ("seed-config", False, "head", "clear"),
+]
+
+#: Script used by the seed-commit subprocess: must not import anything
+#: that only exists after the PR.
+_SEED_DRAIN_SCRIPT = """
+import json, sys, time
+sys.setrecursionlimit(100000)
+from repro.algebra.terms import Err, app
+from repro.adt.queue import FRONT, QUEUE_SPEC, REMOVE, queue_term
+from repro.rewriting import RewriteEngine, RuleSet
+
+rules = RuleSet.from_specification(QUEUE_SPEC)
+results = {}
+for size in json.loads(sys.argv[1]):
+    best = None
+    for _ in range(int(sys.argv[2])):
+        engine = RewriteEngine(rules, fuel=10_000_000)
+        term = queue_term(range(size))
+        start = time.perf_counter()
+        while True:
+            front = engine.normalize(app(FRONT, term))
+            if isinstance(front, Err):
+                break
+            term = engine.normalize(app(REMOVE, term))
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    results[str(size)] = best
+print(json.dumps(results))
+"""
+
+
+def _drain(engine: RewriteEngine, size: int) -> int:
+    term = queue_term(range(size))
+    steps = 0
+    while True:
+        front = engine.normalize(app(FRONT, term))
+        if isinstance(front, Err):
+            break
+        term = engine.normalize(app(REMOVE, term))
+        steps += 1
+    return steps
+
+
+def _measure_drain(size: int, interning, use_index, cache_policy, reps: int):
+    """Best-of-``reps`` drain; returns timing plus the engine counters."""
+    best = None
+    for _ in range(reps):
+        previous = set_interning(interning)
+        try:
+            engine = RewriteEngine(
+                RULES, fuel=10_000_000,
+                use_index=use_index, cache_policy=cache_policy,
+            )
+            table_before = intern_table_size()
+            start = time.perf_counter()
+            drained = _drain(engine, size)
+            elapsed = time.perf_counter() - start
+            peak_terms = intern_table_size()
+        finally:
+            set_interning(previous)
+        assert drained == size
+        sample = {
+            "seconds": elapsed,
+            "rewrite_steps": engine.stats.steps,
+            "steps_per_sec": engine.stats.steps / elapsed if elapsed else 0.0,
+            "cache_hit_rate": round(engine.stats.cache_hit_rate, 4),
+            "peak_intern_table": peak_terms,
+            "intern_table_growth": peak_terms - table_before,
+        }
+        if best is None or sample["seconds"] < best["seconds"]:
+            best = sample
+    best["seconds"] = round(best["seconds"], 6)
+    best["steps_per_sec"] = round(best["steps_per_sec"], 1)
+    return best
+
+
+def _seed_baseline(sizes, reps: int):
+    """Drain timings for the actual seed engine, via a worktree checkout
+    of :data:`SEED_COMMIT`.  Returns ``None`` when git cannot provide
+    the seed tree (shallow clone, no git, ...)."""
+    with tempfile.TemporaryDirectory(prefix="seed-bench-") as scratch:
+        seed_tree = Path(scratch) / "seed"
+        try:
+            subprocess.run(
+                ["git", "worktree", "add", "--detach", str(seed_tree), SEED_COMMIT],
+                cwd=REPO_ROOT, check=True, capture_output=True,
+            )
+        except (OSError, subprocess.CalledProcessError):
+            return None
+        try:
+            proc = subprocess.run(
+                [sys.executable, "-c", _SEED_DRAIN_SCRIPT,
+                 json.dumps(sizes), str(reps)],
+                env={"PYTHONPATH": str(seed_tree / "src"), "PATH": "/usr/bin:/bin"},
+                capture_output=True, text=True, timeout=1200,
+            )
+            if proc.returncode != 0:
+                return None
+            return {int(k): v for k, v in json.loads(proc.stdout).items()}
+        finally:
+            subprocess.run(
+                ["git", "worktree", "remove", "--force", str(seed_tree)],
+                cwd=REPO_ROOT, capture_output=True,
+            )
+
+
+def run_e10(quick: bool) -> dict:
+    sizes = [12] if quick else [32, 64, 128]
+    reps = 1 if quick else 3
+    configs: dict[str, dict] = {}
+    for name, interning, use_index, cache_policy in E10_CONFIGS:
+        configs[name] = {
+            str(size): _measure_drain(size, interning, use_index, cache_policy, reps)
+            for size in sizes
+        }
+    result = {
+        "experiment": "E10",
+        "workload": "FIFO drain of queue_term(range(size)) via FRONT/REMOVE",
+        "mode": "quick" if quick else "full",
+        "sizes": sizes,
+        "configs": configs,
+    }
+    if not quick:
+        seed = _seed_baseline(sizes, reps)
+        if seed is not None:
+            result["seed_baseline"] = {
+                "commit": SEED_COMMIT,
+                "seconds": {str(size): round(seed[size], 6) for size in sizes},
+            }
+            result["speedup_vs_seed"] = {
+                str(size): round(
+                    seed[size] / configs["full"][str(size)]["seconds"], 2
+                )
+                for size in sizes
+            }
+    return result
+
+
+def run_e7(quick: bool) -> dict:
+    script_length = 6 if quick else 24
+    reps = 1 if quick else 3
+
+    def concrete_script():
+        from repro.adt.queue import ListQueue
+
+        queue = ListQueue.new()
+        for index in range(script_length):
+            queue = queue.add(index)
+        while not queue.is_empty():
+            queue.front()
+            queue = queue.remove()
+
+    def symbolic_script(facade):
+        queue = facade.new()
+        for index in range(script_length):
+            queue = queue.add(index)
+        while not queue.is_empty():
+            queue.front()
+            queue = queue.remove()
+
+    start = time.perf_counter()
+    for _ in range(reps):
+        concrete_script()
+    concrete = (time.perf_counter() - start) / reps
+
+    facade = facade_class(QUEUE_SPEC)
+    engine = facade._interpreter.engine
+    table_before = intern_table_size()
+    start = time.perf_counter()
+    for _ in range(reps):
+        symbolic_script(facade)
+    symbolic = (time.perf_counter() - start) / reps
+    operations = 3 * script_length + 1  # adds + (front, remove) per element
+
+    return {
+        "experiment": "E7",
+        "workload": f"queue script, {script_length} adds then full drain",
+        "mode": "quick" if quick else "full",
+        "concrete": {
+            "seconds": round(concrete, 6),
+            "ops_per_sec": round(operations / concrete, 1),
+        },
+        "symbolic": {
+            "seconds": round(symbolic, 6),
+            "ops_per_sec": round(operations / symbolic, 1),
+            "cache_hit_rate": round(engine.stats.cache_hit_rate, 4),
+            "peak_intern_table": intern_table_size(),
+            "intern_table_growth": intern_table_size() - table_before,
+        },
+        "symbolic_over_concrete": round(symbolic / concrete, 1),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="tiny sizes, one repetition, no seed-commit baseline",
+    )
+    parser.add_argument(
+        "--output-dir", type=Path, default=REPO_ROOT / "benchmarks",
+        help="where to write BENCH_E7.json and BENCH_E10.json",
+    )
+    args = parser.parse_args(argv)
+    args.output_dir.mkdir(parents=True, exist_ok=True)
+
+    for name, runner in (("BENCH_E7", run_e7), ("BENCH_E10", run_e10)):
+        payload = runner(args.quick)
+        path = args.output_dir / f"{name}.json"
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {path}")
+        if name == "BENCH_E10" and "speedup_vs_seed" in payload:
+            largest = str(max(payload["sizes"]))
+            speedup = payload["speedup_vs_seed"][largest]
+            print(f"speedup vs seed engine at size {largest}: {speedup}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -22,13 +22,29 @@ from repro.algebra.substitution import Substitution
 def match(pattern: Term, subject: Term) -> Optional[Substitution]:
     """The most general substitution σ with ``σ(pattern) == subject``,
     or ``None`` when no such substitution exists."""
+    bindings = match_bindings(pattern, subject)
+    if bindings is None:
+        return None
+    # The Var case binds only sort-identical subjects, so the bindings
+    # already satisfy Substitution's sort discipline.
+    return Substitution._trusted(bindings)
+
+
+def match_bindings(pattern: Term, subject: Term) -> Optional[dict[Var, Term]]:
+    """Like :func:`match` but returns the raw binding dict — the rewrite
+    engine's hot path, which skips the :class:`Substitution` wrapper."""
     bindings: dict[Var, Term] = {}
     if _match_into(pattern, subject, bindings):
-        return Substitution(bindings)
+        return bindings
     return None
 
 
 def _match_into(pattern: Term, subject: Term, bindings: dict[Var, Term]) -> bool:
+    if pattern._ground:
+        # A ground pattern binds nothing: it matches exactly itself.
+        # With hash-consed terms this equality is usually an identity
+        # test, so whole ground subtrees are skipped in O(1).
+        return pattern == subject
     if isinstance(pattern, Var):
         if pattern.sort != subject.sort:
             return False
@@ -40,19 +56,21 @@ def _match_into(pattern: Term, subject: Term, bindings: dict[Var, Term]) -> bool
     if isinstance(pattern, Lit) or isinstance(pattern, Err):
         return pattern == subject
     if isinstance(pattern, App):
-        if not isinstance(subject, App) or pattern.op != subject.op:
+        if not isinstance(subject, App):
             return False
-        return all(
-            _match_into(p, s, bindings)
-            for p, s in zip(pattern.args, subject.args)
-        )
+        if pattern.op is not subject.op and pattern.op != subject.op:
+            return False
+        for p, s in zip(pattern.args, subject.args):
+            if not _match_into(p, s, bindings):
+                return False
+        return True
     if isinstance(pattern, Ite):
         if not isinstance(subject, Ite):
             return False
-        return all(
-            _match_into(p, s, bindings)
-            for p, s in zip(pattern.children(), subject.children())
-        )
+        for p, s in zip(pattern.children(), subject.children()):
+            if not _match_into(p, s, bindings):
+                return False
+        return True
     raise TypeError(f"unknown term node: {pattern!r}")
 
 

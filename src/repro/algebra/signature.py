@@ -47,6 +47,15 @@ class Operation:
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("operation name must be non-empty")
+        # Operations are hashed on every term-interning probe; the
+        # dataclass-generated hash rebuilds a field tuple per call, so
+        # compute it once.  (``builtin`` is excluded, matching equality.)
+        object.__setattr__(
+            self, "_hash", hash((self.name, self.domain, self.range))
+        )
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
 
     @property
     def arity(self) -> int:

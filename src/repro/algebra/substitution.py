@@ -31,6 +31,19 @@ class Substitution(Mapping[Var, Term]):
                 )
         self._map: dict[Var, Term] = items
 
+    @classmethod
+    def _trusted(cls, mapping: dict[Var, Term]) -> "Substitution":
+        """Wrap ``mapping`` without copying or re-validating it.
+
+        Internal fast path for callers that construct the bindings
+        themselves and have already enforced sort discipline (the
+        matcher checks ``variable.sort == subject.sort`` before
+        binding).  The mapping must not be mutated afterwards.
+        """
+        self = object.__new__(cls)
+        self._map = mapping
+        return self
+
     # -- Mapping protocol -------------------------------------------------
     def __getitem__(self, variable: Var) -> Term:
         return self._map[variable]
@@ -67,18 +80,7 @@ class Substitution(Mapping[Var, Term]):
         """``term`` with every mapped variable replaced by its image."""
         if not self._map:
             return term
-        return self._apply(term)
-
-    def _apply(self, term: Term) -> Term:
-        if isinstance(term, Var):
-            return self._map.get(term, term)
-        kids = term.children()
-        if not kids:
-            return term
-        new_kids = [self._apply(kid) for kid in kids]
-        if all(new is old for new, old in zip(new_kids, kids)):
-            return term
-        return term.with_children(new_kids)
+        return _apply_bindings(term, self._map)
 
     def extended(self, variable: Var, term: Term) -> "Substitution":
         """A new substitution additionally binding ``variable``.
@@ -117,6 +119,38 @@ class Substitution(Mapping[Var, Term]):
     def is_ground(self) -> bool:
         """True when every image term is ground."""
         return all(term.is_ground() for term in self._map.values())
+
+
+def apply_bindings(term: Term, bindings: Mapping[Var, Term]) -> Term:
+    """Apply a raw binding dict to ``term`` — the engine's hot path,
+    equivalent to ``Substitution(bindings).apply(term)`` without the
+    wrapper.  Callers must have enforced sort discipline themselves
+    (the matcher does)."""
+    if not bindings:
+        return term
+    return _apply_bindings(term, bindings)
+
+
+def _apply_bindings(term: Term, bindings: Mapping[Var, Term]) -> Term:
+    if isinstance(term, Var):
+        return bindings.get(term, term)
+    if term._ground:
+        # No variables anywhere below: the subtree is returned as-is
+        # (an O(1) test on hash-consed terms), preserving sharing.
+        return term
+    kids = term.children()
+    if not kids:
+        return term
+    new_kids = []
+    changed = False
+    for kid in kids:
+        image = _apply_bindings(kid, bindings)
+        if image is not kid:
+            changed = True
+        new_kids.append(image)
+    if not changed:
+        return term
+    return term.with_children(new_kids)
 
 
 #: The identity substitution.

@@ -19,11 +19,37 @@ A term is one of:
   metalanguage of axioms.
 
 Terms are immutable and hashable; equality is structural.
+
+Hash consing
+------------
+
+Term nodes are *interned*: construction goes through a per-process
+weak-value table keyed on the node's structural identity, so two
+structurally equal terms built anywhere in the process are the **same
+object**.  Consequences the rest of the system relies on:
+
+* equality is identity-first (``a is b`` decides almost every
+  comparison the rewrite engine makes — the structural fallback only
+  runs for terms built while interning was disabled);
+* ``hash``, ``size``, ``depth``, ``is_ground`` and ``contains_error``
+  are computed once at construction from the children's cached values,
+  so all five queries are O(1);
+* rebuilding a term from existing pieces (substitution, rule
+  application) yields maximal sharing for free — common subtrees are
+  physically shared, and a rebuild that changes nothing returns the
+  original node.
+
+The table holds weak references: terms no longer reachable from client
+code are garbage collected normally.  :func:`set_interning` /
+:func:`interning_disabled` exist for the E10 ablation benchmark only;
+with interning off, construction allocates fresh nodes and equality
+falls back to the structural definition, so behaviour is unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import contextlib
+import weakref
 from typing import Callable, Iterator, Optional, Sequence, Union
 
 from repro.algebra.signature import Operation
@@ -36,13 +62,81 @@ from repro.algebra.sorts import BOOLEAN, Sort, SortError
 Position = tuple[int, ...]
 
 
+# ----------------------------------------------------------------------
+# The intern table
+# ----------------------------------------------------------------------
+# A hand-rolled weak-value mapping rather than weakref.WeakValueDictionary:
+# constructors probe and fill this table on every term built, and the
+# raw-dict form saves a Python-level wrapper call on each of those
+# operations.  Values are KeyedRefs; a dead referent removes its own
+# entry via _evict (the identity guard keeps a late callback from
+# clobbering a re-interned replacement).
+_INTERNING = True
+_TABLE: dict[tuple, "weakref.KeyedRef"] = {}
+_KeyedRef = weakref.KeyedRef
+
+
+def _evict(ref: "weakref.KeyedRef", _table=_TABLE) -> None:
+    if _table.get(ref.key) is ref:
+        del _table[ref.key]
+
+
+def interning_enabled() -> bool:
+    """Whether term construction currently goes through the intern table."""
+    return _INTERNING
+
+
+def set_interning(enabled: bool) -> bool:
+    """Enable/disable hash consing; returns the previous setting.
+
+    Exists for the E10 ablation benchmark.  Terms built while interning
+    is off are ordinary unshared nodes; they compare structurally equal
+    to interned ones, so correctness is unaffected.
+    """
+    global _INTERNING
+    previous = _INTERNING
+    _INTERNING = bool(enabled)
+    return previous
+
+
+@contextlib.contextmanager
+def interning_disabled():
+    """Context manager: build unshared terms for the duration."""
+    previous = set_interning(False)
+    try:
+        yield
+    finally:
+        set_interning(previous)
+
+
+def intern_table_size() -> int:
+    """Number of live interned terms — the process's peak-sharing gauge
+    reported by the benchmark driver."""
+    return len(_TABLE)
+
+
+def clear_intern_table() -> None:
+    """Drop all intern entries (live terms stay valid; future
+    constructions re-intern).  Benchmarks use this between runs."""
+    _TABLE.clear()
+
+
 class Term:
     """Abstract base for all term node classes."""
 
-    __slots__ = ()
+    __slots__ = ("__weakref__",)
 
     #: The sort of the value this term denotes.
     sort: Sort
+
+    # Cached structural metadata.  Leaf classes use these class-level
+    # defaults; App/Ite shadow them with per-instance slots computed at
+    # construction.  Reading the attribute directly (``term._size``) is
+    # the hot path; the methods below are the public face.
+    _size = 1
+    _depth = 1
+    _ground = True
+    _haserr = False
 
     # -- structure -----------------------------------------------------
     def children(self) -> tuple["Term", ...]:
@@ -55,14 +149,9 @@ class Term:
 
     # -- queries ---------------------------------------------------------
     def is_ground(self) -> bool:
-        """True when the term contains no variables."""
-        stack: list[Term] = [self]
-        while stack:
-            node = stack.pop()
-            if isinstance(node, Var):
-                return False
-            stack.extend(node.children())
-        return True
+        """True when the term contains no variables.  O(1): cached at
+        construction."""
+        return self._ground
 
     def variables(self) -> set["Var"]:
         """The set of variables occurring in the term."""
@@ -72,25 +161,19 @@ class Term:
             node = stack.pop()
             if isinstance(node, Var):
                 result.add(node)
-            else:
+            elif not node._ground:
+                # Ground subtrees cannot contain variables: skip them.
                 stack.extend(node.children())
         return result
 
     def size(self) -> int:
-        """Number of nodes in the term."""
-        return sum(1 for _ in self.subterms())
+        """Number of nodes in the term.  O(1): cached at construction."""
+        return self._size
 
     def depth(self) -> int:
-        """Height of the term: a leaf has depth 1."""
-        deepest = 1
-        stack: list[tuple[Term, int]] = [(self, 1)]
-        while stack:
-            node, level = stack.pop()
-            if level > deepest:
-                deepest = level
-            for child in node.children():
-                stack.append((child, level + 1))
-        return deepest
+        """Height of the term: a leaf has depth 1.  O(1): cached at
+        construction."""
+        return self._depth
 
     def subterms(self) -> Iterator[tuple[Position, "Term"]]:
         """Yield every ``(position, subterm)`` pair, preorder."""
@@ -134,23 +217,41 @@ class Term:
         return result
 
     def contains_error(self) -> bool:
-        """True when an :class:`Err` node occurs anywhere in the term."""
-        return any(isinstance(node, Err) for _, node in self.subterms())
+        """True when an :class:`Err` node occurs anywhere in the term.
+        O(1): cached at construction."""
+        return self._haserr
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}({self})"
 
 
-@dataclass(frozen=True, repr=False)
 class Var(Term):
     """A typed free variable, e.g. ``symtab: Symboltable``."""
 
-    name: str
-    sort: Sort
+    __slots__ = ("name", "sort", "_hash")
 
-    def __post_init__(self) -> None:
-        if not self.name:
+    _ground = False
+
+    def __new__(cls, name: str, sort: Sort) -> "Var":
+        if not name:
             raise ValueError("variable name must be non-empty")
+        key = (cls, name, sort)
+        if _INTERNING:
+            ref = _TABLE.get(key)
+            if ref is not None:
+                cached = ref()
+                if cached is not None:
+                    return cached  # type: ignore[return-value]
+        self = object.__new__(cls)
+        self.name = name
+        self.sort = sort
+        self._hash = hash(key)
+        if _INTERNING:
+            _TABLE[key] = _KeyedRef(self, _evict, key)
+        return self
+
+    def __reduce__(self):
+        return (Var, (self.name, self.sort))
 
     def children(self) -> tuple[Term, ...]:
         return ()
@@ -160,14 +261,22 @@ class Var(Term):
             raise ValueError("variables have no children")
         return self
 
-    def is_ground(self) -> bool:
-        return False
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        return (
+            isinstance(other, Var)
+            and self.name == other.name
+            and self.sort == other.sort
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __str__(self) -> str:
         return self.name
 
 
-@dataclass(frozen=True, repr=False)
 class Lit(Term):
     """A literal value of a parameter sort (Identifier names, Nats, ...).
 
@@ -175,8 +284,26 @@ class Lit(Term):
     and sort agree.
     """
 
-    value: object
-    sort: Sort
+    __slots__ = ("value", "sort", "_hash")
+
+    def __new__(cls, value: object, sort: Sort) -> "Lit":
+        key = (cls, value, sort)
+        if _INTERNING:
+            ref = _TABLE.get(key)
+            if ref is not None:
+                cached = ref()
+                if cached is not None:
+                    return cached  # type: ignore[return-value]
+        self = object.__new__(cls)
+        self.value = value
+        self.sort = sort
+        self._hash = hash(key)
+        if _INTERNING:
+            _TABLE[key] = _KeyedRef(self, _evict, key)
+        return self
+
+    def __reduce__(self):
+        return (Lit, (self.value, self.sort))
 
     def children(self) -> tuple[Term, ...]:
         return ()
@@ -186,11 +313,22 @@ class Lit(Term):
             raise ValueError("literals have no children")
         return self
 
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        return (
+            isinstance(other, Lit)
+            and self.value == other.value
+            and self.sort == other.sort
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
     def __str__(self) -> str:
         return repr(self.value) if isinstance(self.value, str) else str(self.value)
 
 
-@dataclass(frozen=True, repr=False)
 class Err(Term):
     """The distinguished ``error`` value of a sort.
 
@@ -198,7 +336,27 @@ class Err(Term):
     setting it is one error constant per sort, all printed ``error``.
     """
 
-    sort: Sort
+    __slots__ = ("sort", "_hash")
+
+    _haserr = True
+
+    def __new__(cls, sort: Sort) -> "Err":
+        key = (cls, sort)
+        if _INTERNING:
+            ref = _TABLE.get(key)
+            if ref is not None:
+                cached = ref()
+                if cached is not None:
+                    return cached  # type: ignore[return-value]
+        self = object.__new__(cls)
+        self.sort = sort
+        self._hash = hash(key)
+        if _INTERNING:
+            _TABLE[key] = _KeyedRef(self, _evict, key)
+        return self
+
+    def __reduce__(self):
+        return (Err, (self.sort,))
 
     def children(self) -> tuple[Term, ...]:
         return ()
@@ -208,6 +366,14 @@ class Err(Term):
             raise ValueError("error constants have no children")
         return self
 
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        return isinstance(other, Err) and self.sort == other.sort
+
+    def __hash__(self) -> int:
+        return self._hash
+
     def __str__(self) -> str:
         return "error"
 
@@ -216,15 +382,23 @@ class App(Term):
     """An operation applied to arguments: ``op(args...)``.
 
     Argument sorts are checked against the operation's domain at
-    construction time, so ill-sorted terms cannot be built.  ``App`` is a
-    hand-written class (rather than a dataclass) so the hash can be
-    computed once: rewriting hammers on term equality and hashing.
+    construction time, so ill-sorted terms cannot be built.  Sort
+    checking only runs on an intern miss: a hit means the identical
+    ``(op, args)`` combination was validated when first built.
     """
 
-    __slots__ = ("op", "args", "sort", "_hash")
+    __slots__ = ("op", "args", "sort", "_hash", "_size", "_depth", "_ground", "_haserr")
 
-    def __init__(self, op: Operation, args: Sequence[Term] = ()) -> None:
-        args = tuple(args)
+    def __new__(cls, op: Operation, args: Sequence[Term] = ()) -> "App":
+        if type(args) is not tuple:
+            args = tuple(args)
+        key = (cls, op, args)
+        if _INTERNING:
+            ref = _TABLE.get(key)
+            if ref is not None:
+                cached = ref()
+                if cached is not None:
+                    return cached  # type: ignore[return-value]
         if len(args) != op.arity:
             raise SortError(
                 f"{op.name} expects {op.arity} argument(s), got {len(args)}"
@@ -235,18 +409,43 @@ class App(Term):
                     f"{op.name}: argument {arg} has sort {arg.sort}, "
                     f"expected {expected}"
                 )
+        self = object.__new__(cls)
         self.op = op
         self.args = args
         self.sort = op.range
         self._hash = hash((op.name, op.range, args))
+        size = 1
+        depth = 0
+        ground = True
+        haserr = False
+        for arg in args:
+            size += arg._size
+            if arg._depth > depth:
+                depth = arg._depth
+            if ground and not arg._ground:
+                ground = False
+            if not haserr and arg._haserr:
+                haserr = True
+        self._size = size
+        self._depth = depth + 1
+        self._ground = ground
+        self._haserr = haserr
+        if _INTERNING:
+            _TABLE[key] = _KeyedRef(self, _evict, key)
+        return self
+
+    def __reduce__(self):
+        return (App, (self.op, self.args))
 
     def children(self) -> tuple[Term, ...]:
         return self.args
 
     def with_children(self, children: Sequence[Term]) -> Term:
-        return App(self.op, tuple(children))
+        return App(self.op, children)
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         return (
             isinstance(other, App)
             and self._hash == other._hash
@@ -271,9 +470,26 @@ class Ite(Term):
     sort, which becomes the sort of the whole term.
     """
 
-    __slots__ = ("cond", "then_branch", "else_branch", "sort", "_hash")
+    __slots__ = (
+        "cond",
+        "then_branch",
+        "else_branch",
+        "sort",
+        "_hash",
+        "_size",
+        "_depth",
+        "_ground",
+        "_haserr",
+    )
 
-    def __init__(self, cond: Term, then_branch: Term, else_branch: Term) -> None:
+    def __new__(cls, cond: Term, then_branch: Term, else_branch: Term) -> "Ite":
+        key = (cls, cond, then_branch, else_branch)
+        if _INTERNING:
+            ref = _TABLE.get(key)
+            if ref is not None:
+                cached = ref()
+                if cached is not None:
+                    return cached  # type: ignore[return-value]
         if cond.sort != BOOLEAN:
             raise SortError(f"if-condition must be Boolean, got {cond.sort}")
         if then_branch.sort != else_branch.sort:
@@ -281,11 +497,23 @@ class Ite(Term):
                 "if-branches must share a sort: "
                 f"{then_branch.sort} vs {else_branch.sort}"
             )
+        self = object.__new__(cls)
         self.cond = cond
         self.then_branch = then_branch
         self.else_branch = else_branch
         self.sort = then_branch.sort
         self._hash = hash(("__ite__", cond, then_branch, else_branch))
+        kids = (cond, then_branch, else_branch)
+        self._size = 1 + sum(kid._size for kid in kids)
+        self._depth = 1 + max(kid._depth for kid in kids)
+        self._ground = all(kid._ground for kid in kids)
+        self._haserr = any(kid._haserr for kid in kids)
+        if _INTERNING:
+            _TABLE[key] = _KeyedRef(self, _evict, key)
+        return self
+
+    def __reduce__(self):
+        return (Ite, (self.cond, self.then_branch, self.else_branch))
 
     def children(self) -> tuple[Term, ...]:
         return (self.cond, self.then_branch, self.else_branch)
@@ -295,6 +523,8 @@ class Ite(Term):
         return Ite(cond, then_branch, else_branch)
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         return (
             isinstance(other, Ite)
             and self._hash == other._hash
@@ -355,7 +585,11 @@ def map_terms(term: Term, fn: Callable[[Term], Optional[Term]]) -> Term:
     a term and keeping them where it returns ``None``."""
     kids = term.children()
     if kids:
-        rebuilt = term.with_children([map_terms(kid, fn) for kid in kids])
+        new_kids = [map_terms(kid, fn) for kid in kids]
+        if all(new is old for new, old in zip(new_kids, kids)):
+            rebuilt = term
+        else:
+            rebuilt = term.with_children(new_kids)
     else:
         rebuilt = term
     replacement = fn(rebuilt)

@@ -79,15 +79,23 @@ def _occurs(variable: Var, term: Term, bindings: dict[Var, Term]) -> bool:
     term = _walk(term, bindings)
     if term == variable:
         return True
+    if term.is_ground():
+        # A ground subtree contains no variables at all.
+        return False
     return any(_occurs(variable, kid, bindings) for kid in term.children())
 
 
 def _resolve(term: Term, bindings: dict[Var, Term]) -> Term:
     term = _walk(term, bindings)
+    if term.is_ground():
+        return term
     kids = term.children()
     if not kids:
         return term
-    return term.with_children([_resolve(kid, bindings) for kid in kids])
+    new_kids = [_resolve(kid, bindings) for kid in kids]
+    if all(new is old for new, old in zip(new_kids, kids)):
+        return term
+    return term.with_children(new_kids)
 
 
 _FRESH_COUNTER = itertools.count()

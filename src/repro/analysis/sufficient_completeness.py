@@ -262,12 +262,13 @@ def _mentions(term: Term, toi_ops: set, cls: Classification) -> bool:
     """Does ``term`` still contain *defined* TOI operations (for TOI
     results, non-constructor ones; for observer results, any)?"""
     constructors = set(cls.constructors)
-    for op in term.operations():
+    operations = term.operations()
+    for op in operations:
         if op in toi_ops and op not in constructors:
             return True
     if term.sort != cls.type_of_interest:
         # An observation's normal form must not mention the TOI at all.
-        for op in term.operations():
+        for op in operations:
             if op in constructors:
                 return True
     return False

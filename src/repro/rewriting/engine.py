@@ -24,10 +24,13 @@ from __future__ import annotations
 
 import contextlib
 import sys
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.algebra.matching import match_bindings
 from repro.algebra.sorts import BOOLEAN
+from repro.algebra.substitution import apply_bindings
 from repro.algebra.terms import App, Err, Ite, Lit, Term, Var
 from repro.spec.axioms import Axiom
 from repro.spec.errors import AlgebraError
@@ -62,6 +65,7 @@ class EngineStats:
     builtin_firings: int = 0
     error_propagations: int = 0
     cache_hits: int = 0
+    cache_probes: int = 0
     firings_by_rule: dict = field(default_factory=dict)
 
     def record_firing(self, rule: "RewriteRule") -> None:
@@ -83,7 +87,13 @@ class EngineStats:
         self.builtin_firings = 0
         self.error_propagations = 0
         self.cache_hits = 0
+        self.cache_probes = 0
         self.firings_by_rule.clear()
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of memo probes answered from the cache."""
+        return self.cache_hits / self.cache_probes if self.cache_probes else 0.0
 
 
 #: Default step budget.  The paper's specifications normalise any
@@ -124,30 +134,43 @@ class RewriteEngine:
     fuel:
         Maximum rewrite steps per ``normalize``/``simplify`` call.
     use_index:
-        When False, rule lookup scans the whole rule list instead of the
-        head-symbol index.  Exists only for the E10 ablation benchmark;
-        leave True.
+        Rule-lookup strategy.  ``True`` (the default) uses the
+        discrimination-tree index (head symbol, then argument shapes);
+        ``"head"`` uses the flat per-head-symbol list — the seed
+        engine's index; ``False`` scans the whole rule list.  The
+        non-default settings exist only for the E10 ablation benchmark.
     cache_size:
         Normal forms of *ground* applications are memoised (the rule set
         is fixed for the engine's lifetime, so a ground term's normal
         form never changes).  Clients like the symbolic façade normalise
         the same growing terms repeatedly, where the cache turns
-        re-evaluation into a lookup.  0 disables caching.
+        re-evaluation into a lookup.  The memo is a bounded LRU keyed on
+        interned term identity; overflow evicts the least recently used
+        entry.  0 disables caching.
+    cache_policy:
+        ``"lru"`` (the default) evicts one least-recently-used entry per
+        overflowing insert.  ``"clear"`` reproduces the seed engine's
+        behaviour — wipe the whole memo when it fills — and exists only
+        so the E10 ablation can measure what the LRU fixes.
     """
 
     def __init__(
         self,
         rules: RuleSet,
         fuel: int = DEFAULT_FUEL,
-        use_index: bool = True,
+        use_index: "bool | str" = True,
         cache_size: int = 4096,
+        cache_policy: str = "lru",
     ) -> None:
+        if cache_policy not in ("lru", "clear"):
+            raise ValueError(f"unknown cache policy: {cache_policy!r}")
         self.rules = rules
         self.fuel = fuel
         self.use_index = use_index
         self.stats = EngineStats()
         self.cache_size = cache_size
-        self._cache: dict[Term, Term] = {}
+        self.cache_policy = cache_policy
+        self._cache: "OrderedDict[Term, Term]" = OrderedDict()
 
     @classmethod
     def for_specification(
@@ -178,9 +201,11 @@ class RewriteEngine:
             raise RewriteLimitError(term, self.fuel)
 
     def _eval(self, term: Term, budget: list[int]) -> Term:
-        if isinstance(term, (Var, Lit, Err)):
-            return term
-        if isinstance(term, Ite):
+        # Applications first: they are the overwhelming majority of the
+        # recursive calls and the only case with real work to do.
+        if not isinstance(term, App):
+            if not isinstance(term, Ite):
+                return term  # Var, Lit, Err: already normal
             cond = self._eval(term.cond, budget)
             if isinstance(cond, Err):
                 self.stats.error_propagations += 1
@@ -194,55 +219,164 @@ class RewriteEngine:
             if cond is term.cond:
                 return term
             return Ite(cond, term.then_branch, term.else_branch)
-        assert isinstance(term, App)
-        cached = self._cache.get(term) if self.cache_size else None
-        if cached is not None:
-            self.stats.cache_hits += 1
-            return cached
-        args = [self._eval(arg, budget) for arg in term.args]
-        if any(isinstance(arg, Err) for arg in args):
-            self.stats.error_propagations += 1
-            return Err(term.sort)
-        node = term if all(new is old for new, old in zip(args, term.args)) else App(term.op, args)
+        if self.cache_size:
+            self.stats.cache_probes += 1
+            cached = self._cache.get(term)
+            if cached is not None:
+                self.stats.cache_hits += 1
+                self._cache.move_to_end(term)
+                return cached
+        args = []
+        changed = False
+        for arg in term.args:
+            value = self._eval(arg, budget)
+            if isinstance(value, Err):
+                self.stats.error_propagations += 1
+                return Err(term.sort)
+            if value is not arg:
+                changed = True
+            args.append(value)
+        node = App(term.op, args) if changed else term
         result = self._eval_root(node, budget)
         if (
             self.cache_size
+            and term._ground
             and not isinstance(result, Ite)
-            and term.is_ground()
         ):
-            if len(self._cache) >= self.cache_size:
-                self._cache.clear()
-            self._cache[term] = result
+            self._remember(term, result)
+            if node is not term:
+                # The argument-normalised form shares the normal form;
+                # later evaluations may probe with it directly.
+                self._remember(node, result)
         return result
+
+    def _remember(self, key: Term, value: Term) -> None:
+        """Insert into the normal-form memo, evicting the least recently
+        used entries once the cache is full (never the whole memo —
+        unless the seed ablation policy ``"clear"`` is selected)."""
+        cache = self._cache
+        if len(cache) >= self.cache_size and key not in cache:
+            if self.cache_policy == "clear":
+                cache.clear()
+            else:
+                cache.popitem(last=False)
+        cache[key] = value
 
     def _eval_root(self, term: App, budget: list[int]) -> Term:
         """Rewrite at the root until no step applies; arguments are
-        already in normal form."""
+        already in normal form.
+
+        Rule firings go through :meth:`_instantiate`, which fuses
+        instantiation of the right-hand side with its normalisation —
+        the result is fully normal, so no further root pass is needed.
+        Builtin firings may return arbitrary terms and stay in the loop.
+        """
         while True:
-            step = self._root_step(term, budget)
-            if step is None:
+            builtin = term.op.builtin
+            if builtin is not None and all(isinstance(a, Lit) for a in term.args):
+                self.stats.builtin_firings += 1
+                step = self._run_builtin(term)
+                self._spend(budget, term)
+                if isinstance(step, (Var, Lit, Err)):
+                    return step
+                if isinstance(step, Ite) or not _args_normal(step):
+                    step = self._eval(step, budget)
+                if not isinstance(step, App):
+                    return step
+                if any(isinstance(arg, Err) for arg in step.args):
+                    self.stats.error_propagations += 1
+                    return Err(step.sort)
+                term = step
+                continue
+            rule, bindings = self._match_root(term, budget)
+            if rule is None:
                 return term
             self._spend(budget, term)
-            if isinstance(step, (Var, Lit, Err)):
-                return step
-            if isinstance(step, Ite) or not _args_normal(step):
-                step = self._eval(step, budget)
-            if not isinstance(step, App):
-                return step
-            if any(isinstance(arg, Err) for arg in step.args):
+            return self._instantiate(rule.rhs, bindings, budget)
+
+    def _match_root(self, term: App, budget: list[int]):
+        """The first indexed rule matching at the root, with its raw
+        bindings; ``(None, None)`` when none match.  ``budget`` is
+        unused here but threaded for subclasses whose match decision
+        needs speculative evaluation (the prover's guarded unfolding)."""
+        for rule in self._candidates(term):
+            bindings = match_bindings(rule.lhs, term)
+            if bindings is not None:
+                self.stats.record_firing(rule)
+                return rule, bindings
+        return None, None
+
+    def _instantiate(self, template: Term, bindings, budget: list[int]) -> Term:
+        """Instantiate a rule right-hand side under ``bindings`` and
+        normalise it in one pass.
+
+        Bindings come from matching a subject whose arguments are
+        already normal, so they are fixed points of :meth:`_eval`; only
+        structure the template introduces needs evaluation.  Fusing the
+        two walks means the untaken branch of a decided conditional is
+        never constructed at all, and each new application node is
+        probed against the memo the moment it exists."""
+        if isinstance(template, Var):
+            return bindings[template]
+        if isinstance(template, App):
+            args = []
+            changed = False
+            for arg in template.args:
+                value = self._instantiate(arg, bindings, budget)
+                if isinstance(value, Err):
+                    self.stats.error_propagations += 1
+                    return Err(template.sort)
+                if value is not arg:
+                    changed = True
+                args.append(value)
+            node = App(template.op, args) if changed else template
+            if self.cache_size:
+                self.stats.cache_probes += 1
+                cached = self._cache.get(node)
+                if cached is not None:
+                    self.stats.cache_hits += 1
+                    self._cache.move_to_end(node)
+                    return cached
+            result = self._eval_root(node, budget)
+            if (
+                self.cache_size
+                and node._ground
+                and not isinstance(result, Ite)
+            ):
+                self._remember(node, result)
+            return result
+        if isinstance(template, Ite):
+            cond = self._instantiate(template.cond, bindings, budget)
+            if isinstance(cond, Err):
                 self.stats.error_propagations += 1
-                return Err(step.sort)
-            term = step
+                return Err(template.sort)
+            if is_true(cond):
+                return self._instantiate(template.then_branch, bindings, budget)
+            if is_false(cond):
+                return self._instantiate(template.else_branch, bindings, budget)
+            # Open condition: leave the conditional in place with plainly
+            # substituted (unevaluated) branches, as value mode demands.
+            return Ite(
+                cond,
+                apply_bindings(template.then_branch, bindings),
+                apply_bindings(template.else_branch, bindings),
+            )
+        return template  # Lit or Err
+
+    def _candidates(self, term: App):
+        """Rules to try at the root of ``term``, per ``use_index``."""
+        if self.use_index is True:
+            return self.rules.candidates(term)
+        if self.use_index == "head":
+            return self.rules.for_head(term.op)
+        return self.rules
 
     def _root_step(self, term: App, budget: list[int]) -> Optional[Term]:
         builtin = term.op.builtin
         if builtin is not None and all(isinstance(a, Lit) for a in term.args):
             self.stats.builtin_firings += 1
             return self._run_builtin(term)
-        candidates = (
-            self.rules.for_head(term.op) if self.use_index else self.rules
-        )
-        for rule in candidates:
+        for rule in self._candidates(term):
             result = rule.apply_at_root(term)
             if result is not None:
                 self.stats.record_firing(rule)
@@ -294,13 +428,25 @@ class RewriteEngine:
             else_branch = self._simplify(term.else_branch, budget)
             if then_branch == else_branch:
                 return then_branch
+            if (
+                cond is term.cond
+                and then_branch is term.then_branch
+                and else_branch is term.else_branch
+            ):
+                return term
             return Ite(cond, then_branch, else_branch)
         assert isinstance(term, App)
-        args = [self._simplify(arg, budget) for arg in term.args]
-        if any(isinstance(arg, Err) for arg in args):
-            self.stats.error_propagations += 1
-            return Err(term.sort)
-        node = App(term.op, args)
+        args = []
+        changed = False
+        for arg in term.args:
+            value = self._simplify(arg, budget)
+            if isinstance(value, Err):
+                self.stats.error_propagations += 1
+                return Err(term.sort)
+            if value is not arg:
+                changed = True
+            args.append(value)
+        node = App(term.op, args) if changed else term
         step = self._root_step(node, budget)
         if step is None:
             return node
@@ -324,7 +470,9 @@ class RewriteEngine:
 
 
 def _args_normal(term: Term) -> bool:
-    """Cheap test used to avoid re-walking already-normal arguments."""
+    """Cheap test used to avoid re-walking already-normal arguments.
+    (``all`` over an empty argument tuple is already True, so nullary
+    applications need no special case.)"""
     if not isinstance(term, App):
         return True
-    return all(isinstance(arg, (Var, Lit, Err)) for arg in term.args) or not term.args
+    return all(isinstance(arg, (Var, Lit, Err)) for arg in term.args)

@@ -3,8 +3,10 @@
 Each axiom ``lhs = rhs`` is *oriented* left-to-right into a rewrite rule;
 the axioms' definitional shape (defined operation over constructor
 patterns on the left) makes this orientation terminating for the paper's
-specifications.  A :class:`RuleSet` indexes rules by their head symbol so
-the engine only tries rules that can possibly apply.
+specifications.  A :class:`RuleSet` indexes rules in a *discrimination
+tree*: rules are grouped by head symbol, then refined by the top symbol
+of each argument position, so the engine only tries rules whose
+left-hand side can possibly match the subject's shape.
 """
 
 from __future__ import annotations
@@ -12,9 +14,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Optional, Sequence
 
-from repro.algebra.matching import match
+from repro.algebra.matching import match_bindings
 from repro.algebra.signature import Operation
-from repro.algebra.terms import App, Term
+from repro.algebra.substitution import apply_bindings
+from repro.algebra.terms import App, Err, Lit, Term
 from repro.spec.axioms import Axiom
 from repro.spec.specification import Specification
 
@@ -44,10 +47,10 @@ class RewriteRule:
 
     def apply_at_root(self, term: Term) -> Optional[Term]:
         """The result of one rewrite at the root of ``term``, or ``None``."""
-        sigma = match(self.lhs, term)
-        if sigma is None:
+        bindings = match_bindings(self.lhs, term)
+        if bindings is None:
             return None
-        return sigma.apply(self.rhs)
+        return apply_bindings(self.rhs, bindings)
 
     def as_axiom(self) -> Axiom:
         return Axiom(self.lhs, self.rhs, self.label)
@@ -62,28 +65,142 @@ def rule_from_axiom(axiom: Axiom) -> RewriteRule:
     return RewriteRule(axiom.lhs, axiom.rhs, axiom.label)
 
 
-class RuleSet:
-    """A collection of rewrite rules indexed by head operation name.
+# ----------------------------------------------------------------------
+# Discrimination-tree indexing
+# ----------------------------------------------------------------------
 
-    Rule order is preserved: within one head symbol the first matching
-    rule fires, so a specification's axiom order is its match order
-    (the paper's axiom sets are non-overlapping, making order
-    irrelevant for them, but user specs under debugging may overlap).
+#: Edge label standing for "this pattern position matches anything"
+#: (a variable, or an ``Ite`` pattern the shape test cannot refine).
+_WILDCARD = ("*",)
+
+#: Key under which a tree node stores the rule indices ending there.
+_RULES = ("rules",)
+
+
+def _pattern_shape(term: Term):
+    """The discrimination edge for one argument of a rule's LHS."""
+    if isinstance(term, App):
+        return ("app", term.op.name)
+    if isinstance(term, Lit):
+        return ("lit", term.sort, term.value)
+    if isinstance(term, Err):
+        return ("err", term.sort)
+    return _WILDCARD  # Var, or Ite (matched structurally, not indexed)
+
+
+def _subject_shape(term: Term):
+    """The edge a subject argument selects.  Must agree with
+    :func:`_pattern_shape` exactly when a root match is possible:
+
+    * a pattern ``App``/``Lit``/``Err`` only matches a subject of the
+      same top symbol (literal/error equality is sort+value equality,
+      which the tuple keys reproduce);
+    * a subject ``Var`` or ``Ite`` is only matched by a pattern
+      variable, i.e. the wildcard edge — so it gets a shape no pattern
+      edge carries.
     """
+    if isinstance(term, App):
+        return ("app", term.op.name)
+    if isinstance(term, Lit):
+        return ("lit", term.sort, term.value)
+    if isinstance(term, Err):
+        return ("err", term.sort)
+    return ("open",)
+
+
+class _DiscriminationTree:
+    """Per-head-symbol index, one level per argument position.
+
+    Nodes are dicts; an edge is the argument's top-symbol shape or the
+    wildcard.  A query follows, at each level, both the subject's exact
+    edge and the wildcard edge, and unions the rule indices reached —
+    a superset of the rules that can match, filtered down by the real
+    matcher.  Query results are memoised per shape path (bounded)."""
+
+    __slots__ = ("root", "_memo")
+
+    def __init__(self) -> None:
+        self.root: dict = {}
+        self._memo: dict[tuple, tuple[RewriteRule, ...]] = {}
+
+    def insert(self, pattern_args: Sequence[Term], index: int) -> None:
+        node = self.root
+        for arg in pattern_args:
+            node = node.setdefault(_pattern_shape(arg), {})
+        node.setdefault(_RULES, []).append(index)
+        self._memo.clear()
+
+    def retrieve(
+        self, subject_args: Sequence[Term], rules: Sequence[RewriteRule]
+    ) -> tuple[RewriteRule, ...]:
+        shapes = tuple(_subject_shape(arg) for arg in subject_args)
+        memo = self._memo
+        hit = memo.get(shapes)
+        if hit is not None:
+            return hit
+        frontier = [self.root]
+        for shape in shapes:
+            advanced: list[dict] = []
+            for node in frontier:
+                child = node.get(shape)
+                if child is not None:
+                    advanced.append(child)
+                wild = node.get(_WILDCARD)
+                if wild is not None:
+                    advanced.append(wild)
+            if not advanced:
+                frontier = []
+                break
+            frontier = advanced
+        indices: list[int] = []
+        for node in frontier:
+            indices.extend(node.get(_RULES, ()))
+        indices.sort()  # original rule order = match order
+        result = tuple(rules[i] for i in indices)
+        if len(memo) < 1024:  # literal-valued edges keep this finite
+            memo[shapes] = result
+        return result
+
+
+class RuleSet:
+    """A collection of rewrite rules behind a discrimination-tree index.
+
+    Rule order is preserved: among the candidates for one subject the
+    first matching rule fires, so a specification's axiom order is its
+    match order (the paper's axiom sets are non-overlapping, making
+    order irrelevant for them, but user specs under debugging may
+    overlap)."""
 
     def __init__(self, rules: Iterable[RewriteRule] = ()) -> None:
         self._rules: list[RewriteRule] = []
         self._by_head: dict[str, list[RewriteRule]] = {}
+        self._trees: dict[str, _DiscriminationTree] = {}
         for rule in rules:
             self.add(rule)
 
     def add(self, rule: RewriteRule) -> None:
+        index = len(self._rules)
         self._rules.append(rule)
         self._by_head.setdefault(rule.head.name, []).append(rule)
+        tree = self._trees.get(rule.head.name)
+        if tree is None:
+            tree = self._trees[rule.head.name] = _DiscriminationTree()
+        assert isinstance(rule.lhs, App)
+        tree.insert(rule.lhs.args, index)
 
     def for_head(self, operation: Operation) -> Sequence[RewriteRule]:
-        """Rules whose left-hand side is headed by ``operation``."""
+        """All rules whose left-hand side is headed by ``operation``,
+        without argument-shape refinement (the seed engine's index;
+        kept for the E10 ablation and for exhaustive traversals)."""
         return self._by_head.get(operation.name, ())
+
+    def candidates(self, term: App) -> Sequence[RewriteRule]:
+        """Rules that can possibly rewrite ``term`` at the root: same
+        head symbol, argument shapes compatible position by position."""
+        tree = self._trees.get(term.op.name)
+        if tree is None:
+            return ()
+        return tree.retrieve(term.args, self._rules)
 
     def heads(self) -> set[str]:
         """Names of all operations that head some rule."""

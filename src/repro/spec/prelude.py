@@ -57,24 +57,35 @@ BOOLEAN_SPEC = Specification(
 )
 
 
+# The canonical interned TRUE/FALSE nodes.  Hash consing makes the
+# ``term is _TRUE_NODE`` test below decide almost every call; the
+# structural fallback covers terms built while interning was disabled.
+_TRUE_NODE = app(TRUE)
+_FALSE_NODE = app(FALSE)
+
+
 def true_term() -> App:
-    return app(TRUE)
+    return _TRUE_NODE
 
 
 def false_term() -> App:
-    return app(FALSE)
+    return _FALSE_NODE
 
 
 def boolean_term(value: bool) -> App:
     """The TRUE or FALSE term for a Python bool."""
-    return true_term() if value else false_term()
+    return _TRUE_NODE if value else _FALSE_NODE
 
 
 def is_true(term: Term) -> bool:
+    if term is _TRUE_NODE:
+        return True
     return isinstance(term, App) and term.op == TRUE
 
 
 def is_false(term: Term) -> bool:
+    if term is _FALSE_NODE:
+        return True
     return isinstance(term, App) and term.op == FALSE
 
 

@@ -68,6 +68,12 @@ class GroundTermGenerator:
             for name, values in pools.items():
                 self._pools[name] = tuple(values)
         self._constructors = self._constructor_table()
+        # Recursive constructors per sort, precomputed once rather than
+        # refiltered on every generated node.
+        self._recursive: dict[Sort, list[Operation]] = {
+            sort: [op for op in ops if sort in op.domain]
+            for sort, ops in self._constructors.items()
+        }
 
     def _constructor_table(self) -> dict[Sort, list[Operation]]:
         signature = self.spec.full_signature()
@@ -104,9 +110,7 @@ class GroundTermGenerator:
         if not candidates:
             raise GenerationError(f"no constructors or literals for sort {sort}")
         # Bias towards recursion while budget remains, so terms have meat.
-        recursive = [
-            op for op in constructors if op is not None and sort in op.domain
-        ]
+        recursive = self._recursive.get(sort, [])
         if recursive and self._random.random() < 0.7:
             choice: Optional[Operation] = self._random.choice(recursive)
         else:

@@ -30,8 +30,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
+from repro.algebra.matching import match_bindings
 from repro.algebra.signature import Operation
 from repro.algebra.sorts import Sort
+from repro.algebra.substitution import apply_bindings
 from repro.algebra.terms import App, Err, Ite, Lit, Term, Var, map_terms
 from repro.spec.prelude import boolean_term, is_false, is_true
 from repro.rewriting.engine import RewriteEngine, RewriteLimitError
@@ -88,10 +90,7 @@ class ProverEngine(RewriteEngine):
         if builtin is not None and all(isinstance(a, Lit) for a in term.args):
             self.stats.builtin_firings += 1
             return self._run_builtin(term)
-        candidates = (
-            self.rules.for_head(term.op) if self.use_index else self.rules
-        )
-        for rule in candidates:
+        for rule in self._candidates(term):
             result = rule.apply_at_root(term)
             if result is None:
                 continue
@@ -102,6 +101,22 @@ class ProverEngine(RewriteEngine):
             self.stats.record_firing(rule)
             return result
         return None
+
+    def _match_root(self, term: App, budget: list[int]):
+        """Value-mode hook: apply the same unfolding guard as
+        :meth:`_root_step`, so ``normalize`` on open terms cannot unfold
+        a recursive definition whose guard does not decide."""
+        for rule in self._candidates(term):
+            bindings = match_bindings(rule.lhs, term)
+            if bindings is None:
+                continue
+            if self._is_recursive(rule) and not self._guard_decides(
+                apply_bindings(rule.rhs, bindings), budget
+            ):
+                continue
+            self.stats.record_firing(rule)
+            return rule, bindings
+        return None, None
 
     def _simplify(self, term: Term, budget: list[int]) -> Term:
         if isinstance(term, (Var, Lit, Err)):
@@ -119,6 +134,12 @@ class ProverEngine(RewriteEngine):
             else_branch = self._simplify(term.else_branch, budget)
             if then_branch == else_branch:
                 return then_branch
+            if (
+                cond is term.cond
+                and then_branch is term.then_branch
+                and else_branch is term.else_branch
+            ):
+                return term
             return Ite(cond, then_branch, else_branch)
         assert isinstance(term, App)
         args = [self._simplify(arg, budget) for arg in term.args]
@@ -142,7 +163,7 @@ class ProverEngine(RewriteEngine):
                     ),
                     budget,
                 )
-        node = App(term.op, args)
+        node = term if all(new is old for new, old in zip(args, term.args)) else App(term.op, args)
         step = self._root_step(node, budget)
         if step is None:
             return node

@@ -1,0 +1,156 @@
+"""Property tests for the hash-consed term substrate.
+
+Interning is meant to be *transparent*: all a client can observe is that
+structurally equal terms are now also identical, and that the cached
+structural metadata (`hash`, `size`, `depth`, `is_ground`) agrees with
+what a from-scratch recomputation would give.  These properties pin that
+down over randomly drawn constructor terms.
+"""
+
+import pickle
+
+from hypothesis import given, settings
+
+from repro.algebra.terms import (
+    App,
+    Err,
+    Ite,
+    Lit,
+    Term,
+    Var,
+    app,
+    intern_table_size,
+    interning_disabled,
+    interning_enabled,
+    set_interning,
+)
+from repro.adt.queue import ADD, NEW, QUEUE_SPEC, queue_term
+from repro.spec.parser import parse_term
+from repro.spec.printer import term_to_dsl
+from repro.spec.prelude import item
+from repro.testing.strategies import term_strategy
+
+queue_terms = term_strategy(QUEUE_SPEC, QUEUE_SPEC.type_of_interest)
+
+
+def rebuild(term: Term) -> Term:
+    """A structurally identical term built bottom-up through the public
+    constructors (exercising the intern table on every node)."""
+    if isinstance(term, Var):
+        return Var(term.name, term.sort)
+    if isinstance(term, Lit):
+        return Lit(term.value, term.sort)
+    if isinstance(term, Err):
+        return Err(term.sort)
+    if isinstance(term, Ite):
+        return Ite(
+            rebuild(term.cond),
+            rebuild(term.then_branch),
+            rebuild(term.else_branch),
+        )
+    assert isinstance(term, App)
+    return App(term.op, tuple(rebuild(arg) for arg in term.args))
+
+
+def naive_size(term: Term) -> int:
+    return 1 + sum(naive_size(kid) for kid in term.children())
+
+
+def naive_depth(term: Term) -> int:
+    kids = term.children()
+    return 1 + (max(naive_depth(kid) for kid in kids) if kids else 0)
+
+
+def naive_ground(term: Term) -> bool:
+    if isinstance(term, Var):
+        return False
+    return all(naive_ground(kid) for kid in term.children())
+
+
+class TestMaximalSharing:
+    @given(queue_terms)
+    @settings(max_examples=200)
+    def test_structural_equality_is_identity(self, term):
+        assert rebuild(term) is term
+
+    @given(queue_terms)
+    @settings(max_examples=100)
+    def test_pickle_round_trips_to_same_node(self, term):
+        assert pickle.loads(pickle.dumps(term)) is term
+
+    def test_shared_subterms_are_one_object(self):
+        q = queue_term(["a", "b"])
+        bigger = app(ADD, q, item("c"))
+        assert bigger.args[0] is q
+
+    def test_table_grows_and_shrinks(self):
+        # Note: clear_intern_table() is NOT used here — clearing while
+        # interned terms are still alive would break the sharing
+        # invariant for them.  Size deltas with fresh payloads suffice.
+        baseline = intern_table_size()
+        held = queue_term(["only-in-this-test-1", "only-in-this-test-2"])
+        grown = intern_table_size()
+        assert grown > baseline
+        del held
+        # Weak references: dropping the last strong reference frees the
+        # table slots again (eventually; CPython refcounts immediately).
+        assert intern_table_size() < grown
+
+
+class TestCachedMetadata:
+    @given(queue_terms)
+    @settings(max_examples=200)
+    def test_hash_matches_structural_recomputation(self, term):
+        with interning_disabled():
+            fresh = rebuild(term)
+        assert fresh is not term
+        assert fresh == term
+        assert hash(fresh) == hash(term)
+
+    @given(queue_terms)
+    @settings(max_examples=200)
+    def test_size_depth_ground_agree_with_naive_walk(self, term):
+        assert term.size() == naive_size(term)
+        assert term.depth() == naive_depth(term)
+        assert term.is_ground() == naive_ground(term)
+
+    def test_open_terms_report_not_ground(self):
+        q = Var("q", QUEUE_SPEC.type_of_interest)
+        term = app(ADD, q, item("a"))
+        assert not term.is_ground()
+        assert term.variables() == {q}
+
+
+class TestDslRoundTrip:
+    @given(queue_terms)
+    @settings(max_examples=100)
+    def test_print_parse_yields_same_interned_node(self, term):
+        text = term_to_dsl(term)
+        parsed = parse_term(text, QUEUE_SPEC, expected=term.sort)
+        assert parsed is term
+
+
+class TestAblationSwitch:
+    def test_disabled_interning_builds_fresh_equal_nodes(self):
+        with interning_disabled():
+            left = queue_term(["a"])
+            right = queue_term(["a"])
+        assert left is not right
+        assert left == right
+        assert hash(left) == hash(right)
+
+    def test_set_interning_returns_previous_state(self):
+        assert interning_enabled()
+        previous = set_interning(False)
+        try:
+            assert previous is True
+            assert not interning_enabled()
+        finally:
+            set_interning(True)
+
+    def test_mixed_worlds_compare_structurally(self):
+        interned = app(NEW)
+        with interning_disabled():
+            fresh = app(NEW)
+        assert fresh == interned
+        assert interned == fresh

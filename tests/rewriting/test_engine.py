@@ -211,15 +211,40 @@ class TestDeepTerms:
 
 
 class TestIndexAblation:
-    """With and without head-symbol indexing, results agree (E10)."""
+    """All three rule-lookup strategies give the same results (E10)."""
 
     def test_same_normal_forms(self, queue_spec):
         rules = RuleSet.from_specification(queue_spec)
-        indexed = RewriteEngine(rules, use_index=True)
+        tree = RewriteEngine(rules, use_index=True)
+        head = RewriteEngine(rules, use_index="head")
         linear = RewriteEngine(rules, use_index=False)
         for values in (["a"], ["a", "b"], ["a", "b", "c", "d"]):
             term = app(REMOVE, queue_term(values))
-            assert indexed.normalize(term) == linear.normalize(term)
+            expected = linear.normalize(term)
+            assert tree.normalize(term) == expected
+            assert head.normalize(term) == expected
+
+    def test_tree_candidates_subset_of_head_candidates(self, queue_spec):
+        """The discrimination tree refines the head index: it never
+        returns a rule the flat per-head list would not have offered."""
+        rules = RuleSet.from_specification(queue_spec)
+        for values in ([], ["a"], ["a", "b"]):
+            subject = app(FRONT, queue_term(values))
+            refined = set(map(id, rules.candidates(subject)))
+            flat = set(map(id, rules.for_head(subject.op)))
+            assert refined <= flat
+
+    def test_tree_skips_shape_incompatible_rules(self, queue_spec):
+        """FRONT(NEW) and FRONT(ADD(..)) are discriminated by the top
+        symbol of the argument, so each subject sees fewer candidates
+        than the flat head index offers."""
+        rules = RuleSet.from_specification(queue_spec)
+        on_empty = rules.candidates(app(FRONT, queue_term([])))
+        on_add = rules.candidates(app(FRONT, queue_term(["a"])))
+        flat = rules.for_head(FRONT)
+        assert len(flat) >= 2
+        assert len(on_empty) < len(flat)
+        assert len(on_add) < len(flat)
 
 
 class TestCache:
@@ -262,6 +287,46 @@ class TestCache:
         q = var("q", QUEUE_SPEC.type_of_interest)
         engine.normalize(app(IS_EMPTY, app(ADD, q, item("a"))))
         assert all(key.is_ground() for key in engine._cache)
+
+    def test_hot_entries_survive_overflow(self, queue_spec):
+        """Regression: the seed engine cleared the whole memo when it
+        filled, so one oversized burst evicted every hot entry.  The
+        LRU evicts cold entries only — a key that is re-probed between
+        bursts keeps answering from the cache."""
+        engine = RewriteEngine(
+            RuleSet.from_specification(queue_spec), cache_size=8
+        )
+        hot = app(FRONT, queue_term(["a", "b"]))
+        expected = engine.normalize(hot)
+        for index in range(50):
+            # Cold traffic that overflows the 8-entry cache many times.
+            engine.normalize(app(FRONT, queue_term([index])))
+            # Touching the hot term keeps it most-recently-used...
+            engine.stats.reset()
+            assert engine.normalize(hot) == expected
+            # ...so it is always answered from the memo, never re-derived.
+            assert engine.stats.rule_firings == 0
+        assert hot in engine._cache
+
+    def test_clear_policy_reproduces_seed_eviction(self, queue_spec):
+        """The ``cache_policy="clear"`` ablation wipes the memo on
+        overflow (the seed behaviour the LRU replaces)."""
+        rules = RuleSet.from_specification(queue_spec)
+        engine = RewriteEngine(rules, cache_size=4, cache_policy="clear")
+        for index in range(40):
+            engine.normalize(app(FRONT, queue_term([index])))
+        assert len(engine._cache) <= 4
+        # Both policies agree on every normal form.
+        lru = RewriteEngine(rules, cache_size=4)
+        for values in ([], ["a"], ["a", "b", "c"]):
+            term = app(FRONT, queue_term(values))
+            assert engine.normalize(term) == lru.normalize(term)
+
+    def test_unknown_cache_policy_rejected(self, queue_spec):
+        with pytest.raises(ValueError):
+            RewriteEngine(
+                RuleSet.from_specification(queue_spec), cache_policy="fifo"
+            )
 
 
 class TestEquality:
@@ -314,3 +379,41 @@ class TestSimplify:
         assert queue_engine.stats.steps > 0
         queue_engine.stats.reset()
         assert queue_engine.stats.steps == 0
+
+    def test_simplify_reuses_unchanged_nodes(self, queue_engine):
+        """Simplifying an already-simplified open term returns the very
+        same node, not a fresh structurally-equal copy."""
+        q = var("q", QUEUE_SPEC.type_of_interest)
+        first = queue_engine.simplify(
+            ite(app(IS_EMPTY, q), queue_term(["a"]), queue_term(["b"]))
+        )
+        assert queue_engine.simplify(first) is first
+
+
+class TestArgsNormal:
+    """Unit coverage for the already-normal-arguments fast path."""
+
+    def test_leaves_are_normal(self):
+        from repro.rewriting.engine import _args_normal
+
+        assert _args_normal(item("a"))
+        assert _args_normal(var("q", QUEUE_SPEC.type_of_interest))
+        assert _args_normal(err(QUEUE_SPEC.type_of_interest))
+
+    def test_nullary_application_is_normal(self):
+        from repro.rewriting.engine import _args_normal
+
+        assert _args_normal(app(NEW))
+
+    def test_application_of_leaves_is_normal(self):
+        from repro.rewriting.engine import _args_normal
+
+        assert _args_normal(app(ADD, app(NEW), item("a"))) is False
+        assert _args_normal(
+            app(ADD, var("q", QUEUE_SPEC.type_of_interest), item("a"))
+        )
+
+    def test_nested_application_is_not_normal(self):
+        from repro.rewriting.engine import _args_normal
+
+        assert not _args_normal(app(FRONT, queue_term(["a"])))
