@@ -43,6 +43,51 @@ def test_e10_rewrite_throughput(benchmark, size):
     benchmark.extra_info["rewrite_steps"] = engine.stats.steps
 
 
+@pytest.mark.parametrize("size", [8, 32, 128])
+def test_e10_compiled_throughput(benchmark, size):
+    """The same drain through the closure-compiled backend."""
+    engine = RewriteEngine(RULES, fuel=10_000_000, backend="compiled")
+    engine._compiled_engine()  # build closures outside the timing
+    drained = benchmark(_drain, engine, size)
+    assert drained == size
+    benchmark.extra_info["queue_size"] = size
+    benchmark.extra_info["rewrite_steps"] = engine.stats.steps
+
+
+def test_e10_backend_ablation(benchmark):
+    """Compiled vs interpreted backend on the same drain, cold caches
+    each round — the PR's headline ablation (also in BENCH_E10.json)."""
+    import time
+
+    def measure():
+        timings = {}
+        for backend in ("interpreted", "compiled"):
+            engine = RewriteEngine(
+                RULES, fuel=10_000_000, backend=backend
+            )
+            if backend == "compiled":
+                engine._compiled_engine()
+            start = time.perf_counter()
+            drained = _drain(engine, 64)
+            timings[backend] = time.perf_counter() - start
+            assert drained == 64
+        return timings
+
+    timings = benchmark(measure)
+    speedup = timings["interpreted"] / timings["compiled"]
+    report(
+        "E10: evaluation backend ablation (drain of 64)",
+        ["backend", "relative"],
+        [
+            ["interpreted", "1.0x"],
+            ["compiled", f"{1 / speedup:.2f}x"],
+        ],
+    )
+    benchmark.extra_info["compiled_speedup"] = round(speedup, 2)
+    # Compiled closures must beat the generic matcher on this workload.
+    assert speedup > 1.0
+
+
 def test_e10_indexing_ablation(benchmark):
     """Head-symbol rule indexing vs linear scan (same results)."""
     import time

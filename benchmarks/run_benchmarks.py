@@ -44,15 +44,17 @@ SEED_COMMIT = "36c9cdc54882083980002dcdff8599446679a833"
 
 RULES = RuleSet.from_specification(QUEUE_SPEC)
 
-#: Engine configurations measured by E10.  ``full`` is the engine as
-#: shipped; ``seed-config`` flips every ablation flag back at once.
+#: Engine configurations measured by E10.  ``full`` is the interpreted
+#: engine as shipped; ``compiled`` is the closure-compiled backend;
+#: ``seed-config`` flips every ablation flag back at once.
 E10_CONFIGS = [
-    ("full", True, True, "lru"),
-    ("no-interning", False, True, "lru"),
-    ("head-index", True, "head", "lru"),
-    ("linear-scan", True, False, "lru"),
-    ("clear-cache", True, True, "clear"),
-    ("seed-config", False, "head", "clear"),
+    ("full", True, True, "lru", "interpreted"),
+    ("compiled", True, True, "lru", "compiled"),
+    ("no-interning", False, True, "lru", "interpreted"),
+    ("head-index", True, "head", "lru", "interpreted"),
+    ("linear-scan", True, False, "lru", "interpreted"),
+    ("clear-cache", True, True, "clear", "interpreted"),
+    ("seed-config", False, "head", "clear", "interpreted"),
 ]
 
 #: Script used by the seed-commit subprocess: must not import anything
@@ -96,7 +98,9 @@ def _drain(engine: RewriteEngine, size: int) -> int:
     return steps
 
 
-def _measure_drain(size: int, interning, use_index, cache_policy, reps: int):
+def _measure_drain(
+    size: int, interning, use_index, cache_policy, backend, reps: int
+):
     """Best-of-``reps`` drain; returns timing plus the engine counters."""
     best = None
     for _ in range(reps):
@@ -105,7 +109,10 @@ def _measure_drain(size: int, interning, use_index, cache_policy, reps: int):
             engine = RewriteEngine(
                 RULES, fuel=10_000_000,
                 use_index=use_index, cache_policy=cache_policy,
+                backend=backend,
             )
+            if backend == "compiled":
+                engine._compiled_engine()  # build closures outside the timing
             table_before = intern_table_size()
             start = time.perf_counter()
             drained = _drain(engine, size)
@@ -163,9 +170,11 @@ def run_e10(quick: bool) -> dict:
     sizes = [12] if quick else [32, 64, 128]
     reps = 1 if quick else 3
     configs: dict[str, dict] = {}
-    for name, interning, use_index, cache_policy in E10_CONFIGS:
+    for name, interning, use_index, cache_policy, backend in E10_CONFIGS:
         configs[name] = {
-            str(size): _measure_drain(size, interning, use_index, cache_policy, reps)
+            str(size): _measure_drain(
+                size, interning, use_index, cache_policy, backend, reps
+            )
             for size in sizes
         }
     result = {
@@ -174,6 +183,14 @@ def run_e10(quick: bool) -> dict:
         "mode": "quick" if quick else "full",
         "sizes": sizes,
         "configs": configs,
+        "compiled_vs_interpreted": {
+            str(size): round(
+                configs["full"][str(size)]["seconds"]
+                / configs["compiled"][str(size)]["seconds"],
+                2,
+            )
+            for size in sizes
+        },
     }
     if not quick:
         seed = _seed_baseline(sizes, reps)
@@ -227,6 +244,32 @@ def run_e7(quick: bool) -> dict:
     symbolic = (time.perf_counter() - start) / reps
     operations = 3 * script_length + 1  # adds + (front, remove) per element
 
+    # The same script through the closure-compiled backend.
+    compiled_facade = facade_class(QUEUE_SPEC, backend="compiled")
+    compiled_engine = compiled_facade._interpreter.engine
+    compiled_engine._compiled_engine()  # build closures outside the timing
+    start = time.perf_counter()
+    for _ in range(reps):
+        symbolic_script(compiled_facade)
+    compiled_secs = (time.perf_counter() - start) / reps
+
+    # And the drain observations submitted as one normalize_many batch
+    # (shared memo across the whole workload).
+    batch_terms = [
+        app(op, queue_term(range(k)))
+        for k in range(1, script_length + 1)
+        for op in (FRONT, REMOVE)
+    ]
+    batch_engine = RewriteEngine.for_specification(
+        QUEUE_SPEC, backend="compiled"
+    )
+    batch_engine.fuel = 10_000_000
+    batch_engine._compiled_engine()
+    start = time.perf_counter()
+    for _ in range(reps):
+        batch_engine.normalize_many(batch_terms)
+    batch_secs = (time.perf_counter() - start) / reps
+
     return {
         "experiment": "E7",
         "workload": f"queue script, {script_length} adds then full drain",
@@ -242,7 +285,21 @@ def run_e7(quick: bool) -> dict:
             "peak_intern_table": intern_table_size(),
             "intern_table_growth": intern_table_size() - table_before,
         },
+        "symbolic_compiled": {
+            "seconds": round(compiled_secs, 6),
+            "ops_per_sec": round(operations / compiled_secs, 1),
+            "cache_hit_rate": round(
+                compiled_engine.stats.cache_hit_rate, 4
+            ),
+        },
+        "symbolic_compiled_batch": {
+            "seconds": round(batch_secs, 6),
+            "terms": len(batch_terms),
+            "cache_hit_rate": round(batch_engine.stats.cache_hit_rate, 4),
+        },
         "symbolic_over_concrete": round(symbolic / concrete, 1),
+        "compiled_over_concrete": round(compiled_secs / concrete, 1),
+        "compiled_vs_interpreted": round(symbolic / compiled_secs, 2),
     }
 
 

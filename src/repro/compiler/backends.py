@@ -62,33 +62,45 @@ class ConcreteBackend:
 
 
 class SpecBackend:
-    """The specification as the implementation, via the symbolic façade."""
+    """The specification as the implementation, via the symbolic façade.
 
-    _facade_class = None
+    ``backend`` selects the rewrite engine's evaluation path
+    (``"interpreted"`` or ``"compiled"``); one façade class is built and
+    shared per path, so the E9 benchmark can compare them directly.
+    """
 
-    def __init__(self, value: Optional[object] = None) -> None:
-        cls = type(self)._ensure_facade()
+    _facade_classes: dict = {}
+
+    def __init__(
+        self,
+        value: Optional[object] = None,
+        backend: str = "interpreted",
+    ) -> None:
+        cls = type(self)._ensure_facade(backend)
+        self._backend = backend
         self._value = value if value is not None else cls.init()
 
     @classmethod
-    def _ensure_facade(cls):
-        if SpecBackend._facade_class is None:
+    def _ensure_facade(cls, backend: str = "interpreted"):
+        facade = SpecBackend._facade_classes.get(backend)
+        if facade is None:
             from repro.interp.facade import facade_class
 
-            SpecBackend._facade_class = facade_class(SYMBOLTABLE_SPEC)
-        return SpecBackend._facade_class
+            facade = facade_class(SYMBOLTABLE_SPEC, backend=backend)
+            SpecBackend._facade_classes[backend] = facade
+        return facade
 
     def enterblock(self) -> "SpecBackend":
-        return SpecBackend(self._value.enterblock())
+        return SpecBackend(self._value.enterblock(), self._backend)
 
     def leaveblock(self) -> "SpecBackend":
         result = self._value.leaveblock()
         if _is_error(result):
             raise AlgebraError("LEAVEBLOCK on the global scope")
-        return SpecBackend(result)
+        return SpecBackend(result, self._backend)
 
     def add(self, name: str, attrs: object) -> "SpecBackend":
-        return SpecBackend(self._value.add(name, attrs))
+        return SpecBackend(self._value.add(name, attrs), self._backend)
 
     def is_inblock(self, name: str) -> bool:
         result = self._value.is_inblock(name)

@@ -100,19 +100,35 @@ def _wrap(interpreter, cls, value: SymbolicValue):
     return interpreter.to_python(value)
 
 
+def _evaluate_terms(cls, terms):
+    """Batch entry point stamped onto every façade class: normalise a
+    sequence of raw terms through the engine's shared-memo batch API and
+    wrap the results exactly as the per-operation methods do."""
+    interpreter = cls._interpreter
+    return [
+        _wrap(interpreter, cls, value)
+        for value in interpreter.value_many(terms)
+    ]
+
+
 def facade_class(
     spec: Specification,
     name: Optional[str] = None,
     fuel: int = 200_000,
+    backend: str = "interpreted",
 ) -> Type[FacadeValue]:
     """Build a Python class executing ``spec`` symbolically.
+
+    ``backend="compiled"`` routes every method through the
+    closure-compiled normaliser — behaviourally identical, measurably
+    faster (benchmark E7).
 
     >>> Queue = facade_class(QUEUE_SPEC)
     >>> q = Queue.new().add('a').add('b')
     >>> q.front()
     'a'
     """
-    interpreter = SymbolicInterpreter(spec, fuel=fuel)
+    interpreter = SymbolicInterpreter(spec, fuel=fuel, backend=backend)
     toi = spec.type_of_interest
     cls = type(
         name or spec.name,
@@ -130,4 +146,5 @@ def facade_class(
             setattr(cls, method_name, _make_instance_method(interpreter, operation, cls))
         else:
             setattr(cls, method_name, _make_constructor_method(interpreter, operation, cls))
+    cls.evaluate_terms = classmethod(_evaluate_terms)
     return cls

@@ -72,11 +72,21 @@ Applicable = Union[SymbolicValue, Term, object]
 
 
 class SymbolicInterpreter:
-    """Executes a specification's operations by rewriting."""
+    """Executes a specification's operations by rewriting.
 
-    def __init__(self, spec: Specification, fuel: int = 200_000) -> None:
+    ``backend`` selects the evaluation path: ``"interpreted"`` (the
+    default) or ``"compiled"`` (closure-compiled rules, same normal
+    forms — see :mod:`repro.rewriting.compile`).
+    """
+
+    def __init__(
+        self,
+        spec: Specification,
+        fuel: int = 200_000,
+        backend: str = "interpreted",
+    ) -> None:
         self.spec = spec
-        self.engine = RewriteEngine.for_specification(spec)
+        self.engine = RewriteEngine.for_specification(spec, backend=backend)
         self.engine.fuel = fuel
 
     # ------------------------------------------------------------------
@@ -98,6 +108,15 @@ class SymbolicInterpreter:
     def value(self, term: Term) -> SymbolicValue:
         """Wrap and normalise an explicit term."""
         return SymbolicValue(self, self.engine.normalize(term))
+
+    def value_many(self, terms) -> list[SymbolicValue]:
+        """Normalise a batch of terms through the engine's batch API —
+        one shared memo pass, so common substructure across the workload
+        is evaluated once."""
+        return [
+            SymbolicValue(self, term)
+            for term in self.engine.normalize_many(terms)
+        ]
 
     def _coerce(self, argument: Applicable, sort: Sort) -> Term:
         if isinstance(argument, SymbolicValue):

@@ -2,10 +2,16 @@
 
 from repro.rewriting.rules import RewriteRule, RuleSet, rule_from_axiom
 from repro.rewriting.engine import (
+    BACKENDS,
     DEFAULT_FUEL,
     EngineStats,
     RewriteEngine,
     RewriteLimitError,
+)
+from repro.rewriting.compile import (
+    CompiledEngine,
+    CompiledRules,
+    compile_ruleset,
 )
 from repro.rewriting.ordering import (
     ITE_SYMBOL,
@@ -31,6 +37,10 @@ __all__ = [
     "RewriteRule",
     "RuleSet",
     "rule_from_axiom",
+    "BACKENDS",
+    "CompiledEngine",
+    "CompiledRules",
+    "compile_ruleset",
     "DEFAULT_FUEL",
     "EngineStats",
     "RewriteEngine",

@@ -1,0 +1,674 @@
+"""Rule-set compilation: closure-compiled normalisation.
+
+The interpreted engine pays a per-step interpretive tax: discrimination
+tree lookup, generic :func:`match_bindings` over the pattern, generic
+instantiation of the right-hand side.  For a *fixed* rule set all of
+that can be decided once, at compile time.  :func:`compile_ruleset`
+emits one specialised Python closure per operation:
+
+* the operation's axioms are fused into a **decision tree** over the
+  head symbols / literal values of the argument positions — the same
+  shape refinement the discrimination tree performs per call, but
+  resolved into nested ``if``/``elif`` chains compiled once;
+* each leaf carries the **residual match** (deep destructuring, ground
+  sub-pattern equality, non-linear variable checks) as straight-line
+  attribute tests with walrus-bound locals, and a **pre-compiled RHS
+  builder** that constructs interned terms directly and calls sibling
+  closures — no bindings dict, no template walk;
+* ground, already-normal right-hand-side fragments are folded into
+  module-level constants at compile time.
+
+Calling convention (every generated closure)::
+
+    def op_k(a, d, b):  # args tuple (already normal, no top-level Err),
+                        # depth counter, budget list
+
+``a`` holds the operation's argument normal forms; the closure returns
+the normal form of ``op(a...)``.  ``d`` counts nested closure calls:
+past ``_DEPTH_LIMIT`` the closure raises :class:`_DeepRecursion` and the
+driver re-evaluates that node on the iterative interpreted machine, so
+deep rewrite chains degrade gracefully instead of hitting Python's
+recursion limit.  ``b`` is the shared one-element fuel budget; closures
+decrement it exactly where the interpreted engine calls ``_spend``.
+
+The memo (``C``) maps ``(op_index, args)`` to normal forms for ground
+argument tuples, shared by all closures of one compiled rule set and
+across :meth:`CompiledEngine.normalize_many` batches.  Statistics
+accumulate in the flat counter list ``ST`` (and per-rule ``RF``) and are
+folded back into the engine's :class:`EngineStats` after each call.
+
+Operations whose patterns the compiler cannot fold into tests (an
+``Ite`` inside a left-hand side) fall back to the interpreted engine;
+so do builtin steps that return whole terms.  Both backends therefore
+implement the same rewrite relation — the differential tests in
+``tests/rewriting/test_compile.py`` hold them to it term-for-term.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.algebra.signature import Operation
+from repro.algebra.sorts import BOOLEAN, Sort
+from repro.algebra.substitution import apply_bindings
+from repro.algebra.terms import App, Err, Ite, Lit, Term, Var
+from repro.spec.errors import AlgebraError
+from repro.spec.prelude import boolean_term, is_false, is_true
+from repro.rewriting.engine import (
+    DEFAULT_FUEL,
+    EngineStats,
+    RewriteEngine,
+    RewriteLimitError,
+)
+from repro.rewriting.rules import RewriteRule, RuleSet
+
+#: Nested closure calls allowed before falling back to the iterative
+#: interpreter.  Python's default recursion limit is 1000 and each
+#: sibling call costs one frame; 400 leaves ample headroom for the
+#: driver's own frames.
+_DEPTH_LIMIT = 400
+
+# Indices into the generated module's flat stat counter list ``ST``.
+_ST_STEPS = 0
+_ST_RULE = 1
+_ST_BUILTIN = 2
+_ST_HITS = 3
+_ST_PROBES = 4
+_ST_ERRPROP = 5
+
+
+class _LimitHit(Exception):
+    """Raised inside generated code when the fuel budget runs out."""
+
+
+class _DeepRecursion(Exception):
+    """Raised inside generated code when sibling calls nest too deep."""
+
+
+class _Uncompilable(Exception):
+    """A rule pattern the decision-tree compiler cannot handle."""
+
+
+def _rt_unbound(*_args):  # pragma: no cover - defensive default
+    raise RuntimeError(
+        "compiled rules need an interpreter hook: use CompiledEngine, "
+        "or set ns['RT_TERM'] / ns['RT_APP'] before calling closures"
+    )
+
+
+class CompiledRules:
+    """The output of :func:`compile_ruleset`.
+
+    ``fns`` maps operation *name* to its closure (the rule index keys by
+    name, so the compiled dispatch does too); ``source`` is the full
+    generated module, kept for inspection and tests; ``st``/``rf`` are
+    the live counter lists the closures mutate; ``uncompiled`` names the
+    rule-headed operations that must run interpreted.
+    """
+
+    __slots__ = ("source", "ns", "fns", "st", "rf", "rules", "uncompiled")
+
+    def __init__(self, source, ns, fns, st, rf, rules, uncompiled):
+        self.source = source
+        self.ns = ns
+        self.fns = fns
+        self.st = st
+        self.rf = rf
+        self.rules = rules
+        self.uncompiled = uncompiled
+
+
+class _Compiler:
+    def __init__(self, rules: RuleSet, cache_size: int) -> None:
+        self.ruleset = rules
+        self.rules = list(rules)
+        self.cache_on = cache_size > 0
+        self.cache_size = cache_size
+        self.lines: list[str] = []
+        self.ns: dict = {}
+        self._const_names: dict[int, str] = {}
+        self._const_keep: list = []
+        self._counts: dict[str, int] = {}
+        self._ntmp = 0
+        self.rule_heads = {rule.head.name for rule in self.rules}
+        # Operations needing closures: every rule head, plus every
+        # builtin operation mentioned anywhere in a rule (its RHS calls
+        # must dispatch through a closure too).
+        self.ops: list[Operation] = []
+        self.op_index: dict[str, int] = {}
+        for rule in self.rules:
+            self._note_op(rule.head)
+        for rule in self.rules:
+            for side in (rule.lhs, rule.rhs):
+                for _, node in side.subterms():
+                    if isinstance(node, App) and node.op.builtin is not None:
+                        self._note_op(node.op)
+        # Rule-headed operations the decision tree cannot compile (an
+        # Ite inside a pattern): the whole operation runs interpreted.
+        self.uncompiled: set[str] = set()
+        for rule in self.rules:
+            if any(
+                isinstance(node, Ite)
+                for _, node in rule.lhs.subterms()
+            ):
+                self.uncompiled.add(rule.head.name)
+
+    # -- bookkeeping ---------------------------------------------------
+    def _note_op(self, op: Operation) -> None:
+        if op.name not in self.op_index:
+            self.op_index[op.name] = len(self.ops)
+            self.ops.append(op)
+
+    def const(self, obj, prefix: str) -> str:
+        """Intern ``obj`` into the generated module's namespace."""
+        name = self._const_names.get(id(obj))
+        if name is None:
+            n = self._counts.get(prefix, 0)
+            self._counts[prefix] = n + 1
+            name = f"{prefix}_{n}"
+            self._const_names[id(obj)] = name
+            self._const_keep.append(obj)
+            self.ns[name] = obj
+        return name
+
+    def op_const(self, op: Operation) -> str:
+        k = self.op_index.get(op.name)
+        if k is not None and self.ops[k] is op:
+            return f"OP_{k}"
+        # Distinct prefix: OP_{k} names are claimed by closure operations.
+        return self.const(op, "OQ")
+
+    def err_const(self, sort: Sort) -> str:
+        return self.const(Err(sort), "K")
+
+    def _tmp(self) -> str:
+        self._ntmp += 1
+        return f"t{self._ntmp}"
+
+    def _inert(self, term: Term) -> bool:
+        """Ground and already in normal form regardless of evaluation:
+        no rule-headed operation, no builtin, no conditional."""
+        if not term._ground:
+            return False
+        stack = [term]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, Ite):
+                return False
+            if isinstance(node, App):
+                if node.op.name in self.rule_heads or node.op.builtin is not None:
+                    return False
+                stack.extend(node.args)
+        return True
+
+    # -- pattern compilation -------------------------------------------
+    def _compile_pattern(self, rule: RewriteRule):
+        """The residual match for one rule as a list of ``and``-joined
+        condition strings, plus the variable environment it binds."""
+        conds: list[str] = []
+        env: dict[Var, str] = {}
+
+        def walk(pat: Term, expr: str, simple: bool) -> None:
+            if isinstance(pat, Var):
+                bound = env.get(pat)
+                if bound is not None:
+                    conds.append(f"{bound} == {expr}")  # non-linear
+                elif simple:
+                    env[pat] = expr
+                else:
+                    t = self._tmp()
+                    conds.append(f"(({t} := {expr}) or True)")
+                    env[pat] = t
+                return
+            if pat._ground:
+                # Matching a ground pattern is exactly structural
+                # equality (identity-fast under interning).
+                conds.append(f"{expr} == {self.const(pat, 'K')}")
+                return
+            if isinstance(pat, App):
+                if not simple:
+                    t = self._tmp()
+                    conds.append(f"(({t} := {expr}) or True)")
+                    expr = t
+                oc = self.op_const(pat.op)
+                conds.append(f"type({expr}) is App")
+                conds.append(f"({expr}.op is {oc} or {expr}.op == {oc})")
+                for i, sub in enumerate(pat.args):
+                    walk(sub, f"{expr}.args[{i}]", False)
+                return
+            raise _Uncompilable(str(pat))
+
+        for i, arg in enumerate(rule.lhs.args):
+            walk(arg, f"a{i}", True)
+        return conds, env
+
+    # -- RHS compilation -----------------------------------------------
+    def _gen(self, t: Term, env, ind: str, err_sort: Sort):
+        """Emit statements computing ``t`` and return ``(expr, may_err)``.
+
+        ``may_err`` marks expressions whose runtime value can be an
+        ``Err`` (sibling-closure calls, interpreter round-trips): the
+        consumer must test and short-circuit, which is the compiled form
+        of strict error propagation.
+        """
+        L = self.lines
+        if isinstance(t, Var):
+            return env[t], False
+        if isinstance(t, Lit):
+            return self.const(t, "K"), False
+        if isinstance(t, Err):
+            return self.const(t, "K"), True
+        if isinstance(t, App):
+            if self._inert(t):
+                return self.const(t, "K"), False
+            parts = []
+            for sub in t.args:
+                ex, may_err = self._gen(sub, env, ind, err_sort)
+                if may_err:
+                    tv = self._tmp()
+                    L.append(f"{ind}{tv} = {ex}")
+                    L.append(f"{ind}if type({tv}) is Err:")
+                    L.append(f"{ind}    ST[5] += 1")
+                    L.append(f"{ind}    return {self.err_const(err_sort)}")
+                    ex = tv
+                parts.append(ex)
+            tup = "(" + ", ".join(parts) + ("," if len(parts) == 1 else "") + ")"
+            name = t.op.name
+            k = self.op_index.get(name)
+            if k is not None and name not in self.uncompiled:
+                return f"op_{k}({tup}, d + 1, b)", True
+            if name in self.uncompiled:
+                return f"RT_APP({self.op_const(t.op)}, {tup}, b)", True
+            # Free constructor: the application of a rule-less,
+            # builtin-less operation to normal forms is itself normal.
+            return f"App({self.op_const(t.op)}, {tup})", False
+        assert isinstance(t, Ite)
+        cex, cme = self._gen(t.cond, env, ind, err_sort)
+        tc = self._tmp()
+        L.append(f"{ind}{tc} = {cex}")
+        if cme:
+            L.append(f"{ind}if type({tc}) is Err:")
+            L.append(f"{ind}    ST[5] += 1")
+            L.append(f"{ind}    return {self.err_const(err_sort)}")
+        tv = self._tmp()
+        L.append(f"{ind}if {tc} is TRUE_N or IS_TRUE({tc}):")
+        ex, me1 = self._gen(t.then_branch, env, ind + "    ", err_sort)
+        L.append(f"{ind}    {tv} = {ex}")
+        L.append(f"{ind}elif {tc} is FALSE_N or IS_FALSE({tc}):")
+        ex, me2 = self._gen(t.else_branch, env, ind + "    ", err_sort)
+        L.append(f"{ind}    {tv} = {ex}")
+        L.append(f"{ind}else:")
+        # Open condition: keep the conditional with plainly substituted
+        # branches, exactly as the interpreted instantiator does.
+        branch_vars = t.then_branch.variables() | t.else_branch.variables()
+        bd = ", ".join(
+            f"{self.const(v, 'V')}: {env[v]}"
+            for v in sorted(branch_vars, key=lambda v: v.name)
+        )
+        tt = self.const(t.then_branch, "T")
+        te = self.const(t.else_branch, "T")
+        L.append(f"{ind}    {tv} = Ite({tc}, AB({tt}, {{{bd}}}), AB({te}, {{{bd}}}))")
+        return tv, me1 or me2
+
+    # -- per-operation emission ----------------------------------------
+    def _emit_finish(self, k: int, ind: str) -> None:
+        L = self.lines
+        if self.cache_on:
+            L.append(f"{ind}if g and type(r) is not Ite:")
+            L.append(f"{ind}    if len(C) >= CMAX:")
+            L.append(f"{ind}        C.clear()")
+            L.append(f"{ind}    C[({k}, a)] = r")
+        L.append(f"{ind}return r")
+
+    def _emit_fire(self, k: int, gidx: int, rule: RewriteRule, env, ind: str) -> None:
+        L = self.lines
+        L.append(f"{ind}b[0] -= 1")
+        L.append(f"{ind}if b[0] < 0:")
+        L.append(f"{ind}    raise LimitHit")
+        L.append(f"{ind}ST[0] += 1; ST[1] += 1; RF[{gidx}] += 1")
+        expr, _ = self._gen(rule.rhs, env, ind, rule.head.range)
+        L.append(f"{ind}r = {expr}")
+        self._emit_finish(k, ind)
+
+    def _emit_leaves(self, k: int, rules, ind: str) -> None:
+        L = self.lines
+        for gidx, rule in rules:
+            conds, env = self._compile_pattern(rule)
+            if conds:
+                L.append(f"{ind}if {' and '.join(conds)}:")
+                self._emit_fire(k, gidx, rule, env, ind + "    ")
+            else:
+                self._emit_fire(k, gidx, rule, env, ind)
+                break  # unconditional match: later rules unreachable
+
+    def _emit_dispatch(self, k: int, rules, pos: int, ind: str) -> None:
+        """Nested if/elif refinement over argument head symbols, derived
+        the same way the discrimination tree refines: at each position,
+        partition the candidate rules by the pattern's top symbol, with
+        variable patterns joining every branch (and the default)."""
+        op = self.ops[k]
+        arity = op.arity
+        p = None
+        for q in range(pos, arity):
+            if any(not isinstance(r.lhs.args[q], Var) for _, r in rules):
+                p = q
+                break
+        if p is None:
+            self._emit_leaves(k, rules, ind)
+            return
+        sp = f"a{p}"
+        app_groups: dict[str, list] = {}
+        const_groups: list[tuple[Term, list]] = []
+        wild: list = []
+        for item in rules:
+            pa = item[1].lhs.args[p]
+            if isinstance(pa, Var):
+                wild.append(item)
+            elif isinstance(pa, App):
+                app_groups.setdefault(pa.op.name, []).append(item)
+            else:  # ground Lit / Err pattern
+                for node, group in const_groups:
+                    if node == pa:
+                        group.append(item)
+                        break
+                else:
+                    const_groups.append((pa, [item]))
+
+        def merged(group):
+            return sorted(group + wild, key=lambda it: it[0])
+
+        L = self.lines
+        chain_open = False
+        if app_groups:
+            L.append(f"{ind}if type({sp}) is App:")
+            names = list(app_groups)
+            if len(names) == 1:
+                L.append(f"{ind}    if {sp}.op.name == {names[0]!r}:")
+                self._emit_dispatch(k, merged(app_groups[names[0]]), p + 1, ind + "        ")
+            else:
+                L.append(f"{ind}    n{p} = {sp}.op.name")
+                first = True
+                for nm in names:
+                    kw = "if" if first else "elif"
+                    first = False
+                    L.append(f"{ind}    {kw} n{p} == {nm!r}:")
+                    self._emit_dispatch(k, merged(app_groups[nm]), p + 1, ind + "        ")
+            if wild:
+                L.append(f"{ind}    else:")
+                self._emit_dispatch(k, wild, p + 1, ind + "        ")
+            chain_open = True
+        for node, group in const_groups:
+            kw = "elif" if chain_open else "if"
+            L.append(f"{ind}{kw} {sp} == {self.const(node, 'K')}:")
+            self._emit_dispatch(k, merged(group), p + 1, ind + "    ")
+            chain_open = True
+        if wild and chain_open:
+            L.append(f"{ind}else:")
+            self._emit_dispatch(k, wild, p + 1, ind + "    ")
+
+    def _emit_op(self, k: int, rules) -> None:
+        op = self.ops[k]
+        L = self.lines
+        arity = op.arity
+        L.append("")
+        L.append(f"def op_{k}(a, d, b):  # {op.name}")
+        L.append(f"    if d > {_DEPTH_LIMIT}:")
+        L.append("        raise Deep")
+        for i in range(arity):
+            L.append(f"    a{i} = a[{i}]")
+        if self.cache_on:
+            L.append("    ST[4] += 1")
+            L.append(f"    r = C.get(({k}, a))")
+            L.append("    if r is not None:")
+            L.append("        ST[3] += 1")
+            L.append("        return r")
+            if arity:
+                g = " and ".join(f"a{i}._ground" for i in range(arity))
+            else:
+                g = "True"
+            L.append(f"    g = {g}")
+        if op.builtin is not None:
+            self._emit_builtin(k, op)
+        if rules:
+            self._emit_dispatch(k, rules, 0, "    ")
+        L.append(f"    r = App(OP_{k}, a)")
+        self._emit_finish(k, "    ")
+
+    def _emit_builtin(self, k: int, op: Operation) -> None:
+        L = self.lines
+        arity = op.arity
+        bc = self.const(op.builtin, "BI")
+        cond = " and ".join(f"type(a{i}) is Lit" for i in range(arity))
+        if cond:
+            L.append(f"    if {cond}:")
+            ind = "        "
+        else:
+            ind = "    "
+        args_v = ", ".join(f"a{i}.value" for i in range(arity))
+        L.append(f"{ind}ST[2] += 1")
+        L.append(f"{ind}b[0] -= 1")
+        L.append(f"{ind}if b[0] < 0:")
+        L.append(f"{ind}    raise LimitHit")
+        L.append(f"{ind}try:")
+        L.append(f"{ind}    v = {bc}({args_v})")
+        L.append(f"{ind}except AlgebraError:")
+        L.append(f"{ind}    r = {self.err_const(op.range)}")
+        self._emit_finish(k, ind + "    ")
+        sc = self.const(op.range, "S")
+        if op.range == BOOLEAN:
+            L.append(f"{ind}if v is True:")
+            L.append(f"{ind}    r = TRUE_N")
+            L.append(f"{ind}elif v is False:")
+            L.append(f"{ind}    r = FALSE_N")
+            L.append(f"{ind}elif isinstance(v, Term):")
+            L.append(f"{ind}    r = RT_TERM(v, b)")
+            L.append(f"{ind}else:")
+            L.append(f"{ind}    r = Lit(v, {sc})")
+        else:
+            L.append(f"{ind}if isinstance(v, Term):")
+            L.append(f"{ind}    r = RT_TERM(v, b)")
+            L.append(f"{ind}else:")
+            L.append(f"{ind}    r = Lit(v, {sc})")
+        self._emit_finish(k, ind)
+
+    # -- driver ---------------------------------------------------------
+    def compile(self) -> CompiledRules:
+        by_head: dict[str, list] = {}
+        for gidx, rule in enumerate(self.rules):
+            by_head.setdefault(rule.head.name, []).append((gidx, rule))
+        st = [0, 0, 0, 0, 0, 0]
+        rf = [0] * len(self.rules)
+        self.ns.update(
+            App=App,
+            Lit=Lit,
+            Err=Err,
+            Ite=Ite,
+            Term=Term,
+            AlgebraError=AlgebraError,
+            TRUE_N=boolean_term(True),
+            FALSE_N=boolean_term(False),
+            IS_TRUE=is_true,
+            IS_FALSE=is_false,
+            AB=apply_bindings,
+            LimitHit=_LimitHit,
+            Deep=_DeepRecursion,
+            ST=st,
+            RF=rf,
+            C={},
+            CMAX=self.cache_size,
+            RT_TERM=_rt_unbound,
+            RT_APP=_rt_unbound,
+        )
+        compiled_names = []
+        for k, op in enumerate(self.ops):
+            self.ns[f"OP_{k}"] = op
+            if op.name in self.uncompiled:
+                continue
+            self._emit_op(k, by_head.get(op.name, ()))
+            compiled_names.append((op.name, k))
+        source = "\n".join(self.lines) + "\n"
+        exec(compile(source, "<compiled-rules>", "exec"), self.ns)
+        fns = {name: self.ns[f"op_{k}"] for name, k in compiled_names}
+        return CompiledRules(
+            source, self.ns, fns, st, rf, self.rules, frozenset(self.uncompiled)
+        )
+
+
+def compile_ruleset(rules: RuleSet, cache_size: int = 4096) -> CompiledRules:
+    """Compile ``rules`` into per-operation closures (see module doc)."""
+    return _Compiler(rules, cache_size).compile()
+
+
+class CompiledEngine:
+    """Normalisation through a compiled rule set.
+
+    The outer driver is a small iterative machine (like the interpreted
+    engine's, minus the root/instantiation frames — that work lives in
+    the closures): it walks the subject bottom-up, propagates errors
+    strictly, resolves conditionals lazily, and hands every
+    argument-normal application to its closure.  Operations without a
+    closure are either free constructors (already normal) or fall back
+    to the shared interpreted engine — as do closures that signal
+    :class:`_DeepRecursion` (the abandoned attempt's fuel stays spent,
+    so the budget over-counts, never under-counts, such steps).
+    """
+
+    def __init__(
+        self,
+        rules: RuleSet,
+        fuel: int = DEFAULT_FUEL,
+        cache_size: int = 4096,
+        stats: Optional[EngineStats] = None,
+    ) -> None:
+        self.rules = rules
+        self.rule_count = len(rules)
+        self.fuel = fuel
+        self.cache_size = cache_size
+        self.stats = stats if stats is not None else EngineStats()
+        self._interp = RewriteEngine(rules, fuel=fuel, cache_size=cache_size)
+        self._interp.stats = self.stats
+        compiled = compile_ruleset(rules, cache_size=cache_size)
+        self.compiled = compiled
+        compiled.ns["RT_TERM"] = self._rt_term
+        compiled.ns["RT_APP"] = self._rt_app
+        self._fns = compiled.fns
+        self._uncompiled = compiled.uncompiled
+
+    @property
+    def source(self) -> str:
+        """The generated module, for inspection."""
+        return self.compiled.source
+
+    def _rt_term(self, term: Term, budget: list[int]) -> Term:
+        """Interpreter hook for builtin steps that return whole terms."""
+        return self._interp._eval(term, budget)
+
+    def _rt_app(self, op: Operation, args: tuple, budget: list[int]) -> Term:
+        """Interpreter hook for applications of uncompilable operations."""
+        return self._interp._eval(App(op, args), budget)
+
+    # ------------------------------------------------------------------
+    def normalize(self, term: Term) -> Term:
+        """The call-by-value normal form of ``term`` — identical, term
+        for term, to the interpreted backend's."""
+        budget = [self.fuel]
+        st = self.compiled.st
+        rf = self.compiled.rf
+        st0 = tuple(st)
+        rf0 = list(rf)
+        try:
+            return self._eval(term, budget)
+        except (_LimitHit, RewriteLimitError):
+            raise RewriteLimitError(term, self.fuel) from None
+        finally:
+            self._sync(st0, rf0)
+
+    def normalize_many(self, terms: Iterable[Term]) -> list[Term]:
+        """Normalise a batch against one shared memo (see
+        :meth:`RewriteEngine.normalize_many`)."""
+        return [self.normalize(term) for term in terms]
+
+    def clear_cache(self) -> None:
+        """Drop the closure memo and the fallback interpreter's cache."""
+        self.compiled.ns["C"].clear()
+        self._interp._cache.clear()
+
+    def _sync(self, st0, rf0) -> None:
+        st = self.compiled.st
+        stats = self.stats
+        stats.steps += st[_ST_STEPS] - st0[_ST_STEPS]
+        stats.rule_firings += st[_ST_RULE] - st0[_ST_RULE]
+        stats.builtin_firings += st[_ST_BUILTIN] - st0[_ST_BUILTIN]
+        stats.cache_hits += st[_ST_HITS] - st0[_ST_HITS]
+        stats.cache_probes += st[_ST_PROBES] - st0[_ST_PROBES]
+        stats.error_propagations += st[_ST_ERRPROP] - st0[_ST_ERRPROP]
+        rf = self.compiled.rf
+        if rf != rf0:
+            counts = stats.firings_by_rule
+            for i, rule in enumerate(self.compiled.rules):
+                delta = rf[i] - rf0[i]
+                if delta:
+                    counts[rule] = counts.get(rule, 0) + delta
+
+    def _eval(self, term: Term, budget: list[int]) -> Term:
+        stats = self.stats
+        stack: list = [(0, term)]
+        result: Term = term
+        while stack:
+            frame = stack.pop()
+            tag = frame[0]
+            if tag == 0:  # evaluate frame[1]
+                t = frame[1]
+                if isinstance(t, App):
+                    if t.args:
+                        stack.append((1, t, [], 1))
+                        stack.append((0, t.args[0]))
+                    else:
+                        result = self._root(t.op, (), budget)
+                elif isinstance(t, Ite):
+                    stack.append((2, t))
+                    stack.append((0, t.cond))
+                else:
+                    result = t  # Var, Lit, Err: already normal
+            elif tag == 1:  # collect one evaluated argument
+                _, t, done, nxt = frame
+                value = result
+                if isinstance(value, Err):
+                    stats.error_propagations += 1
+                    result = Err(t.sort)
+                    continue
+                done.append(value)
+                if nxt < len(t.args):
+                    stack.append((1, t, done, nxt + 1))
+                    stack.append((0, t.args[nxt]))
+                else:
+                    result = self._root(t.op, tuple(done), budget)
+            else:  # tag == 2: conditional, condition evaluated
+                t = frame[1]
+                cond = result
+                if isinstance(cond, Err):
+                    stats.error_propagations += 1
+                    result = Err(t.sort)
+                elif is_true(cond):
+                    stack.append((0, t.then_branch))
+                elif is_false(cond):
+                    stack.append((0, t.else_branch))
+                elif cond is t.cond:
+                    result = t
+                else:
+                    result = Ite(cond, t.then_branch, t.else_branch)
+        return result
+
+    def _root(self, op: Operation, args: tuple, budget: list[int]) -> Term:
+        fn = self._fns.get(op.name)
+        if fn is not None:
+            try:
+                return fn(args, 0, budget)
+            except _DeepRecursion:
+                return self._interp._eval(App(op, args), budget)
+        if op.name in self._uncompiled or (
+            op.builtin is not None
+            and all(isinstance(a, Lit) for a in args)
+        ):
+            return self._interp._eval(App(op, args), budget)
+        return App(op, args)  # free constructor: already normal

@@ -15,6 +15,14 @@ Two evaluation modes:
   not decide, both branches are simplified in place, and trivial
   conditional identities (``if c then x else x -> x``) are applied.
 
+Value-mode evaluation runs on an explicit work stack rather than the
+Python call stack, so a term's depth is bounded by memory, not by the
+interpreter recursion limit — a 50k-deep queue drains without touching
+``sys.setrecursionlimit``.  Two backends implement the same rewrite
+relation: the default ``"interpreted"`` backend walks rules generically,
+while ``"compiled"`` (see :mod:`repro.rewriting.compile`) dispatches
+through per-operation closures specialised from the rule set.
+
 The engine counts rewrite steps; a configurable *fuel* bound turns
 divergence (possible for user-written axioms under debugging) into a
 :class:`RewriteLimitError` instead of a hang.
@@ -22,11 +30,9 @@ divergence (possible for user-written axioms under debugging) into a
 
 from __future__ import annotations
 
-import contextlib
-import sys
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterable, Optional
 
 from repro.algebra.matching import match_bindings
 from repro.algebra.sorts import BOOLEAN
@@ -58,7 +64,15 @@ class RewriteLimitError(Exception):
 
 @dataclass
 class EngineStats:
-    """Counters exposed for the benchmarks and the coverage analysis."""
+    """Counters exposed for the benchmarks and the coverage analysis.
+
+    ``firings_by_rule`` maps each :class:`RewriteRule` *object* to its
+    firing count.  (Earlier versions keyed on ``id(rule)``, which is
+    reusable the moment a rule is garbage collected — two rules could
+    silently share a counter — and made a recorded entry unreadable
+    once the rule was gone.  Rules are frozen and hashable, so the
+    object itself is the honest key.)
+    """
 
     steps: int = 0
     rule_firings: int = 0
@@ -66,20 +80,28 @@ class EngineStats:
     error_propagations: int = 0
     cache_hits: int = 0
     cache_probes: int = 0
-    firings_by_rule: dict = field(default_factory=dict)
+    firings_by_rule: "dict[RewriteRule, int]" = field(default_factory=dict)
 
     def record_firing(self, rule: "RewriteRule") -> None:
         self.rule_firings += 1
-        key = id(rule)
-        entry = self.firings_by_rule.get(key)
-        if entry is None:
-            self.firings_by_rule[key] = [rule, 1]
-        else:
-            entry[1] += 1
+        counts = self.firings_by_rule
+        counts[rule] = counts.get(rule, 0) + 1
 
     def firing_count(self, rule: "RewriteRule") -> int:
-        entry = self.firings_by_rule.get(id(rule))
-        return entry[1] if entry else 0
+        return self.firings_by_rule.get(rule, 0)
+
+    def firing_summary(self, limit: Optional[int] = None) -> str:
+        """A repr-stable rendering of the per-rule firing counts:
+        busiest rules first, each line ``<count>  <rule>``.  Safe to
+        call at any time — the entries hold the rules themselves, so a
+        summary never dangles."""
+        ranked = sorted(
+            self.firings_by_rule.items(), key=lambda kv: (-kv[1], str(kv[0]))
+        )
+        if limit is not None:
+            ranked = ranked[:limit]
+        lines = [f"{count:>8}  {rule}" for rule, count in ranked]
+        return "\n".join(lines) if lines else "(no rule firings recorded)"
 
     def reset(self) -> None:
         self.steps = 0
@@ -101,27 +123,21 @@ class EngineStats:
 #: user axioms.
 DEFAULT_FUEL = 200_000
 
-#: Hard ceiling on the recursion limit :func:`_enough_stack` will set.
-#: Evaluation uses a handful of Python frames per term level; deep terms
-#: need headroom, but an unbounded limit risks a C-stack overflow.
-_MAX_RECURSION_LIMIT = 100_000
+#: Selectable evaluation backends (see the module docstring).
+BACKENDS = ("interpreted", "compiled")
 
-
-@contextlib.contextmanager
-def _enough_stack(term: Term):
-    """Temporarily raise the interpreter recursion limit in proportion
-    to the term's depth, so legitimately deep (but finite) evaluations
-    do not masquerade as divergence."""
-    needed = min(_MAX_RECURSION_LIMIT, term.depth() * 12 + 2_000)
-    previous = sys.getrecursionlimit()
-    if needed > previous:
-        sys.setrecursionlimit(needed)
-        try:
-            yield
-        finally:
-            sys.setrecursionlimit(previous)
-    else:
-        yield
+# Frame tags for the explicit-stack value-mode evaluator.  Each frame is
+# a tuple whose first element is one of these; the machine in
+# :meth:`RewriteEngine._eval` documents the payloads.
+_F_EVAL = 0
+_F_APP_ARG = 1
+_F_ITE_COND = 2
+_F_ROOT = 3
+_F_MEMO = 4
+_F_BUILTIN_CONT = 5
+_F_INST = 6
+_F_INST_ARG = 7
+_F_INST_ITE = 8
 
 
 class RewriteEngine:
@@ -152,6 +168,14 @@ class RewriteEngine:
         overflowing insert.  ``"clear"`` reproduces the seed engine's
         behaviour — wipe the whole memo when it fills — and exists only
         so the E10 ablation can measure what the LRU fixes.
+    backend:
+        ``"interpreted"`` (the default) evaluates with the generic
+        explicit-stack machine below.  ``"compiled"`` routes
+        ``normalize``/``normalize_many`` through per-operation closures
+        specialised from the rule set (:mod:`repro.rewriting.compile`);
+        both backends compute the same normal forms.  Symbolic
+        ``simplify`` always uses the interpreted machinery — open-term
+        simplification is not on any hot path.
     """
 
     def __init__(
@@ -161,38 +185,86 @@ class RewriteEngine:
         use_index: "bool | str" = True,
         cache_size: int = 4096,
         cache_policy: str = "lru",
+        backend: str = "interpreted",
     ) -> None:
         if cache_policy not in ("lru", "clear"):
             raise ValueError(f"unknown cache policy: {cache_policy!r}")
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend: {backend!r} (expected one of {BACKENDS})"
+            )
         self.rules = rules
         self.fuel = fuel
         self.use_index = use_index
+        self.backend = backend
         self.stats = EngineStats()
         self.cache_size = cache_size
         self.cache_policy = cache_policy
         self._cache: "OrderedDict[Term, Term]" = OrderedDict()
+        self._compiled = None  # lazily-built CompiledEngine delegate
 
     @classmethod
     def for_specification(
-        cls, spec: Specification, fuel: int = DEFAULT_FUEL
+        cls,
+        spec: Specification,
+        fuel: int = DEFAULT_FUEL,
+        backend: str = "interpreted",
     ) -> "RewriteEngine":
-        return cls(RuleSet.from_specification(spec), fuel=fuel)
+        return cls(RuleSet.from_specification(spec), fuel=fuel, backend=backend)
 
     # ------------------------------------------------------------------
     # Value-mode evaluation
     # ------------------------------------------------------------------
     def normalize(self, term: Term) -> Term:
         """The call-by-value normal form of ``term``."""
+        if self.backend == "compiled":
+            return self._compiled_engine().normalize(term)
         budget = [self.fuel]
-        with _enough_stack(term):
-            try:
-                return self._eval(term, budget)
-            except RewriteLimitError:
-                raise RewriteLimitError(term, self.fuel) from None
-            except RecursionError:
-                # Divergence can out-run the step budget in Python stack
-                # frames; report it the same way.
-                raise RewriteLimitError(term, self.fuel) from None
+        try:
+            return self._eval(term, budget)
+        except RewriteLimitError:
+            raise RewriteLimitError(term, self.fuel) from None
+        except RecursionError:
+            # The evaluator itself is iterative, but subclass hooks
+            # (the prover's guarded unfolding) may still recurse; report
+            # blow-ups the same way as running out of fuel.
+            raise RewriteLimitError(term, self.fuel) from None
+
+    def normalize_many(self, terms: Iterable[Term]) -> list[Term]:
+        """Normalise a batch of terms against one shared memo.
+
+        Each term gets the full fuel budget, but ground normal forms
+        memoised while normalising earlier terms answer probes for the
+        later ones — on workloads with shared substructure (the oracle
+        checking many instances of the same axioms, the benchmarks
+        draining a family of queues) most of the batch is cache hits.
+        """
+        if self.backend == "compiled":
+            return self._compiled_engine().normalize_many(terms)
+        return [self.normalize(term) for term in terms]
+
+    def _compiled_engine(self):
+        """The lazily-built compiled delegate, rebuilt if rules were
+        added since compilation (the prover grows rule sets in place)."""
+        compiled = self._compiled
+        if compiled is None or compiled.rule_count != len(self.rules):
+            from repro.rewriting.compile import CompiledEngine
+
+            compiled = CompiledEngine(
+                self.rules,
+                fuel=self.fuel,
+                cache_size=self.cache_size,
+                stats=self.stats,
+            )
+            self._compiled = compiled
+        compiled.fuel = self.fuel  # track post-construction adjustments
+        return compiled
+
+    def clear_cache(self) -> None:
+        """Drop memoised normal forms (both backends' memos)."""
+        self._cache.clear()
+        if self._compiled is not None:
+            self._compiled.clear_cache()
 
     def _spend(self, budget: list[int], term: Term) -> None:
         self.stats.steps += 1
@@ -201,53 +273,222 @@ class RewriteEngine:
             raise RewriteLimitError(term, self.fuel)
 
     def _eval(self, term: Term, budget: list[int]) -> Term:
-        # Applications first: they are the overwhelming majority of the
-        # recursive calls and the only case with real work to do.
-        if not isinstance(term, App):
-            if not isinstance(term, Ite):
-                return term  # Var, Lit, Err: already normal
-            cond = self._eval(term.cond, budget)
-            if isinstance(cond, Err):
-                self.stats.error_propagations += 1
-                return Err(term.sort)
-            if is_true(cond):
-                return self._eval(term.then_branch, budget)
-            if is_false(cond):
-                return self._eval(term.else_branch, budget)
-            # Open condition: value-mode evaluation leaves the node as-is
-            # with the evaluated condition in place.
-            if cond is term.cond:
-                return term
-            return Ite(cond, term.then_branch, term.else_branch)
-        if self.cache_size:
-            self.stats.cache_probes += 1
-            cached = self._cache.get(term)
-            if cached is not None:
-                self.stats.cache_hits += 1
-                self._cache.move_to_end(term)
-                return cached
-        args = []
-        changed = False
-        for arg in term.args:
-            value = self._eval(arg, budget)
-            if isinstance(value, Err):
-                self.stats.error_propagations += 1
-                return Err(term.sort)
-            if value is not arg:
-                changed = True
-            args.append(value)
-        node = App(term.op, args) if changed else term
-        result = self._eval_root(node, budget)
-        if (
-            self.cache_size
-            and term._ground
-            and not isinstance(result, Ite)
-        ):
-            self._remember(term, result)
-            if node is not term:
-                # The argument-normalised form shares the normal form;
-                # later evaluations may probe with it directly.
-                self._remember(node, result)
+        """Value-mode evaluation on an explicit work stack.
+
+        The machine is the defunctionalised form of the obvious
+        recursion: a stack of tagged tuple frames plus a ``result``
+        register.  ``_F_EVAL`` dispatches on a term; ``_F_APP_ARG`` /
+        ``_F_ITE_COND`` collect evaluated children; ``_F_ROOT`` rewrites
+        at the root of an argument-normal application (rule selection
+        stays behind the :meth:`_match_root` hook, so the prover's
+        override keeps working); the ``_F_INST*`` frames fuse rule
+        right-hand-side instantiation with normalisation, and
+        ``_F_MEMO`` stores ground normal forms once their root pass
+        finishes.  Term depth therefore costs heap, not Python stack —
+        no recursion-limit fiddling, ever.
+        """
+        stats = self.stats
+        cache = self._cache
+        cache_on = self.cache_size > 0
+        stack: list = [(_F_EVAL, term)]
+        result: Term = term
+        while stack:
+            frame = stack.pop()
+            tag = frame[0]
+            if tag == _F_EVAL:
+                t = frame[1]
+                if isinstance(t, App):
+                    if cache_on:
+                        stats.cache_probes += 1
+                        cached = cache.get(t)
+                        if cached is not None:
+                            stats.cache_hits += 1
+                            cache.move_to_end(t)
+                            result = cached
+                            continue
+                    if t.args:
+                        stack.append((_F_APP_ARG, t, [], 1, False))
+                        stack.append((_F_EVAL, t.args[0]))
+                    else:
+                        if cache_on:
+                            stack.append((_F_MEMO, t, None))
+                        stack.append((_F_ROOT, t))
+                elif isinstance(t, Ite):
+                    stack.append((_F_ITE_COND, t))
+                    stack.append((_F_EVAL, t.cond))
+                else:
+                    result = t  # Var, Lit, Err: already normal
+            elif tag == _F_APP_ARG:
+                _, t, done, nxt, changed = frame
+                value = result
+                if isinstance(value, Err):
+                    stats.error_propagations += 1
+                    result = Err(t.sort)
+                    continue
+                if value is not t.args[nxt - 1]:
+                    changed = True
+                done.append(value)
+                if nxt < len(t.args):
+                    stack.append((_F_APP_ARG, t, done, nxt + 1, changed))
+                    stack.append((_F_EVAL, t.args[nxt]))
+                else:
+                    node = App(t.op, done) if changed else t
+                    if cache_on:
+                        stack.append(
+                            (_F_MEMO, t, node if node is not t else None)
+                        )
+                    stack.append((_F_ROOT, node))
+            elif tag == _F_ROOT:
+                # Rewrite at the root until no step applies; arguments
+                # are already normal.  Rule firings continue in _F_INST
+                # frames; builtin steps that need re-evaluation continue
+                # under a _F_BUILTIN_CONT frame.
+                node = frame[1]
+                while True:
+                    builtin = node.op.builtin
+                    if builtin is not None and all(
+                        isinstance(a, Lit) for a in node.args
+                    ):
+                        stats.builtin_firings += 1
+                        step = self._run_builtin(node)
+                        self._spend(budget, node)
+                        if isinstance(step, (Var, Lit, Err)):
+                            result = step
+                            break
+                        if isinstance(step, Ite) or not _args_normal(step):
+                            stack.append((_F_BUILTIN_CONT,))
+                            stack.append((_F_EVAL, step))
+                            break
+                        if not isinstance(step, App):
+                            result = step
+                            break
+                        if any(isinstance(arg, Err) for arg in step.args):
+                            stats.error_propagations += 1
+                            result = Err(step.sort)
+                            break
+                        node = step
+                        continue
+                    rule, bindings = self._match_root(node, budget)
+                    if rule is None:
+                        result = node
+                        break
+                    self._spend(budget, node)
+                    stack.append((_F_INST, rule.rhs, bindings))
+                    break
+            elif tag == _F_BUILTIN_CONT:
+                step = result
+                if not isinstance(step, App):
+                    pass  # already normal; the result stands
+                elif any(isinstance(arg, Err) for arg in step.args):
+                    stats.error_propagations += 1
+                    result = Err(step.sort)
+                else:
+                    stack.append((_F_ROOT, step))
+            elif tag == _F_MEMO:
+                _, key, extra = frame
+                if key._ground and not isinstance(result, Ite):
+                    self._remember(key, result)
+                    if extra is not None:
+                        # The argument-normalised form shares the normal
+                        # form; later evaluations may probe it directly.
+                        self._remember(extra, result)
+            elif tag == _F_INST:
+                # Instantiate a rule right-hand side under its bindings
+                # and normalise in one pass.  Bindings come from matching
+                # a subject whose arguments are already normal, so they
+                # are fixed points of evaluation; only structure the
+                # template introduces needs work, the untaken branch of
+                # a decided conditional is never constructed at all, and
+                # each new application is probed against the memo the
+                # moment it exists.
+                _, template, bindings = frame
+                if isinstance(template, Var):
+                    result = bindings[template]
+                elif isinstance(template, App):
+                    if template.args:
+                        stack.append(
+                            (_F_INST_ARG, template, bindings, [], 1, False)
+                        )
+                        stack.append((_F_INST, template.args[0], bindings))
+                    else:
+                        if cache_on:
+                            stats.cache_probes += 1
+                            cached = cache.get(template)
+                            if cached is not None:
+                                stats.cache_hits += 1
+                                cache.move_to_end(template)
+                                result = cached
+                                continue
+                            stack.append((_F_MEMO, template, None))
+                        stack.append((_F_ROOT, template))
+                elif isinstance(template, Ite):
+                    stack.append((_F_INST_ITE, template, bindings))
+                    stack.append((_F_INST, template.cond, bindings))
+                else:
+                    result = template  # Lit or Err
+            elif tag == _F_INST_ARG:
+                _, template, bindings, done, nxt, changed = frame
+                value = result
+                if isinstance(value, Err):
+                    stats.error_propagations += 1
+                    result = Err(template.sort)
+                    continue
+                if value is not template.args[nxt - 1]:
+                    changed = True
+                done.append(value)
+                if nxt < len(template.args):
+                    stack.append(
+                        (_F_INST_ARG, template, bindings, done, nxt + 1, changed)
+                    )
+                    stack.append((_F_INST, template.args[nxt], bindings))
+                else:
+                    node = App(template.op, done) if changed else template
+                    if cache_on:
+                        stats.cache_probes += 1
+                        cached = cache.get(node)
+                        if cached is not None:
+                            stats.cache_hits += 1
+                            cache.move_to_end(node)
+                            result = cached
+                            continue
+                        if node._ground:
+                            stack.append((_F_MEMO, node, None))
+                    stack.append((_F_ROOT, node))
+            elif tag == _F_INST_ITE:
+                _, template, bindings = frame
+                cond = result
+                if isinstance(cond, Err):
+                    stats.error_propagations += 1
+                    result = Err(template.sort)
+                elif is_true(cond):
+                    stack.append((_F_INST, template.then_branch, bindings))
+                elif is_false(cond):
+                    stack.append((_F_INST, template.else_branch, bindings))
+                else:
+                    # Open condition: leave the conditional in place with
+                    # plainly substituted (unevaluated) branches, as
+                    # value mode demands.
+                    result = Ite(
+                        cond,
+                        apply_bindings(template.then_branch, bindings),
+                        apply_bindings(template.else_branch, bindings),
+                    )
+            else:  # _F_ITE_COND
+                t = frame[1]
+                cond = result
+                if isinstance(cond, Err):
+                    stats.error_propagations += 1
+                    result = Err(t.sort)
+                elif is_true(cond):
+                    stack.append((_F_EVAL, t.then_branch))
+                elif is_false(cond):
+                    stack.append((_F_EVAL, t.else_branch))
+                elif cond is t.cond:
+                    # Open condition: value-mode evaluation leaves the
+                    # node as-is with the evaluated condition in place.
+                    result = t
+                else:
+                    result = Ite(cond, t.then_branch, t.else_branch)
         return result
 
     def _remember(self, key: Term, value: Term) -> None:
@@ -262,38 +503,6 @@ class RewriteEngine:
                 cache.popitem(last=False)
         cache[key] = value
 
-    def _eval_root(self, term: App, budget: list[int]) -> Term:
-        """Rewrite at the root until no step applies; arguments are
-        already in normal form.
-
-        Rule firings go through :meth:`_instantiate`, which fuses
-        instantiation of the right-hand side with its normalisation —
-        the result is fully normal, so no further root pass is needed.
-        Builtin firings may return arbitrary terms and stay in the loop.
-        """
-        while True:
-            builtin = term.op.builtin
-            if builtin is not None and all(isinstance(a, Lit) for a in term.args):
-                self.stats.builtin_firings += 1
-                step = self._run_builtin(term)
-                self._spend(budget, term)
-                if isinstance(step, (Var, Lit, Err)):
-                    return step
-                if isinstance(step, Ite) or not _args_normal(step):
-                    step = self._eval(step, budget)
-                if not isinstance(step, App):
-                    return step
-                if any(isinstance(arg, Err) for arg in step.args):
-                    self.stats.error_propagations += 1
-                    return Err(step.sort)
-                term = step
-                continue
-            rule, bindings = self._match_root(term, budget)
-            if rule is None:
-                return term
-            self._spend(budget, term)
-            return self._instantiate(rule.rhs, bindings, budget)
-
     def _match_root(self, term: App, budget: list[int]):
         """The first indexed rule matching at the root, with its raw
         bindings; ``(None, None)`` when none match.  ``budget`` is
@@ -305,63 +514,6 @@ class RewriteEngine:
                 self.stats.record_firing(rule)
                 return rule, bindings
         return None, None
-
-    def _instantiate(self, template: Term, bindings, budget: list[int]) -> Term:
-        """Instantiate a rule right-hand side under ``bindings`` and
-        normalise it in one pass.
-
-        Bindings come from matching a subject whose arguments are
-        already normal, so they are fixed points of :meth:`_eval`; only
-        structure the template introduces needs evaluation.  Fusing the
-        two walks means the untaken branch of a decided conditional is
-        never constructed at all, and each new application node is
-        probed against the memo the moment it exists."""
-        if isinstance(template, Var):
-            return bindings[template]
-        if isinstance(template, App):
-            args = []
-            changed = False
-            for arg in template.args:
-                value = self._instantiate(arg, bindings, budget)
-                if isinstance(value, Err):
-                    self.stats.error_propagations += 1
-                    return Err(template.sort)
-                if value is not arg:
-                    changed = True
-                args.append(value)
-            node = App(template.op, args) if changed else template
-            if self.cache_size:
-                self.stats.cache_probes += 1
-                cached = self._cache.get(node)
-                if cached is not None:
-                    self.stats.cache_hits += 1
-                    self._cache.move_to_end(node)
-                    return cached
-            result = self._eval_root(node, budget)
-            if (
-                self.cache_size
-                and node._ground
-                and not isinstance(result, Ite)
-            ):
-                self._remember(node, result)
-            return result
-        if isinstance(template, Ite):
-            cond = self._instantiate(template.cond, bindings, budget)
-            if isinstance(cond, Err):
-                self.stats.error_propagations += 1
-                return Err(template.sort)
-            if is_true(cond):
-                return self._instantiate(template.then_branch, bindings, budget)
-            if is_false(cond):
-                return self._instantiate(template.else_branch, bindings, budget)
-            # Open condition: leave the conditional in place with plainly
-            # substituted (unevaluated) branches, as value mode demands.
-            return Ite(
-                cond,
-                apply_bindings(template.then_branch, bindings),
-                apply_bindings(template.else_branch, bindings),
-            )
-        return template  # Lit or Err
 
     def _candidates(self, term: App):
         """Rules to try at the root of ``term``, per ``use_index``."""
@@ -406,11 +558,10 @@ class RewriteEngine:
         either branch yields ``x``.
         """
         budget = [self.fuel]
-        with _enough_stack(term):
-            try:
-                return self._simplify(term, budget)
-            except RecursionError:
-                raise RewriteLimitError(term, self.fuel) from None
+        try:
+            return self._simplify(term, budget)
+        except RecursionError:
+            raise RewriteLimitError(term, self.fuel) from None
 
     def _simplify(self, term: Term, budget: list[int]) -> Term:
         if isinstance(term, (Var, Lit, Err)):

@@ -159,3 +159,30 @@ class TestSpecImplEquivalence:
                     facade.retrieve(name)
             else:
                 assert facade.retrieve(name) == expected
+
+
+class TestBatchEvaluation:
+    def test_evaluate_terms_wraps_like_methods(self):
+        from repro.algebra.terms import app
+        from repro.adt.queue import FRONT, IS_EMPTY, queue_term
+
+        Queue = facade_class(QUEUE_SPEC)
+        results = Queue.evaluate_terms(
+            [
+                app(FRONT, queue_term(["a", "b"])),
+                app(IS_EMPTY, queue_term([])),
+                queue_term(["c"]),
+            ]
+        )
+        assert results[0] == "a"
+        assert results[1] is True
+        assert isinstance(results[2], Queue)
+
+    def test_compiled_facade_agrees_with_interpreted(self):
+        Interp = facade_class(QUEUE_SPEC, name="QueueI")
+        Comp = facade_class(QUEUE_SPEC, name="QueueC", backend="compiled")
+        for cls in (Interp, Comp):
+            q = cls.new().add("a").add("b")
+            assert q.front() == "a"
+            assert q.remove().front() == "b"
+            assert q.is_empty() is False

@@ -114,3 +114,20 @@ class TestEquality:
 
     def test_repr(self, interp):
         assert "Queue" in repr(interp.apply("NEW"))
+
+
+class TestBatchAndBackends:
+    def test_value_many_matches_value(self, interp):
+        terms = [queue_term(["a"]), queue_term(["a", "b"])]
+        batch = interp.value_many(terms)
+        assert batch == [interp.value(t) for t in terms]
+
+    def test_compiled_backend_agrees(self):
+        from repro.algebra.terms import app
+        from repro.adt.queue import FRONT
+
+        fast = SymbolicInterpreter(QUEUE_SPEC, backend="compiled")
+        slow = SymbolicInterpreter(QUEUE_SPEC)
+        term = app(FRONT, queue_term(["x", "y"]))
+        assert fast.value(term) == slow.value(term)
+        assert fast.engine.backend == "compiled"

@@ -166,11 +166,34 @@ class TestFuel:
         assert excinfo.value.fuel == 100
 
 
+class TestStats:
+    def test_firings_keyed_by_rule_object(self, queue_engine):
+        queue_engine.normalize(app(FRONT, queue_term(["a", "b", "c"])))
+        stats = queue_engine.stats
+        assert stats.firings_by_rule
+        for rule, count in stats.firings_by_rule.items():
+            assert rule in queue_engine.rules
+            assert stats.firing_count(rule) == count
+        assert sum(stats.firings_by_rule.values()) == stats.rule_firings
+
+    def test_firing_summary_printable_and_ranked(self, queue_engine):
+        queue_engine.normalize(app(FRONT, queue_term(["a", "b", "c"])))
+        summary = queue_engine.stats.firing_summary()
+        lines = summary.splitlines()
+        counts = [int(line.split()[0]) for line in lines]
+        assert counts == sorted(counts, reverse=True)
+        assert queue_engine.stats.firing_summary(limit=1).count("\n") == 0
+
+    def test_firing_summary_empty(self):
+        engine = RewriteEngine(RuleSet.from_specification(QUEUE_SPEC))
+        assert "no rule firings" in engine.stats.firing_summary()
+
+
 class TestDeepTerms:
     def test_thousands_deep_terms_evaluate(self, queue_spec):
         """Deep (but finite) terms must not masquerade as divergence:
-        the engine raises the interpreter recursion limit in proportion
-        to term depth."""
+        the explicit-stack evaluator's depth is bounded by the heap, not
+        the Python call stack."""
         engine = RewriteEngine(
             RuleSet.from_specification(queue_spec), fuel=10_000_000
         )
@@ -178,7 +201,9 @@ class TestDeepTerms:
         result = engine.normalize(term)
         assert result.value == 0  # type: ignore[union-attr]
 
-    def test_recursion_limit_restored(self, queue_spec):
+    def test_recursion_limit_untouched(self, queue_spec):
+        """The engine no longer mutates ``sys.setrecursionlimit`` to
+        survive deep terms — it must not touch the limit at all."""
         import sys
 
         before = sys.getrecursionlimit()

@@ -37,12 +37,16 @@ def test_driver_quick_mode(tmp_path):
     assert e7["symbolic"]["peak_intern_table"] > 0
     # The paper's "significant loss in efficiency" has the right sign.
     assert e7["symbolic_over_concrete"] > 1.0
+    assert e7["compiled_over_concrete"] > 1.0
+    assert e7["symbolic_compiled"]["ops_per_sec"] > 0
+    assert e7["symbolic_compiled_batch"]["terms"] > 0
 
     e10 = json.loads((tmp_path / "BENCH_E10.json").read_text())
     assert e10["experiment"] == "E10"
     assert e10["mode"] == "quick"
     expected_configs = {
         "full",
+        "compiled",
         "no-interning",
         "head-index",
         "linear-scan",
@@ -55,5 +59,8 @@ def test_driver_quick_mode(tmp_path):
             sample = config[size]
             assert sample["steps_per_sec"] > 0
             assert 0.0 <= sample["cache_hit_rate"] <= 1.0
+    # The compiled-vs-interpreted ablation is recorded for every size.
+    for size in map(str, e10["sizes"]):
+        assert e10["compiled_vs_interpreted"][size] > 0
     # Quick mode never times the seed commit.
     assert "seed_baseline" not in e10
