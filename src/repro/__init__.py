@@ -38,6 +38,7 @@ from repro.spec import (
     parse_specifications,
 )
 from repro.rewriting import RewriteEngine, RewriteLimitError, RuleSet
+from repro.runtime import EvaluationBudget, Outcome
 from repro.analysis import (
     CompletionSession,
     check_axiom_coverage,
@@ -76,6 +77,8 @@ __all__ = [
     "RewriteEngine",
     "RewriteLimitError",
     "RuleSet",
+    "EvaluationBudget",
+    "Outcome",
     "CompletionSession",
     "check_axiom_coverage",
     "check_consistency",

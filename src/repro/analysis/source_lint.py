@@ -1,0 +1,145 @@
+"""Source lint: broad exception handlers must be declared fault boundaries.
+
+The resilience work (ISSUE 4) contains failures at a small set of
+explicit *fault boundaries* — the degradation ladder in the engines, the
+CLI's top level, speculative construction in the completion machinery.
+Anywhere else, a bare ``except:`` or a blanket ``except Exception``
+swallows exactly the injected faults the chaos suite relies on
+observing, so this lint keeps the containment surface explicit: every
+broad handler in ``src/repro`` must carry a justification marker on its
+``except`` line::
+
+    except Exception:  # fault-boundary: degrade to interpreted
+
+A marker with no justification text does not count.  Run as a module
+(CI does)::
+
+    python -m repro.analysis.source_lint [ROOT ...]
+
+Exit status 1 when any undeclared broad handler is found; the findings
+print as ``path:line: message`` for editor navigation.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+#: The allowlist marker: the ``except`` line must contain this comment,
+#: followed by a non-empty justification.
+MARKER = "# fault-boundary:"
+
+#: Exception names considered over-broad when caught directly.
+BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One undeclared broad handler."""
+
+    path: str
+    line: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.message}"
+
+
+def _broad_name(node: Optional[ast.expr]) -> Optional[str]:
+    """The over-broad class name caught by this ``except`` clause, or
+    ``None``.  A bare handler reports ``""``; tuples are searched."""
+    if node is None:
+        return ""
+    if isinstance(node, ast.Name) and node.id in BROAD_NAMES:
+        return node.id
+    if isinstance(node, ast.Attribute) and node.attr in BROAD_NAMES:
+        return node.attr
+    if isinstance(node, ast.Tuple):
+        for element in node.elts:
+            name = _broad_name(element)
+            if name is not None:
+                return name
+    return None
+
+
+def _allowlisted(lines: Sequence[str], lineno: int) -> bool:
+    """True when the handler's ``except`` line carries a justified
+    fault-boundary marker."""
+    if not 1 <= lineno <= len(lines):
+        return False
+    line = lines[lineno - 1]
+    if MARKER not in line:
+        return False
+    justification = line.split(MARKER, 1)[1].strip()
+    return bool(justification)
+
+
+def lint_source(source: str, path: str = "<string>") -> list[Violation]:
+    """Violations in one module's source text."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Violation(path, exc.lineno or 0, f"syntax error: {exc.msg}")]
+    lines = source.splitlines()
+    violations = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        name = _broad_name(node.type)
+        if name is None or _allowlisted(lines, node.lineno):
+            continue
+        if name == "":
+            message = (
+                "bare 'except:' — catch specific exceptions, or mark the "
+                f"line with '{MARKER} <why>'"
+            )
+        else:
+            message = (
+                f"over-broad 'except {name}' — catch specific exceptions, "
+                f"or mark the line with '{MARKER} <why>'"
+            )
+        violations.append(Violation(path, node.lineno, message))
+    return violations
+
+
+def lint_paths(roots: Iterable[Path]) -> list[Violation]:
+    """Violations across every ``.py`` file under ``roots`` (files are
+    accepted too), sorted by location."""
+    violations = []
+    for root in roots:
+        root = Path(root)
+        files = [root] if root.is_file() else sorted(root.rglob("*.py"))
+        for file in files:
+            violations.extend(
+                lint_source(file.read_text(encoding="utf-8"), str(file))
+            )
+    return sorted(violations, key=lambda v: (v.path, v.line))
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    roots = [Path(a) for a in arguments] or [Path("src/repro")]
+    missing = [root for root in roots if not root.exists()]
+    if missing:
+        for root in missing:
+            print(f"error: no such path: {root}", file=sys.stderr)
+        return 2
+    violations = lint_paths(roots)
+    for violation in violations:
+        print(violation)
+    if violations:
+        print(
+            f"{len(violations)} undeclared broad exception handler(s)",
+            file=sys.stderr,
+        )
+        return 1
+    scanned = ", ".join(str(root) for root in roots)
+    print(f"broad-except lint clean: {scanned}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -81,12 +81,30 @@ def cmd_prompts(args: argparse.Namespace) -> int:
 
 
 def cmd_eval(args: argparse.Namespace) -> int:
+    from repro.runtime import EvaluationBudget
+
     specs = _load_specs(args.file)
     spec = specs[-1]
     term = parse_term(args.term, spec)
-    engine = RewriteEngine.for_specification(spec)
-    result = engine.normalize(term)
-    print(result)
+    budget = EvaluationBudget(
+        fuel=args.fuel if args.fuel is not None else 200_000,
+        deadline=args.deadline,
+        max_intern_growth=args.max_intern_growth,
+    )
+    engine = RewriteEngine.for_specification(
+        spec, backend=args.backend, budget=budget
+    )
+    if args.resilient:
+        outcome = engine.normalize_outcome(term)
+        if outcome.ok:
+            print(outcome.term)
+        else:
+            print(f"-- {outcome}", file=sys.stderr)
+            for step in outcome.trace:
+                print(f"--   cycle: {step}", file=sys.stderr)
+    else:
+        result = engine.normalize(term)
+        print(result)
     if args.stats:
         print(
             f"-- {engine.stats.steps} step(s), "
@@ -94,6 +112,8 @@ def cmd_eval(args: argparse.Namespace) -> int:
             f"{engine.stats.builtin_firings} builtin call(s)",
             file=sys.stderr,
         )
+    if args.resilient and not outcome.ok:
+        return 3
     return 0
 
 
@@ -202,6 +222,33 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument(
         "--stats", action="store_true", help="print rewrite statistics"
     )
+    evaluate.add_argument(
+        "--backend",
+        choices=("interpreted", "compiled"),
+        default="interpreted",
+        help="evaluation backend (both compute the same normal forms)",
+    )
+    evaluate.add_argument(
+        "--fuel", type=int, default=None, help="rewrite-step budget"
+    )
+    evaluate.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="wall-clock budget in seconds",
+    )
+    evaluate.add_argument(
+        "--max-intern-growth",
+        type=int,
+        default=None,
+        help="cap on new term nodes interned during evaluation",
+    )
+    evaluate.add_argument(
+        "--resilient",
+        action="store_true",
+        help="report a structured outcome (exit 3) instead of an error "
+        "when the budget runs out; divergence prints its cycle",
+    )
     evaluate.set_defaults(run=cmd_eval)
 
     run_cmd = commands.add_parser(
@@ -246,7 +293,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    except Exception as exc:  # surfaced cleanly: CLI, not traceback
+    except Exception as exc:  # fault-boundary: CLI surfaces errors, not tracebacks
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

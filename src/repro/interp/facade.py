@@ -22,6 +22,8 @@ from typing import Optional, Type
 
 from repro.spec.specification import Specification
 from repro.interp.symbolic import SymbolicInterpreter, SymbolicValue
+from repro.runtime.budget import EvaluationBudget
+from repro.runtime.outcome import NORMALIZED
 
 
 def python_name(operation_name: str) -> str:
@@ -111,24 +113,53 @@ def _evaluate_terms(cls, terms):
     ]
 
 
+def _try_evaluate_terms(cls, terms, budget=None):
+    """Fault-isolating batch entry point: one result record per term.
+
+    Terms that normalise are wrapped exactly as :meth:`evaluate_terms`
+    wraps them (façade values for the type of interest, Python readings
+    for observations); every other outcome — truncated, diverged, the
+    algebra's ``error`` value, a contained fault — stays a structured
+    :class:`~repro.runtime.Outcome`, so one pathological term cannot
+    abort the batch or mask its neighbours' results."""
+    interpreter = cls._interpreter
+    results = []
+    for outcome in interpreter.value_many_outcomes(terms, budget):
+        if outcome.status == NORMALIZED:
+            results.append(
+                _wrap(
+                    interpreter,
+                    cls,
+                    SymbolicValue(interpreter, outcome.term),
+                )
+            )
+        else:
+            results.append(outcome)
+    return results
+
+
 def facade_class(
     spec: Specification,
     name: Optional[str] = None,
     fuel: int = 200_000,
     backend: str = "interpreted",
+    budget: Optional[EvaluationBudget] = None,
 ) -> Type[FacadeValue]:
     """Build a Python class executing ``spec`` symbolically.
 
     ``backend="compiled"`` routes every method through the
     closure-compiled normaliser — behaviourally identical, measurably
-    faster (benchmark E7).
+    faster (benchmark E7).  ``budget`` bounds every evaluation the
+    façade performs (fuel, wall-clock deadline, memory caps).
 
     >>> Queue = facade_class(QUEUE_SPEC)
     >>> q = Queue.new().add('a').add('b')
     >>> q.front()
     'a'
     """
-    interpreter = SymbolicInterpreter(spec, fuel=fuel, backend=backend)
+    interpreter = SymbolicInterpreter(
+        spec, fuel=fuel, backend=backend, budget=budget
+    )
     toi = spec.type_of_interest
     cls = type(
         name or spec.name,
@@ -147,4 +178,5 @@ def facade_class(
         else:
             setattr(cls, method_name, _make_constructor_method(interpreter, operation, cls))
     cls.evaluate_terms = classmethod(_evaluate_terms)
+    cls.try_evaluate_terms = classmethod(_try_evaluate_terms)
     return cls

@@ -15,7 +15,7 @@ against the concrete implementations.
 
 from __future__ import annotations
 
-from typing import Union
+from typing import Optional, Union
 
 from repro.algebra.sorts import NAT, Sort
 from repro.algebra.terms import App, Err, Lit, Term
@@ -23,6 +23,9 @@ from repro.spec.errors import AlgebraError
 from repro.spec.prelude import is_false, is_true
 from repro.spec.specification import Specification
 from repro.rewriting.engine import RewriteEngine
+from repro.runtime import faults as _faults
+from repro.runtime.budget import EvaluationBudget
+from repro.runtime.outcome import Outcome
 
 
 class SymbolicTypeError(TypeError):
@@ -84,14 +87,20 @@ class SymbolicInterpreter:
         spec: Specification,
         fuel: int = 200_000,
         backend: str = "interpreted",
+        budget: Optional[EvaluationBudget] = None,
     ) -> None:
         self.spec = spec
-        self.engine = RewriteEngine.for_specification(spec, backend=backend)
-        self.engine.fuel = fuel
+        self.engine = RewriteEngine.for_specification(
+            spec, backend=backend, budget=budget
+        )
+        if budget is None:
+            self.engine.fuel = fuel
 
     # ------------------------------------------------------------------
     def apply(self, operation_name: str, *args: Applicable) -> SymbolicValue:
         """Apply an operation to arguments and normalise the result."""
+        if _faults.ACTIVE is not None:
+            _faults.ACTIVE.visit("symbolic.apply", operation_name)
         operation = self.spec.operation(operation_name)
         if len(args) != operation.arity:
             raise SymbolicTypeError(
@@ -117,6 +126,21 @@ class SymbolicInterpreter:
             SymbolicValue(self, term)
             for term in self.engine.normalize_many(terms)
         ]
+
+    def value_outcome(
+        self, term: Term, budget: Optional[EvaluationBudget] = None
+    ) -> Outcome:
+        """Resilient single-term evaluation: the engine's structured
+        :class:`~repro.runtime.Outcome` instead of an exception."""
+        return self.engine.normalize_outcome(term, budget)
+
+    def value_many_outcomes(
+        self, terms, budget: Optional[EvaluationBudget] = None
+    ) -> list[Outcome]:
+        """Fault-isolating batch evaluation: one outcome per term — a
+        pathological term yields its own failure record instead of
+        aborting the batch."""
+        return self.engine.normalize_many_outcomes(terms, budget)
 
     def _coerce(self, argument: Applicable, sort: Sort) -> Term:
         if isinstance(argument, SymbolicValue):

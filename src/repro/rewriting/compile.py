@@ -61,6 +61,12 @@ from repro.rewriting.engine import (
     RewriteLimitError,
 )
 from repro.rewriting.rules import RewriteRule, RuleSet
+from repro.runtime import faults as _faults
+from repro.runtime.budget import (
+    BudgetExceeded,
+    BudgetMeter,
+    EvaluationBudget,
+)
 
 #: Nested closure calls allowed before falling back to the iterative
 #: interpreter.  Python's default recursion limit is 1000 and each
@@ -539,10 +545,16 @@ class CompiledEngine:
         fuel: int = DEFAULT_FUEL,
         cache_size: int = 4096,
         stats: Optional[EngineStats] = None,
+        budget: Optional[EvaluationBudget] = None,
     ) -> None:
+        if budget is None:
+            budget = EvaluationBudget(fuel=fuel)
+        elif budget.max_memo_entries is not None:
+            cache_size = min(cache_size, budget.max_memo_entries)
         self.rules = rules
         self.rule_count = len(rules)
-        self.fuel = fuel
+        self.fuel = budget.fuel
+        self.budget = budget
         self.cache_size = cache_size
         self.stats = stats if stats is not None else EngineStats()
         self._interp = RewriteEngine(rules, fuel=fuel, cache_size=cache_size)
@@ -568,25 +580,57 @@ class CompiledEngine:
         return self._interp._eval(App(op, args), budget)
 
     # ------------------------------------------------------------------
-    def normalize(self, term: Term) -> Term:
+    def normalize(
+        self, term: Term, budget: Optional[EvaluationBudget] = None
+    ) -> Term:
         """The call-by-value normal form of ``term`` — identical, term
         for term, to the interpreted backend's."""
-        budget = [self.fuel]
+        bud = budget if budget is not None else self.budget.with_fuel(self.fuel)
+        meter = bud.start()
         st = self.compiled.st
         rf = self.compiled.rf
         st0 = tuple(st)
         rf0 = list(rf)
         try:
-            return self._eval(term, budget)
-        except (_LimitHit, RewriteLimitError):
-            raise RewriteLimitError(term, self.fuel) from None
+            return self._eval(term, meter)
+        except _LimitHit:
+            # Closures spend fuel without the meter seeing subjects, so
+            # the diagnosis draws on whatever the interpreted fallback
+            # recorded (a compiled cycle blows the depth limit long
+            # before the fuel runs out, so the cycling tail is there).
+            exc = meter.exhausted()
+            raise RewriteLimitError(
+                term,
+                bud.fuel,
+                reason=exc.reason,
+                trace=exc.trace,
+                detail=exc.detail,
+            ) from None
+        except BudgetExceeded as exc:
+            raise RewriteLimitError(
+                term,
+                bud.fuel,
+                reason=exc.reason,
+                trace=exc.trace,
+                detail=exc.detail,
+            ) from None
+        except RewriteLimitError as exc:
+            raise RewriteLimitError(
+                term,
+                bud.fuel,
+                reason=exc.reason,
+                trace=exc.trace,
+                detail=exc.detail,
+            ) from None
         finally:
             self._sync(st0, rf0)
 
-    def normalize_many(self, terms: Iterable[Term]) -> list[Term]:
+    def normalize_many(
+        self, terms: Iterable[Term], budget: Optional[EvaluationBudget] = None
+    ) -> list[Term]:
         """Normalise a batch against one shared memo (see
         :meth:`RewriteEngine.normalize_many`)."""
-        return [self.normalize(term) for term in terms]
+        return [self.normalize(term, budget) for term in terms]
 
     def clear_cache(self) -> None:
         """Drop the closure memo and the fallback interpreter's cache."""
@@ -659,12 +703,17 @@ class CompiledEngine:
                     result = Ite(cond, t.then_branch, t.else_branch)
         return result
 
-    def _root(self, op: Operation, args: tuple, budget: list[int]) -> Term:
+    def _root(self, op: Operation, args: tuple, budget: BudgetMeter) -> Term:
+        if _faults.ACTIVE is not None:
+            _faults.ACTIVE.visit("compiled.root", op)
+        budget.tick()  # deadline / memory pulse between closure bursts
         fn = self._fns.get(op.name)
         if fn is not None:
             try:
                 return fn(args, 0, budget)
             except _DeepRecursion:
+                if _faults.ACTIVE is not None:
+                    _faults.ACTIVE.visit("compiled.fallback", op)
                 return self._interp._eval(App(op, args), budget)
         if op.name in self._uncompiled or (
             op.builtin is not None

@@ -162,7 +162,7 @@ def _as_equation(left: Term, right: Term) -> Optional[Axiom]:
         if isinstance(lhs, App) and not (rhs.variables() - lhs.variables()):
             try:
                 return Axiom(lhs, rhs)
-            except Exception:
+            except Exception:  # fault-boundary: speculative orientation may be ill-sorted
                 continue
     return None
 

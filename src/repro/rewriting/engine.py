@@ -23,9 +23,17 @@ relation: the default ``"interpreted"`` backend walks rules generically,
 while ``"compiled"`` (see :mod:`repro.rewriting.compile`) dispatches
 through per-operation closures specialised from the rule set.
 
-The engine counts rewrite steps; a configurable *fuel* bound turns
-divergence (possible for user-written axioms under debugging) into a
-:class:`RewriteLimitError` instead of a hang.
+Evaluation runs under an :class:`~repro.runtime.EvaluationBudget` —
+fuel (rewrite steps), an optional wall-clock deadline, and memory caps
+— enforced identically by both backends through a shared
+:class:`~repro.runtime.BudgetMeter`.  Exceeding any dimension raises
+:class:`RewriteLimitError`, whose ``reason`` distinguishes genuine fuel
+exhaustion from recursion blow-ups, deadlines, memory caps, and
+*cycling* (a periodic rewrite sequence, reported with its minimal
+repeating trace).  Callers that cannot afford exceptions use
+:meth:`RewriteEngine.normalize_outcome` /
+:meth:`RewriteEngine.normalize_many_outcomes`, which degrade gracefully
+(compiled → interpreted → partial result) and never abort a batch.
 """
 
 from __future__ import annotations
@@ -43,23 +51,93 @@ from repro.spec.errors import AlgebraError
 from repro.spec.prelude import boolean_term, is_false, is_true
 from repro.spec.specification import Specification
 from repro.rewriting.rules import RuleSet
+from repro.runtime import faults as _faults
+from repro.runtime.budget import (
+    DEFAULT_FUEL,
+    BudgetExceeded,
+    BudgetMeter,
+    EvaluationBudget,
+    REASON_CYCLE,
+    REASON_DEADLINE,
+    REASON_DEPTH,
+    REASON_FUEL,
+    REASON_MEMORY,
+)
+from repro.runtime.outcome import Outcome
+
+#: Rendering budget for terms quoted in error messages.
+_RENDER_LIMIT = 200
+
+
+def _render_capped(term: Term, limit: int = _RENDER_LIMIT) -> str:
+    """Render ``term`` for an error message, bounding both the output
+    *and the work*: a huge term is summarised without ever materialising
+    its full (possibly multi-megabyte) string, and a term too deep to
+    print at all falls back to a node count."""
+    try:
+        if term.size() > 2 * limit:
+            return f"<{term.sort} term of {term.size()} nodes>"
+        rendered = str(term)
+    except RecursionError:  # term too deep even to print
+        return f"<term of {term.size()} nodes>"
+    if len(rendered) > limit:
+        rendered = rendered[:limit] + "..."
+    return rendered
 
 
 class RewriteLimitError(Exception):
-    """Raised when evaluation exceeds its step budget."""
+    """Raised when evaluation exceeds its budget.
 
-    def __init__(self, term: Term, fuel: int) -> None:
-        try:
-            rendered = str(term)
-        except RecursionError:  # term too deep even to print
-            rendered = f"<term of {term.size()} nodes>"
-        if len(rendered) > 200:
-            rendered = rendered[:200] + "..."
-        super().__init__(
-            f"no normal form within {fuel} rewrite steps for {rendered}"
-        )
+    ``reason`` says which dimension gave out (see
+    :data:`repro.runtime.budget.REASONS`):
+
+    * ``"fuel"`` — the step budget ran dry on a non-periodic workload;
+    * ``"depth"`` — a Python recursion blow-up (subclass hooks such as
+      the prover's guarded unfolding may still recurse);
+    * ``"deadline"`` — the wall-clock deadline passed;
+    * ``"cycle"`` — the rewrite sequence is periodic; ``trace`` holds
+      the minimal repeating sequence of rewrite subjects;
+    * ``"memory"`` — an intern-table growth cap tripped.
+    """
+
+    def __init__(
+        self,
+        term: Term,
+        fuel: int,
+        reason: str = REASON_FUEL,
+        trace: tuple = (),
+        detail: str = "",
+    ) -> None:
+        rendered = _render_capped(term)
+        if reason == REASON_CYCLE:
+            loop = ", ".join(_render_capped(t, 40) for t in trace[:4])
+            if len(trace) > 4:
+                loop += ", ..."
+            message = (
+                f"evaluation of {rendered} diverges: rewriting cycles "
+                f"through {len(trace)} term(s) [{loop}]"
+            )
+        elif reason == REASON_DEPTH:
+            message = f"recursion depth exceeded while evaluating {rendered}"
+        elif reason == REASON_DEADLINE:
+            message = (
+                f"wall-clock deadline exceeded while evaluating {rendered}"
+            )
+        elif reason == REASON_MEMORY:
+            message = (
+                f"memory budget exceeded while evaluating {rendered}"
+                + (f" ({detail})" if detail else "")
+            )
+        else:
+            message = (
+                f"no normal form within {fuel} rewrite steps for {rendered}"
+            )
+        super().__init__(message)
         self.term = term
         self.fuel = fuel
+        self.reason = reason
+        self.trace = trace
+        self.detail = detail
 
 
 @dataclass
@@ -118,11 +196,6 @@ class EngineStats:
         return self.cache_hits / self.cache_probes if self.cache_probes else 0.0
 
 
-#: Default step budget.  The paper's specifications normalise any
-#: realistic term in far fewer steps; the bound exists to catch runaway
-#: user axioms.
-DEFAULT_FUEL = 200_000
-
 #: Selectable evaluation backends (see the module docstring).
 BACKENDS = ("interpreted", "compiled")
 
@@ -176,6 +249,12 @@ class RewriteEngine:
         both backends compute the same normal forms.  Symbolic
         ``simplify`` always uses the interpreted machinery — open-term
         simplification is not on any hot path.
+    budget:
+        The default :class:`~repro.runtime.EvaluationBudget` for every
+        evaluation.  Supersedes ``fuel`` when given; its
+        ``max_memo_entries`` clamps ``cache_size`` (the memo is engine
+        state, so its cap binds at construction).  Per-call budgets may
+        be passed to the evaluation methods.
     """
 
     def __init__(
@@ -186,6 +265,7 @@ class RewriteEngine:
         cache_size: int = 4096,
         cache_policy: str = "lru",
         backend: str = "interpreted",
+        budget: Optional[EvaluationBudget] = None,
     ) -> None:
         if cache_policy not in ("lru", "clear"):
             raise ValueError(f"unknown cache policy: {cache_policy!r}")
@@ -193,8 +273,13 @@ class RewriteEngine:
             raise ValueError(
                 f"unknown backend: {backend!r} (expected one of {BACKENDS})"
             )
+        if budget is None:
+            budget = EvaluationBudget(fuel=fuel)
+        elif budget.max_memo_entries is not None:
+            cache_size = min(cache_size, budget.max_memo_entries)
         self.rules = rules
-        self.fuel = fuel
+        self.fuel = budget.fuel
+        self.budget = budget
         self.use_index = use_index
         self.backend = backend
         self.stats = EngineStats()
@@ -209,28 +294,61 @@ class RewriteEngine:
         spec: Specification,
         fuel: int = DEFAULT_FUEL,
         backend: str = "interpreted",
+        budget: Optional[EvaluationBudget] = None,
     ) -> "RewriteEngine":
-        return cls(RuleSet.from_specification(spec), fuel=fuel, backend=backend)
+        return cls(
+            RuleSet.from_specification(spec),
+            fuel=fuel,
+            backend=backend,
+            budget=budget,
+        )
+
+    def _meter(self, budget: Optional[EvaluationBudget]) -> BudgetMeter:
+        """A fresh meter for one evaluation: the per-call budget when
+        given, else the engine's default adjusted for any
+        post-construction ``engine.fuel`` assignment."""
+        if budget is None:
+            budget = self.budget.with_fuel(self.fuel)
+        return budget.start()
 
     # ------------------------------------------------------------------
     # Value-mode evaluation
     # ------------------------------------------------------------------
-    def normalize(self, term: Term) -> Term:
+    def normalize(
+        self, term: Term, budget: Optional[EvaluationBudget] = None
+    ) -> Term:
         """The call-by-value normal form of ``term``."""
         if self.backend == "compiled":
-            return self._compiled_engine().normalize(term)
-        budget = [self.fuel]
+            return self._compiled_engine().normalize(term, budget)
+        meter = self._meter(budget)
         try:
-            return self._eval(term, budget)
-        except RewriteLimitError:
-            raise RewriteLimitError(term, self.fuel) from None
+            return self._eval(term, meter)
+        except BudgetExceeded as exc:
+            raise RewriteLimitError(
+                term,
+                meter.budget.fuel,
+                reason=exc.reason,
+                trace=exc.trace,
+                detail=exc.detail,
+            ) from None
+        except RewriteLimitError as exc:
+            raise RewriteLimitError(
+                term,
+                meter.budget.fuel,
+                reason=exc.reason,
+                trace=exc.trace,
+                detail=exc.detail,
+            ) from None
         except RecursionError:
             # The evaluator itself is iterative, but subclass hooks
-            # (the prover's guarded unfolding) may still recurse; report
-            # blow-ups the same way as running out of fuel.
-            raise RewriteLimitError(term, self.fuel) from None
+            # (the prover's guarded unfolding) may still recurse.
+            raise RewriteLimitError(
+                term, meter.budget.fuel, reason=REASON_DEPTH
+            ) from None
 
-    def normalize_many(self, terms: Iterable[Term]) -> list[Term]:
+    def normalize_many(
+        self, terms: Iterable[Term], budget: Optional[EvaluationBudget] = None
+    ) -> list[Term]:
         """Normalise a batch of terms against one shared memo.
 
         Each term gets the full fuel budget, but ground normal forms
@@ -238,10 +356,80 @@ class RewriteEngine:
         later ones — on workloads with shared substructure (the oracle
         checking many instances of the same axioms, the benchmarks
         draining a family of queues) most of the batch is cache hits.
+
+        The first limit aborts the whole batch; use
+        :meth:`normalize_many_outcomes` for fault isolation.
         """
         if self.backend == "compiled":
-            return self._compiled_engine().normalize_many(terms)
-        return [self.normalize(term) for term in terms]
+            return self._compiled_engine().normalize_many(terms, budget)
+        return [self.normalize(term, budget) for term in terms]
+
+    # ------------------------------------------------------------------
+    # Resilient evaluation: outcomes and the degradation ladder
+    # ------------------------------------------------------------------
+    def normalize_outcome(
+        self, term: Term, budget: Optional[EvaluationBudget] = None
+    ) -> Outcome:
+        """Resilient normalisation: an :class:`~repro.runtime.Outcome`
+        instead of an exception.
+
+        Degradation ladder: the compiled backend is tried first (when
+        selected); an unexpected runtime failure there — a fault
+        injection, a recursion blow-up in generated code — degrades to
+        the interpreted machine; a failure *there* yields a partial
+        ``truncated`` outcome with the fault as the detail.  Budget
+        exhaustion maps to ``truncated`` (or ``diverged`` for a
+        diagnosed cycle); reaching the algebra's ``error`` value is the
+        *defined* result ``error_value``, not a failure.
+        """
+        if self.backend == "compiled":
+            try:
+                return Outcome.of_normal_form(
+                    self._compiled_engine().normalize(term, budget)
+                )
+            except RewriteLimitError as exc:
+                return Outcome.from_limit(exc)
+            except Exception:  # fault-boundary: degrade to interpreted
+                return self._interpreted_outcome(term, budget)
+        return self._interpreted_outcome(term, budget)
+
+    def _interpreted_outcome(
+        self, term: Term, budget: Optional[EvaluationBudget]
+    ) -> Outcome:
+        """The interpreted rung of the ladder, ending in a partial
+        result rather than an exception.  The memo only ever stores
+        *completed* normal forms, so a failure part-way leaves the
+        caches consistent — the chaos suite holds it to that."""
+        meter = self._meter(budget)
+        try:
+            return Outcome.of_normal_form(self._eval(term, meter))
+        except BudgetExceeded as exc:
+            return Outcome.from_limit(
+                RewriteLimitError(
+                    term,
+                    meter.budget.fuel,
+                    reason=exc.reason,
+                    trace=exc.trace,
+                    detail=exc.detail,
+                )
+            )
+        except RewriteLimitError as exc:
+            return Outcome.from_limit(exc)
+        except RecursionError as exc:
+            return Outcome(
+                "truncated", term=term, reason=REASON_DEPTH, detail=str(exc)
+            )
+        except Exception as exc:  # fault-boundary: partial result
+            return Outcome.of_fault(term, exc)
+
+    def normalize_many_outcomes(
+        self, terms: Iterable[Term], budget: Optional[EvaluationBudget] = None
+    ) -> list[Outcome]:
+        """Fault-isolating batch evaluation: one outcome per term, the
+        shared memo still warming across items, and no term — however
+        pathological — able to abort its neighbours.  Budgets apply per
+        item (each term gets the full budget, deadline included)."""
+        return [self.normalize_outcome(term, budget) for term in terms]
 
     def _compiled_engine(self):
         """The lazily-built compiled delegate, rebuilt if rules were
@@ -255,6 +443,7 @@ class RewriteEngine:
                 fuel=self.fuel,
                 cache_size=self.cache_size,
                 stats=self.stats,
+                budget=self.budget,
             )
             self._compiled = compiled
         compiled.fuel = self.fuel  # track post-construction adjustments
@@ -266,11 +455,9 @@ class RewriteEngine:
         if self._compiled is not None:
             self._compiled.clear_cache()
 
-    def _spend(self, budget: list[int], term: Term) -> None:
+    def _spend(self, budget: BudgetMeter, term: Term) -> None:
         self.stats.steps += 1
-        budget[0] -= 1
-        if budget[0] < 0:
-            raise RewriteLimitError(term, self.fuel)
+        budget.spend(term)
 
     def _eval(self, term: Term, budget: list[int]) -> Term:
         """Value-mode evaluation on an explicit work stack.
@@ -494,8 +681,15 @@ class RewriteEngine:
     def _remember(self, key: Term, value: Term) -> None:
         """Insert into the normal-form memo, evicting the least recently
         used entries once the cache is full (never the whole memo —
-        unless the seed ablation policy ``"clear"`` is selected)."""
+        unless the seed ablation policy ``"clear"`` is selected).
+
+        Only *completed* normal forms reach this method, and each insert
+        is all-or-nothing, so a fault raised here (the ``engine.remember``
+        chaos site) can lose an entry but never poison one.
+        """
         cache = self._cache
+        if _faults.ACTIVE is not None:
+            _faults.ACTIVE.visit("engine.remember", cache)
         if len(cache) >= self.cache_size and key not in cache:
             if self.cache_policy == "clear":
                 cache.clear()
@@ -508,6 +702,8 @@ class RewriteEngine:
         bindings; ``(None, None)`` when none match.  ``budget`` is
         unused here but threaded for subclasses whose match decision
         needs speculative evaluation (the prover's guarded unfolding)."""
+        if _faults.ACTIVE is not None:
+            _faults.ACTIVE.visit("engine.match_root", term)
         for rule in self._candidates(term):
             bindings = match_bindings(rule.lhs, term)
             if bindings is not None:
@@ -536,6 +732,8 @@ class RewriteEngine:
         return None
 
     def _run_builtin(self, term: App) -> Term:
+        if _faults.ACTIVE is not None:
+            _faults.ACTIVE.visit("engine.builtin", term)
         values = [arg.value for arg in term.args]  # type: ignore[union-attr]
         try:
             result = term.op.builtin(*values)  # type: ignore[misc]
@@ -550,18 +748,30 @@ class RewriteEngine:
     # ------------------------------------------------------------------
     # Symbolic simplification
     # ------------------------------------------------------------------
-    def simplify(self, term: Term) -> Term:
+    def simplify(
+        self, term: Term, budget: Optional[EvaluationBudget] = None
+    ) -> Term:
         """Simplify an open term as far as the rules allow.
 
         Both branches of undecided conditionals are simplified, and the
         identity ``if c then x else x = x`` is applied — sound because
         either branch yields ``x``.
         """
-        budget = [self.fuel]
+        meter = self._meter(budget)
         try:
-            return self._simplify(term, budget)
+            return self._simplify(term, meter)
+        except BudgetExceeded as exc:
+            raise RewriteLimitError(
+                term,
+                meter.budget.fuel,
+                reason=exc.reason,
+                trace=exc.trace,
+                detail=exc.detail,
+            ) from None
         except RecursionError:
-            raise RewriteLimitError(term, self.fuel) from None
+            raise RewriteLimitError(
+                term, meter.budget.fuel, reason=REASON_DEPTH
+            ) from None
 
     def _simplify(self, term: Term, budget: list[int]) -> Term:
         if isinstance(term, (Var, Lit, Err)):

@@ -133,7 +133,7 @@ def orient(
         backward = RewriteRule(axiom.rhs, axiom.lhs, axiom.label)
         try:
             ok = rule_decreases(backward, precedence)
-        except Exception:
+        except Exception:  # fault-boundary: speculative reverse orientation may be ill-founded
             ok = False
         if ok and not (axiom.lhs.variables() - axiom.rhs.variables()):
             return backward

@@ -1,0 +1,113 @@
+"""Structured evaluation outcomes.
+
+Gaudel & Le Gall treat an implementation's observable behaviour under
+*all* inputs — including degenerate ones — as the conformance surface.
+An :class:`Outcome` makes the degenerate behaviours first-class values
+instead of exceptions, so batch evaluation can be fault-isolating (one
+pathological term yields one failed record, not an aborted batch) and
+callers can route partial results instead of crashing.
+
+The four statuses:
+
+``normalized``
+    A normal form was reached; ``term`` holds it.
+``error_value``
+    The normal form is the algebra's distinguished ``error`` — a
+    *defined* result in the paper's semantics, carried separately so
+    resilient callers need not pattern-match on :class:`Err`.
+``truncated``
+    Evaluation stopped short: ``reason`` says why (``fuel``, ``depth``,
+    ``deadline``, ``memory``, or ``fault`` for a contained runtime
+    failure) and ``term`` holds the best partial evidence available
+    (the subject the engine was rewriting when the limit hit).
+``diverged``
+    The divergence diagnosis found a cycle: ``trace`` is the minimal
+    repeating sequence of rewrite subjects, the actionable diagnostic
+    for a bad axiom set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.algebra.terms import Err, Term
+
+NORMALIZED = "normalized"
+TRUNCATED = "truncated"
+DIVERGED = "diverged"
+ERROR_VALUE = "error_value"
+
+#: Every status an :class:`Outcome` can carry.
+STATUSES = (NORMALIZED, TRUNCATED, DIVERGED, ERROR_VALUE)
+
+
+@dataclass(frozen=True)
+class Outcome:
+    """The result of one resilient evaluation (see module docstring)."""
+
+    status: str
+    term: Optional[Term] = None
+    reason: Optional[str] = None
+    trace: tuple = ()
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """True when evaluation completed — reached a normal form or the
+        algebra's ``error`` value (a defined result, per the paper)."""
+        return self.status in (NORMALIZED, ERROR_VALUE)
+
+    def value(self) -> Term:
+        """The normal form, or raise ``ValueError`` for a non-``ok``
+        outcome — the explicit unwrap for callers that want exceptions
+        back."""
+        if not self.ok:
+            raise ValueError(f"no value for outcome: {self}")
+        assert self.term is not None
+        return self.term
+
+    # -- constructors --------------------------------------------------
+    @classmethod
+    def of_normal_form(cls, term: Term) -> "Outcome":
+        """Wrap a reached normal form (classifying ``error`` values)."""
+        if isinstance(term, Err):
+            return cls(ERROR_VALUE, term=term)
+        return cls(NORMALIZED, term=term)
+
+    @classmethod
+    def from_limit(cls, exc) -> "Outcome":
+        """Fold a ``RewriteLimitError`` (or anything carrying ``reason``
+        / ``trace`` / ``term`` attributes) into an outcome."""
+        reason = getattr(exc, "reason", "fuel")
+        trace = tuple(getattr(exc, "trace", ()) or ())
+        return cls(
+            DIVERGED if reason == "cycle" else TRUNCATED,
+            term=getattr(exc, "term", None),
+            reason=reason,
+            trace=trace,
+            detail=getattr(exc, "detail", "") or str(exc),
+        )
+
+    @classmethod
+    def of_fault(cls, term: Optional[Term], exc: BaseException) -> "Outcome":
+        """A contained runtime failure: truncated with the input as the
+        partial result and the exception as the detail."""
+        return cls(
+            TRUNCATED,
+            term=term,
+            reason="fault",
+            detail=f"{type(exc).__name__}: {exc}",
+        )
+
+    def __str__(self) -> str:
+        if self.status == NORMALIZED:
+            return f"normalized: {self.term}"
+        if self.status == ERROR_VALUE:
+            return f"error value of sort {self.term.sort}"  # type: ignore[union-attr]
+        bits = [self.status]
+        if self.reason:
+            bits.append(f"({self.reason})")
+        if self.detail:
+            bits.append(f"- {self.detail}")
+        return " ".join(bits)

@@ -245,7 +245,7 @@ class _Parser:
             rhs = self._parse_term(operations, variables, expected=lhs.sort)
             try:
                 axioms.append(Axiom(lhs, rhs, label))
-            except Exception as exc:
+            except Exception as exc:  # fault-boundary: invalid axiom surfaces as a parse error
                 raise ParseError(f"bad axiom {lhs} = {rhs}: {exc}") from exc
         return axioms
 

@@ -1,0 +1,166 @@
+"""Seeded fault injection for the evaluation runtime.
+
+Gaudel & Le Gall treat observable behaviour under *all* inputs —
+including degenerate ones — as an implementation's conformance surface.
+This harness extends that stance to the runtime itself: it arms the
+fault points instrumented inside the engines
+(:data:`repro.runtime.faults.SITES`) with seeded, per-site fault plans,
+so the chaos suite can prove the resilience invariants hold *under
+fire*: batches never abort, caches stay consistent with a cold engine,
+``error`` propagation stays strict.
+
+Usage::
+
+    plan = FaultPlan(seed=2026, sites={
+        "engine.match_root": FaultSpec(InjectedFault, probability=0.05),
+        "engine.remember": FaultSpec(kind="evict", probability=0.2),
+    })
+    with inject_faults(plan) as injector:
+        outcomes = engine.normalize_many_outcomes(terms)
+    assert injector.fired  # the plan actually did something
+
+Fault kinds per site:
+
+* an exception class (``InjectedFault``, ``RecursionError``,
+  ``MemoryError``) — raised at the site with the given probability,
+  modelling rule-firing failures, recursion blow-ups, and allocation
+  failures at the worst moments;
+* ``kind="evict"`` — cache corruption of the recoverable sort: at the
+  memo-insertion site, a random existing entry is deleted instead of an
+  exception being raised.  The runtime's memo discipline (only
+  completed normal forms are ever stored, inserts are all-or-nothing)
+  makes eviction the *only* corruption a fault at that site can cause,
+  and the chaos suite verifies results stay correct through it.
+
+Everything is driven by one ``random.Random(seed)``: the same plan and
+seed replay the same faults, so a chaos failure is a reproducible bug
+report, not a flake.
+"""
+
+from __future__ import annotations
+
+import random
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Optional, Type, Union
+
+from repro.runtime import faults as registry
+
+#: Re-exported so tests can iterate every instrumented site.
+SITES = registry.SITES
+
+
+class InjectedFault(RuntimeError):
+    """The generic injected runtime failure (a "rule firing failed")."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """What to do at one site: raise ``exception`` or perform ``kind``.
+
+    ``probability`` is the per-visit chance of the fault firing;
+    ``limit`` optionally caps the total number of firings (so a plan
+    can inject exactly one fault and then stand down).
+    """
+
+    exception: Optional[Type[BaseException]] = InjectedFault
+    probability: float = 1.0
+    kind: str = "raise"
+    limit: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded assignment of fault specs to instrumented sites."""
+
+    seed: int = 2026
+    sites: Mapping[str, FaultSpec] = field(default_factory=dict)
+
+    @classmethod
+    def single_site(
+        cls,
+        site: str,
+        seed: int = 2026,
+        exception: Type[BaseException] = InjectedFault,
+        probability: float = 1.0,
+        kind: str = "raise",
+        limit: Optional[int] = None,
+    ) -> "FaultPlan":
+        """A plan that attacks exactly one site."""
+        if site not in SITES:
+            raise ValueError(f"unknown fault site: {site!r}")
+        return cls(
+            seed=seed,
+            sites={
+                site: FaultSpec(
+                    exception=exception,
+                    probability=probability,
+                    kind=kind,
+                    limit=limit,
+                )
+            },
+        )
+
+
+class FaultInjector:
+    """The live injector the registry calls at each fault point.
+
+    Tracks what fired where (``fired`` maps site to count) so tests can
+    assert the plan actually exercised something.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        unknown = set(plan.sites) - set(SITES)
+        if unknown:
+            raise ValueError(f"unknown fault site(s): {sorted(unknown)}")
+        self.plan = plan
+        self.rng = random.Random(plan.seed)
+        self.fired: dict[str, int] = {}
+        self.visits: dict[str, int] = {}
+
+    def visit(self, site: str, payload: object = None) -> None:
+        self.visits[site] = self.visits.get(site, 0) + 1
+        spec = self.plan.sites.get(site)
+        if spec is None:
+            return
+        if spec.limit is not None and self.fired.get(site, 0) >= spec.limit:
+            return
+        if self.rng.random() >= spec.probability:
+            return
+        self.fired[site] = self.fired.get(site, 0) + 1
+        if spec.kind == "evict":
+            self._evict(payload)
+            return
+        assert spec.exception is not None
+        raise spec.exception(f"injected fault at {site}")
+
+    def _evict(self, payload: object) -> None:
+        """Recoverable cache corruption: drop one random memo entry."""
+        if isinstance(payload, dict) and payload:
+            victim = self.rng.choice(list(payload))
+            del payload[victim]
+
+    @property
+    def total_fired(self) -> int:
+        return sum(self.fired.values())
+
+
+@contextmanager
+def inject_faults(
+    plan: Union[FaultPlan, Mapping[str, FaultSpec]],
+    seed: int = 2026,
+) -> Iterator[FaultInjector]:
+    """Arm the fault points with ``plan`` for the duration of the block.
+
+    Accepts a full :class:`FaultPlan` or a bare site→spec mapping (the
+    ``seed`` argument then applies).  Restores the previously installed
+    injector on exit, so chaos scopes nest correctly.
+    """
+    if not isinstance(plan, FaultPlan):
+        plan = FaultPlan(seed=seed, sites=dict(plan))
+    injector = FaultInjector(plan)
+    previous = registry.install(injector)
+    try:
+        yield injector
+    finally:
+        registry.install(previous)

@@ -150,6 +150,10 @@ class OracleReport:
     spec_name: str
     instances_checked: int = 0
     failures: list[OracleFailure] = field(default_factory=list)
+    #: Instances whose evaluation stopped short of a normal form
+    #: (budget exhaustion, diagnosed divergence, contained faults).
+    #: Undecided is not unequal: they count separately from failures.
+    undecided: int = 0
 
     @property
     def ok(self) -> bool:
@@ -157,9 +161,12 @@ class OracleReport:
 
     def __str__(self) -> str:
         verdict = "PASS" if self.ok else "FAIL"
+        suffix = (
+            f", {self.undecided} undecided" if self.undecided else ""
+        )
         lines = [
             f"axiom oracle for {self.spec_name}: {verdict} "
-            f"({self.instances_checked} instance(s))"
+            f"({self.instances_checked} instance(s){suffix})"
         ]
         lines.extend(f"  {failure}" for failure in self.failures[:10])
         return "\n".join(lines)
@@ -218,13 +225,15 @@ def check_axioms_by_rewriting(
     The same ground instances :func:`check_axioms` would feed a Python
     implementation are instead normalised with the rewrite engine and
     compared as normal forms — both sides of every instance in one
-    :meth:`~repro.rewriting.engine.RewriteEngine.normalize_many` batch,
-    so the shared substructure across an axiom's instances is evaluated
-    once.  A consistent specification passes trivially; the check earns
-    its keep as a differential harness (run once per ``backend``) and as
-    a smoke test for user-written axioms.
+    :meth:`~repro.rewriting.engine.RewriteEngine.normalize_many_outcomes`
+    batch, so the shared substructure across an axiom's instances is
+    evaluated once and one pathological instance cannot abort its
+    neighbours (it is tallied in ``report.undecided`` instead).  A
+    consistent specification passes trivially; the check earns its keep
+    as a differential harness (run once per ``backend``) and as a smoke
+    test for user-written axioms.
     """
-    from repro.rewriting.engine import RewriteEngine, RewriteLimitError
+    from repro.rewriting.engine import RewriteEngine
     from repro.testing.termgen import GenerationError, GroundTermGenerator
 
     engine = RewriteEngine.for_specification(spec, backend=backend)
@@ -240,17 +249,17 @@ def check_axioms_by_rewriting(
             instances.append(
                 (sigma, sigma.apply(axiom.lhs), sigma.apply(axiom.rhs))
             )
-        try:
-            normals = engine.normalize_many(
-                [side for _, lhs, rhs in instances for side in (lhs, rhs)]
-            )
-        except RewriteLimitError:
-            continue  # divergent under this fuel; not an inequality
+        outcomes = engine.normalize_many_outcomes(
+            [side for _, lhs, rhs in instances for side in (lhs, rhs)]
+        )
         for i, (sigma, _, _) in enumerate(instances):
+            left, right = outcomes[2 * i], outcomes[2 * i + 1]
+            if not (left.ok and right.ok):
+                report.undecided += 1
+                continue  # divergent/truncated: not an inequality
             report.instances_checked += 1
-            lhs_value, rhs_value = normals[2 * i], normals[2 * i + 1]
-            if lhs_value != rhs_value:
+            if left.term != right.term:
                 report.failures.append(
-                    OracleFailure(axiom, sigma, lhs_value, rhs_value)
+                    OracleFailure(axiom, sigma, left.term, right.term)
                 )
     return report

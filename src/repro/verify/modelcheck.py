@@ -17,7 +17,7 @@ from typing import Iterable, Optional, Sequence
 
 from repro.algebra.substitution import Substitution
 from repro.algebra.terms import App, Term
-from repro.rewriting.engine import RewriteEngine, RewriteLimitError
+from repro.rewriting.engine import RewriteEngine
 from repro.verify.obligations import ProofObligation
 from repro.verify.representation import Representation
 
@@ -43,6 +43,9 @@ class ModelCheckReport:
     obligation_label: str
     instances_checked: int = 0
     counterexamples: list[Counterexample] = field(default_factory=list)
+    #: Instances that stopped short of normal forms (budget exhaustion,
+    #: divergence, contained faults) — skipped, not counterexamples.
+    undecided: int = 0
 
     @property
     def holds(self) -> bool:
@@ -50,9 +53,10 @@ class ModelCheckReport:
 
     def __str__(self) -> str:
         verdict = "holds" if self.holds else "FAILS"
+        suffix = f", {self.undecided} undecided" if self.undecided else ""
         lines = [
             f"obligation ({self.obligation_label}) {verdict} on "
-            f"{self.instances_checked} ground instance(s)"
+            f"{self.instances_checked} ground instance(s){suffix}"
         ]
         lines.extend(f"  {ce}" for ce in self.counterexamples[:5])
         return "\n".join(lines)
@@ -113,10 +117,10 @@ def reachable_states(
                 if any(not choices for choices in arg_choices):
                     continue
                 for combo in itertools.product(*arg_choices):
-                    try:
-                        value = engine.normalize(App(operation, combo))
-                    except RewriteLimitError:
+                    outcome = engine.normalize_outcome(App(operation, combo))
+                    if not outcome.ok:
                         continue
+                    value = outcome.term
                     if value not in seen:
                         seen.add(value)
                         states.append(value)
@@ -179,13 +183,13 @@ def model_check(
     for combo in itertools.islice(itertools.product(*pools), max_instances):
         sigma = Substitution(dict(zip(variables, combo)))
         report.instances_checked += 1
-        try:
-            lhs_value = engine.normalize(sigma.apply(obligation.lhs))
-            rhs_value = engine.normalize(sigma.apply(obligation.rhs))
-        except RewriteLimitError:
+        left = engine.normalize_outcome(sigma.apply(obligation.lhs))
+        right = engine.normalize_outcome(sigma.apply(obligation.rhs))
+        if not (left.ok and right.ok):
+            report.undecided += 1
             continue
-        if lhs_value != rhs_value:
+        if left.term != right.term:
             report.counterexamples.append(
-                Counterexample(obligation.label, sigma, lhs_value, rhs_value)
+                Counterexample(obligation.label, sigma, left.term, right.term)
             )
     return report

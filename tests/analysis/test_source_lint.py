@@ -1,0 +1,98 @@
+"""Tests for the broad-except source lint."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.source_lint import (
+    MARKER,
+    Violation,
+    lint_paths,
+    lint_source,
+    main,
+)
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+class TestLintSource:
+    def test_bare_except_flagged(self):
+        source = "try:\n    pass\nexcept:\n    pass\n"
+        (violation,) = lint_source(source, "mod.py")
+        assert violation.line == 3
+        assert "bare 'except:'" in violation.message
+
+    def test_broad_except_flagged(self):
+        source = "try:\n    pass\nexcept Exception:\n    pass\n"
+        (violation,) = lint_source(source)
+        assert "except Exception" in violation.message
+
+    def test_base_exception_and_tuples_flagged(self):
+        source = (
+            "try:\n    pass\n"
+            "except (ValueError, BaseException):\n    pass\n"
+        )
+        (violation,) = lint_source(source)
+        assert "BaseException" in violation.message
+
+    def test_specific_handlers_pass(self):
+        source = (
+            "try:\n    pass\n"
+            "except (ValueError, KeyError):\n    pass\n"
+            "except RuntimeError as exc:\n    raise exc\n"
+        )
+        assert lint_source(source) == []
+
+    def test_marker_allowlists_the_handler(self):
+        source = (
+            "try:\n    pass\n"
+            f"except Exception:  {MARKER} CLI surfaces errors\n    pass\n"
+        )
+        assert lint_source(source) == []
+
+    def test_marker_without_justification_does_not_count(self):
+        source = (
+            "try:\n    pass\n"
+            f"except Exception:  {MARKER}\n    pass\n"
+        )
+        assert len(lint_source(source)) == 1
+
+    def test_marker_on_another_line_does_not_count(self):
+        source = (
+            f"{MARKER} declared far away\n"
+            "try:\n    pass\nexcept Exception:\n    pass\n"
+        )
+        assert len(lint_source(source)) == 1
+
+    def test_syntax_error_reported_as_violation(self):
+        (violation,) = lint_source("def broken(:\n", "bad.py")
+        assert "syntax error" in violation.message
+
+    def test_violation_renders_as_path_line_message(self):
+        assert str(Violation("a.py", 7, "boom")) == "a.py:7: boom"
+
+
+class TestLintTree:
+    def test_repo_source_tree_is_clean(self):
+        # The enforced invariant: every broad handler in src/repro is a
+        # declared fault boundary.  New undeclared ones fail here (and
+        # in the CI chaos job, which runs the module form).
+        violations = lint_paths([REPO_SRC])
+        assert violations == [], "\n".join(str(v) for v in violations)
+
+    def test_lint_paths_accepts_single_files(self, tmp_path):
+        file = tmp_path / "one.py"
+        file.write_text("try:\n    pass\nexcept:\n    pass\n")
+        (violation,) = lint_paths([file])
+        assert violation.path == str(file)
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("try:\n    pass\nexcept Exception:\n    pass\n")
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert main([str(dirty)]) == 1
+        assert main([str(clean)]) == 0
+        assert main([str(tmp_path / "absent")]) == 2
+        out = capsys.readouterr().out
+        assert "dirty.py:3" in out
