@@ -37,6 +37,7 @@ from repro.algebra import intern_table_size, set_interning  # noqa: E402
 from repro.algebra.terms import Err, app  # noqa: E402
 from repro.adt.queue import FRONT, QUEUE_SPEC, REMOVE, queue_term  # noqa: E402
 from repro.interp import facade_class  # noqa: E402
+from repro.obs import rule_id, substrate_counters  # noqa: E402
 from repro.rewriting import RewriteEngine, RuleSet  # noqa: E402
 
 #: Last commit with the seed engine (pre-interning term substrate).
@@ -86,6 +87,34 @@ print(json.dumps(results))
 """
 
 
+def _hit_rate(hits: int, misses: int):
+    total = hits + misses
+    return round(hits / total, 4) if total else None
+
+
+def _obs_metrics(engine: RewriteEngine, substrate_before: dict) -> dict:
+    """The observability embed for one measured run: substrate hit
+    rates (as deltas over the run) and the engine's per-rule firing
+    profile, busiest rules first."""
+    delta = {
+        name: value - substrate_before[name]
+        for name, value in substrate_counters().items()
+    }
+    return {
+        "intern_hit_rate": _hit_rate(
+            delta["intern.hits"], delta["intern.misses"]
+        ),
+        "shape_memo_hit_rate": _hit_rate(
+            delta["rule_index.shape_memo_hits"],
+            delta["rule_index.shape_memo_misses"],
+        ),
+        "rule_firings": {
+            rule_id(rule): count
+            for rule, count in engine.stats.firings.ranked()
+        },
+    }
+
+
 def _drain(engine: RewriteEngine, size: int) -> int:
     term = queue_term(range(size))
     steps = 0
@@ -114,10 +143,12 @@ def _measure_drain(
             if backend == "compiled":
                 engine._compiled_engine()  # build closures outside the timing
             table_before = intern_table_size()
+            substrate_before = substrate_counters()
             start = time.perf_counter()
             drained = _drain(engine, size)
             elapsed = time.perf_counter() - start
             peak_terms = intern_table_size()
+            metrics = _obs_metrics(engine, substrate_before)
         finally:
             set_interning(previous)
         assert drained == size
@@ -128,6 +159,7 @@ def _measure_drain(
             "cache_hit_rate": round(engine.stats.cache_hit_rate, 4),
             "peak_intern_table": peak_terms,
             "intern_table_growth": peak_terms - table_before,
+            "metrics": metrics,
         }
         if best is None or sample["seconds"] < best["seconds"]:
             best = sample
@@ -238,20 +270,24 @@ def run_e7(quick: bool) -> dict:
     facade = facade_class(QUEUE_SPEC)
     engine = facade._interpreter.engine
     table_before = intern_table_size()
+    substrate_before = substrate_counters()
     start = time.perf_counter()
     for _ in range(reps):
         symbolic_script(facade)
     symbolic = (time.perf_counter() - start) / reps
+    symbolic_metrics = _obs_metrics(engine, substrate_before)
     operations = 3 * script_length + 1  # adds + (front, remove) per element
 
     # The same script through the closure-compiled backend.
     compiled_facade = facade_class(QUEUE_SPEC, backend="compiled")
     compiled_engine = compiled_facade._interpreter.engine
     compiled_engine._compiled_engine()  # build closures outside the timing
+    substrate_before = substrate_counters()
     start = time.perf_counter()
     for _ in range(reps):
         symbolic_script(compiled_facade)
     compiled_secs = (time.perf_counter() - start) / reps
+    compiled_metrics = _obs_metrics(compiled_engine, substrate_before)
 
     # And the drain observations submitted as one normalize_many batch
     # (shared memo across the whole workload).
@@ -284,6 +320,7 @@ def run_e7(quick: bool) -> dict:
             "cache_hit_rate": round(engine.stats.cache_hit_rate, 4),
             "peak_intern_table": intern_table_size(),
             "intern_table_growth": intern_table_size() - table_before,
+            "metrics": symbolic_metrics,
         },
         "symbolic_compiled": {
             "seconds": round(compiled_secs, 6),
@@ -291,6 +328,7 @@ def run_e7(quick: bool) -> dict:
             "cache_hit_rate": round(
                 compiled_engine.stats.cache_hit_rate, 4
             ),
+            "metrics": compiled_metrics,
         },
         "symbolic_compiled_batch": {
             "seconds": round(batch_secs, 6),

@@ -75,6 +75,14 @@ _INTERNING = True
 _TABLE: dict[tuple, "weakref.KeyedRef"] = {}
 _KeyedRef = weakref.KeyedRef
 
+# Substrate counters, as bare one-element list cells so this bottom
+# layer imports nothing from the observability layer: repro.obs.metrics
+# adopts these slots into its global registry at import time.  A hit is
+# a construction answered from the table; a miss allocated and interned
+# a fresh node (a dead weakref counts as a miss — the node is rebuilt).
+INTERN_HITS = [0]
+INTERN_MISSES = [0]
+
 
 def _evict(ref: "weakref.KeyedRef", _table=_TABLE) -> None:
     if _table.get(ref.key) is ref:
@@ -241,12 +249,14 @@ class Var(Term):
             if ref is not None:
                 cached = ref()
                 if cached is not None:
+                    INTERN_HITS[0] += 1
                     return cached  # type: ignore[return-value]
         self = object.__new__(cls)
         self.name = name
         self.sort = sort
         self._hash = hash(key)
         if _INTERNING:
+            INTERN_MISSES[0] += 1
             _TABLE[key] = _KeyedRef(self, _evict, key)
         return self
 
@@ -293,12 +303,14 @@ class Lit(Term):
             if ref is not None:
                 cached = ref()
                 if cached is not None:
+                    INTERN_HITS[0] += 1
                     return cached  # type: ignore[return-value]
         self = object.__new__(cls)
         self.value = value
         self.sort = sort
         self._hash = hash(key)
         if _INTERNING:
+            INTERN_MISSES[0] += 1
             _TABLE[key] = _KeyedRef(self, _evict, key)
         return self
 
@@ -347,11 +359,13 @@ class Err(Term):
             if ref is not None:
                 cached = ref()
                 if cached is not None:
+                    INTERN_HITS[0] += 1
                     return cached  # type: ignore[return-value]
         self = object.__new__(cls)
         self.sort = sort
         self._hash = hash(key)
         if _INTERNING:
+            INTERN_MISSES[0] += 1
             _TABLE[key] = _KeyedRef(self, _evict, key)
         return self
 
@@ -398,6 +412,7 @@ class App(Term):
             if ref is not None:
                 cached = ref()
                 if cached is not None:
+                    INTERN_HITS[0] += 1
                     return cached  # type: ignore[return-value]
         if len(args) != op.arity:
             raise SortError(
@@ -431,6 +446,7 @@ class App(Term):
         self._ground = ground
         self._haserr = haserr
         if _INTERNING:
+            INTERN_MISSES[0] += 1
             _TABLE[key] = _KeyedRef(self, _evict, key)
         return self
 
@@ -489,6 +505,7 @@ class Ite(Term):
             if ref is not None:
                 cached = ref()
                 if cached is not None:
+                    INTERN_HITS[0] += 1
                     return cached  # type: ignore[return-value]
         if cond.sort != BOOLEAN:
             raise SortError(f"if-condition must be Boolean, got {cond.sort}")
@@ -509,6 +526,7 @@ class Ite(Term):
         self._ground = all(kid._ground for kid in kids)
         self._haserr = any(kid._haserr for kid in kids)
         if _INTERNING:
+            INTERN_MISSES[0] += 1
             _TABLE[key] = _KeyedRef(self, _evict, key)
         return self
 

@@ -1,23 +1,37 @@
-"""Source lint: broad exception handlers must be declared fault boundaries.
+"""Source lint: library code must stay silent, fault boundaries explicit.
 
-The resilience work (ISSUE 4) contains failures at a small set of
-explicit *fault boundaries* — the degradation ladder in the engines, the
-CLI's top level, speculative construction in the completion machinery.
-Anywhere else, a bare ``except:`` or a blanket ``except Exception``
-swallows exactly the injected faults the chaos suite relies on
-observing, so this lint keeps the containment surface explicit: every
-broad handler in ``src/repro`` must carry a justification marker on its
-``except`` line::
+Two rules over ``src/repro``:
 
-    except Exception:  # fault-boundary: degrade to interpreted
+1. **Broad exception handlers must be declared fault boundaries.**  The
+   resilience work (ISSUE 4) contains failures at a small set of
+   explicit *fault boundaries* — the degradation ladder in the engines,
+   the CLI's top level, speculative construction in the completion
+   machinery.  Anywhere else, a bare ``except:`` or a blanket ``except
+   Exception`` swallows exactly the injected faults the chaos suite
+   relies on observing, so every broad handler must carry a
+   justification marker on its ``except`` line::
 
-A marker with no justification text does not count.  Run as a module
+       except Exception:  # fault-boundary: degrade to interpreted
+
+2. **No ``print()`` outside the presentation layer.**  The
+   observability work (ISSUE 5) routes diagnostics through
+   :mod:`repro.obs` (structured trace events, metrics snapshots) and
+   renders them in :mod:`repro.report` / the CLI.  A stray ``print`` in
+   library code bypasses both the sampling knob and the JSONL sinks, so
+   it is flagged everywhere except the presentation allowlist
+   (``report/``, ``cli.py``, and this linter, whose output *is* its
+   interface).  A deliberate exception elsewhere takes a justified
+   marker on the call's line::
+
+       print(banner)  # allow-print: example script output
+
+Markers with no justification text do not count.  Run as a module
 (CI does)::
 
     python -m repro.analysis.source_lint [ROOT ...]
 
-Exit status 1 when any undeclared broad handler is found; the findings
-print as ``path:line: message`` for editor navigation.
+Exit status 1 when any violation is found; the findings print as
+``path:line: message`` for editor navigation.
 """
 
 from __future__ import annotations
@@ -32,8 +46,18 @@ from typing import Iterable, Optional, Sequence
 #: followed by a non-empty justification.
 MARKER = "# fault-boundary:"
 
+#: Per-line exemption marker for the ``print()`` rule, same shape.
+PRINT_MARKER = "# allow-print:"
+
 #: Exception names considered over-broad when caught directly.
 BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+#: Directories whose modules *are* the presentation layer — ``print``
+#: is their job, not a leak.
+PRINT_ALLOWED_DIRS = frozenset({"report"})
+
+#: Individual presentation-layer modules (matched by file name).
+PRINT_ALLOWED_FILES = frozenset({"cli.py", "source_lint.py"})
 
 
 @dataclass(frozen=True)
@@ -65,16 +89,26 @@ def _broad_name(node: Optional[ast.expr]) -> Optional[str]:
     return None
 
 
-def _allowlisted(lines: Sequence[str], lineno: int) -> bool:
-    """True when the handler's ``except`` line carries a justified
-    fault-boundary marker."""
+def _allowlisted(
+    lines: Sequence[str], lineno: int, marker: str = MARKER
+) -> bool:
+    """True when the flagged line carries a justified marker."""
     if not 1 <= lineno <= len(lines):
         return False
     line = lines[lineno - 1]
-    if MARKER not in line:
+    if marker not in line:
         return False
-    justification = line.split(MARKER, 1)[1].strip()
+    justification = line.split(marker, 1)[1].strip()
     return bool(justification)
+
+
+def _print_allowed_path(path: str) -> bool:
+    """True when ``path`` lies in the presentation layer (where
+    ``print`` is the module's interface rather than a leak)."""
+    parts = Path(path).parts
+    if set(parts) & PRINT_ALLOWED_DIRS:
+        return True
+    return parts[-1] in PRINT_ALLOWED_FILES if parts else False
 
 
 def lint_source(source: str, path: str = "<string>") -> list[Violation]:
@@ -85,23 +119,40 @@ def lint_source(source: str, path: str = "<string>") -> list[Violation]:
         return [Violation(path, exc.lineno or 0, f"syntax error: {exc.msg}")]
     lines = source.splitlines()
     violations = []
+    check_prints = not _print_allowed_path(path)
     for node in ast.walk(tree):
-        if not isinstance(node, ast.ExceptHandler):
-            continue
-        name = _broad_name(node.type)
-        if name is None or _allowlisted(lines, node.lineno):
-            continue
-        if name == "":
-            message = (
-                "bare 'except:' — catch specific exceptions, or mark the "
-                f"line with '{MARKER} <why>'"
+        if isinstance(node, ast.ExceptHandler):
+            name = _broad_name(node.type)
+            if name is None or _allowlisted(lines, node.lineno):
+                continue
+            if name == "":
+                message = (
+                    "bare 'except:' — catch specific exceptions, or mark "
+                    f"the line with '{MARKER} <why>'"
+                )
+            else:
+                message = (
+                    f"over-broad 'except {name}' — catch specific "
+                    f"exceptions, or mark the line with '{MARKER} <why>'"
+                )
+            violations.append(Violation(path, node.lineno, message))
+        elif (
+            check_prints
+            and isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+        ):
+            if _allowlisted(lines, node.lineno, PRINT_MARKER):
+                continue
+            violations.append(
+                Violation(
+                    path,
+                    node.lineno,
+                    "print() in library code — emit a trace event or "
+                    "metric (repro.obs) and render via repro.report, or "
+                    f"mark the line with '{PRINT_MARKER} <why>'",
+                )
             )
-        else:
-            message = (
-                f"over-broad 'except {name}' — catch specific exceptions, "
-                f"or mark the line with '{MARKER} <why>'"
-            )
-        violations.append(Violation(path, node.lineno, message))
     return violations
 
 
@@ -131,13 +182,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     for violation in violations:
         print(violation)
     if violations:
-        print(
-            f"{len(violations)} undeclared broad exception handler(s)",
-            file=sys.stderr,
-        )
+        print(f"{len(violations)} source lint violation(s)", file=sys.stderr)
         return 1
     scanned = ", ".join(str(root) for root in roots)
-    print(f"broad-except lint clean: {scanned}")
+    print(f"source lint clean (broad-except, print): {scanned}")
     return 0
 
 

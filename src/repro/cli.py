@@ -8,9 +8,16 @@ Five subcommands, mirroring the workflows the paper describes::
     python -m repro prompts FILE      list the missing-case prompts
     python -m repro eval FILE TERM    normalise TERM under the (last)
                                       specification in FILE
+    python -m repro trace FILE TERM   normalise TERM with the span tracer
+                                      on, emitting a JSONL trace and a
+                                      per-rule self-time profile
     python -m repro compile FILE      scope/type-check a Block program
                                       [--dialect plain|knows]
                                       [--backend concrete|native|spec]
+
+``--metrics-out FILE`` (on ``check``, ``eval``, ``trace`` and ``prove``)
+writes the process-wide metrics snapshot — every engine's counters plus
+the intern-table and rule-index substrate counters — as JSON.
 
 Spec files contain one or more ``type ...`` blocks in the DSL (see
 README); later blocks may use earlier ones.
@@ -37,6 +44,19 @@ def _load_specs(path: str):
         return parse_specifications(handle.read())
 
 
+def _dump_metrics(path: Optional[str]) -> None:
+    """Write the process-wide aggregated metrics snapshot as JSON."""
+    if not path:
+        return
+    import json
+
+    from repro.obs import aggregate_snapshot
+
+    with open(path, "w") as handle:
+        json.dump(aggregate_snapshot(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
 def cmd_check(args: argparse.Namespace) -> int:
     from repro.analysis import check_axiom_coverage
 
@@ -56,6 +76,7 @@ def cmd_check(args: argparse.Namespace) -> int:
                 status = 1
         if not completeness.sufficiently_complete or not consistency.consistent:
             status = 1
+    _dump_metrics(args.metrics_out)
     return status
 
 
@@ -112,9 +133,60 @@ def cmd_eval(args: argparse.Namespace) -> int:
             f"{engine.stats.builtin_firings} builtin call(s)",
             file=sys.stderr,
         )
+    _dump_metrics(args.metrics_out)
     if args.resilient and not outcome.ok:
         return 3
     return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import Tracer, firing_counts, rule_profile, tracing
+    from repro.report import format_rule_profile
+    from repro.rewriting.engine import RewriteLimitError
+    from repro.runtime import EvaluationBudget
+
+    specs = _load_specs(args.file)
+    spec = specs[-1]
+    term = parse_term(args.term, spec)
+    budget = EvaluationBudget(
+        fuel=args.fuel if args.fuel is not None else 200_000
+    )
+    engine = RewriteEngine.for_specification(
+        spec, backend=args.backend, budget=budget
+    )
+    sink = open(args.out, "w") if args.out else None
+    failure = None
+    try:
+        tracer = Tracer(sink=sink, sample=args.sample)
+        with tracing(tracer):
+            try:
+                result = engine.normalize(term)
+            except RewriteLimitError as exc:
+                failure = exc
+    finally:
+        if sink is not None:
+            sink.close()
+    if args.out is None:
+        for event in tracer.events:
+            print(json.dumps(event, default=str))
+    if failure is not None:
+        print(f"-- {failure}", file=sys.stderr)
+    else:
+        print(f"-- normal form: {result}", file=sys.stderr)
+    counts = firing_counts(tracer.events)
+    print(
+        f"-- {len(tracer.events)} trace event(s), "
+        f"{sum(counts.values())} rule firing(s) across "
+        f"{len(counts)} rule(s)",
+        file=sys.stderr,
+    )
+    profile = rule_profile(tracer.events)
+    if profile:
+        print(format_rule_profile(profile, limit=args.top), file=sys.stderr)
+    _dump_metrics(args.metrics_out)
+    return 3 if failure is not None else 0
 
 
 def cmd_compile(args: argparse.Namespace) -> int:
@@ -184,6 +256,7 @@ def cmd_prove(args: argparse.Namespace) -> int:
     program = parse_client_program(source, *specs)
     report = verify_client(program)
     print(report)
+    _dump_metrics(args.metrics_out)
     return 0 if report.all_proved else 1
 
 
@@ -195,6 +268,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
+    metrics_help = (
+        "write the process-wide metrics snapshot (engine counters, "
+        "intern/memo hit rates, rule firings) to FILE as JSON"
+    )
+
     check = commands.add_parser("check", help="analyse a spec file")
     check.add_argument("file")
     check.add_argument(
@@ -202,6 +280,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also report per-axiom firing counts (dead-axiom lint)",
     )
+    check.add_argument("--metrics-out", default=None, help=metrics_help)
     check.set_defaults(run=cmd_check)
 
     show = commands.add_parser("show", help="pretty-print a spec file")
@@ -249,7 +328,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="report a structured outcome (exit 3) instead of an error "
         "when the budget runs out; divergence prints its cycle",
     )
+    evaluate.add_argument("--metrics-out", default=None, help=metrics_help)
     evaluate.set_defaults(run=cmd_eval)
+
+    trace = commands.add_parser(
+        "trace",
+        help="normalise a term with the span tracer on, emitting a "
+        "JSONL trace and a per-rule self-time profile",
+    )
+    trace.add_argument("file")
+    trace.add_argument("term")
+    trace.add_argument(
+        "--backend",
+        choices=("interpreted", "compiled"),
+        default="interpreted",
+        help="evaluation backend (traces differ in shape — per-step "
+        "events vs aggregated firings — but agree in counts)",
+    )
+    trace.add_argument(
+        "--fuel", type=int, default=None, help="rewrite-step budget"
+    )
+    trace.add_argument(
+        "--sample",
+        type=float,
+        default=1.0,
+        help="fraction of top-level spans to record (deterministic; "
+        "default 1.0 records everything)",
+    )
+    trace.add_argument(
+        "--out",
+        default=None,
+        help="write the JSONL trace to FILE (default: stdout)",
+    )
+    trace.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="rows in the per-rule self-time profile (default 10)",
+    )
+    trace.add_argument("--metrics-out", default=None, help=metrics_help)
+    trace.set_defaults(run=cmd_trace)
 
     run_cmd = commands.add_parser(
         "run", help="execute a Block program"
@@ -266,6 +384,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     prove.add_argument("specfile")
     prove.add_argument("programfile")
+    prove.add_argument("--metrics-out", default=None, help=metrics_help)
     prove.set_defaults(run=cmd_prove)
 
     compile_ = commands.add_parser(

@@ -22,6 +22,7 @@ from typing import Optional, Type
 
 from repro.spec.specification import Specification
 from repro.interp.symbolic import SymbolicInterpreter, SymbolicValue
+from repro.obs.trace import maybe_span
 from repro.runtime.budget import EvaluationBudget
 from repro.runtime.outcome import NORMALIZED
 
@@ -107,10 +108,14 @@ def _evaluate_terms(cls, terms):
     sequence of raw terms through the engine's shared-memo batch API and
     wrap the results exactly as the per-operation methods do."""
     interpreter = cls._interpreter
-    return [
-        _wrap(interpreter, cls, value)
-        for value in interpreter.value_many(terms)
-    ]
+    terms = list(terms)
+    with maybe_span(
+        "facade.evaluate_terms", cls=cls.__name__, batch=len(terms)
+    ):
+        return [
+            _wrap(interpreter, cls, value)
+            for value in interpreter.value_many(terms)
+        ]
 
 
 def _try_evaluate_terms(cls, terms, budget=None):
@@ -123,18 +128,22 @@ def _try_evaluate_terms(cls, terms, budget=None):
     :class:`~repro.runtime.Outcome`, so one pathological term cannot
     abort the batch or mask its neighbours' results."""
     interpreter = cls._interpreter
+    terms = list(terms)
     results = []
-    for outcome in interpreter.value_many_outcomes(terms, budget):
-        if outcome.status == NORMALIZED:
-            results.append(
-                _wrap(
-                    interpreter,
-                    cls,
-                    SymbolicValue(interpreter, outcome.term),
+    with maybe_span(
+        "facade.try_evaluate_terms", cls=cls.__name__, batch=len(terms)
+    ):
+        for outcome in interpreter.value_many_outcomes(terms, budget):
+            if outcome.status == NORMALIZED:
+                results.append(
+                    _wrap(
+                        interpreter,
+                        cls,
+                        SymbolicValue(interpreter, outcome.term),
+                    )
                 )
-            )
-        else:
-            results.append(outcome)
+            else:
+                results.append(outcome)
     return results
 
 

@@ -23,6 +23,7 @@ from repro.spec.errors import AlgebraError
 from repro.spec.prelude import is_false, is_true
 from repro.spec.specification import Specification
 from repro.rewriting.engine import RewriteEngine
+from repro.obs import trace as _trace
 from repro.runtime import faults as _faults
 from repro.runtime.budget import EvaluationBudget
 from repro.runtime.outcome import Outcome
@@ -112,27 +113,41 @@ class SymbolicInterpreter:
             for argument, sort in zip(args, operation.domain)
         ]
         term = App(operation, terms)
-        return SymbolicValue(self, self.engine.normalize(term))
+        tracer = _trace.ACTIVE
+        if tracer is None:
+            return SymbolicValue(self, self.engine.normalize(term))
+        with tracer.span("symbolic.apply", op=operation.name):
+            return SymbolicValue(self, self.engine.normalize(term))
 
     def value(self, term: Term) -> SymbolicValue:
         """Wrap and normalise an explicit term."""
-        return SymbolicValue(self, self.engine.normalize(term))
+        with _trace.maybe_span("symbolic.value"):
+            return SymbolicValue(self, self.engine.normalize(term))
 
     def value_many(self, terms) -> list[SymbolicValue]:
         """Normalise a batch of terms through the engine's batch API —
         one shared memo pass, so common substructure across the workload
         is evaluated once."""
-        return [
-            SymbolicValue(self, term)
-            for term in self.engine.normalize_many(terms)
-        ]
+        tracer = _trace.ACTIVE
+        if tracer is None:
+            return [
+                SymbolicValue(self, term)
+                for term in self.engine.normalize_many(terms)
+            ]
+        terms = list(terms)
+        with tracer.span("symbolic.value_many", batch=len(terms)):
+            return [
+                SymbolicValue(self, term)
+                for term in self.engine.normalize_many(terms)
+            ]
 
     def value_outcome(
         self, term: Term, budget: Optional[EvaluationBudget] = None
     ) -> Outcome:
         """Resilient single-term evaluation: the engine's structured
         :class:`~repro.runtime.Outcome` instead of an exception."""
-        return self.engine.normalize_outcome(term, budget)
+        with _trace.maybe_span("symbolic.value_outcome"):
+            return self.engine.normalize_outcome(term, budget)
 
     def value_many_outcomes(
         self, terms, budget: Optional[EvaluationBudget] = None
@@ -140,7 +155,12 @@ class SymbolicInterpreter:
         """Fault-isolating batch evaluation: one outcome per term — a
         pathological term yields its own failure record instead of
         aborting the batch."""
-        return self.engine.normalize_many_outcomes(terms, budget)
+        tracer = _trace.ACTIVE
+        if tracer is None:
+            return self.engine.normalize_many_outcomes(terms, budget)
+        terms = list(terms)
+        with tracer.span("symbolic.value_many_outcomes", batch=len(terms)):
+            return self.engine.normalize_many_outcomes(terms, budget)
 
     def _coerce(self, argument: Applicable, sort: Sort) -> Term:
         if isinstance(argument, SymbolicValue):

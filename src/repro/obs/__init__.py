@@ -1,0 +1,65 @@
+"""Observability: metrics, span tracing, and profiling.
+
+Guttag's abstract-data-type programme trades efficiency for abstraction
+— symbolic interpretation runs the specification directly, "at a
+significant loss in efficiency".  This package makes that loss *visible*
+without adding dependencies or measurable overhead when disabled:
+
+* :mod:`repro.obs.metrics` — a registry of counters, gauges,
+  histograms and labelled counter families.  Engine statistics
+  (:class:`repro.rewriting.engine.EngineStats`) are now views over a
+  per-engine registry; process-wide substrate counters (intern table,
+  discrimination-tree shape memo) live in :data:`repro.obs.metrics.GLOBAL`;
+  :func:`repro.obs.metrics.aggregate_snapshot` merges everything for
+  ``--metrics-out``.
+* :mod:`repro.obs.trace` — a span tracer emitting JSONL events
+  (span start/end, rewrite steps with rule id and subject summary,
+  budget exhaustions, fault hits) behind a deterministic sampling knob.
+  Disabled is the default, and the disabled check is one ``is None``
+  test on a module global.
+* :mod:`repro.obs.profile` — post-processing of traces into a
+  per-rule self-time profile: which axiom costs the most.
+"""
+
+from repro.obs.metrics import (
+    EVAL_SECONDS_BUCKETS,
+    GLOBAL,
+    Counter,
+    CounterFamily,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    aggregate_snapshot,
+    substrate_counters,
+)
+from repro.obs.profile import rule_profile, top_rules
+from repro.obs.trace import (
+    Tracer,
+    firing_counts,
+    install,
+    maybe_span,
+    read_trace,
+    rule_id,
+    tracing,
+)
+
+__all__ = [
+    "Counter",
+    "CounterFamily",
+    "EVAL_SECONDS_BUCKETS",
+    "GLOBAL",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Tracer",
+    "aggregate_snapshot",
+    "firing_counts",
+    "install",
+    "maybe_span",
+    "read_trace",
+    "rule_id",
+    "rule_profile",
+    "substrate_counters",
+    "top_rules",
+    "tracing",
+]

@@ -1,0 +1,393 @@
+"""The metrics registry: counters, gauges, histograms, counter families.
+
+Zero-dependency, and cheap enough to stay on in the hot path.  The core
+trick is the one :class:`~repro.runtime.budget.BudgetMeter` plays with
+fuel: a :class:`Counter` owns a one-element list, and hot code pre-binds
+that list into a local (``hits = counter.slot``) and increments
+``hits[0] += 1`` inline — no attribute lookup, no method call, no
+registry involvement per event.  A counter can also *adopt* a slot that
+already exists, which is how the process-wide substrate counters work:
+:mod:`repro.algebra.terms` and :mod:`repro.rewriting.rules` own bare
+module-level list cells (so the bottom layers import nothing from the
+observability layer), and :data:`GLOBAL` wraps them at import time.
+
+Registries come in two scopes:
+
+* :data:`GLOBAL` — one per process, holding the substrate metrics
+  (intern-table hits/misses, discrimination-tree shape-memo hits/misses,
+  live intern-table size);
+* one per engine — every
+  :class:`~repro.rewriting.engine.EngineStats` owns a private registry
+  with the engine's counters (steps, firings, memo traffic, fallbacks,
+  outcome statuses, fuel spent, an evaluation-latency histogram) and the
+  per-rule firing :class:`CounterFamily`.
+
+Every registry is tracked in a weak set, and
+:func:`aggregate_snapshot` merges the lot — the process-wide view the
+CLI's ``--metrics-out`` dumps.
+"""
+
+from __future__ import annotations
+
+import weakref
+from bisect import bisect_left
+from typing import Callable, Iterable, Optional, Sequence
+
+__all__ = [
+    "Counter",
+    "CounterFamily",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "GLOBAL",
+    "EVAL_SECONDS_BUCKETS",
+    "aggregate_snapshot",
+    "substrate_counters",
+]
+
+#: Fixed bucket boundaries (seconds) for evaluation-latency histograms.
+#: Fixed rather than adaptive so snapshots from different runs, engines
+#: and processes are directly comparable, bucket by bucket.
+EVAL_SECONDS_BUCKETS = (1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0)
+
+
+class Counter:
+    """A monotonically increasing count.
+
+    ``slot`` is the one-element backing list; hot paths bind it into a
+    local and increment ``slot[0]`` directly.  Pass an existing list to
+    adopt a slot owned elsewhere (the substrate counters).
+    """
+
+    __slots__ = ("name", "help", "slot")
+
+    def __init__(
+        self, name: str, help: str = "", slot: Optional[list] = None
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.slot = [0] if slot is None else slot
+
+    def inc(self, amount: int = 1) -> None:
+        self.slot[0] += amount
+
+    @property
+    def value(self) -> int:
+        return self.slot[0]
+
+    def reset(self) -> None:
+        self.slot[0] = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}={self.slot[0]})"
+
+
+class Gauge:
+    """A point-in-time value: set directly, or computed by a callable
+    at snapshot time (``fn``) for values the process already tracks,
+    like the live intern-table size."""
+
+    __slots__ = ("name", "help", "_value", "fn")
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        fn: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.fn = fn
+        self._value: float = 0
+
+    def set(self, value: float) -> None:
+        self._value = value
+
+    @property
+    def value(self) -> float:
+        return self.fn() if self.fn is not None else self._value
+
+    def reset(self) -> None:
+        self._value = 0
+
+
+class Histogram:
+    """Counts of observations in fixed, cumulative-comparable buckets.
+
+    ``bounds`` are the upper bucket boundaries; observations above the
+    last bound land in the overflow bucket.  ``sum``/``count`` allow
+    mean latency to be derived from a snapshot.
+    """
+
+    __slots__ = ("name", "help", "bounds", "counts", "sum", "count")
+
+    def __init__(
+        self, name: str, bounds: Sequence[float], help: str = ""
+    ) -> None:
+        if list(bounds) != sorted(bounds):
+            raise ValueError("histogram bounds must be sorted")
+        self.name = name
+        self.help = help
+        self.bounds = tuple(bounds)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        # bisect_left gives Prometheus-style ``le`` buckets: a value
+        # equal to a bound counts in that bound's bucket.
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def reset(self) -> None:
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "sum": round(self.sum, 9),
+            "count": self.count,
+        }
+
+
+class CounterFamily:
+    """A set of counters distinguished by a label key — e.g. rule
+    firings per rewrite rule, outcome counts per status.
+
+    ``counts`` is a plain dict (label object → int): hot paths update it
+    with one ``dict.get``/store, and callers that used to hold the old
+    ``EngineStats.firings_by_rule`` dict hold exactly this object.
+    Snapshots stringify the keys (rules render as ``[label] lhs ->
+    rhs``), keeping the JSON form stable and readable.
+    """
+
+    __slots__ = ("name", "help", "counts")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.counts: dict = {}
+
+    def inc(self, key: object, amount: int = 1) -> None:
+        counts = self.counts
+        counts[key] = counts.get(key, 0) + amount
+
+    def get(self, key: object) -> int:
+        return self.counts.get(key, 0)
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def reset(self) -> None:
+        self.counts.clear()
+
+    def ranked(self, limit: Optional[int] = None) -> list:
+        """(key, count) pairs, busiest first, ties broken by rendering."""
+        ranked = sorted(
+            self.counts.items(), key=lambda kv: (-kv[1], str(kv[0]))
+        )
+        return ranked if limit is None else ranked[:limit]
+
+    def summary(self, limit: Optional[int] = None) -> str:
+        """A repr-stable rendering: busiest labels first, each line
+        ``<count>  <label>``."""
+        lines = [f"{count:>8}  {key}" for key, count in self.ranked(limit)]
+        return "\n".join(lines) if lines else "(no rule firings recorded)"
+
+    def snapshot(self) -> dict:
+        return {str(key): count for key, count in self.ranked()}
+
+
+#: Every live registry, for :func:`aggregate_snapshot`.
+_REGISTRIES: "weakref.WeakSet[MetricsRegistry]" = weakref.WeakSet()
+
+
+class MetricsRegistry:
+    """A named collection of metrics with get-or-create accessors.
+
+    All accessors are idempotent: asking for an existing name returns
+    the existing metric (and ignores the creation arguments), so
+    modules can declare the metrics they touch without coordinating.
+    """
+
+    __slots__ = (
+        "name",
+        "counters",
+        "gauges",
+        "histograms",
+        "families",
+        "__weakref__",
+    )
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+        self.families: dict[str, CounterFamily] = {}
+        _REGISTRIES.add(self)
+
+    # -- get-or-create accessors ---------------------------------------
+    def counter(
+        self, name: str, help: str = "", slot: Optional[list] = None
+    ) -> Counter:
+        metric = self.counters.get(name)
+        if metric is None:
+            metric = self.counters[name] = Counter(name, help, slot)
+        return metric
+
+    def gauge(
+        self,
+        name: str,
+        help: str = "",
+        fn: Optional[Callable[[], float]] = None,
+    ) -> Gauge:
+        metric = self.gauges.get(name)
+        if metric is None:
+            metric = self.gauges[name] = Gauge(name, help, fn)
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        bounds: Sequence[float] = EVAL_SECONDS_BUCKETS,
+        help: str = "",
+    ) -> Histogram:
+        metric = self.histograms.get(name)
+        if metric is None:
+            metric = self.histograms[name] = Histogram(name, bounds, help)
+        return metric
+
+    def family(self, name: str, help: str = "") -> CounterFamily:
+        metric = self.families.get(name)
+        if metric is None:
+            metric = self.families[name] = CounterFamily(name, help)
+        return metric
+
+    # -- lifecycle ------------------------------------------------------
+    def reset(self) -> None:
+        for group in (
+            self.counters,
+            self.gauges,
+            self.histograms,
+            self.families,
+        ):
+            for metric in group.values():
+                metric.reset()
+
+    def snapshot(self) -> dict:
+        """A JSON-ready view of every metric in this registry."""
+        return {
+            "counters": {
+                name: c.value for name, c in sorted(self.counters.items())
+            },
+            "gauges": {
+                name: g.value for name, g in sorted(self.gauges.items())
+            },
+            "histograms": {
+                name: h.snapshot()
+                for name, h in sorted(self.histograms.items())
+            },
+            "families": {
+                name: f.snapshot()
+                for name, f in sorted(self.families.items())
+            },
+        }
+
+
+def aggregate_snapshot(
+    registries: Optional[Iterable[MetricsRegistry]] = None,
+) -> dict:
+    """Merge snapshots across registries (default: every live one).
+
+    Counters, histogram buckets and family labels sum; gauges keep the
+    last value seen (only the global registry carries gauges in
+    practice).  This is the process-wide view ``--metrics-out`` writes:
+    one engine or fifty, the metric names stay the same.
+    """
+    if registries is None:
+        registries = list(_REGISTRIES)
+    counters: dict[str, int] = {}
+    gauges: dict[str, float] = {}
+    histograms: dict[str, dict] = {}
+    families: dict[str, dict[str, int]] = {}
+    for registry in registries:
+        snap = registry.snapshot()
+        for name, value in snap["counters"].items():
+            counters[name] = counters.get(name, 0) + value
+        gauges.update(snap["gauges"])
+        for name, hist in snap["histograms"].items():
+            merged = histograms.get(name)
+            if merged is None or merged["bounds"] != hist["bounds"]:
+                histograms[name] = dict(hist)
+                continue
+            merged["counts"] = [
+                a + b for a, b in zip(merged["counts"], hist["counts"])
+            ]
+            merged["sum"] = round(merged["sum"] + hist["sum"], 9)
+            merged["count"] += hist["count"]
+        for name, labels in snap["families"].items():
+            merged_family = families.setdefault(name, {})
+            for label, count in labels.items():
+                merged_family[label] = merged_family.get(label, 0) + count
+    return {
+        "counters": dict(sorted(counters.items())),
+        "gauges": dict(sorted(gauges.items())),
+        "histograms": dict(sorted(histograms.items())),
+        "families": {
+            name: dict(
+                sorted(labels.items(), key=lambda kv: (-kv[1], kv[0]))
+            )
+            for name, labels in sorted(families.items())
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# The global registry: process-wide substrate metrics
+# ----------------------------------------------------------------------
+# The bottom layers own bare list cells (no imports from here); the
+# global registry adopts them, so `GLOBAL.snapshot()` sees every term
+# construction and index lookup in the process.
+
+from repro.algebra import terms as _terms  # noqa: E402
+from repro.rewriting import rules as _rules  # noqa: E402
+
+#: The process-wide registry (substrate metrics live here).
+GLOBAL = MetricsRegistry("global")
+GLOBAL.counter(
+    "intern.hits",
+    "term constructions answered from the hash-consing table",
+    slot=_terms.INTERN_HITS,
+)
+GLOBAL.counter(
+    "intern.misses",
+    "term constructions that allocated and interned a fresh node",
+    slot=_terms.INTERN_MISSES,
+)
+GLOBAL.counter(
+    "rule_index.shape_memo_hits",
+    "discrimination-tree candidate lookups answered from the shape memo",
+    slot=_rules.SHAPE_MEMO_HITS,
+)
+GLOBAL.counter(
+    "rule_index.shape_memo_misses",
+    "discrimination-tree candidate lookups that walked the tree",
+    slot=_rules.SHAPE_MEMO_MISSES,
+)
+GLOBAL.gauge(
+    "intern.table_size",
+    "live hash-consed terms",
+    fn=_terms.intern_table_size,
+)
+
+
+def substrate_counters() -> dict[str, int]:
+    """The process-wide substrate counters as plain ints — convenient
+    for before/after deltas in benchmarks and tests."""
+    return {name: c.value for name, c in sorted(GLOBAL.counters.items())}

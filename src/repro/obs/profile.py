@@ -1,0 +1,98 @@
+"""Per-rule self-time attribution: "which axiom costs the most".
+
+A trace (see :mod:`repro.obs.trace`) carries timestamps on every event.
+Within one span, the interval from a ``step`` event to the next event
+boundary (the following step, or the span's end) is time spent building
+and reducing the fired rule's right-hand side — so it is attributed to
+that rule as *self time*.  The compiled backend's aggregated ``firings``
+events carry no per-step timestamps; their rules receive a share of the
+enclosing span's duration proportional to their firing counts, which is
+an estimate (and flagged as such in the profile rows).
+
+The result is deliberately a plain list of dicts — JSON-ready for
+``--metrics-out``-style dumps and directly renderable by
+:func:`repro.report.pretty.format_rule_profile`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+__all__ = ["rule_profile", "top_rules"]
+
+
+def rule_profile(events: Iterable[dict]) -> list[dict]:
+    """Aggregate a trace into per-rule rows.
+
+    Returns rows ``{"rule", "firings", "self_s", "share", "estimated"}``
+    sorted by self time (then firings) descending.  ``share`` is the
+    fraction of the profile's total self time; ``estimated`` is True
+    when any of the rule's time came from proportional attribution of a
+    compiled ``firings`` event rather than step timestamps.
+    """
+    events = list(events)
+    span_end: dict = {}
+    for event in events:
+        if event.get("ev") == "span_end" and "span" in event:
+            span_end[event["span"]] = event
+
+    firings: dict[str, int] = {}
+    self_s: dict[str, float] = {}
+    estimated: dict[str, bool] = {}
+
+    def charge(rule: str, count: int, seconds: float, est: bool) -> None:
+        firings[rule] = firings.get(rule, 0) + count
+        self_s[rule] = self_s.get(rule, 0.0) + seconds
+        estimated[rule] = estimated.get(rule, False) or est
+
+    # Exact attribution: step-to-next-boundary deltas within a span.
+    steps_by_span: dict = {}
+    for event in events:
+        if event.get("ev") == "step":
+            steps_by_span.setdefault(event.get("span"), []).append(event)
+    for span, steps in steps_by_span.items():
+        steps.sort(key=lambda e: e["ts"])
+        end = span_end.get(span)
+        for i, step in enumerate(steps):
+            if i + 1 < len(steps):
+                boundary = steps[i + 1]["ts"]
+            elif end is not None:
+                boundary = end["ts"]
+            else:  # span never closed (error unwind): no interval
+                boundary = step["ts"]
+            charge(step["rule"], 1, max(0.0, boundary - step["ts"]), False)
+
+    # Proportional attribution for the compiled backend's aggregates.
+    for event in events:
+        if event.get("ev") != "firings":
+            continue
+        counts = event["counts"]
+        total = sum(counts.values())
+        end = span_end.get(event.get("span"))
+        duration = (end["dur_us"] / 1e6) if end is not None else 0.0
+        for rule, count in counts.items():
+            charge(rule, count, duration * count / total, True)
+
+    grand_total = sum(self_s.values())
+    rows = [
+        {
+            "rule": rule,
+            "firings": firings[rule],
+            "self_s": round(self_s[rule], 9),
+            "share": round(self_s[rule] / grand_total, 4)
+            if grand_total > 0
+            else 0.0,
+            "estimated": estimated[rule],
+        }
+        for rule in firings
+    ]
+    rows.sort(key=lambda r: (-r["self_s"], -r["firings"], r["rule"]))
+    return rows
+
+
+def top_rules(
+    events: Iterable[dict], limit: Optional[int] = 10
+) -> list[dict]:
+    """The ``limit`` most expensive rules of a trace (all, if None)."""
+    rows = rule_profile(events)
+    return rows if limit is None else rows[:limit]

@@ -1,0 +1,251 @@
+"""The span tracer: JSONL trace events with context propagation.
+
+A :class:`Tracer` records a tree of **spans** (named, timed scopes with
+parent links) and the point events that happen inside them — rewrite
+steps with their rule and a capped subject summary, aggregated compiled
+rule firings, budget exhaustions, fault-injection hits.  Installation
+follows the fault registry's pattern: a module-global :data:`ACTIVE`
+that instrumented code checks with one attribute load, so the disabled
+path costs a ``None`` test and nothing else.
+
+Event schema (one JSON object per line when written to a sink)::
+
+    {"ev": "span_start", "span": 3, "parent": 1, "name": "engine.normalize",
+     "ts": 12.345678, ...attrs}
+    {"ev": "span_end",   "span": 3, "name": "...", "ts": ..., "dur_us": ...}
+    {"ev": "step",       "span": 3, "rule": "[4] FRONT(ADD(q, i)) -> ...",
+     "subject": "FRONT(ADD(NEW, 'a'))", "ts": ...}
+    {"ev": "firings",    "span": 3, "counts": {"[4] ...": 17, ...}, "ts": ...}
+    {"ev": "budget_exhausted", "reason": "fuel", "subject": "...", ...}
+    {"ev": "fault",      "site": "engine.match_root", "kind": "raise", ...}
+
+``step`` events are emitted per rule firing by the interpreted backend;
+the compiled backend's closures count firings in flat lists instead, so
+it emits one aggregated ``firings`` event per evaluation with the
+per-rule deltas.  :func:`firing_counts` folds both forms into one
+per-rule count dict, which — with sampling off — matches the metrics
+registry's firing family exactly, on either backend.
+
+Sampling: the ``sample`` knob (0.0–1.0) decides, deterministically by
+running credit rather than by random draw, whether each **top-level**
+span is recorded; an unrecorded span suppresses its entire subtree,
+steps included.  ``sample=0.0`` records nothing; metrics counters are
+unaffected by sampling (they are always on).
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager, nullcontext
+from itertools import count
+from time import monotonic
+from typing import Iterable, Optional
+
+from repro.runtime.render import summarize_term
+
+__all__ = [
+    "ACTIVE",
+    "Tracer",
+    "firing_counts",
+    "install",
+    "maybe_span",
+    "read_trace",
+    "rule_id",
+    "tracing",
+]
+
+
+def rule_id(rule: object) -> str:
+    """The canonical trace/metrics label for a rewrite rule: its full
+    ``[label] lhs -> rhs`` rendering (unique per distinct rule)."""
+    return str(rule)
+
+
+class Tracer:
+    """Records trace events, in memory and optionally to a JSONL sink.
+
+    Parameters
+    ----------
+    sink:
+        A writable text stream; each event is written as one JSON line
+        as it happens.  Events are *also* retained in ``self.events``
+        (as dicts) so post-processing — the per-rule profile, the CLI
+        summary — needs no re-parse.
+    sample:
+        Fraction of top-level spans to record (see module docstring).
+    """
+
+    def __init__(self, sink=None, sample: float = 1.0) -> None:
+        if not 0.0 <= sample <= 1.0:
+            raise ValueError(f"sample must be in [0, 1], got {sample}")
+        self.sink = sink
+        self.sample = sample
+        self.events: list[dict] = []
+        self._ids = count(1)
+        self._stack: list[int] = []  # ids of open, recorded spans
+        self._mute = 0  # depth inside an unsampled top-level span
+        self._credit = 0.0  # deterministic sampling accumulator
+
+    # -- plumbing ------------------------------------------------------
+    def _emit(self, event: dict) -> None:
+        self.events.append(event)
+        if self.sink is not None:
+            self.sink.write(json.dumps(event, default=str) + "\n")
+
+    def _sampled(self) -> bool:
+        self._credit += self.sample
+        if self._credit >= 1.0:
+            self._credit -= 1.0
+            return True
+        return False
+
+    @property
+    def active_span(self) -> Optional[int]:
+        return self._stack[-1] if self._stack else None
+
+    # -- spans ---------------------------------------------------------
+    @contextmanager
+    def span(self, name: str, **attrs):
+        """A named, timed scope.  Nested spans carry ``parent`` links —
+        the propagated context that stitches an engine evaluation to the
+        façade call to the oracle run that caused it."""
+        if self._mute or (not self._stack and not self._sampled()):
+            self._mute += 1
+            try:
+                yield None
+            finally:
+                self._mute -= 1
+            return
+        span_id = next(self._ids)
+        parent = self.active_span
+        start = monotonic()
+        event = {
+            "ev": "span_start",
+            "span": span_id,
+            "name": name,
+            "ts": round(start, 6),
+        }
+        if parent is not None:
+            event["parent"] = parent
+        event.update(attrs)
+        self._emit(event)
+        self._stack.append(span_id)
+        try:
+            yield span_id
+        finally:
+            self._stack.pop()
+            end = monotonic()
+            self._emit(
+                {
+                    "ev": "span_end",
+                    "span": span_id,
+                    "name": name,
+                    "ts": round(end, 6),
+                    "dur_us": round((end - start) * 1e6, 1),
+                }
+            )
+
+    # -- point events --------------------------------------------------
+    def step(self, rule: object, subject=None) -> None:
+        """One rewrite step: the fired rule and a capped subject
+        summary.  Emitted by the interpreted backend per firing."""
+        if self._mute:
+            return
+        event: dict = {
+            "ev": "step",
+            "ts": round(monotonic(), 6),
+            "rule": rule_id(rule),
+        }
+        span = self.active_span
+        if span is not None:
+            event["span"] = span
+        if subject is not None:
+            event["subject"] = summarize_term(subject)
+        self._emit(event)
+
+    def firings(self, counts: dict) -> None:
+        """Aggregated per-rule firing deltas for one compiled
+        evaluation (the closures count in flat lists; per-step events
+        would mean a Python call per firing on the compiled hot path)."""
+        if self._mute or not counts:
+            return
+        event: dict = {
+            "ev": "firings",
+            "ts": round(monotonic(), 6),
+            "counts": {rule_id(rule): n for rule, n in counts.items()},
+        }
+        span = self.active_span
+        if span is not None:
+            event["span"] = span
+        self._emit(event)
+
+    def event(self, ev: str, **fields) -> None:
+        """A generic point event (``budget_exhausted``, ``fault``...)."""
+        if self._mute:
+            return
+        event: dict = {"ev": ev, "ts": round(monotonic(), 6)}
+        span = self.active_span
+        if span is not None:
+            event["span"] = span
+        event.update(fields)
+        self._emit(event)
+
+
+#: The installed tracer, or None (the fast path).  Instrumented code
+#: reads this module attribute directly — ``if trace.ACTIVE is not
+#: None`` — so installation is a plain assignment.
+ACTIVE: Optional[Tracer] = None
+
+
+def install(tracer: Optional[Tracer]) -> Optional[Tracer]:
+    """Install ``tracer`` (or None to disable); returns the previous
+    one so scopes nest correctly."""
+    global ACTIVE
+    previous = ACTIVE
+    ACTIVE = tracer
+    return previous
+
+
+@contextmanager
+def tracing(tracer: Tracer):
+    """Install ``tracer`` for the duration of the block."""
+    previous = install(tracer)
+    try:
+        yield tracer
+    finally:
+        install(previous)
+
+
+def maybe_span(name: str, **attrs):
+    """A span on the active tracer, or a no-op context when tracing is
+    off — the one-liner for instrumenting non-hot call sites."""
+    tracer = ACTIVE
+    if tracer is None:
+        return nullcontext()
+    return tracer.span(name, **attrs)
+
+
+# ----------------------------------------------------------------------
+# Trace analysis
+# ----------------------------------------------------------------------
+def firing_counts(events: Iterable[dict]) -> dict[str, int]:
+    """Per-rule firing counts from a trace: one per ``step`` event,
+    plus the aggregated ``firings`` deltas the compiled backend emits.
+    With sampling off, this matches the metrics registry's
+    ``engine.rule_firings`` family exactly."""
+    counts: dict[str, int] = {}
+    for event in events:
+        kind = event.get("ev")
+        if kind == "step":
+            rule = event["rule"]
+            counts[rule] = counts.get(rule, 0) + 1
+        elif kind == "firings":
+            for rule, n in event["counts"].items():
+                counts[rule] = counts.get(rule, 0) + n
+    return counts
+
+
+def read_trace(path) -> list[dict]:
+    """Parse a JSONL trace file back into event dicts."""
+    with open(path, encoding="utf-8") as handle:
+        return [json.loads(line) for line in handle if line.strip()]

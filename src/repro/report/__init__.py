@@ -3,6 +3,8 @@
 from repro.report.pretty import (
     banner,
     format_axiom,
+    format_metrics,
+    format_rule_profile,
     format_specification,
     format_table,
     format_term,
@@ -11,6 +13,8 @@ from repro.report.pretty import (
 __all__ = [
     "banner",
     "format_axiom",
+    "format_metrics",
+    "format_rule_profile",
     "format_specification",
     "format_table",
     "format_term",

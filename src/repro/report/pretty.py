@@ -88,3 +88,76 @@ def banner(title: str, char: str = "=", width: int = 72) -> str:
     """A section banner for example/bench output."""
     bar = char * width
     return f"{bar}\n{title}\n{bar}"
+
+
+# ----------------------------------------------------------------------
+# Observability renderings
+# ----------------------------------------------------------------------
+def format_metrics(snapshot: dict) -> str:
+    """Render a metrics snapshot (one registry's
+    :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` or the merged
+    :func:`~repro.obs.metrics.aggregate_snapshot`) as aligned tables.
+
+    Counters and gauges share one name/value table; histograms add a
+    per-bucket table; counter families (rule firings, outcome statuses)
+    are ranked busiest-first.
+    """
+    sections: list[str] = []
+    scalars = [
+        (name, value)
+        for name, value in sorted(
+            list(snapshot.get("counters", {}).items())
+            + list(snapshot.get("gauges", {}).items())
+        )
+    ]
+    if scalars:
+        sections.append(format_table(("metric", "value"), scalars))
+    for name, hist in sorted(snapshot.get("histograms", {}).items()):
+        if not hist["count"]:
+            continue
+        bounds = hist["bounds"]
+        labels = [f"<= {bound:g}" for bound in bounds] + [
+            f"> {bounds[-1]:g}" if bounds else "all"
+        ]
+        rows = [
+            (label, count)
+            for label, count in zip(labels, hist["counts"])
+            if count
+        ]
+        rows.append(("total", hist["count"]))
+        mean = hist["sum"] / hist["count"]
+        rows.append(("mean", f"{mean:.6g}"))
+        sections.append(format_table((name, "count"), rows))
+    for name, labels in sorted(snapshot.get("families", {}).items()):
+        if not labels:
+            continue
+        sections.append(
+            format_table(
+                (name, "count"),
+                sorted(labels.items(), key=lambda kv: (-kv[1], kv[0])),
+            )
+        )
+    return "\n\n".join(sections) if sections else "(no metrics recorded)"
+
+
+def format_rule_profile(profile: Sequence[dict], limit: int = 10) -> str:
+    """Render a per-rule self-time profile (the rows
+    :func:`repro.obs.profile.rule_profile` produces) as a top-N table.
+
+    ``~`` marks self times estimated by proportional attribution (the
+    compiled backend's aggregated firing events carry no per-step
+    timestamps)."""
+    rows = []
+    for row in list(profile)[:limit]:
+        marker = "~" if row.get("estimated") else ""
+        rows.append(
+            (
+                row["firings"],
+                f"{marker}{row['self_s']:.6f}",
+                f"{row['share'] * 100:.1f}%",
+                row["rule"],
+            )
+        )
+    if not rows:
+        return "(no rule firings recorded)"
+    return format_table(("firings", "self_s", "share", "rule"), rows)

@@ -46,6 +46,7 @@ implement the same rewrite relation — the differential tests in
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Iterable, Optional
 
 from repro.algebra.signature import Operation
@@ -67,6 +68,8 @@ from repro.runtime.budget import (
     BudgetMeter,
     EvaluationBudget,
 )
+from repro.runtime.render import summarize_term
+from repro.obs import trace as _trace
 
 #: Nested closure calls allowed before falling back to the iterative
 #: interpreter.  Python's default recursion limit is 1000 and each
@@ -585,12 +588,26 @@ class CompiledEngine:
     ) -> Term:
         """The call-by-value normal form of ``term`` — identical, term
         for term, to the interpreted backend's."""
+        tracer = _trace.ACTIVE
+        if tracer is None:
+            return self._normalize_compiled(term, budget)
+        with tracer.span(
+            "engine.normalize",
+            backend="compiled",
+            subject=summarize_term(term),
+        ):
+            return self._normalize_compiled(term, budget)
+
+    def _normalize_compiled(
+        self, term: Term, budget: Optional[EvaluationBudget]
+    ) -> Term:
         bud = budget if budget is not None else self.budget.with_fuel(self.fuel)
         meter = bud.start()
         st = self.compiled.st
         rf = self.compiled.rf
         st0 = tuple(st)
         rf0 = list(rf)
+        started = perf_counter()
         try:
             return self._eval(term, meter)
         except _LimitHit:
@@ -624,6 +641,11 @@ class CompiledEngine:
             ) from None
         finally:
             self._sync(st0, rf0)
+            stats = self.stats
+            stats.latency.observe(perf_counter() - started)
+            spent = bud.fuel - meter[0]
+            if spent > 0:
+                stats.s_fuel[0] += spent
 
     def normalize_many(
         self, terms: Iterable[Term], budget: Optional[EvaluationBudget] = None
@@ -638,21 +660,32 @@ class CompiledEngine:
         self._interp._cache.clear()
 
     def _sync(self, st0, rf0) -> None:
+        """Fold the generated module's flat counter deltas into the
+        engine stats.  The old separate rule-firings total
+        (``st[_ST_RULE]``) is no longer synced — the total is derived
+        from the per-rule family, so there is one count to trust."""
         st = self.compiled.st
         stats = self.stats
-        stats.steps += st[_ST_STEPS] - st0[_ST_STEPS]
-        stats.rule_firings += st[_ST_RULE] - st0[_ST_RULE]
-        stats.builtin_firings += st[_ST_BUILTIN] - st0[_ST_BUILTIN]
-        stats.cache_hits += st[_ST_HITS] - st0[_ST_HITS]
-        stats.cache_probes += st[_ST_PROBES] - st0[_ST_PROBES]
-        stats.error_propagations += st[_ST_ERRPROP] - st0[_ST_ERRPROP]
+        stats.s_steps[0] += st[_ST_STEPS] - st0[_ST_STEPS]
+        stats.s_builtin[0] += st[_ST_BUILTIN] - st0[_ST_BUILTIN]
+        stats.s_hits[0] += st[_ST_HITS] - st0[_ST_HITS]
+        stats.s_probes[0] += st[_ST_PROBES] - st0[_ST_PROBES]
+        stats.s_errprop[0] += st[_ST_ERRPROP] - st0[_ST_ERRPROP]
         rf = self.compiled.rf
         if rf != rf0:
-            counts = stats.firings_by_rule
+            counts = stats.firings.counts
+            deltas: dict = {}
             for i, rule in enumerate(self.compiled.rules):
                 delta = rf[i] - rf0[i]
                 if delta:
                     counts[rule] = counts.get(rule, 0) + delta
+                    deltas[rule] = delta
+            tracer = _trace.ACTIVE
+            if tracer is not None and deltas:
+                # Closures count firings in flat lists (no per-step
+                # events on the compiled hot path); emit one aggregated
+                # event so traces stay count-exact across backends.
+                tracer.firings(deltas)
 
     def _eval(self, term: Term, budget: list[int]) -> Term:
         stats = self.stats
@@ -714,6 +747,7 @@ class CompiledEngine:
             except _DeepRecursion:
                 if _faults.ACTIVE is not None:
                     _faults.ACTIVE.visit("compiled.fallback", op)
+                self.stats.record_fallback("compiled_depth")
                 return self._interp._eval(App(op, args), budget)
         if op.name in self._uncompiled or (
             op.builtin is not None

@@ -39,7 +39,7 @@ repeating trace).  Callers that cannot afford exceptions use
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Iterable, Optional
 
 from repro.algebra.matching import match_bindings
@@ -64,25 +64,15 @@ from repro.runtime.budget import (
     REASON_MEMORY,
 )
 from repro.runtime.outcome import Outcome
+from repro.runtime.render import SUMMARY_LIMIT, summarize_term
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 
-#: Rendering budget for terms quoted in error messages.
-_RENDER_LIMIT = 200
-
-
-def _render_capped(term: Term, limit: int = _RENDER_LIMIT) -> str:
-    """Render ``term`` for an error message, bounding both the output
-    *and the work*: a huge term is summarised without ever materialising
-    its full (possibly multi-megabyte) string, and a term too deep to
-    print at all falls back to a node count."""
-    try:
-        if term.size() > 2 * limit:
-            return f"<{term.sort} term of {term.size()} nodes>"
-        rendered = str(term)
-    except RecursionError:  # term too deep even to print
-        return f"<term of {term.size()} nodes>"
-    if len(rendered) > limit:
-        rendered = rendered[:limit] + "..."
-    return rendered
+#: Rendering budget for terms quoted in error messages.  Compat aliases:
+#: the canonical helper now lives in :mod:`repro.runtime.render`, shared
+#: with trace events so every diagnosis renders subjects identically.
+_RENDER_LIMIT = SUMMARY_LIMIT
+_render_capped = summarize_term
 
 
 class RewriteLimitError(Exception):
@@ -108,9 +98,9 @@ class RewriteLimitError(Exception):
         trace: tuple = (),
         detail: str = "",
     ) -> None:
-        rendered = _render_capped(term)
+        rendered = summarize_term(term)
         if reason == REASON_CYCLE:
-            loop = ", ".join(_render_capped(t, 40) for t in trace[:4])
+            loop = ", ".join(summarize_term(t, 40) for t in trace[:4])
             if len(trace) > 4:
                 loop += ", ..."
             message = (
@@ -138,62 +128,184 @@ class RewriteLimitError(Exception):
         self.reason = reason
         self.trace = trace
         self.detail = detail
+        tracer = _trace.ACTIVE
+        if tracer is not None:
+            tracer.event(
+                "budget_exhausted",
+                reason=reason,
+                fuel=fuel,
+                subject=rendered,
+                detail=detail,
+            )
 
 
-@dataclass
 class EngineStats:
-    """Counters exposed for the benchmarks and the coverage analysis.
+    """Engine counters, as views over a per-engine metrics registry.
 
-    ``firings_by_rule`` maps each :class:`RewriteRule` *object* to its
-    firing count.  (Earlier versions keyed on ``id(rule)``, which is
-    reusable the moment a rule is garbage collected — two rules could
-    silently share a counter — and made a recorded entry unreadable
-    once the rule was gone.  Rules are frozen and hashable, so the
-    object itself is the honest key.)
+    Historically a plain dataclass of ints; the counters now live in a
+    :class:`repro.obs.metrics.MetricsRegistry` owned by the stats object
+    (one per engine), so ``--metrics-out`` and the benchmark driver can
+    aggregate every engine in the process without new plumbing.  The old
+    attribute API (``stats.steps``, ``stats.cache_hits``,
+    ``stats.firings_by_rule``...) is preserved as properties over the
+    registry — existing callers and tests keep working — while hot paths
+    pre-bind the underlying one-element list slots (``s_steps`` etc.,
+    the :class:`~repro.runtime.budget.BudgetMeter` trick) and increment
+    ``slot[0]`` with no attribute or method dispatch per event.
+
+    ``rule_firings`` is now *derived* — the sum of the per-rule counter
+    family — where the dataclass kept a second, separately incremented
+    total that could drift from ``firings_by_rule``.  The family maps
+    each :class:`RewriteRule` *object* to its firing count (rules are
+    frozen and hashable, so the object itself is the honest key; they
+    stringify as ``[label] lhs -> rhs`` in snapshots).
     """
 
-    steps: int = 0
-    rule_firings: int = 0
-    builtin_firings: int = 0
-    error_propagations: int = 0
-    cache_hits: int = 0
-    cache_probes: int = 0
-    firings_by_rule: "dict[RewriteRule, int]" = field(default_factory=dict)
+    __slots__ = (
+        "registry",
+        "s_steps",
+        "s_builtin",
+        "s_errprop",
+        "s_hits",
+        "s_probes",
+        "s_fuel",
+        "firings",
+        "fallbacks",
+        "outcomes",
+        "latency",
+    )
 
-    def record_firing(self, rule: "RewriteRule") -> None:
-        self.rule_firings += 1
-        counts = self.firings_by_rule
+    def __init__(
+        self, registry: Optional[_metrics.MetricsRegistry] = None
+    ) -> None:
+        if registry is None:
+            registry = _metrics.MetricsRegistry("engine")
+        self.registry = registry
+        counter = registry.counter
+        self.s_steps = counter(
+            "engine.steps", "rewrite steps spent (rule and builtin firings)"
+        ).slot
+        self.s_builtin = counter(
+            "engine.builtin_firings", "builtin operation evaluations"
+        ).slot
+        self.s_errprop = counter(
+            "engine.error_propagations", "strict error-value propagations"
+        ).slot
+        self.s_hits = counter(
+            "engine.memo_hits", "ground normal-form memo probes answered"
+        ).slot
+        self.s_probes = counter(
+            "engine.memo_probes", "ground normal-form memo probes issued"
+        ).slot
+        self.s_fuel = counter(
+            "engine.fuel_spent", "fuel consumed across evaluations"
+        ).slot
+        self.firings = registry.family(
+            "engine.rule_firings", "rule firings per rewrite rule"
+        )
+        self.fallbacks = registry.family(
+            "engine.fallbacks", "backend degradations by kind"
+        )
+        self.outcomes = registry.family(
+            "engine.outcomes", "resilient evaluations by outcome status"
+        )
+        self.latency = registry.histogram(
+            "engine.eval_seconds", help="normalize() wall-clock seconds"
+        )
+
+    # -- compat attribute API (the old dataclass fields) ----------------
+    @property
+    def steps(self) -> int:
+        return self.s_steps[0]
+
+    @steps.setter
+    def steps(self, value: int) -> None:
+        self.s_steps[0] = value
+
+    @property
+    def builtin_firings(self) -> int:
+        return self.s_builtin[0]
+
+    @builtin_firings.setter
+    def builtin_firings(self, value: int) -> None:
+        self.s_builtin[0] = value
+
+    @property
+    def error_propagations(self) -> int:
+        return self.s_errprop[0]
+
+    @error_propagations.setter
+    def error_propagations(self, value: int) -> None:
+        self.s_errprop[0] = value
+
+    @property
+    def cache_hits(self) -> int:
+        return self.s_hits[0]
+
+    @cache_hits.setter
+    def cache_hits(self, value: int) -> None:
+        self.s_hits[0] = value
+
+    @property
+    def cache_probes(self) -> int:
+        return self.s_probes[0]
+
+    @cache_probes.setter
+    def cache_probes(self, value: int) -> None:
+        self.s_probes[0] = value
+
+    @property
+    def rule_firings(self) -> int:
+        """Total rule firings — derived from the per-rule family, so it
+        cannot drift from ``firings_by_rule`` (the old dataclass kept a
+        second counter that had to be incremented in lockstep)."""
+        return self.firings.total
+
+    @property
+    def firings_by_rule(self) -> dict:
+        return self.firings.counts
+
+    # -- recording -------------------------------------------------------
+    def record_firing(
+        self, rule: "RewriteRule", subject: Optional[Term] = None
+    ) -> None:
+        counts = self.firings.counts
         counts[rule] = counts.get(rule, 0) + 1
+        tracer = _trace.ACTIVE
+        if tracer is not None:
+            tracer.step(rule, subject)
 
+    def record_fallback(self, kind: str) -> None:
+        """One backend degradation (``compiled_to_interpreted`` for the
+        outcome ladder, ``compiled_depth`` for the compiled backend's
+        deep-recursion rescue)."""
+        self.fallbacks.inc(kind)
+        tracer = _trace.ACTIVE
+        if tracer is not None:
+            tracer.event("fallback", kind=kind)
+
+    def record_outcome(self, status: str) -> None:
+        self.outcomes.inc(status)
+
+    # -- reading ---------------------------------------------------------
     def firing_count(self, rule: "RewriteRule") -> int:
-        return self.firings_by_rule.get(rule, 0)
+        return self.firings.get(rule)
 
     def firing_summary(self, limit: Optional[int] = None) -> str:
         """A repr-stable rendering of the per-rule firing counts:
         busiest rules first, each line ``<count>  <rule>``.  Safe to
         call at any time — the entries hold the rules themselves, so a
         summary never dangles."""
-        ranked = sorted(
-            self.firings_by_rule.items(), key=lambda kv: (-kv[1], str(kv[0]))
-        )
-        if limit is not None:
-            ranked = ranked[:limit]
-        lines = [f"{count:>8}  {rule}" for rule, count in ranked]
-        return "\n".join(lines) if lines else "(no rule firings recorded)"
+        return self.firings.summary(limit)
 
     def reset(self) -> None:
-        self.steps = 0
-        self.rule_firings = 0
-        self.builtin_firings = 0
-        self.error_propagations = 0
-        self.cache_hits = 0
-        self.cache_probes = 0
-        self.firings_by_rule.clear()
+        self.registry.reset()
 
     @property
     def cache_hit_rate(self) -> float:
         """Fraction of memo probes answered from the cache."""
-        return self.cache_hits / self.cache_probes if self.cache_probes else 0.0
+        probes = self.s_probes[0]
+        return self.s_hits[0] / probes if probes else 0.0
 
 
 #: Selectable evaluation backends (see the module docstring).
@@ -320,7 +432,22 @@ class RewriteEngine:
         """The call-by-value normal form of ``term``."""
         if self.backend == "compiled":
             return self._compiled_engine().normalize(term, budget)
+        tracer = _trace.ACTIVE
+        if tracer is None:
+            return self._normalize_interpreted(term, budget)
+        with tracer.span(
+            "engine.normalize",
+            backend="interpreted",
+            subject=summarize_term(term),
+        ):
+            return self._normalize_interpreted(term, budget)
+
+    def _normalize_interpreted(
+        self, term: Term, budget: Optional[EvaluationBudget]
+    ) -> Term:
         meter = self._meter(budget)
+        stats = self.stats
+        started = perf_counter()
         try:
             return self._eval(term, meter)
         except BudgetExceeded as exc:
@@ -345,6 +472,11 @@ class RewriteEngine:
             raise RewriteLimitError(
                 term, meter.budget.fuel, reason=REASON_DEPTH
             ) from None
+        finally:
+            stats.latency.observe(perf_counter() - started)
+            spent = meter.budget.fuel - meter[0]
+            if spent > 0:
+                stats.s_fuel[0] += spent
 
     def normalize_many(
         self, terms: Iterable[Term], budget: Optional[EvaluationBudget] = None
@@ -384,14 +516,18 @@ class RewriteEngine:
         """
         if self.backend == "compiled":
             try:
-                return Outcome.of_normal_form(
+                outcome = Outcome.of_normal_form(
                     self._compiled_engine().normalize(term, budget)
                 )
             except RewriteLimitError as exc:
-                return Outcome.from_limit(exc)
+                outcome = Outcome.from_limit(exc)
             except Exception:  # fault-boundary: degrade to interpreted
-                return self._interpreted_outcome(term, budget)
-        return self._interpreted_outcome(term, budget)
+                self.stats.record_fallback("compiled_to_interpreted")
+                outcome = self._interpreted_outcome(term, budget)
+        else:
+            outcome = self._interpreted_outcome(term, budget)
+        self.stats.record_outcome(outcome.status)
+        return outcome
 
     def _interpreted_outcome(
         self, term: Term, budget: Optional[EvaluationBudget]
@@ -456,7 +592,7 @@ class RewriteEngine:
             self._compiled.clear_cache()
 
     def _spend(self, budget: BudgetMeter, term: Term) -> None:
-        self.stats.steps += 1
+        self.stats.s_steps[0] += 1
         budget.spend(term)
 
     def _eval(self, term: Term, budget: list[int]) -> Term:
@@ -475,6 +611,13 @@ class RewriteEngine:
         no recursion-limit fiddling, ever.
         """
         stats = self.stats
+        # Pre-bound counter slots: incrementing slot[0] on a local list
+        # is the cheapest accounting Python offers (the BudgetMeter
+        # trick), and keeps the metrics registry off the hot path.
+        s_probes = stats.s_probes
+        s_hits = stats.s_hits
+        s_errprop = stats.s_errprop
+        s_builtin = stats.s_builtin
         cache = self._cache
         cache_on = self.cache_size > 0
         stack: list = [(_F_EVAL, term)]
@@ -486,10 +629,10 @@ class RewriteEngine:
                 t = frame[1]
                 if isinstance(t, App):
                     if cache_on:
-                        stats.cache_probes += 1
+                        s_probes[0] += 1
                         cached = cache.get(t)
                         if cached is not None:
-                            stats.cache_hits += 1
+                            s_hits[0] += 1
                             cache.move_to_end(t)
                             result = cached
                             continue
@@ -509,7 +652,7 @@ class RewriteEngine:
                 _, t, done, nxt, changed = frame
                 value = result
                 if isinstance(value, Err):
-                    stats.error_propagations += 1
+                    s_errprop[0] += 1
                     result = Err(t.sort)
                     continue
                 if value is not t.args[nxt - 1]:
@@ -536,7 +679,7 @@ class RewriteEngine:
                     if builtin is not None and all(
                         isinstance(a, Lit) for a in node.args
                     ):
-                        stats.builtin_firings += 1
+                        s_builtin[0] += 1
                         step = self._run_builtin(node)
                         self._spend(budget, node)
                         if isinstance(step, (Var, Lit, Err)):
@@ -550,7 +693,7 @@ class RewriteEngine:
                             result = step
                             break
                         if any(isinstance(arg, Err) for arg in step.args):
-                            stats.error_propagations += 1
+                            s_errprop[0] += 1
                             result = Err(step.sort)
                             break
                         node = step
@@ -567,7 +710,7 @@ class RewriteEngine:
                 if not isinstance(step, App):
                     pass  # already normal; the result stands
                 elif any(isinstance(arg, Err) for arg in step.args):
-                    stats.error_propagations += 1
+                    s_errprop[0] += 1
                     result = Err(step.sort)
                 else:
                     stack.append((_F_ROOT, step))
@@ -599,10 +742,10 @@ class RewriteEngine:
                         stack.append((_F_INST, template.args[0], bindings))
                     else:
                         if cache_on:
-                            stats.cache_probes += 1
+                            s_probes[0] += 1
                             cached = cache.get(template)
                             if cached is not None:
-                                stats.cache_hits += 1
+                                s_hits[0] += 1
                                 cache.move_to_end(template)
                                 result = cached
                                 continue
@@ -617,7 +760,7 @@ class RewriteEngine:
                 _, template, bindings, done, nxt, changed = frame
                 value = result
                 if isinstance(value, Err):
-                    stats.error_propagations += 1
+                    s_errprop[0] += 1
                     result = Err(template.sort)
                     continue
                 if value is not template.args[nxt - 1]:
@@ -631,10 +774,10 @@ class RewriteEngine:
                 else:
                     node = App(template.op, done) if changed else template
                     if cache_on:
-                        stats.cache_probes += 1
+                        s_probes[0] += 1
                         cached = cache.get(node)
                         if cached is not None:
-                            stats.cache_hits += 1
+                            s_hits[0] += 1
                             cache.move_to_end(node)
                             result = cached
                             continue
@@ -645,7 +788,7 @@ class RewriteEngine:
                 _, template, bindings = frame
                 cond = result
                 if isinstance(cond, Err):
-                    stats.error_propagations += 1
+                    s_errprop[0] += 1
                     result = Err(template.sort)
                 elif is_true(cond):
                     stack.append((_F_INST, template.then_branch, bindings))
@@ -664,7 +807,7 @@ class RewriteEngine:
                 t = frame[1]
                 cond = result
                 if isinstance(cond, Err):
-                    stats.error_propagations += 1
+                    s_errprop[0] += 1
                     result = Err(t.sort)
                 elif is_true(cond):
                     stack.append((_F_EVAL, t.then_branch))
@@ -707,7 +850,7 @@ class RewriteEngine:
         for rule in self._candidates(term):
             bindings = match_bindings(rule.lhs, term)
             if bindings is not None:
-                self.stats.record_firing(rule)
+                self.stats.record_firing(rule, term)
                 return rule, bindings
         return None, None
 
@@ -727,7 +870,7 @@ class RewriteEngine:
         for rule in self._candidates(term):
             result = rule.apply_at_root(term)
             if result is not None:
-                self.stats.record_firing(rule)
+                self.stats.record_firing(rule, term)
                 return result
         return None
 

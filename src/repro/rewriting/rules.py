@@ -108,6 +108,14 @@ def _subject_shape(term: Term):
     return ("open",)
 
 
+# Substrate counters for the bounded shape memo, as bare list cells so
+# this layer imports nothing from the observability layer (the global
+# registry in repro.obs.metrics adopts the slots).  Shared across all
+# discrimination trees in the process.
+SHAPE_MEMO_HITS = [0]
+SHAPE_MEMO_MISSES = [0]
+
+
 class _DiscriminationTree:
     """Per-head-symbol index, one level per argument position.
 
@@ -137,7 +145,9 @@ class _DiscriminationTree:
         memo = self._memo
         hit = memo.get(shapes)
         if hit is not None:
+            SHAPE_MEMO_HITS[0] += 1
             return hit
+        SHAPE_MEMO_MISSES[0] += 1
         frontier = [self.root]
         for shape in shapes:
             advanced: list[dict] = []

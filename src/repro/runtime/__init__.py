@@ -46,6 +46,7 @@ from repro.runtime.outcome import (
     TRUNCATED,
 )
 from repro.runtime.faults import fault_point
+from repro.runtime.render import SUMMARY_LIMIT, summarize_term
 
 __all__ = [
     "BudgetExceeded",
@@ -62,6 +63,8 @@ __all__ = [
     "REASON_FAULT",
     "REASON_FUEL",
     "REASON_MEMORY",
+    "SUMMARY_LIMIT",
     "TRUNCATED",
     "fault_point",
+    "summarize_term",
 ]

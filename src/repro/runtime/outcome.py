@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.algebra.terms import Err, Term
+from repro.runtime.render import summarize_term
 
 NORMALIZED = "normalized"
 TRUNCATED = "truncated"
@@ -100,9 +101,17 @@ class Outcome:
             detail=f"{type(exc).__name__}: {exc}",
         )
 
+    def subject_summary(self) -> str:
+        """The capped rendering of the carried term — the same
+        :func:`~repro.runtime.render.summarize_term` helper the engine's
+        error messages and the trace events use, so a truncated outcome,
+        its ``RewriteLimitError`` twin, and the ``budget_exhausted``
+        trace event all quote the subject identically."""
+        return summarize_term(self.term) if self.term is not None else ""
+
     def __str__(self) -> str:
         if self.status == NORMALIZED:
-            return f"normalized: {self.term}"
+            return f"normalized: {self.subject_summary()}"
         if self.status == ERROR_VALUE:
             return f"error value of sort {self.term.sort}"  # type: ignore[union-attr]
         bits = [self.status]

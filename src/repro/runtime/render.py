@@ -1,0 +1,44 @@
+"""Work-bounded term rendering for diagnostics.
+
+Error messages, trace events and structured outcomes all need to quote
+the term they are talking about, and that term may be pathologically
+large — the whole point of a budget blowing is that something grew out
+of hand.  :func:`summarize_term` bounds both the *output* and the
+*work*: a huge term is summarised from its O(1) cached node count
+without ever materialising its (possibly multi-megabyte) string, and a
+term too deep even to print falls back to a node count.
+
+One helper, used everywhere a subject is quoted — the
+:class:`~repro.rewriting.engine.RewriteLimitError` message, the
+divergence-trace rendering, and the observability layer's trace events
+(:mod:`repro.obs.trace`) — so every diagnosis renders the same subject
+the same way.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.algebra.terms import Term
+
+#: Default rendering budget, in characters of output.
+SUMMARY_LIMIT = 200
+
+
+def summarize_term(term: "Term", limit: int = SUMMARY_LIMIT) -> str:
+    """Render ``term`` for a diagnostic, capped at ``limit`` characters.
+
+    The cap bounds the work too: terms whose cached node count exceeds
+    ``2 * limit`` are summarised as ``<Sort term of N nodes>`` without
+    being stringified at all.
+    """
+    try:
+        if term.size() > 2 * limit:
+            return f"<{term.sort} term of {term.size()} nodes>"
+        rendered = str(term)
+    except RecursionError:  # term too deep even to print
+        return f"<term of {term.size()} nodes>"
+    if len(rendered) > limit:
+        rendered = rendered[:limit] + "..."
+    return rendered

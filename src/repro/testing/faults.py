@@ -44,6 +44,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator, Mapping, Optional, Type, Union
 
+from repro.obs import trace as _trace
 from repro.runtime import faults as registry
 
 #: Re-exported so tests can iterate every instrumented site.
@@ -128,6 +129,9 @@ class FaultInjector:
         if self.rng.random() >= spec.probability:
             return
         self.fired[site] = self.fired.get(site, 0) + 1
+        tracer = _trace.ACTIVE
+        if tracer is not None:
+            tracer.event("fault", site=site, kind=spec.kind)
         if spec.kind == "evict":
             self._evict(payload)
             return

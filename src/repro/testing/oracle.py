@@ -19,6 +19,7 @@ from typing import Callable, Mapping, Optional
 
 from repro.algebra.substitution import Substitution
 from repro.algebra.terms import App, Err, Ite, Lit, Term, Var
+from repro.obs.trace import maybe_span
 from repro.spec.axioms import Axiom
 from repro.spec.errors import AlgebraError
 from repro.spec.specification import Specification
@@ -249,9 +250,16 @@ def check_axioms_by_rewriting(
             instances.append(
                 (sigma, sigma.apply(axiom.lhs), sigma.apply(axiom.rhs))
             )
-        outcomes = engine.normalize_many_outcomes(
-            [side for _, lhs, rhs in instances for side in (lhs, rhs)]
-        )
+        with maybe_span(
+            "oracle.axiom",
+            spec=spec.name,
+            backend=backend,
+            label=axiom.label or str(axiom.lhs),
+            instances=len(instances),
+        ):
+            outcomes = engine.normalize_many_outcomes(
+                [side for _, lhs, rhs in instances for side in (lhs, rhs)]
+            )
         for i, (sigma, _, _) in enumerate(instances):
             left, right = outcomes[2 * i], outcomes[2 * i + 1]
             if not (left.ok and right.ok):

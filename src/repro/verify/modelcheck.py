@@ -17,6 +17,7 @@ from typing import Iterable, Optional, Sequence
 
 from repro.algebra.substitution import Substitution
 from repro.algebra.terms import App, Term
+from repro.obs.trace import maybe_span
 from repro.rewriting.engine import RewriteEngine
 from repro.verify.obligations import ProofObligation
 from repro.verify.representation import Representation
@@ -89,47 +90,50 @@ def reachable_states(
     states: list[Term] = []
     seen: set[Term] = set()
     frontier: list[Term] = []
-    for definition in representation.generator_definitions():
-        if rep_sort not in definition.operation.domain:
-            base = engine.normalize(App(definition.operation, ()))
-            if base not in seen:
-                seen.add(base)
-                states.append(base)
-                frontier.append(base)
+    with maybe_span("modelcheck.reachable_states", depth=depth):
+        for definition in representation.generator_definitions():
+            if rep_sort not in definition.operation.domain:
+                base = engine.normalize(App(definition.operation, ()))
+                if base not in seen:
+                    seen.add(base)
+                    states.append(base)
+                    frontier.append(base)
 
-    for _ in range(depth):
-        next_frontier: list[Term] = []
-        for state in frontier:
-            for definition in representation.generator_definitions():
-                operation = definition.operation
-                if rep_sort not in operation.domain:
-                    continue
-                arg_choices: list[list[Term]] = []
-                for sort in operation.domain:
-                    if sort == rep_sort:
-                        arg_choices.append([state])
-                    elif str(sort) == "Identifier":
-                        arg_choices.append(list(id_terms))
-                    elif str(sort) == "Attributelist":
-                        arg_choices.append(list(attr_terms))
-                    else:
-                        arg_choices.append([])
-                if any(not choices for choices in arg_choices):
-                    continue
-                for combo in itertools.product(*arg_choices):
-                    outcome = engine.normalize_outcome(App(operation, combo))
-                    if not outcome.ok:
+        for _ in range(depth):
+            next_frontier: list[Term] = []
+            for state in frontier:
+                for definition in representation.generator_definitions():
+                    operation = definition.operation
+                    if rep_sort not in operation.domain:
                         continue
-                    value = outcome.term
-                    if value not in seen:
-                        seen.add(value)
-                        states.append(value)
-                        next_frontier.append(value)
-        if len(next_frontier) > limit:
-            next_frontier = rng.sample(next_frontier, limit)
-        frontier = next_frontier
-        if not frontier:
-            break
+                    arg_choices: list[list[Term]] = []
+                    for sort in operation.domain:
+                        if sort == rep_sort:
+                            arg_choices.append([state])
+                        elif str(sort) == "Identifier":
+                            arg_choices.append(list(id_terms))
+                        elif str(sort) == "Attributelist":
+                            arg_choices.append(list(attr_terms))
+                        else:
+                            arg_choices.append([])
+                    if any(not choices for choices in arg_choices):
+                        continue
+                    for combo in itertools.product(*arg_choices):
+                        outcome = engine.normalize_outcome(
+                            App(operation, combo)
+                        )
+                        if not outcome.ok:
+                            continue
+                        value = outcome.term
+                        if value not in seen:
+                            seen.add(value)
+                            states.append(value)
+                            next_frontier.append(value)
+            if len(next_frontier) > limit:
+                next_frontier = rng.sample(next_frontier, limit)
+            frontier = next_frontier
+            if not frontier:
+                break
     return states
 
 
@@ -180,16 +184,21 @@ def model_check(
                 f"{variable.sort}"
             )
 
-    for combo in itertools.islice(itertools.product(*pools), max_instances):
-        sigma = Substitution(dict(zip(variables, combo)))
-        report.instances_checked += 1
-        left = engine.normalize_outcome(sigma.apply(obligation.lhs))
-        right = engine.normalize_outcome(sigma.apply(obligation.rhs))
-        if not (left.ok and right.ok):
-            report.undecided += 1
-            continue
-        if left.term != right.term:
-            report.counterexamples.append(
-                Counterexample(obligation.label, sigma, left.term, right.term)
-            )
+    with maybe_span("modelcheck.obligation", label=obligation.label):
+        for combo in itertools.islice(
+            itertools.product(*pools), max_instances
+        ):
+            sigma = Substitution(dict(zip(variables, combo)))
+            report.instances_checked += 1
+            left = engine.normalize_outcome(sigma.apply(obligation.lhs))
+            right = engine.normalize_outcome(sigma.apply(obligation.rhs))
+            if not (left.ok and right.ok):
+                report.undecided += 1
+                continue
+            if left.term != right.term:
+                report.counterexamples.append(
+                    Counterexample(
+                        obligation.label, sigma, left.term, right.term
+                    )
+                )
     return report

@@ -36,6 +36,7 @@ from repro.algebra.sorts import Sort
 from repro.algebra.substitution import apply_bindings
 from repro.algebra.terms import App, Err, Ite, Lit, Term, Var, map_terms
 from repro.spec.prelude import boolean_term, is_false, is_true
+from repro.obs.trace import maybe_span
 from repro.rewriting.engine import RewriteEngine, RewriteLimitError
 from repro.rewriting.rules import RewriteRule, RuleSet
 from repro.verify.skolem import fresh_constant, is_skolem
@@ -279,16 +280,19 @@ class EquationalProver:
         """Attempt to prove the closed equation ``lhs = rhs``."""
         result = ProofResult(False, lhs, rhs)
         base = RuleSet(list(self.rules) + list(extra_rules))
-        proved = self._prove(
-            lhs,
-            rhs,
-            base,
-            list(facts),
-            result,
-            depth=0,
-            fact_budget=self.max_fact_splits,
-            constructor_budget=self.max_constructor_splits,
-        )
+        with maybe_span(
+            "prover.prove", lhs=str(lhs)[:80], rhs=str(rhs)[:80]
+        ):
+            proved = self._prove(
+                lhs,
+                rhs,
+                base,
+                list(facts),
+                result,
+                depth=0,
+                fact_budget=self.max_fact_splits,
+                constructor_budget=self.max_constructor_splits,
+            )
         result.proved = proved
         return result
 

@@ -6,6 +6,7 @@ from pathlib import Path
 
 from repro.analysis.source_lint import (
     MARKER,
+    PRINT_MARKER,
     Violation,
     lint_paths,
     lint_source,
@@ -70,6 +71,33 @@ class TestLintSource:
 
     def test_violation_renders_as_path_line_message(self):
         assert str(Violation("a.py", 7, "boom")) == "a.py:7: boom"
+
+
+class TestPrintRule:
+    def test_print_in_library_code_flagged(self):
+        (violation,) = lint_source("print('debug')\n", "src/repro/algebra/x.py")
+        assert violation.line == 1
+        assert "print() in library code" in violation.message
+
+    def test_presentation_layer_allowlisted(self):
+        source = "print('table')\n"
+        assert lint_source(source, "src/repro/report/pretty.py") == []
+        assert lint_source(source, "src/repro/cli.py") == []
+        assert lint_source(source, "src/repro/analysis/source_lint.py") == []
+
+    def test_marker_exempts_a_single_call(self):
+        source = f"print('demo')  {PRINT_MARKER} example output\n"
+        assert lint_source(source, "src/repro/examples.py") == []
+
+    def test_marker_without_justification_does_not_count(self):
+        source = f"print('demo')  {PRINT_MARKER}\n"
+        assert len(lint_source(source, "src/repro/examples.py")) == 1
+
+    def test_shadowed_or_method_print_not_flagged(self):
+        # Only the builtin-call shape ``print(...)`` is flagged; attribute
+        # calls like ``device.print(...)`` are someone else's API.
+        source = "class P:\n    def go(self):\n        self.print('x')\n"
+        assert lint_source(source, "src/repro/x.py") == []
 
 
 class TestLintTree:

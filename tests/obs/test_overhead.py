@@ -1,0 +1,83 @@
+"""Guard: observability must be free when it is off.
+
+Two invariants.  First, with no tracer installed (the default), running
+a workload produces no trace events anywhere — a stray always-on emit
+would break the "pay only when tracing" contract.  Second, the
+disabled-tracing hot path (the metrics slots plus the ``ACTIVE is
+None`` checks this PR added) stays within a few percent of itself with
+a muted tracer installed: the cost of *having* the instrumentation must
+not depend on whether a tracer object exists.
+
+Timing comparisons are interleaved best-of-N (best-of is robust to
+scheduler noise; interleaving is robust to thermal drift), and the
+check retries before failing so one noisy run cannot flake CI.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+from repro.algebra.terms import Err, app
+from repro.adt.queue import FRONT, QUEUE_SPEC, REMOVE, queue_term
+from repro.obs import trace as trace_mod
+from repro.obs.trace import Tracer, tracing
+from repro.rewriting import RewriteEngine
+
+DRAIN_SIZE = 40
+#: Allowed ratio of muted-tracer time to no-tracer time (the ISSUE's 5%
+#: budget), with headroom retries below for noisy machines.
+OVERHEAD_BUDGET = 1.05
+RETRIES = 3
+BEST_OF = 5
+
+
+def _drain(engine: RewriteEngine) -> None:
+    term = queue_term(range(DRAIN_SIZE))
+    while True:
+        front = engine.normalize(app(FRONT, term))
+        if isinstance(front, Err):
+            break
+        term = engine.normalize(app(REMOVE, term))
+
+
+def _timed_drain() -> float:
+    engine = RewriteEngine.for_specification(QUEUE_SPEC, fuel=10_000_000)
+    start = perf_counter()
+    _drain(engine)
+    return perf_counter() - start
+
+
+def test_no_tracer_means_no_events():
+    assert trace_mod.ACTIVE is None
+    bystander = Tracer()  # constructed but never installed
+    engine = RewriteEngine.for_specification(QUEUE_SPEC, fuel=10_000_000)
+    _drain(engine)
+    assert bystander.events == []
+    # Work still happened and was still counted — metrics are always on.
+    assert engine.stats.rule_firings > 0
+
+
+def test_muted_tracer_records_nothing():
+    tracer = Tracer(sample=0.0)
+    with tracing(tracer):
+        engine = RewriteEngine.for_specification(QUEUE_SPEC, fuel=10_000_000)
+        _drain(engine)
+    assert tracer.events == []
+
+
+def test_disabled_tracing_overhead_within_budget():
+    muted = Tracer(sample=0.0)
+    for attempt in range(RETRIES):
+        baseline = float("inf")
+        with_muted = float("inf")
+        for _ in range(BEST_OF):
+            baseline = min(baseline, _timed_drain())
+            with tracing(muted):
+                with_muted = min(with_muted, _timed_drain())
+        ratio = with_muted / baseline
+        if ratio <= OVERHEAD_BUDGET:
+            return
+    raise AssertionError(
+        f"muted tracer cost {ratio:.3f}x the uninstrumented drain "
+        f"(budget {OVERHEAD_BUDGET}x, {RETRIES} attempts)"
+    )

@@ -40,6 +40,13 @@ def test_driver_quick_mode(tmp_path):
     assert e7["compiled_over_concrete"] > 1.0
     assert e7["symbolic_compiled"]["ops_per_sec"] > 0
     assert e7["symbolic_compiled_batch"]["terms"] > 0
+    # The observability embed: hit rates and a per-rule firing profile.
+    for section in ("symbolic", "symbolic_compiled"):
+        metrics = e7[section]["metrics"]
+        rate = metrics["intern_hit_rate"]
+        assert rate is None or 0.0 <= rate <= 1.0
+        assert metrics["rule_firings"]
+        assert all(n > 0 for n in metrics["rule_firings"].values())
 
     e10 = json.loads((tmp_path / "BENCH_E10.json").read_text())
     assert e10["experiment"] == "E10"
@@ -59,6 +66,10 @@ def test_driver_quick_mode(tmp_path):
             sample = config[size]
             assert sample["steps_per_sec"] > 0
             assert 0.0 <= sample["cache_hit_rate"] <= 1.0
+            metrics = sample["metrics"]
+            rate = metrics["shape_memo_hit_rate"]
+            assert rate is None or 0.0 <= rate <= 1.0
+            assert sum(metrics["rule_firings"].values()) > 0
     # The compiled-vs-interpreted ablation is recorded for every size.
     for size in map(str, e10["sizes"]):
         assert e10["compiled_vs_interpreted"][size] > 0

@@ -1,8 +1,16 @@
 """Tests for the command-line interface."""
 
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
 import pytest
 
 from repro.cli import main
+
+REPO_SRC = Path(__file__).resolve().parents[1] / "src"
 
 QUEUE_SPEC_TEXT = """
 type Queue [Item]
@@ -195,6 +203,132 @@ class TestProve:
         program.write_text(self.WRONG)
         assert main(["prove", queue_file, str(program)]) == 1
         assert "NOT PROVED" in capsys.readouterr().out
+
+
+class TestTrace:
+    TERM = "FRONT(ADD(ADD(NEW, 'a'), 'b'))"
+
+    def test_stdout_jsonl_with_summary_on_stderr(self, queue_file, capsys):
+        assert main(["trace", queue_file, self.TERM]) == 0
+        captured = capsys.readouterr()
+        events = [
+            json.loads(line) for line in captured.out.splitlines() if line
+        ]
+        assert events[0]["ev"] == "span_start"
+        assert events[0]["backend"] == "interpreted"
+        assert events[-1]["ev"] == "span_end"
+        steps = [e for e in events if e["ev"] == "step"]
+        assert steps and all("rule" in e and "subject" in e for e in steps)
+        assert "normal form: 'a'" in captured.err
+        assert "rule firing(s)" in captured.err
+        # The per-rule profile table renders on stderr.
+        assert "self_s" in captured.err
+
+    def test_out_file_keeps_stdout_clean(self, queue_file, tmp_path, capsys):
+        from repro.obs import read_trace
+
+        out = tmp_path / "trace.jsonl"
+        code = main(
+            ["trace", queue_file, self.TERM, "--out", str(out)]
+        )
+        assert code == 0
+        assert capsys.readouterr().out == ""
+        events = read_trace(out)
+        assert any(e["ev"] == "step" for e in events)
+
+    def test_compiled_backend_emits_aggregated_firings(
+        self, queue_file, capsys
+    ):
+        code = main(
+            ["trace", queue_file, self.TERM, "--backend", "compiled"]
+        )
+        assert code == 0
+        events = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines()
+            if line
+        ]
+        kinds = [e["ev"] for e in events]
+        assert "firings" in kinds and "step" not in kinds
+
+    def test_sample_zero_suppresses_all_events(self, queue_file, capsys):
+        assert main(
+            ["trace", queue_file, self.TERM, "--sample", "0.0"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "0 trace event(s)" in captured.err
+
+    def test_budget_exhaustion_exits_three(self, queue_file, capsys):
+        code = main(["trace", queue_file, self.TERM, "--fuel", "1"])
+        assert code == 3
+        captured = capsys.readouterr()
+        events = [
+            json.loads(line) for line in captured.out.splitlines() if line
+        ]
+        assert any(e["ev"] == "budget_exhausted" for e in events)
+
+    def test_metrics_out_writes_aggregate_snapshot(
+        self, queue_file, tmp_path, capsys
+    ):
+        metrics = tmp_path / "metrics.json"
+        code = main(
+            ["trace", queue_file, self.TERM, "--metrics-out", str(metrics)]
+        )
+        assert code == 0
+        snapshot = json.loads(metrics.read_text())
+        assert snapshot["counters"]["engine.steps"] > 0
+        assert "intern.hits" in snapshot["counters"]
+        assert snapshot["families"]["engine.rule_firings"]
+
+    @pytest.mark.parametrize("backend", ["interpreted", "compiled"])
+    def test_trace_firings_match_metrics_snapshot(
+        self, queue_file, tmp_path, backend
+    ):
+        # The acceptance criterion, end to end and hermetically: in a
+        # fresh process, the JSONL trace's per-rule counts must equal
+        # the metrics snapshot's firing family exactly.
+        from repro.obs import firing_counts, read_trace
+
+        out = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.json"
+        env = dict(os.environ, PYTHONPATH=str(REPO_SRC))
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "trace", queue_file,
+                self.TERM, "--backend", backend,
+                "--out", str(out), "--metrics-out", str(metrics),
+            ],
+            capture_output=True, text=True, timeout=120, env=env,
+        )
+        assert proc.returncode == 0, proc.stderr
+        traced = firing_counts(read_trace(out))
+        snapshot = json.loads(metrics.read_text())
+        assert traced == snapshot["families"]["engine.rule_firings"]
+        assert sum(traced.values()) > 0
+
+
+class TestMetricsOut:
+    def test_eval_metrics_out(self, queue_file, tmp_path, capsys):
+        metrics = tmp_path / "metrics.json"
+        code = main(
+            [
+                "eval", queue_file, "FRONT(ADD(NEW, 'a'))",
+                "--metrics-out", str(metrics),
+            ]
+        )
+        assert code == 0
+        snapshot = json.loads(metrics.read_text())
+        assert set(snapshot) == {
+            "counters", "gauges", "histograms", "families",
+        }
+
+    def test_check_metrics_out(self, queue_file, tmp_path, capsys):
+        metrics = tmp_path / "metrics.json"
+        assert main(
+            ["check", queue_file, "--metrics-out", str(metrics)]
+        ) == 0
+        assert json.loads(metrics.read_text())["counters"]
 
 
 class TestCompile:
