@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""CI perf guard for the E10 drain workload.
+
+Re-measures the drain at the committed benchmark's largest size for the
+guarded backends and compares against the committed ``BENCH_E10.json``
+— *machine-normalised*: the interpreted ``full`` configuration is
+re-measured too, and the committed baselines are scaled by
+``measured_full / baseline_full`` before the comparison.  That way the
+guard fails on a real regression of the compiled backends relative to
+the interpreted engine, not on CI running on a slower machine than the
+one that produced the committed artefact.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/check_perf_regression.py
+
+Exit status 1 when a guarded backend is more than ``--threshold``
+(default 1.25x) slower than its scaled committed baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+if str(BENCH_DIR) not in sys.path:
+    sys.path.insert(0, str(BENCH_DIR))
+
+from run_benchmarks import E10_CONFIGS, _measure_drain  # noqa: E402
+
+#: Configurations the guard re-measures and compares.  ``full`` is the
+#: normaliser, not a guarded row: its measured/baseline ratio *is* the
+#: machine-speed correction applied to every other row.
+GUARDED = ("compiled", "codegen")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=BENCH_DIR / "BENCH_E10.json",
+        help="committed benchmark artefact to guard against",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=1.25,
+        help="fail when measured > scaled baseline x this (default 1.25)",
+    )
+    parser.add_argument(
+        "--reps",
+        type=int,
+        default=3,
+        help="best-of repetitions per measurement (default 3)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(args.baseline.read_text())
+    size = max(baseline["sizes"])
+    configs = {name: row for name, *row in E10_CONFIGS}
+
+    def measure(name: str) -> float:
+        interning, use_index, cache_policy, backend, fusion = configs[name]
+        sample = _measure_drain(
+            size, interning, use_index, cache_policy, backend, args.reps,
+            fusion=fusion,
+        )
+        return sample["seconds"]
+
+    def committed(name: str) -> float:
+        return baseline["configs"][name][str(size)]["seconds"]
+
+    measured_full = measure("full")
+    scale = measured_full / committed("full")
+    print(
+        f"drain@{size}: full measured {measured_full:.6f}s, committed "
+        f"{committed('full'):.6f}s -> machine scale {scale:.2f}x"
+    )
+
+    status = 0
+    for name in GUARDED:
+        if name not in baseline["configs"]:
+            print(f"drain@{size}: {name} not in baseline, skipping")
+            continue
+        measured = measure(name)
+        allowed = committed(name) * scale * args.threshold
+        verdict = "ok" if measured <= allowed else "REGRESSION"
+        print(
+            f"drain@{size}: {name} measured {measured:.6f}s, allowed "
+            f"{allowed:.6f}s (committed {committed(name):.6f}s x "
+            f"{scale:.2f} x {args.threshold}) -> {verdict}"
+        )
+        if measured > allowed:
+            status = 1
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

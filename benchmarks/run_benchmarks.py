@@ -22,6 +22,8 @@ O(n) ``is_ground``/``size``/``depth`` walks on the new term substrate.
 from __future__ import annotations
 
 import argparse
+import gc
+import itertools
 import json
 import subprocess
 import sys
@@ -37,7 +39,11 @@ from repro.algebra import intern_table_size, set_interning  # noqa: E402
 from repro.algebra.terms import Err, app  # noqa: E402
 from repro.adt.queue import FRONT, QUEUE_SPEC, REMOVE, queue_term  # noqa: E402
 from repro.interp import facade_class  # noqa: E402
-from repro.obs import rule_id, substrate_counters  # noqa: E402
+from repro.obs import (  # noqa: E402
+    rule_id,
+    substrate_counters,
+    suggest_fuel_budget,
+)
 from repro.rewriting import RewriteEngine, RuleSet  # noqa: E402
 
 #: Last commit with the seed engine (pre-interning term substrate).
@@ -47,16 +53,26 @@ RULES = RuleSet.from_specification(QUEUE_SPEC)
 
 #: Engine configurations measured by E10.  ``full`` is the interpreted
 #: engine as shipped; ``compiled`` is the closure-compiled backend;
+#: ``codegen`` is the second-stage generated-source backend (with
+#: ``codegen-nofuse`` as its fusion ablation, so the three rows
+#: closures / codegen / codegen+fusion read as one ladder);
 #: ``seed-config`` flips every ablation flag back at once.
 E10_CONFIGS = [
-    ("full", True, True, "lru", "interpreted"),
-    ("compiled", True, True, "lru", "compiled"),
-    ("no-interning", False, True, "lru", "interpreted"),
-    ("head-index", True, "head", "lru", "interpreted"),
-    ("linear-scan", True, False, "lru", "interpreted"),
-    ("clear-cache", True, True, "clear", "interpreted"),
-    ("seed-config", False, "head", "clear", "interpreted"),
+    ("full", True, True, "lru", "interpreted", None),
+    ("compiled", True, True, "lru", "compiled", None),
+    ("codegen", True, True, "lru", "codegen", "auto"),
+    ("codegen-nofuse", True, True, "lru", "codegen", "none"),
+    ("no-interning", False, True, "lru", "interpreted", None),
+    ("head-index", True, "head", "lru", "interpreted", None),
+    ("linear-scan", True, False, "lru", "interpreted", None),
+    ("clear-cache", True, True, "clear", "interpreted", None),
+    ("seed-config", False, "head", "clear", "interpreted", None),
 ]
+
+#: Distinct queue payloads per measured run, so one run's interned
+#: subject terms cannot pre-warm the next run's intern table (the
+#: honest-cold-run fix: hit rates now measure sharing *within* a run).
+_PAYLOAD_BASE = itertools.count(start=1_000_000, step=1_000_000)
 
 #: Script used by the seed-commit subprocess: must not import anything
 #: that only exists after the PR.
@@ -94,29 +110,38 @@ def _hit_rate(hits: int, misses: int):
 
 def _obs_metrics(engine: RewriteEngine, substrate_before: dict) -> dict:
     """The observability embed for one measured run: substrate hit
-    rates (as deltas over the run) and the engine's per-rule firing
-    profile, busiest rules first."""
+    rates (as deltas over the run), the engine's per-rule firing
+    profile (busiest rules first), and the histogram-driven fuel-budget
+    suggestion.  A rate whose substrate saw no traffic during the run
+    is *omitted* rather than reported as null — the compiled backends
+    never touch the discrimination-tree shape memo, and a null row
+    reads as a measurement where there was none."""
     delta = {
         name: value - substrate_before[name]
         for name, value in substrate_counters().items()
     }
-    return {
-        "intern_hit_rate": _hit_rate(
-            delta["intern.hits"], delta["intern.misses"]
-        ),
-        "shape_memo_hit_rate": _hit_rate(
-            delta["rule_index.shape_memo_hits"],
-            delta["rule_index.shape_memo_misses"],
-        ),
-        "rule_firings": {
-            rule_id(rule): count
-            for rule, count in engine.stats.firings.ranked()
-        },
+    metrics = {}
+    intern_rate = _hit_rate(delta["intern.hits"], delta["intern.misses"])
+    if intern_rate is not None:
+        metrics["intern_hit_rate"] = intern_rate
+    shape_rate = _hit_rate(
+        delta["rule_index.shape_memo_hits"],
+        delta["rule_index.shape_memo_misses"],
+    )
+    if shape_rate is not None:
+        metrics["shape_memo_hit_rate"] = shape_rate
+    suggested = suggest_fuel_budget(engine.stats.fuel_hist)
+    if suggested is not None:
+        metrics["suggested_fuel"] = suggested
+    metrics["rule_firings"] = {
+        rule_id(rule): count
+        for rule, count in engine.stats.firings.ranked()
     }
+    return metrics
 
 
-def _drain(engine: RewriteEngine, size: int) -> int:
-    term = queue_term(range(size))
+def _drain(engine: RewriteEngine, size: int, base: int = 0) -> int:
+    term = queue_term(range(base, base + size))
     steps = 0
     while True:
         front = engine.normalize(app(FRONT, term))
@@ -128,9 +153,16 @@ def _drain(engine: RewriteEngine, size: int) -> int:
 
 
 def _measure_drain(
-    size: int, interning, use_index, cache_policy, backend, reps: int
+    size: int, interning, use_index, cache_policy, backend, reps: int,
+    fusion=None,
 ):
-    """Best-of-``reps`` drain; returns timing plus the engine counters."""
+    """Best-of-``reps`` drain; returns timing plus the engine counters.
+
+    Every rep drains a queue of *fresh* payloads (see
+    :data:`_PAYLOAD_BASE`) after a ``gc.collect()``, so the weak intern
+    table starts cold with respect to the subject — without this, every
+    rep after the first reports the warm-table artefact
+    ``intern_hit_rate: 1.0`` regardless of configuration."""
     best = None
     for _ in range(reps):
         previous = set_interning(interning)
@@ -138,14 +170,18 @@ def _measure_drain(
             engine = RewriteEngine(
                 RULES, fuel=10_000_000,
                 use_index=use_index, cache_policy=cache_policy,
-                backend=backend,
+                backend=backend, fusion=fusion,
             )
             if backend == "compiled":
                 engine._compiled_engine()  # build closures outside the timing
+            elif backend == "codegen":
+                engine._codegen_engine()  # compile the module outside too
+            gc.collect()  # release the previous rep's interned subject
+            base = next(_PAYLOAD_BASE)
             table_before = intern_table_size()
             substrate_before = substrate_counters()
             start = time.perf_counter()
-            drained = _drain(engine, size)
+            drained = _drain(engine, size, base)
             elapsed = time.perf_counter() - start
             peak_terms = intern_table_size()
             metrics = _obs_metrics(engine, substrate_before)
@@ -202,27 +238,35 @@ def run_e10(quick: bool) -> dict:
     sizes = [12] if quick else [32, 64, 128]
     reps = 1 if quick else 3
     configs: dict[str, dict] = {}
-    for name, interning, use_index, cache_policy, backend in E10_CONFIGS:
+    for name, interning, use_index, cache_policy, backend, fusion in E10_CONFIGS:
         configs[name] = {
             str(size): _measure_drain(
-                size, interning, use_index, cache_policy, backend, reps
+                size, interning, use_index, cache_policy, backend, reps,
+                fusion=fusion,
             )
             for size in sizes
         }
+
+    def ratio(numerator: str, denominator: str) -> dict:
+        return {
+            str(size): round(
+                configs[numerator][str(size)]["seconds"]
+                / configs[denominator][str(size)]["seconds"],
+                2,
+            )
+            for size in sizes
+        }
+
     result = {
         "experiment": "E10",
         "workload": "FIFO drain of queue_term(range(size)) via FRONT/REMOVE",
         "mode": "quick" if quick else "full",
         "sizes": sizes,
         "configs": configs,
-        "compiled_vs_interpreted": {
-            str(size): round(
-                configs["full"][str(size)]["seconds"]
-                / configs["compiled"][str(size)]["seconds"],
-                2,
-            )
-            for size in sizes
-        },
+        "compiled_vs_interpreted": ratio("full", "compiled"),
+        "codegen_vs_interpreted": ratio("full", "codegen"),
+        "codegen_vs_compiled": ratio("compiled", "codegen"),
+        "fusion_speedup": ratio("codegen-nofuse", "codegen"),
     }
     if not quick:
         seed = _seed_baseline(sizes, reps)
@@ -289,6 +333,17 @@ def run_e7(quick: bool) -> dict:
     compiled_secs = (time.perf_counter() - start) / reps
     compiled_metrics = _obs_metrics(compiled_engine, substrate_before)
 
+    # The same script again through the second-stage generated module.
+    codegen_facade = facade_class(QUEUE_SPEC, backend="codegen")
+    codegen_engine = codegen_facade._interpreter.engine
+    codegen_engine._codegen_engine()  # compile the module outside the timing
+    substrate_before = substrate_counters()
+    start = time.perf_counter()
+    for _ in range(reps):
+        symbolic_script(codegen_facade)
+    codegen_secs = (time.perf_counter() - start) / reps
+    codegen_metrics = _obs_metrics(codegen_engine, substrate_before)
+
     # And the drain observations submitted as one normalize_many batch
     # (shared memo across the whole workload).
     batch_terms = [
@@ -330,6 +385,14 @@ def run_e7(quick: bool) -> dict:
             ),
             "metrics": compiled_metrics,
         },
+        "symbolic_codegen": {
+            "seconds": round(codegen_secs, 6),
+            "ops_per_sec": round(operations / codegen_secs, 1),
+            "cache_hit_rate": round(
+                codegen_engine.stats.cache_hit_rate, 4
+            ),
+            "metrics": codegen_metrics,
+        },
         "symbolic_compiled_batch": {
             "seconds": round(batch_secs, 6),
             "terms": len(batch_terms),
@@ -337,7 +400,9 @@ def run_e7(quick: bool) -> dict:
         },
         "symbolic_over_concrete": round(symbolic / concrete, 1),
         "compiled_over_concrete": round(compiled_secs / concrete, 1),
+        "codegen_over_concrete": round(codegen_secs / concrete, 1),
         "compiled_vs_interpreted": round(symbolic / compiled_secs, 2),
+        "codegen_vs_compiled": round(compiled_secs / codegen_secs, 2),
     }
 
 
@@ -359,10 +424,21 @@ def main(argv=None) -> int:
         path = args.output_dir / f"{name}.json"
         path.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"wrote {path}")
-        if name == "BENCH_E10" and "speedup_vs_seed" in payload:
+        if name == "BENCH_E10":
             largest = str(max(payload["sizes"]))
-            speedup = payload["speedup_vs_seed"][largest]
-            print(f"speedup vs seed engine at size {largest}: {speedup}x")
+            suggested = (
+                payload["configs"]["full"][largest]["metrics"]
+                .get("suggested_fuel")
+            )
+            if suggested is not None:
+                print(
+                    f"suggested fuel budget (p99 of fuel/eval x 2.0 "
+                    f"margin, interpreted drain at size {largest}): "
+                    f"{suggested}"
+                )
+            if "speedup_vs_seed" in payload:
+                speedup = payload["speedup_vs_seed"][largest]
+                print(f"speedup vs seed engine at size {largest}: {speedup}x")
     return 0
 
 

@@ -11,6 +11,8 @@ Five subcommands, mirroring the workflows the paper describes::
     python -m repro trace FILE TERM   normalise TERM with the span tracer
                                       on, emitting a JSONL trace and a
                                       per-rule self-time profile
+    python -m repro trace-diff A B    compare two JSONL traces: per-rule
+                                      firing-count and self-time deltas
     python -m repro compile FILE      scope/type-check a Block program
                                       [--dialect plain|knows]
                                       [--backend concrete|native|spec]
@@ -36,7 +38,7 @@ from repro.analysis import (
 )
 from repro.report import banner, format_specification
 from repro.spec.parser import parse_specifications, parse_term
-from repro.rewriting import RewriteEngine
+from repro.rewriting import BACKENDS, RewriteEngine
 
 
 def _load_specs(path: str):
@@ -189,6 +191,22 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 3 if failure is not None else 0
 
 
+def cmd_trace_diff(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import profile_diff, read_trace
+    from repro.report import format_profile_diff
+
+    diff = profile_diff(read_trace(args.trace_a), read_trace(args.trace_b))
+    if args.json:
+        print(json.dumps(diff, indent=2))
+    else:
+        print(f"-- {args.trace_b} minus {args.trace_a}", file=sys.stderr)
+        print(format_profile_diff(diff, limit=args.top))
+    moved = any(row["firings_delta"] for row in diff)
+    return 1 if moved and args.fail_on_firing_delta else 0
+
+
 def cmd_compile(args: argparse.Namespace) -> int:
     from repro.compiler import (
         ConcreteBackend,
@@ -303,9 +321,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     evaluate.add_argument(
         "--backend",
-        choices=("interpreted", "compiled"),
+        choices=BACKENDS,
         default="interpreted",
-        help="evaluation backend (both compute the same normal forms)",
+        help="evaluation backend (all compute the same normal forms)",
     )
     evaluate.add_argument(
         "--fuel", type=int, default=None, help="rewrite-step budget"
@@ -340,7 +358,7 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("term")
     trace.add_argument(
         "--backend",
-        choices=("interpreted", "compiled"),
+        choices=BACKENDS,
         default="interpreted",
         help="evaluation backend (traces differ in shape — per-step "
         "events vs aggregated firings — but agree in counts)",
@@ -368,6 +386,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace.add_argument("--metrics-out", default=None, help=metrics_help)
     trace.set_defaults(run=cmd_trace)
+
+    trace_diff = commands.add_parser(
+        "trace-diff",
+        help="compare two JSONL traces: per-rule firing-count and "
+        "self-time deltas (B minus A), biggest movers first",
+    )
+    trace_diff.add_argument("trace_a")
+    trace_diff.add_argument("trace_b")
+    trace_diff.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="rows in the delta table (default 10)",
+    )
+    trace_diff.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full delta rows as JSON instead of a table",
+    )
+    trace_diff.add_argument(
+        "--fail-on-firing-delta",
+        action="store_true",
+        help="exit 1 if any rule's firing count differs (backend "
+        "equivalence check)",
+    )
+    trace_diff.set_defaults(run=cmd_trace_diff)
 
     run_cmd = commands.add_parser(
         "run", help="execute a Block program"

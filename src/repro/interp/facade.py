@@ -158,8 +158,10 @@ def facade_class(
 
     ``backend="compiled"`` routes every method through the
     closure-compiled normaliser — behaviourally identical, measurably
-    faster (benchmark E7).  ``budget`` bounds every evaluation the
-    façade performs (fuel, wall-clock deadline, memory caps).
+    faster (benchmark E7) — and ``backend="codegen"`` through the
+    second-stage generated-source modules, faster still.  ``budget``
+    bounds every evaluation the façade performs (fuel, wall-clock
+    deadline, memory caps).
 
     >>> Queue = facade_class(QUEUE_SPEC)
     >>> q = Queue.new().add('a').add('b')

@@ -79,8 +79,10 @@ class SymbolicInterpreter:
     """Executes a specification's operations by rewriting.
 
     ``backend`` selects the evaluation path: ``"interpreted"`` (the
-    default) or ``"compiled"`` (closure-compiled rules, same normal
-    forms — see :mod:`repro.rewriting.compile`).
+    default), ``"compiled"`` (closure-compiled rules — see
+    :mod:`repro.rewriting.compile`) or ``"codegen"`` (second-stage
+    generated-source modules — see :mod:`repro.rewriting.codegen`).
+    All three compute the same normal forms.
     """
 
     def __init__(

@@ -23,6 +23,7 @@ without adding dependencies or measurable overhead when disabled:
 
 from repro.obs.metrics import (
     EVAL_SECONDS_BUCKETS,
+    FUEL_BUCKETS,
     GLOBAL,
     Counter,
     CounterFamily,
@@ -30,9 +31,11 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     aggregate_snapshot,
+    histogram_quantile,
     substrate_counters,
+    suggest_fuel_budget,
 )
-from repro.obs.profile import rule_profile, top_rules
+from repro.obs.profile import profile_diff, rule_profile, top_rules
 from repro.obs.trace import (
     Tracer,
     firing_counts,
@@ -47,6 +50,7 @@ __all__ = [
     "Counter",
     "CounterFamily",
     "EVAL_SECONDS_BUCKETS",
+    "FUEL_BUCKETS",
     "GLOBAL",
     "Gauge",
     "Histogram",
@@ -54,12 +58,15 @@ __all__ = [
     "Tracer",
     "aggregate_snapshot",
     "firing_counts",
+    "histogram_quantile",
     "install",
     "maybe_span",
+    "profile_diff",
     "read_trace",
     "rule_id",
     "rule_profile",
     "substrate_counters",
+    "suggest_fuel_budget",
     "top_rules",
     "tracing",
 ]

@@ -41,14 +41,24 @@ __all__ = [
     "MetricsRegistry",
     "GLOBAL",
     "EVAL_SECONDS_BUCKETS",
+    "FUEL_BUCKETS",
     "aggregate_snapshot",
+    "histogram_quantile",
     "substrate_counters",
+    "suggest_fuel_budget",
 ]
 
 #: Fixed bucket boundaries (seconds) for evaluation-latency histograms.
 #: Fixed rather than adaptive so snapshots from different runs, engines
 #: and processes are directly comparable, bucket by bucket.
 EVAL_SECONDS_BUCKETS = (1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0)
+
+#: Fixed bucket boundaries (rewrite steps) for the per-evaluation fuel
+#: histogram — roughly geometric, resolving both the single-digit spends
+#: of memo-warm drains and six-figure pathological evaluations.
+FUEL_BUCKETS = (
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 1024, 4096, 16384, 65536, 262144
+)
 
 
 class Counter:
@@ -201,6 +211,54 @@ class CounterFamily:
 
     def snapshot(self) -> dict:
         return {str(key): count for key, count in self.ranked()}
+
+
+def histogram_quantile(histogram, q: float) -> Optional[float]:
+    """The upper bucket bound covering quantile ``q`` of observations.
+
+    Accepts a live :class:`Histogram` or a ``snapshot()`` dict (also the
+    aggregated form), so it works on in-process engines and on metrics
+    files alike.  Returns ``None`` when the histogram is empty or the
+    quantile falls in the overflow bucket (no finite bound covers it) —
+    callers must treat that as "no estimate", not zero.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+    if isinstance(histogram, Histogram):
+        bounds, counts, total = (
+            histogram.bounds,
+            histogram.counts,
+            histogram.count,
+        )
+    else:
+        bounds = histogram["bounds"]
+        counts = histogram["counts"]
+        total = histogram["count"]
+    if not total:
+        return None
+    need = q * total
+    cumulative = 0
+    for bound, count in zip(bounds, counts):
+        cumulative += count
+        if cumulative >= need:
+            return bound
+    return None  # the quantile lives in the overflow bucket
+
+
+def suggest_fuel_budget(
+    histogram, quantile: float = 0.99, margin: float = 2.0
+) -> Optional[int]:
+    """A fuel budget suggestion from observed per-evaluation spends:
+    the ``quantile`` bucket bound of the ``engine.fuel_per_eval``
+    histogram times a safety ``margin`` (headroom for workloads slightly
+    heavier than those observed).  ``None`` when there is no data — or
+    when the tail escapes the finite buckets, in which case no budget
+    derived from this histogram would be trustworthy.
+    """
+    estimate = histogram_quantile(histogram, quantile)
+    if estimate is None:
+        return None
+    return max(1, int(estimate * margin))
 
 
 #: Every live registry, for :func:`aggregate_snapshot`.

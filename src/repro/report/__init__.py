@@ -4,6 +4,7 @@ from repro.report.pretty import (
     banner,
     format_axiom,
     format_metrics,
+    format_profile_diff,
     format_rule_profile,
     format_specification,
     format_table,
@@ -14,6 +15,7 @@ __all__ = [
     "banner",
     "format_axiom",
     "format_metrics",
+    "format_profile_diff",
     "format_rule_profile",
     "format_specification",
     "format_table",

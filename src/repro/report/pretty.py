@@ -161,3 +161,40 @@ def format_rule_profile(profile: Sequence[dict], limit: int = 10) -> str:
     if not rows:
         return "(no rule firings recorded)"
     return format_table(("firings", "self_s", "share", "rule"), rows)
+
+
+def format_profile_diff(diff: Sequence[dict], limit: int = 10) -> str:
+    """Render a trace comparison (the rows
+    :func:`repro.obs.profile.profile_diff` produces) as a top-N table
+    of the biggest movers.  Deltas are ``b`` minus ``a``; ``~`` marks
+    rows whose self time on either side was estimated by proportional
+    attribution."""
+    rows = []
+    for row in list(diff)[:limit]:
+        marker = "~" if row.get("estimated") else ""
+        delta = row["firings_delta"]
+        rows.append(
+            (
+                row["firings_a"],
+                row["firings_b"],
+                f"{delta:+d}" if delta else "0",
+                f"{row['self_s_a']:.6f}",
+                f"{row['self_s_b']:.6f}",
+                f"{marker}{row['self_s_delta']:+.6f}",
+                row["rule"],
+            )
+        )
+    if not rows:
+        return "(no rule firings in either trace)"
+    return format_table(
+        (
+            "firings_a",
+            "firings_b",
+            "delta",
+            "self_s_a",
+            "self_s_b",
+            "self_delta",
+            "rule",
+        ),
+        rows,
+    )

@@ -13,6 +13,12 @@ from repro.rewriting.compile import (
     CompiledRules,
     compile_ruleset,
 )
+from repro.rewriting.codegen import (
+    CodegenEngine,
+    CodegenModule,
+    FusionPlan,
+    codegen_module,
+)
 from repro.rewriting.ordering import (
     ITE_SYMBOL,
     Precedence,
@@ -38,8 +44,12 @@ __all__ = [
     "RuleSet",
     "rule_from_axiom",
     "BACKENDS",
+    "CodegenEngine",
+    "CodegenModule",
     "CompiledEngine",
     "CompiledRules",
+    "FusionPlan",
+    "codegen_module",
     "compile_ruleset",
     "DEFAULT_FUEL",
     "EngineStats",

@@ -1,0 +1,1122 @@
+"""Second-stage compilation: emitted Python rule modules.
+
+The closure backend (:mod:`repro.rewriting.compile`) already decides
+dispatch at compile time, but it still pays per call for a tuple-boxed
+calling convention, a shared memo keyed by ``(op_index, args)`` tuples,
+and one Python frame per rewrite of a recursive rule.  This module goes
+one stage further and emits a complete Python **source module** per rule
+set:
+
+* **Module emission.**  The generated source is ``compile()``d once and
+  cached by the rule set's structural :meth:`~RuleSet.fingerprint` (plus
+  the compiler options), so equal rule sets — every engine over the same
+  specification — share one code object.  Instantiating an engine then
+  only re-``exec``s the cached code with fresh counters and memo dicts.
+  Closures take their arguments positionally (``op_k(a0, a1, b, d)``)
+  and memoise in per-operation dicts keyed by the argument itself, which
+  drops a tuple allocation and a hash of ``(index, tuple)`` per probe.
+
+* **Ground-RHS folding.**  A ground right-hand-side (sub)term has a
+  unique normal form fixed at compile time (the rule sets are confluent
+  and terminating on ground terms), so the compiler normalises it *once*
+  and emits the result as a constant.  To keep the other backends'
+  observable accounting — per-rule firing counts, fuel, memo contents —
+  bit-for-bit identical, the emission *replays* the evaluation: one
+  memo-guarded block per folded node that spends the recorded fuel,
+  bumps the recorded firing counters on a miss, and stores the normal
+  form exactly where the runtime evaluation would have.
+
+* **Superinstruction fusion.**  Self-recursive rules — the E10 drain's
+  ``FRONT``/``REMOVE`` over an ``ADD`` spine, guarded by ``IS_EMPTY?``
+  (>95% of all firings in the PR-5 profiles) — are fused into a single
+  ``while`` loop per operation: the recursive call becomes a ``continue``
+  with reassigned arguments, constructor wrappers around the recursive
+  position become accumulator frames rebuilt on the way out, and unary
+  guard predicates are inlined as branch arms with their own memo probe.
+  Fusion is legal only when the recursive call's arguments are *pure*
+  (variables, literals, inert ground terms) and preserves the exact
+  probe/store/firing sequence of the unfused closures — the three-way
+  differential suite holds it to that.  A :class:`FusionPlan` can narrow
+  the fused set from rule-profiler data (``FusionPlan.from_profile``)
+  or disable fusion for ablation (``fusion="none"``).
+
+The engine-facing wrapper is :class:`CodegenEngine`; it enforces
+:class:`~repro.runtime.EvaluationBudget` through the same shared
+``BudgetMeter`` cell as the other backends and degrades to the
+interpreted machine on deep recursion, exactly like the closure backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Iterable, Optional
+
+from repro.algebra.signature import Operation
+from repro.algebra.substitution import apply_bindings
+from repro.algebra.terms import App, Err, Ite, Lit, Term, Var
+from repro.spec.errors import AlgebraError
+from repro.spec.prelude import boolean_term, is_false, is_true
+from repro.rewriting.compile import (
+    _DEPTH_LIMIT,
+    _Compiler,
+    _DeepRecursion,
+    _LimitHit,
+    _rt_unbound,
+)
+from repro.rewriting.engine import (
+    DEFAULT_FUEL,
+    EngineStats,
+    RewriteEngine,
+    RewriteLimitError,
+)
+from repro.rewriting.rules import RewriteRule, RuleSet
+from repro.runtime import faults as _faults
+from repro.runtime.budget import BudgetExceeded, BudgetMeter, EvaluationBudget
+from repro.runtime.render import summarize_term
+from repro.obs import trace as _trace
+
+#: Fuel allowed for one compile-time fold normalisation.  A ground RHS
+#: needing more than this is left to runtime evaluation (folding is an
+#: optimisation, never an obligation).
+_FOLD_FUEL = 50_000
+
+#: Bound on remembered top-level normal forms in the engine's NF set
+#: (the driver's "skip the argument walk" fast path).
+_NF_LIMIT = 16384
+
+#: Bound on cached generated modules (keyed by rule-set fingerprint).
+_MODULE_CACHE_LIMIT = 64
+
+
+@dataclass(frozen=True)
+class FusionPlan:
+    """Which operations may be fused into superinstructions.
+
+    ``mode`` is ``"auto"`` (fuse every legal operation — the default),
+    ``"none"`` (the ablation baseline: plain per-operation closures in
+    the emitted module), or ``"profile"`` (fuse only the operations in
+    ``hot``, typically derived from rule-profiler firing counts).
+    """
+
+    mode: str = "auto"
+    hot: frozenset = frozenset()
+
+    @property
+    def key(self) -> str:
+        """The plan's contribution to the module-cache fingerprint."""
+        if self.mode == "profile":
+            return "profile:" + ",".join(sorted(self.hot))
+        return self.mode
+
+    def allows(self, name: str) -> bool:
+        if self.mode == "none":
+            return False
+        if self.mode == "profile":
+            return name in self.hot
+        return True
+
+    @classmethod
+    def coerce(cls, fusion) -> "FusionPlan":
+        if isinstance(fusion, FusionPlan):
+            return fusion
+        if fusion is None or fusion == "auto":
+            return cls("auto")
+        if fusion == "none":
+            return cls("none")
+        raise ValueError(f"unknown fusion plan: {fusion!r}")
+
+    @classmethod
+    def from_profile(
+        cls, rules: RuleSet, counts: dict, coverage: float = 0.95
+    ) -> "FusionPlan":
+        """A plan fusing the head operations that cover ``coverage`` of
+        all firings.  ``counts`` maps rules (or their ``rule_id``
+        strings) to firing counts — the shape of both the engine's
+        firing family and the profiler's per-rule rows."""
+        from repro.obs.trace import rule_id
+
+        per_head: dict[str, int] = {}
+        for rule in rules:
+            count = counts.get(rule)
+            if count is None:
+                count = counts.get(rule_id(rule), 0)
+            head = rule.head.name
+            per_head[head] = per_head.get(head, 0) + int(count)
+        total = sum(per_head.values())
+        if not total:
+            return cls("auto")
+        hot: set[str] = set()
+        covered = 0
+        for head, count in sorted(
+            per_head.items(), key=lambda item: (-item[1], item[0])
+        ):
+            if covered >= coverage * total:
+                break
+            hot.add(head)
+            covered += count
+        return cls("profile", frozenset(hot))
+
+
+class _CodegenCompiler(_Compiler):
+    """Emits the second-stage module (see the module docstring).
+
+    Reuses the closure compiler's pattern/dispatch machinery; overrides
+    the calling convention, memoisation, RHS generation (folding), and
+    per-operation emission (fusion).
+    """
+
+    def __init__(
+        self, rules: RuleSet, cache_on: bool, fold: bool, plan: FusionPlan
+    ) -> None:
+        super().__init__(rules, cache_size=4096 if cache_on else 0)
+        self.fold_on = fold
+        self.plan = plan
+        self.fused_ops: set[str] = set()
+        self._fused_mode = False
+        self._fused_k: Optional[int] = None
+        self._scratch: Optional[RewriteEngine] = None
+        self._fold_plans: dict = {}
+        self._pred_cache: dict = {}
+        self._rule_gidx: dict = {}
+        for gidx, rule in enumerate(self.rules):
+            self._rule_gidx.setdefault(rule, gidx)
+
+    # -- small helpers --------------------------------------------------
+    def _key_expr(self, k: int) -> str:
+        arity = self.ops[k].arity
+        if arity == 0:
+            return "()"
+        if arity == 1:
+            return "a0"
+        return "(" + ", ".join(f"a{i}" for i in range(arity)) + ")"
+
+    def _key_const(self, k: int, child_nfs: tuple) -> str:
+        """The compile-time constant matching :meth:`_key_expr`."""
+        if not child_nfs:
+            return "()"
+        if len(child_nfs) == 1:
+            return self.const(child_nfs[0], "K")
+        return self.const(child_nfs, "KT")
+
+    def _store_lines(self, k: int, key: str, value: str, ind: str) -> None:
+        L = self.lines
+        L.append(f"{ind}if len(C{k}) >= CMAX:")
+        L.append(f"{ind}    C{k}.clear()")
+        L.append(f"{ind}C{k}[{key}] = {value}")
+
+    def _emit_err(self, ind: str, err_sort) -> None:
+        """Strict error propagation at one consumption site: return the
+        operation's error in plain closures, break out of the fused loop
+        (skipping the current subject's store, like the closure's early
+        return skips its finish) in fused ones."""
+        L = self.lines
+        L.append(f"{ind}ST[5] += 1")
+        if self._fused_mode:
+            L.append(f"{ind}r = {self.err_const(err_sort)}")
+            L.append(f"{ind}g = False")
+            L.append(f"{ind}break")
+        else:
+            L.append(f"{ind}return {self.err_const(err_sort)}")
+
+    def _pure(self, t: Term) -> bool:
+        """Safe to re-evaluate as a bare expression: a bound variable, a
+        literal, or an inert ground constant (never an ``Err`` — those
+        must flow through the strict-propagation checks)."""
+        if isinstance(t, (Var, Lit)):
+            return True
+        return not isinstance(t, Err) and self._inert(t)
+
+    def _pure_expr(self, t: Term, env) -> str:
+        if isinstance(t, Var):
+            return env[t]
+        return self.const(t, "K")
+
+    # -- RHS generation (per-arg calls, error style, folding) -----------
+    def _gen(self, t: Term, env, ind: str, err_sort):
+        L = self.lines
+        if isinstance(t, Var):
+            return env[t], False
+        if isinstance(t, Lit):
+            return self.const(t, "K"), False
+        if isinstance(t, Err):
+            return self.const(t, "K"), True
+        if isinstance(t, App):
+            if self._inert(t):
+                return self.const(t, "K"), False
+            if self.fold_on and t._ground:
+                folded = self._emit_fold(t, ind)
+                if folded is not None:
+                    return folded, False
+            parts = []
+            for sub in t.args:
+                ex, may_err = self._gen(sub, env, ind, err_sort)
+                if may_err:
+                    tv = self._tmp()
+                    L.append(f"{ind}{tv} = {ex}")
+                    L.append(f"{ind}if type({tv}) is Err:")
+                    self._emit_err(ind + "    ", err_sort)
+                    ex = tv
+                parts.append(ex)
+            name = t.op.name
+            k = self.op_index.get(name)
+            if k is not None and name not in self.uncompiled:
+                args = "".join(f"{p}, " for p in parts)
+                return f"op_{k}({args}b, d + 1)", True
+            tup = (
+                "(" + ", ".join(parts)
+                + ("," if len(parts) == 1 else "") + ")"
+            )
+            if name in self.uncompiled:
+                return f"RT_APP({self.op_const(t.op)}, {tup}, b)", True
+            return f"App({self.op_const(t.op)}, {tup})", False
+        assert isinstance(t, Ite)
+        cex, cme = self._gen(t.cond, env, ind, err_sort)
+        tc = self._tmp()
+        L.append(f"{ind}{tc} = {cex}")
+        if cme:
+            L.append(f"{ind}if type({tc}) is Err:")
+            self._emit_err(ind + "    ", err_sort)
+        tv = self._tmp()
+        L.append(f"{ind}if {tc} is TRUE_N or IS_TRUE({tc}):")
+        ex, me1 = self._gen(t.then_branch, env, ind + "    ", err_sort)
+        L.append(f"{ind}    {tv} = {ex}")
+        L.append(f"{ind}elif {tc} is FALSE_N or IS_FALSE({tc}):")
+        ex, me2 = self._gen(t.else_branch, env, ind + "    ", err_sort)
+        L.append(f"{ind}    {tv} = {ex}")
+        L.append(f"{ind}else:")
+        branch_vars = t.then_branch.variables() | t.else_branch.variables()
+        bd = ", ".join(
+            f"{self.const(v, 'V')}: {env[v]}"
+            for v in sorted(branch_vars, key=lambda v: v.name)
+        )
+        tt = self.const(t.then_branch, "T")
+        te = self.const(t.else_branch, "T")
+        L.append(
+            f"{ind}    {tv} = Ite({tc}, AB({tt}, {{{bd}}}), AB({te}, {{{bd}}}))"
+        )
+        return tv, me1 or me2
+
+    # -- ground-RHS folding ---------------------------------------------
+    def _scratch_normalize(self, subject: Term):
+        """Normalise ``subject`` at compile time on a private interpreted
+        engine (memo off, traces and fault injection masked), returning
+        ``(nf, rule_steps, builtin_steps, firings)`` or ``None``."""
+        eng = self._scratch
+        if eng is None:
+            eng = self._scratch = RewriteEngine(
+                self.ruleset, fuel=_FOLD_FUEL, cache_size=0
+            )
+        trace_save, _trace.ACTIVE = _trace.ACTIVE, None
+        fault_save, _faults.ACTIVE = _faults.ACTIVE, None
+        try:
+            stats = eng.stats
+            builtin_before = stats.s_builtin[0]
+            fires_before = dict(stats.firings.counts)
+            try:
+                nf = eng.normalize(subject)
+            except RewriteLimitError:
+                return None
+            except Exception:  # fault-boundary: folding is best-effort; any failure means "leave the rule unfolded"
+                return None
+            fires: dict = {}
+            for rule, count in stats.firings.counts.items():
+                delta = count - fires_before.get(rule, 0)
+                if delta:
+                    fires[rule] = delta
+            builtins = stats.s_builtin[0] - builtin_before
+            return nf, sum(fires.values()), builtins, fires
+        finally:
+            _trace.ACTIVE = trace_save
+            _faults.ACTIVE = fault_save
+
+    def _fold_plan(self, t: Term):
+        """The replay plan for ground term ``t``: a list of per-node
+        entries in evaluation (post-)order plus the overall normal form,
+        or ``None`` when folding is not provably accounting-equivalent
+        (conditionals, error results, uncompiled operations)."""
+        entries: list = []
+
+        def walk(node: Term) -> Optional[Term]:
+            if isinstance(node, Lit):
+                return node
+            if not isinstance(node, App):
+                return None  # Err leaves and Ite nodes abort the fold
+            child_nfs = []
+            for sub in node.args:
+                nf = walk(sub)
+                if nf is None or isinstance(nf, Err):
+                    return None
+                child_nfs.append(nf)
+            op = node.op
+            if op.name not in self.rule_heads and op.builtin is None:
+                return App(op, tuple(child_nfs))  # free constructor
+            if op.name in self.uncompiled or op.name not in self.op_index:
+                return None
+            result = self._scratch_normalize(App(op, tuple(child_nfs)))
+            if result is None:
+                return None
+            nf, rule_steps, builtin_steps, fires = result
+            if isinstance(nf, (Err, Ite)):
+                return None
+            entries.append(
+                (
+                    self.op_index[op.name],
+                    tuple(child_nfs),
+                    nf,
+                    rule_steps,
+                    builtin_steps,
+                    fires,
+                )
+            )
+            return nf
+
+        top = walk(t)
+        if top is None or not entries:
+            return None
+        return entries, top
+
+    def _emit_fold(self, t: Term, ind: str) -> Optional[str]:
+        """Fold ground ``t`` to its compile-time normal form, emitting
+        the accounting replay (probe, fuel, firings, store — exactly the
+        closures' observable footprint); the returned expression is the
+        normal form constant.  ``None`` means "emit generically"."""
+        if t in self._fold_plans:
+            plan = self._fold_plans[t]
+        else:
+            plan = self._fold_plans[t] = self._fold_plan(t)
+        if plan is None:
+            return None
+        entries, top = plan
+        L = self.lines
+        for k, child_nfs, nf, rule_steps, builtin_steps, fires in entries:
+            key = self._key_const(k, child_nfs)
+            value = self.const(nf, "K")
+            body = ind
+            if self.cache_on:
+                L.append(f"{ind}ST[4] += 1")
+                L.append(f"{ind}if {key} in C{k}:")
+                L.append(f"{ind}    ST[3] += 1")
+                L.append(f"{ind}else:")
+                body = ind + "    "
+            fuel = rule_steps + builtin_steps
+            if fuel:
+                L.append(f"{body}b[0] -= {fuel}")
+                L.append(f"{body}if b[0] < 0:")
+                L.append(f"{body}    raise LimitHit")
+            if rule_steps:
+                L.append(f"{body}ST[0] += {rule_steps}; ST[1] += {rule_steps}")
+            if builtin_steps:
+                L.append(f"{body}ST[2] += {builtin_steps}")
+            for rule, count in fires.items():
+                gidx = self._rule_gidx.get(rule)
+                if gidx is not None:
+                    L.append(f"{body}RF[{gidx}] += {count}")
+            if self.cache_on:
+                self._store_lines(k, key, value, body)
+            elif not fuel and not rule_steps and not builtin_steps:
+                L.append(f"{body}pass")
+        return self.const(top, "K")
+
+    # -- inlined guard predicates ---------------------------------------
+    def _pred_arms(self, k: int):
+        if k in self._pred_cache:
+            return self._pred_cache[k]
+        arms = self._build_pred_arms(k)
+        self._pred_cache[k] = arms
+        return arms
+
+    def _build_pred_arms(self, k: int):
+        """Branch arms for inlining unary predicate ``op_k`` at its call
+        site, or ``None`` when inlining cannot reproduce the closure's
+        exact probe/fire/store behaviour: every rule's argument pattern
+        must be a ground constant or a constructor over distinct
+        variables (mutually disjoint), and every right-hand side must be
+        inert or a pattern variable."""
+        op = self.ops[k]
+        if (
+            op.arity != 1
+            or op.builtin is not None
+            or op.name in self.uncompiled
+            or op.name not in self.rule_heads
+        ):
+            return None
+        arms = []
+        seen_apps: set[str] = set()
+        seen_ground: list[Term] = []
+        for gidx, rule in enumerate(self.rules):
+            if rule.head.name != op.name:
+                continue
+            pat = rule.lhs.args[0]
+            rhs = rule.rhs
+            if isinstance(pat, App) and not pat._ground:
+                if not all(isinstance(x, Var) for x in pat.args):
+                    return None
+                if len(set(pat.args)) != len(pat.args):
+                    return None
+                if pat.op.name in seen_apps:
+                    return None
+                seen_apps.add(pat.op.name)
+                kind, payload = "app", pat.op.name
+            elif pat._ground and not isinstance(pat, Ite):
+                if any(pat == seen for seen in seen_ground):
+                    return None
+                if isinstance(pat, App) and pat.op.name in seen_apps:
+                    return None
+                seen_ground.append(pat)
+                kind, payload = "ground", pat
+            else:
+                return None  # bare-variable / Ite pattern
+            if isinstance(rhs, Var):
+                if not (isinstance(pat, App) and rhs in pat.args):
+                    return None
+            elif not self._inert(rhs):
+                return None
+            arms.append((gidx, rule, kind, payload))
+        return arms or None
+
+    def _emit_pred(self, pk: int, sx: str, ind: str) -> str:
+        """Inline ``op_pk(sx)``: one memo probe, then one arm per rule
+        with the closure's exact fire/store lines, then the generic call
+        for subjects no arm decides.  Returns the bound variable."""
+        arms = self._pred_arms(pk)
+        assert arms is not None
+        L = self.lines
+        c = self._tmp()
+        first = True
+        if self.cache_on:
+            L.append(f"{ind}ST[4] += 1")
+            L.append(f"{ind}{c} = C{pk}.get({sx})")
+            L.append(f"{ind}if {c} is not None:")
+            L.append(f"{ind}    ST[3] += 1")
+            first = False
+        for gidx, rule, kind, payload in arms:
+            kw = "if" if first else "elif"
+            first = False
+            if kind == "app":
+                L.append(
+                    f"{ind}{kw} type({sx}) is App"
+                    f" and {sx}.op.name == {payload!r}:"
+                )
+            else:
+                L.append(f"{ind}{kw} {sx} == {self.const(payload, 'K')}:")
+            body = ind + "    "
+            L.append(f"{body}b[0] -= 1")
+            L.append(f"{body}if b[0] < 0:")
+            L.append(f"{body}    raise LimitHit")
+            L.append(f"{body}ST[0] += 1; ST[1] += 1; RF[{gidx}] += 1")
+            rhs = rule.rhs
+            if isinstance(rhs, Var):
+                pat = rule.lhs.args[0]
+                pos = next(
+                    i for i, a in enumerate(pat.args) if a == rhs
+                )
+                L.append(f"{body}{c} = {sx}.args[{pos}]")
+            else:
+                L.append(f"{body}{c} = {self.const(rhs, 'K')}")
+            if self.cache_on:
+                L.append(f"{body}if {sx}._ground:")
+                self._store_lines(pk, sx, c, body + "    ")
+        L.append(f"{ind}else:")
+        L.append(f"{ind}    {c} = op_{pk}({sx}, b, d + 1)")
+        return c
+
+    # -- fused (superinstruction) emission ------------------------------
+    def _branch_shape(self, head: Operation, t: Term):
+        """How one decided RHS branch continues the fused loop: a tail
+        self-call, a free constructor wrapping exactly one self-call, or
+        ``None`` (emit generically and leave the loop)."""
+        if not isinstance(t, App):
+            return None
+        if t.op.name == head.name and len(t.args) == head.arity:
+            if all(self._pure(a) for a in t.args):
+                return ("tail", t.args)
+            return None
+        if t.op.name in self.rule_heads or t.op.builtin is not None:
+            return None
+        self_pos = None
+        for i, a in enumerate(t.args):
+            if (
+                isinstance(a, App)
+                and a.op.name == head.name
+                and len(a.args) == head.arity
+            ):
+                if self_pos is not None:
+                    return None  # two recursive calls: not a loop
+                self_pos = i
+            elif not self._pure(a):
+                return None
+        if self_pos is None:
+            return None
+        inner = t.args[self_pos]
+        if not all(self._pure(a) for a in inner.args):
+            return None
+        return ("ctor", t.op, self_pos, inner.args, t.args)
+
+    def _rule_fusible(self, head: Operation, rule: RewriteRule) -> bool:
+        rhs = rule.rhs
+        branches = (
+            (rhs.then_branch, rhs.else_branch)
+            if isinstance(rhs, Ite)
+            else (rhs,)
+        )
+        return any(self._branch_shape(head, b) is not None for b in branches)
+
+    def _emit_branch_fused(self, k, op, t, env, ind: str) -> None:
+        L = self.lines
+        shape = self._branch_shape(op, t)
+        if shape is not None and shape[0] == "tail":
+            exprs = [self._pure_expr(a, env) for a in shape[1]]
+            L.append(f"{ind}if acc is None:")
+            L.append(f"{ind}    acc = []")
+            L.append(f"{ind}acc.append((0, {self._key_expr(k)}, g))")
+            targets = ", ".join(f"a{i}" for i in range(len(exprs)))
+            L.append(f"{ind}{targets} = {', '.join(exprs)}")
+            L.append(f"{ind}continue")
+            return
+        if shape is not None and shape[0] == "ctor":
+            _, ctor, pos, inner_args, outer_args = shape
+            pre = [self._pure_expr(a, env) for a in outer_args[:pos]]
+            post = [self._pure_expr(a, env) for a in outer_args[pos + 1:]]
+            pre_t = "(" + ", ".join(pre) + ("," if len(pre) == 1 else "") + ")"
+            post_t = (
+                "(" + ", ".join(post) + ("," if len(post) == 1 else "") + ")"
+            )
+            L.append(f"{ind}if acc is None:")
+            L.append(f"{ind}    acc = []")
+            L.append(
+                f"{ind}acc.append((1, {self._key_expr(k)}, g,"
+                f" {self.op_const(ctor)}, {pre_t}, {post_t}))"
+            )
+            exprs = [self._pure_expr(a, env) for a in inner_args]
+            targets = ", ".join(f"a{i}" for i in range(len(exprs)))
+            L.append(f"{ind}{targets} = {', '.join(exprs)}")
+            L.append(f"{ind}continue")
+            return
+        expr, _ = self._gen(t, env, ind, op.range)
+        L.append(f"{ind}r = {expr}")
+        L.append(f"{ind}break")
+
+    def _emit_rhs_fused(self, k, gidx, rule, env, ind: str) -> None:
+        L = self.lines
+        op = rule.head
+        rhs = rule.rhs
+        if not isinstance(rhs, Ite):
+            self._emit_branch_fused(k, op, rhs, env, ind)
+            return
+        cond = rhs.cond
+        c = None
+        if (
+            isinstance(cond, App)
+            and len(cond.args) == 1
+            and isinstance(cond.args[0], Var)
+            and cond.args[0] in env
+        ):
+            pk = self.op_index.get(cond.op.name)
+            if pk is not None and self._pred_arms(pk) is not None:
+                c = self._emit_pred(pk, env[cond.args[0]], ind)
+        if c is None:
+            cex, cme = self._gen(cond, env, ind, op.range)
+            c = self._tmp()
+            L.append(f"{ind}{c} = {cex}")
+            if not cme:
+                cme = None  # no error check needed
+        L.append(f"{ind}if type({c}) is Err:")
+        self._emit_err(ind + "    ", op.range)
+        L.append(f"{ind}if {c} is TRUE_N or IS_TRUE({c}):")
+        self._emit_branch_fused(k, op, rhs.then_branch, env, ind + "    ")
+        L.append(f"{ind}elif {c} is FALSE_N or IS_FALSE({c}):")
+        self._emit_branch_fused(k, op, rhs.else_branch, env, ind + "    ")
+        L.append(f"{ind}else:")
+        branch_vars = rhs.then_branch.variables() | rhs.else_branch.variables()
+        bd = ", ".join(
+            f"{self.const(v, 'V')}: {env[v]}"
+            for v in sorted(branch_vars, key=lambda v: v.name)
+        )
+        tt = self.const(rhs.then_branch, "T")
+        te = self.const(rhs.else_branch, "T")
+        L.append(
+            f"{ind}    r = Ite({c}, AB({tt}, {{{bd}}}), AB({te}, {{{bd}}}))"
+        )
+        L.append(f"{ind}    break")
+
+    # -- per-operation emission -----------------------------------------
+    def _emit_finish(self, k: int, ind: str) -> None:
+        L = self.lines
+        if self.cache_on:
+            L.append(f"{ind}if g and type(r) is not Ite:")
+            self._store_lines(k, self._key_expr(k), "r", ind + "    ")
+        L.append(f"{ind}return r")
+
+    def _emit_fire(self, k, gidx, rule, env, ind: str) -> None:
+        L = self.lines
+        L.append(f"{ind}b[0] -= 1")
+        L.append(f"{ind}if b[0] < 0:")
+        L.append(f"{ind}    raise LimitHit")
+        L.append(f"{ind}ST[0] += 1; ST[1] += 1; RF[{gidx}] += 1")
+        if self._fused_mode:
+            self._emit_rhs_fused(k, gidx, rule, env, ind)
+        else:
+            expr, _ = self._gen(rule.rhs, env, ind, rule.head.range)
+            L.append(f"{ind}r = {expr}")
+            self._emit_finish(k, ind)
+
+    def _emit_fused_finish(self, k: int, op: Operation) -> None:
+        """After the fused loop: store the final subject's result, then
+        rebuild and store each accumulator frame on the way out —
+        constructor frames convert errors (no store, like the closure's
+        early return), tail frames pass results through verbatim."""
+        L = self.lines
+        ek = self.err_const(op.range)
+        if self.cache_on:
+            L.append("    if g and type(r) is not Ite:")
+            self._store_lines(k, self._key_expr(k), "r", "        ")
+        L.append("    if acc is not None:")
+        L.append("        while acc:")
+        L.append("            f = acc.pop()")
+        L.append("            if f[0] == 1:")
+        L.append("                if type(r) is Err:")
+        L.append("                    ST[5] += 1")
+        L.append(f"                    r = {ek}")
+        L.append("                    continue")
+        L.append("                r = App(f[3], f[4] + (r,) + f[5])")
+        if self.cache_on:
+            L.append("            if f[2] and type(r) is not Ite:")
+            self._store_lines(k, "f[1]", "r", "                ")
+        L.append("    return r")
+
+    def _emit_op(self, k: int, rules) -> None:
+        op = self.ops[k]
+        L = self.lines
+        arity = op.arity
+        fused = bool(rules) and op.name in self.fused_ops
+        params = "".join(f"a{i}, " for i in range(arity))
+        tag = "  [fused]" if fused else ""
+        L.append("")
+        L.append(f"def op_{k}({params}b, d):  # {op.name}{tag}")
+        L.append(f"    if d > {_DEPTH_LIMIT}:")
+        L.append("        raise Deep")
+        if fused:
+            L.append("    acc = None")
+            L.append("    while True:")
+            body = "        "
+        else:
+            body = "    "
+        self._fused_mode = fused
+        self._fused_k = k
+        key = self._key_expr(k)
+        if self.cache_on:
+            L.append(f"{body}ST[4] += 1")
+            L.append(f"{body}r = C{k}.get({key})")
+            L.append(f"{body}if r is not None:")
+            L.append(f"{body}    ST[3] += 1")
+            if fused:
+                L.append(f"{body}    g = False")
+                L.append(f"{body}    break")
+            else:
+                L.append(f"{body}    return r")
+        if self.cache_on or fused:
+            g = " and ".join(f"a{i}._ground" for i in range(arity)) or "True"
+            L.append(f"{body}g = {g}")
+        if op.builtin is not None:
+            self._emit_builtin(k, op)
+        if rules:
+            self._emit_dispatch(k, rules, 0, body)
+        tup = (
+            "(" + ", ".join(f"a{i}" for i in range(arity))
+            + ("," if arity == 1 else "") + ")"
+        )
+        L.append(f"{body}r = App(OP_{k}, {tup})")
+        if fused:
+            L.append(f"{body}break")
+            self._emit_fused_finish(k, op)
+        else:
+            self._emit_finish(k, "    ")
+        self._fused_mode = False
+        self._fused_k = None
+
+    # -- module assembly ------------------------------------------------
+    def compile_module(self, fingerprint: str) -> "CodegenModule":
+        by_head: dict[str, list] = {}
+        for gidx, rule in enumerate(self.rules):
+            by_head.setdefault(rule.head.name, []).append((gidx, rule))
+        for name, items in by_head.items():
+            if name in self.uncompiled:
+                continue
+            head = items[0][1].head
+            if head.builtin is not None:
+                continue
+            if not self.plan.allows(name):
+                continue
+            if any(self._rule_fusible(head, rule) for _, rule in items):
+                self.fused_ops.add(name)
+        self.lines.append(f"# second-stage rule module  [{fingerprint[:16]}]")
+        self.ns.update(
+            App=App,
+            Lit=Lit,
+            Err=Err,
+            Ite=Ite,
+            Term=Term,
+            AlgebraError=AlgebraError,
+            TRUE_N=boolean_term(True),
+            FALSE_N=boolean_term(False),
+            IS_TRUE=is_true,
+            IS_FALSE=is_false,
+            AB=apply_bindings,
+            LimitHit=_LimitHit,
+            Deep=_DeepRecursion,
+        )
+        compiled_names = []
+        memo_names = []
+        for k, op in enumerate(self.ops):
+            self.ns[f"OP_{k}"] = op
+            if op.name in self.uncompiled:
+                continue
+            if self.cache_on:
+                memo_names.append(f"C{k}")
+            self._emit_op(k, by_head.get(op.name, ()))
+            compiled_names.append((op.name, k))
+        source = "\n".join(self.lines) + "\n"
+        code = compile(source, "<codegen-rules>", "exec")
+        return CodegenModule(
+            source=source,
+            code=code,
+            base_ns=dict(self.ns),
+            rules=self.rules,
+            uncompiled=frozenset(self.uncompiled),
+            fused_ops=frozenset(self.fused_ops),
+            compiled_names=tuple(compiled_names),
+            memo_names=tuple(memo_names),
+            fingerprint=fingerprint,
+        )
+
+
+class CodegenModule:
+    """A compiled-once generated module, shareable across engines whose
+    rule sets fingerprint identically.  ``instantiate`` re-executes the
+    cached code object with fresh counters and memo dicts."""
+
+    __slots__ = (
+        "source",
+        "code",
+        "base_ns",
+        "rules",
+        "uncompiled",
+        "fused_ops",
+        "compiled_names",
+        "memo_names",
+        "fingerprint",
+    )
+
+    def __init__(
+        self,
+        source,
+        code,
+        base_ns,
+        rules,
+        uncompiled,
+        fused_ops,
+        compiled_names,
+        memo_names,
+        fingerprint,
+    ):
+        self.source = source
+        self.code = code
+        self.base_ns = base_ns
+        self.rules = rules
+        self.uncompiled = uncompiled
+        self.fused_ops = fused_ops
+        self.compiled_names = compiled_names
+        self.memo_names = memo_names
+        self.fingerprint = fingerprint
+
+    def instantiate(self, cache_size: int) -> "CodegenRules":
+        ns = dict(self.base_ns)
+        st = [0, 0, 0, 0, 0, 0]
+        rf = [0] * len(self.rules)
+        memos = {name: {} for name in self.memo_names}
+        ns.update(memos)
+        ns["ST"] = st
+        ns["RF"] = rf
+        ns["CMAX"] = max(cache_size, 1)
+        ns["RT_TERM"] = _rt_unbound
+        ns["RT_APP"] = _rt_unbound
+        exec(self.code, ns)
+        fns = {name: ns[f"op_{k}"] for name, k in self.compiled_names}
+        return CodegenRules(self, ns, st, rf, fns, memos)
+
+
+class CodegenRules:
+    """One engine's live instantiation of a :class:`CodegenModule`."""
+
+    __slots__ = ("module", "ns", "st", "rf", "fns", "memos")
+
+    def __init__(self, module, ns, st, rf, fns, memos):
+        self.module = module
+        self.ns = ns
+        self.st = st
+        self.rf = rf
+        self.fns = fns
+        self.memos = memos
+
+
+#: Cache of generated modules, keyed by rule-set fingerprint + options.
+_MODULE_CACHE: dict[str, CodegenModule] = {}
+
+
+def codegen_module(
+    rules: RuleSet,
+    cache_on: bool = True,
+    fold: bool = True,
+    fusion=None,
+) -> CodegenModule:
+    """The (cached) generated module for ``rules`` under the given
+    compiler options — the second-stage analogue of
+    :func:`~repro.rewriting.compile.compile_ruleset`."""
+    plan = FusionPlan.coerce(fusion)
+    key = rules.fingerprint(
+        extra=(
+            f"codegen-v1;cache={int(cache_on)};"
+            f"fold={int(fold)};fusion={plan.key}"
+        )
+    )
+    module = _MODULE_CACHE.get(key)
+    if module is None:
+        module = _CodegenCompiler(rules, cache_on, fold, plan).compile_module(
+            key
+        )
+        if len(_MODULE_CACHE) >= _MODULE_CACHE_LIMIT:
+            _MODULE_CACHE.clear()
+        _MODULE_CACHE[key] = module
+    return module
+
+
+class CodegenEngine:
+    """Normalisation through an emitted rule module.
+
+    The driver mirrors :class:`~repro.rewriting.compile.CompiledEngine`
+    — same budget enforcement, same stats/trace sync, same interpreted
+    fallback on deep recursion — plus a normal-form set: results of
+    earlier ``normalize`` calls are remembered by identity, so drains
+    that feed one call's result into the next skip the argument re-walk
+    entirely (the closure backend's main per-call overhead)."""
+
+    def __init__(
+        self,
+        rules: RuleSet,
+        fuel: int = DEFAULT_FUEL,
+        cache_size: int = 4096,
+        stats: Optional[EngineStats] = None,
+        budget: Optional[EvaluationBudget] = None,
+        fusion=None,
+        fold: bool = True,
+    ) -> None:
+        if budget is None:
+            budget = EvaluationBudget(fuel=fuel)
+        elif budget.max_memo_entries is not None:
+            cache_size = min(cache_size, budget.max_memo_entries)
+        self.rules = rules
+        self.rule_count = len(rules)
+        self.fuel = budget.fuel
+        self.budget = budget
+        self.cache_size = cache_size
+        self.stats = stats if stats is not None else EngineStats()
+        self._interp = RewriteEngine(rules, fuel=fuel, cache_size=cache_size)
+        self._interp.stats = self.stats
+        module = codegen_module(
+            rules, cache_on=cache_size > 0, fold=fold, fusion=fusion
+        )
+        self.module = module
+        inst = module.instantiate(cache_size)
+        self.inst = inst
+        inst.ns["RT_TERM"] = self._rt_term
+        inst.ns["RT_APP"] = self._rt_app
+        self._fns = inst.fns
+        self._uncompiled = module.uncompiled
+        self._nf: set = set()
+
+    @property
+    def source(self) -> str:
+        """The generated module, for inspection."""
+        return self.module.source
+
+    @property
+    def fused_ops(self) -> frozenset:
+        return self.module.fused_ops
+
+    def _rt_term(self, term: Term, budget) -> Term:
+        return self._interp._eval(term, budget)
+
+    def _rt_app(self, op: Operation, args: tuple, budget) -> Term:
+        return self._interp._eval(App(op, args), budget)
+
+    # ------------------------------------------------------------------
+    def normalize(
+        self, term: Term, budget: Optional[EvaluationBudget] = None
+    ) -> Term:
+        tracer = _trace.ACTIVE
+        if tracer is None:
+            return self._normalize_codegen(term, budget)
+        with tracer.span(
+            "engine.normalize",
+            backend="codegen",
+            subject=summarize_term(term),
+        ):
+            return self._normalize_codegen(term, budget)
+
+    def _normalize_codegen(
+        self, term: Term, budget: Optional[EvaluationBudget]
+    ) -> Term:
+        bud = budget if budget is not None else self.budget.with_fuel(self.fuel)
+        meter = bud.start()
+        st = self.inst.st
+        rf = self.inst.rf
+        st0 = tuple(st)
+        rf0 = list(rf)
+        started = perf_counter()
+        try:
+            result = self._eval(term, meter)
+            if type(result) is App and result._ground:
+                nf = self._nf
+                if len(nf) >= _NF_LIMIT:
+                    nf.clear()
+                nf.add(result)
+            return result
+        except _LimitHit:
+            exc = meter.exhausted()
+            raise RewriteLimitError(
+                term,
+                bud.fuel,
+                reason=exc.reason,
+                trace=exc.trace,
+                detail=exc.detail,
+            ) from None
+        except BudgetExceeded as exc:
+            raise RewriteLimitError(
+                term,
+                bud.fuel,
+                reason=exc.reason,
+                trace=exc.trace,
+                detail=exc.detail,
+            ) from None
+        except RewriteLimitError as exc:
+            raise RewriteLimitError(
+                term,
+                bud.fuel,
+                reason=exc.reason,
+                trace=exc.trace,
+                detail=exc.detail,
+            ) from None
+        finally:
+            self._sync(st0, rf0)
+            stats = self.stats
+            stats.latency.observe(perf_counter() - started)
+            spent = bud.fuel - meter[0]
+            if spent > 0:
+                stats.s_fuel[0] += spent
+            stats.fuel_hist.observe(spent if spent > 0 else 0)
+
+    def normalize_many(
+        self, terms: Iterable[Term], budget: Optional[EvaluationBudget] = None
+    ) -> list[Term]:
+        return [self.normalize(term, budget) for term in terms]
+
+    def clear_cache(self) -> None:
+        for memo in self.inst.memos.values():
+            memo.clear()
+        self._nf.clear()
+        self._interp._cache.clear()
+
+    def _sync(self, st0, rf0) -> None:
+        st = self.inst.st
+        stats = self.stats
+        stats.s_steps[0] += st[0] - st0[0]
+        stats.s_builtin[0] += st[2] - st0[2]
+        stats.s_hits[0] += st[3] - st0[3]
+        stats.s_probes[0] += st[4] - st0[4]
+        stats.s_errprop[0] += st[5] - st0[5]
+        rf = self.inst.rf
+        if rf != rf0:
+            counts = stats.firings.counts
+            deltas: dict = {}
+            for i, rule in enumerate(self.module.rules):
+                delta = rf[i] - rf0[i]
+                if delta:
+                    counts[rule] = counts.get(rule, 0) + delta
+                    deltas[rule] = delta
+            tracer = _trace.ACTIVE
+            if tracer is not None and deltas:
+                tracer.firings(deltas)
+
+    def _eval(self, term: Term, budget) -> Term:
+        stats = self.stats
+        nf = self._nf
+        stack: list = [(0, term)]
+        result: Term = term
+        while stack:
+            frame = stack.pop()
+            tag = frame[0]
+            if tag == 0:  # evaluate frame[1]
+                t = frame[1]
+                if isinstance(t, App):
+                    if t in nf:
+                        result = t
+                        continue
+                    if t.args:
+                        stack.append((1, t, [], 1))
+                        stack.append((0, t.args[0]))
+                    else:
+                        result = self._root(t.op, (), budget)
+                elif isinstance(t, Ite):
+                    stack.append((2, t))
+                    stack.append((0, t.cond))
+                else:
+                    result = t  # Var, Lit, Err: already normal
+            elif tag == 1:  # collect one evaluated argument
+                _, t, done, nxt = frame
+                value = result
+                if isinstance(value, Err):
+                    stats.error_propagations += 1
+                    result = Err(t.sort)
+                    continue
+                done.append(value)
+                if nxt < len(t.args):
+                    stack.append((1, t, done, nxt + 1))
+                    stack.append((0, t.args[nxt]))
+                else:
+                    result = self._root(t.op, tuple(done), budget)
+            else:  # tag == 2: conditional, condition evaluated
+                t = frame[1]
+                cond = result
+                if isinstance(cond, Err):
+                    stats.error_propagations += 1
+                    result = Err(t.sort)
+                elif is_true(cond):
+                    stack.append((0, t.then_branch))
+                elif is_false(cond):
+                    stack.append((0, t.else_branch))
+                elif cond is t.cond:
+                    result = t
+                else:
+                    result = Ite(cond, t.then_branch, t.else_branch)
+        return result
+
+    def _root(self, op: Operation, args: tuple, budget: BudgetMeter) -> Term:
+        if _faults.ACTIVE is not None:
+            _faults.ACTIVE.visit("compiled.root", op)
+        budget.tick()
+        fn = self._fns.get(op.name)
+        if fn is not None:
+            try:
+                return fn(*args, budget, 0)
+            except _DeepRecursion:
+                if _faults.ACTIVE is not None:
+                    _faults.ACTIVE.visit("compiled.fallback", op)
+                self.stats.record_fallback("codegen_depth")
+                return self._interp._eval(App(op, args), budget)
+        if op.name in self._uncompiled or (
+            op.builtin is not None
+            and all(isinstance(a, Lit) for a in args)
+        ):
+            return self._interp._eval(App(op, args), budget)
+        return App(op, args)  # free constructor: already normal

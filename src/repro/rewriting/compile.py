@@ -646,6 +646,7 @@ class CompiledEngine:
             spent = bud.fuel - meter[0]
             if spent > 0:
                 stats.s_fuel[0] += spent
+            stats.fuel_hist.observe(spent if spent > 0 else 0)
 
     def normalize_many(
         self, terms: Iterable[Term], budget: Optional[EvaluationBudget] = None

@@ -173,6 +173,7 @@ class EngineStats:
         "fallbacks",
         "outcomes",
         "latency",
+        "fuel_hist",
     )
 
     def __init__(
@@ -211,6 +212,11 @@ class EngineStats:
         )
         self.latency = registry.histogram(
             "engine.eval_seconds", help="normalize() wall-clock seconds"
+        )
+        self.fuel_hist = registry.histogram(
+            "engine.fuel_per_eval",
+            bounds=_metrics.FUEL_BUCKETS,
+            help="fuel consumed per normalize() call",
         )
 
     # -- compat attribute API (the old dataclass fields) ----------------
@@ -309,7 +315,7 @@ class EngineStats:
 
 
 #: Selectable evaluation backends (see the module docstring).
-BACKENDS = ("interpreted", "compiled")
+BACKENDS = ("interpreted", "compiled", "codegen")
 
 # Frame tags for the explicit-stack value-mode evaluator.  Each frame is
 # a tuple whose first element is one of these; the machine in
@@ -378,6 +384,7 @@ class RewriteEngine:
         cache_policy: str = "lru",
         backend: str = "interpreted",
         budget: Optional[EvaluationBudget] = None,
+        fusion=None,
     ) -> None:
         if cache_policy not in ("lru", "clear"):
             raise ValueError(f"unknown cache policy: {cache_policy!r}")
@@ -394,11 +401,13 @@ class RewriteEngine:
         self.budget = budget
         self.use_index = use_index
         self.backend = backend
+        self.fusion = fusion  # codegen superinstruction plan (None = auto)
         self.stats = EngineStats()
         self.cache_size = cache_size
         self.cache_policy = cache_policy
         self._cache: "OrderedDict[Term, Term]" = OrderedDict()
         self._compiled = None  # lazily-built CompiledEngine delegate
+        self._codegen = None  # lazily-built CodegenEngine delegate
 
     @classmethod
     def for_specification(
@@ -430,8 +439,8 @@ class RewriteEngine:
         self, term: Term, budget: Optional[EvaluationBudget] = None
     ) -> Term:
         """The call-by-value normal form of ``term``."""
-        if self.backend == "compiled":
-            return self._compiled_engine().normalize(term, budget)
+        if self.backend != "interpreted":
+            return self._delegate_engine().normalize(term, budget)
         tracer = _trace.ACTIVE
         if tracer is None:
             return self._normalize_interpreted(term, budget)
@@ -477,6 +486,7 @@ class RewriteEngine:
             spent = meter.budget.fuel - meter[0]
             if spent > 0:
                 stats.s_fuel[0] += spent
+            stats.fuel_hist.observe(spent if spent > 0 else 0)
 
     def normalize_many(
         self, terms: Iterable[Term], budget: Optional[EvaluationBudget] = None
@@ -492,8 +502,8 @@ class RewriteEngine:
         The first limit aborts the whole batch; use
         :meth:`normalize_many_outcomes` for fault isolation.
         """
-        if self.backend == "compiled":
-            return self._compiled_engine().normalize_many(terms, budget)
+        if self.backend != "interpreted":
+            return self._delegate_engine().normalize_many(terms, budget)
         return [self.normalize(term, budget) for term in terms]
 
     # ------------------------------------------------------------------
@@ -514,15 +524,17 @@ class RewriteEngine:
         diagnosed cycle); reaching the algebra's ``error`` value is the
         *defined* result ``error_value``, not a failure.
         """
-        if self.backend == "compiled":
+        if self.backend != "interpreted":
             try:
                 outcome = Outcome.of_normal_form(
-                    self._compiled_engine().normalize(term, budget)
+                    self._delegate_engine().normalize(term, budget)
                 )
             except RewriteLimitError as exc:
                 outcome = Outcome.from_limit(exc)
             except Exception:  # fault-boundary: degrade to interpreted
-                self.stats.record_fallback("compiled_to_interpreted")
+                self.stats.record_fallback(
+                    f"{self.backend}_to_interpreted"
+                )
                 outcome = self._interpreted_outcome(term, budget)
         else:
             outcome = self._interpreted_outcome(term, budget)
@@ -585,11 +597,37 @@ class RewriteEngine:
         compiled.fuel = self.fuel  # track post-construction adjustments
         return compiled
 
+    def _codegen_engine(self):
+        """The lazily-built second-stage (emitted module) delegate."""
+        codegen = self._codegen
+        if codegen is None or codegen.rule_count != len(self.rules):
+            from repro.rewriting.codegen import CodegenEngine
+
+            codegen = CodegenEngine(
+                self.rules,
+                fuel=self.fuel,
+                cache_size=self.cache_size,
+                stats=self.stats,
+                budget=self.budget,
+                fusion=self.fusion,
+            )
+            self._codegen = codegen
+        codegen.fuel = self.fuel  # track post-construction adjustments
+        return codegen
+
+    def _delegate_engine(self):
+        """The non-interpreted backend selected at construction."""
+        if self.backend == "codegen":
+            return self._codegen_engine()
+        return self._compiled_engine()
+
     def clear_cache(self) -> None:
-        """Drop memoised normal forms (both backends' memos)."""
+        """Drop memoised normal forms (all backends' memos)."""
         self._cache.clear()
         if self._compiled is not None:
             self._compiled.clear_cache()
+        if self._codegen is not None:
+            self._codegen.clear_cache()
 
     def _spend(self, budget: BudgetMeter, term: Term) -> None:
         self.stats.s_steps[0] += 1

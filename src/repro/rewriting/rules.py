@@ -11,6 +11,7 @@ left-hand side can possibly match the subject's shape.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Optional, Sequence
 
@@ -215,6 +216,34 @@ class RuleSet:
     def heads(self) -> set[str]:
         """Names of all operations that head some rule."""
         return set(self._by_head)
+
+    def fingerprint(self, extra: str = "") -> str:
+        """A structural digest of the rule set.
+
+        Two rule sets with the same fingerprint compile to the same
+        generated module, so the codegen backend keys its module cache
+        on it (see :mod:`repro.rewriting.codegen`).  The digest covers
+        rule order, labels, both sides of every rule, and — because the
+        emitted dispatch depends on them — every mentioned operation's
+        name, sorts, and whether it carries a builtin evaluator.
+        ``extra`` folds in compiler options (fusion plan, cache mode)."""
+        h = hashlib.sha256()
+        h.update(extra.encode())
+        for rule in self._rules:
+            h.update(b"\x00rule\x00")
+            h.update(str(rule).encode())
+            for side in (rule.lhs, rule.rhs):
+                for _, node in side.subterms():
+                    if isinstance(node, App):
+                        op = node.op
+                        h.update(
+                            f"{op.name}/{len(op.domain)}"
+                            f"->{op.range}:{int(op.builtin is not None)};"
+                            .encode()
+                        )
+                    else:
+                        h.update(f"{type(node).__name__}:{node.sort};".encode())
+        return h.hexdigest()
 
     def __iter__(self) -> Iterator[RewriteRule]:
         return iter(self._rules)

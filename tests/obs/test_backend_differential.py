@@ -1,12 +1,14 @@
-"""Differential test: the interpreted and compiled backends must agree
-not only on *results* but on *work done*.
+"""Differential test: every backend must agree not only on *results*
+but on *work done*.
 
 The observability work makes "work done" observable — the per-rule
-firing family — so this locks the two backends together on the E7
-(symbolic queue script) and E10 (FIFO drain) workloads: identical
-normal forms AND identical per-rule firing counts.  A compiled-backend
-optimisation that skips or duplicates rewrites now fails loudly instead
-of silently skewing benchmark comparisons.
+firing family — so this locks the backends (interpreted,
+closure-compiled, second-stage codegen) together on the E7 (symbolic
+queue script) and E10 (FIFO drain) workloads: identical normal forms
+AND identical per-rule firing counts.  A backend optimisation that
+skips or duplicates rewrites — including codegen's superinstruction
+fusion and ground-RHS folding — now fails loudly instead of silently
+skewing benchmark comparisons.
 """
 
 from __future__ import annotations
@@ -20,6 +22,8 @@ from repro.obs.trace import Tracer, firing_counts, rule_id, tracing
 from repro.rewriting import RewriteEngine
 
 DRAIN_SIZE = 24
+
+BACKENDS = ("interpreted", "compiled", "codegen")
 
 
 def _drain(engine: RewriteEngine, size: int) -> list:
@@ -45,19 +49,19 @@ def _firings(engine: RewriteEngine) -> dict:
 
 @pytest.mark.parametrize("cache_size", [4096, 0], ids=["memo", "no-memo"])
 def test_e10_drain_backends_agree_on_results_and_firings(cache_size):
-    interpreted = RewriteEngine.for_specification(QUEUE_SPEC)
-    compiled = RewriteEngine.for_specification(QUEUE_SPEC, backend="compiled")
-    interpreted.cache_size = cache_size
-    compiled.cache_size = cache_size
+    fronts = {}
+    firings = {}
+    for backend in BACKENDS:
+        engine = RewriteEngine.for_specification(QUEUE_SPEC, backend=backend)
+        engine.cache_size = cache_size
+        fronts[backend] = _drain(engine, DRAIN_SIZE)
+        firings[backend] = _firings(engine)
 
-    fronts_i = _drain(interpreted, DRAIN_SIZE)
-    fronts_c = _drain(compiled, DRAIN_SIZE)
-
-    assert fronts_i == fronts_c
-    assert len(fronts_i) == DRAIN_SIZE
-    firings_i, firings_c = _firings(interpreted), _firings(compiled)
-    assert firings_i == firings_c
-    assert sum(firings_i.values()) > 0
+    assert len(fronts["interpreted"]) == DRAIN_SIZE
+    assert sum(firings["interpreted"].values()) > 0
+    for backend in BACKENDS[1:]:
+        assert fronts[backend] == fronts["interpreted"]
+        assert firings[backend] == firings["interpreted"]
 
 
 def test_e7_symbolic_script_backends_agree():
@@ -71,22 +75,27 @@ def test_e7_symbolic_script_backends_agree():
             queue = queue.remove()
         return observed
 
-    interpreted_facade = facade_class(QUEUE_SPEC)
-    compiled_facade = facade_class(QUEUE_SPEC, backend="compiled")
+    facades = {
+        backend: facade_class(QUEUE_SPEC, backend=backend)
+        for backend in BACKENDS
+    }
+    observed = {backend: script(f) for backend, f in facades.items()}
+    firings = {
+        backend: _firings(f._interpreter.engine)
+        for backend, f in facades.items()
+    }
+    for backend in BACKENDS[1:]:
+        assert observed[backend] == observed["interpreted"]
+        assert firings[backend] == firings["interpreted"]
 
-    assert script(interpreted_facade) == script(compiled_facade)
-    firings_i = _firings(interpreted_facade._interpreter.engine)
-    firings_c = _firings(compiled_facade._interpreter.engine)
-    assert firings_i == firings_c
 
-
-def test_traces_agree_with_registries_on_both_backends():
+def test_traces_agree_with_registries_on_all_backends():
     # The acceptance invariant, in-process: with sampling off, the
     # trace's per-rule counts (step events on the interpreted backend,
-    # aggregated firings events on the compiled one) equal the metrics
+    # aggregated firings events on the compiled ones) equal the metrics
     # registry's firing family exactly — and therefore each other.
     per_backend = {}
-    for backend in ("interpreted", "compiled"):
+    for backend in BACKENDS:
         engine = RewriteEngine.for_specification(QUEUE_SPEC, backend=backend)
         tracer = Tracer()
         with tracing(tracer):
@@ -94,4 +103,5 @@ def test_traces_agree_with_registries_on_both_backends():
         traced = firing_counts(tracer.events)
         assert traced == _firings(engine)
         per_backend[backend] = traced
-    assert per_backend["interpreted"] == per_backend["compiled"]
+    for backend in BACKENDS[1:]:
+        assert per_backend[backend] == per_backend["interpreted"]

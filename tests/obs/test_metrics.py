@@ -8,6 +8,7 @@ from repro.algebra.terms import app
 from repro.adt.queue import FRONT, QUEUE_SPEC, queue_term
 from repro.obs.metrics import (
     EVAL_SECONDS_BUCKETS,
+    FUEL_BUCKETS,
     Counter,
     CounterFamily,
     GLOBAL,
@@ -15,7 +16,9 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     aggregate_snapshot,
+    histogram_quantile,
     substrate_counters,
+    suggest_fuel_budget,
 )
 from repro.rewriting import RewriteEngine
 
@@ -220,3 +223,55 @@ class TestEngineStatsRegistry:
         outcome = engine.normalize_outcome(app(FRONT, queue_term(range(2))))
         family = engine.stats.registry.family("engine.outcomes")
         assert family.get(outcome.status) == 1
+
+
+class TestHistogramQuantile:
+    def test_quantile_walks_cumulative_buckets(self):
+        hist = Histogram("h", bounds=(1, 10, 100))
+        for value in (1, 1, 5, 50):
+            hist.observe(value)
+        assert histogram_quantile(hist, 0.5) == 1
+        assert histogram_quantile(hist, 0.75) == 10
+        assert histogram_quantile(hist, 0.99) == 100
+
+    def test_accepts_snapshot_dicts(self):
+        hist = Histogram("h", bounds=(1, 10))
+        hist.observe(5)
+        assert histogram_quantile(hist.snapshot(), 0.99) == 10
+
+    def test_empty_and_overflow_give_none(self):
+        hist = Histogram("h", bounds=(1, 10))
+        assert histogram_quantile(hist, 0.99) is None
+        hist.observe(10_000)  # everything past the last bound
+        assert histogram_quantile(hist, 0.99) is None
+
+
+class TestSuggestFuelBudget:
+    def test_p99_times_margin(self):
+        hist = Histogram("h", bounds=FUEL_BUCKETS)
+        for _ in range(99):
+            hist.observe(100)  # lands in the 128 bucket
+        hist.observe(5000)  # one outlier in the 16384 bucket
+        # p99 over 100 observations is the 99th — still the 128 bucket.
+        assert suggest_fuel_budget(hist) == 128 * 2
+        assert suggest_fuel_budget(hist, margin=3.0) == 128 * 3
+        assert suggest_fuel_budget(hist, quantile=1.0) == 16384 * 2
+
+    def test_unobserved_histogram_suggests_nothing(self):
+        assert suggest_fuel_budget(Histogram("h", bounds=FUEL_BUCKETS)) is None
+
+    @pytest.mark.parametrize(
+        "backend", ["interpreted", "compiled", "codegen"]
+    )
+    def test_engine_fuel_histogram_feeds_the_suggestion(self, backend):
+        # All three backends observe fuel-per-eval, so the suggestion
+        # is available whichever backend did the measuring.
+        engine = RewriteEngine.for_specification(QUEUE_SPEC, backend=backend)
+        for size in (2, 4, 8):
+            engine.normalize(app(FRONT, queue_term(range(size))))
+        hist = engine.stats.fuel_hist
+        assert hist.count == 3
+        suggested = suggest_fuel_budget(hist)
+        assert suggested is not None
+        # A safety-margined p99 must cover the costliest eval seen.
+        assert suggested >= hist.sum / hist.count

@@ -8,7 +8,7 @@ import pytest
 from repro.algebra.terms import app
 from repro.adt.queue import FRONT, QUEUE_SPEC, queue_term
 from repro.obs import trace as trace_mod
-from repro.obs.profile import rule_profile, top_rules
+from repro.obs.profile import profile_diff, rule_profile, top_rules
 from repro.obs.trace import (
     Tracer,
     firing_counts,
@@ -243,3 +243,51 @@ class TestRuleProfile:
         ]
         assert len(top_rules(events, limit=3)) == 3
         assert len(top_rules(events, limit=None)) == 5
+
+
+class TestProfileDiff:
+    @staticmethod
+    def _trace(steps):
+        """One span with a step per (rule, ts) pair, closed at ts 10."""
+        events = [{"ev": "span_start", "span": 1, "name": "s", "ts": 0.0}]
+        events.extend(
+            {"ev": "step", "span": 1, "rule": rule, "ts": ts}
+            for rule, ts in steps
+        )
+        events.append(
+            {"ev": "span_end", "span": 1, "name": "s", "ts": 10.0,
+             "dur_us": 10e6}
+        )
+        return events
+
+    def test_deltas_are_b_minus_a(self):
+        a = self._trace([("r", 0.0), ("r", 2.0)])
+        b = self._trace([("r", 0.0), ("r", 2.0), ("r", 4.0)])
+        (row,) = profile_diff(a, b)
+        assert row["rule"] == "r"
+        assert (row["firings_a"], row["firings_b"]) == (2, 3)
+        assert row["firings_delta"] == 1
+        assert row["self_s_delta"] == pytest.approx(
+            row["self_s_b"] - row["self_s_a"]
+        )
+
+    def test_one_sided_rules_get_zeros(self):
+        a = self._trace([("only-a", 0.0)])
+        b = self._trace([("only-b", 0.0)])
+        by_rule = {row["rule"]: row for row in profile_diff(a, b)}
+        assert by_rule["only-a"]["firings_b"] == 0
+        assert by_rule["only-a"]["firings_delta"] == -1
+        assert by_rule["only-b"]["firings_a"] == 0
+        assert by_rule["only-b"]["firings_delta"] == 1
+
+    def test_sorted_by_biggest_self_time_movement(self):
+        a = self._trace([("stable", 0.0), ("mover", 8.0)])
+        b = self._trace([("mover", 0.0), ("stable", 8.0)])
+        rows = profile_diff(a, b)
+        assert rows[0]["rule"] == "mover"
+
+    def test_identical_traces_diff_to_zero(self):
+        a = self._trace([("r", 0.0), ("s", 5.0)])
+        for row in profile_diff(a, a):
+            assert row["firings_delta"] == 0
+            assert row["self_s_delta"] == 0.0

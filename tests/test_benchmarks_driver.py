@@ -41,12 +41,14 @@ def test_driver_quick_mode(tmp_path):
     assert e7["symbolic_compiled"]["ops_per_sec"] > 0
     assert e7["symbolic_compiled_batch"]["terms"] > 0
     # The observability embed: hit rates and a per-rule firing profile.
-    for section in ("symbolic", "symbolic_compiled"):
+    for section in ("symbolic", "symbolic_compiled", "symbolic_codegen"):
         metrics = e7[section]["metrics"]
-        rate = metrics["intern_hit_rate"]
-        assert rate is None or 0.0 <= rate <= 1.0
+        if "intern_hit_rate" in metrics:
+            assert 0.0 <= metrics["intern_hit_rate"] <= 1.0
         assert metrics["rule_firings"]
         assert all(n > 0 for n in metrics["rule_firings"].values())
+    assert e7["codegen_over_concrete"] > 1.0
+    assert e7["symbolic_codegen"]["ops_per_sec"] > 0
 
     e10 = json.loads((tmp_path / "BENCH_E10.json").read_text())
     assert e10["experiment"] == "E10"
@@ -54,6 +56,8 @@ def test_driver_quick_mode(tmp_path):
     expected_configs = {
         "full",
         "compiled",
+        "codegen",
+        "codegen-nofuse",
         "no-interning",
         "head-index",
         "linear-scan",
@@ -67,11 +71,16 @@ def test_driver_quick_mode(tmp_path):
             assert sample["steps_per_sec"] > 0
             assert 0.0 <= sample["cache_hit_rate"] <= 1.0
             metrics = sample["metrics"]
-            rate = metrics["shape_memo_hit_rate"]
-            assert rate is None or 0.0 <= rate <= 1.0
+            # Inapplicable counters are omitted, never emitted as null.
+            assert None not in metrics.values()
+            if "shape_memo_hit_rate" in metrics:
+                assert 0.0 <= metrics["shape_memo_hit_rate"] <= 1.0
             assert sum(metrics["rule_firings"].values()) > 0
-    # The compiled-vs-interpreted ablation is recorded for every size.
+    # The backend ablations are recorded for every size.
     for size in map(str, e10["sizes"]):
         assert e10["compiled_vs_interpreted"][size] > 0
+        assert e10["codegen_vs_interpreted"][size] > 0
+        assert e10["codegen_vs_compiled"][size] > 0
+        assert e10["fusion_speedup"][size] > 0
     # Quick mode never times the seed commit.
     assert "seed_baseline" not in e10

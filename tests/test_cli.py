@@ -147,6 +147,19 @@ class TestEval:
         assert main(["eval", queue_file, "ZAP(1,2)"]) == 2
         assert "error" in capsys.readouterr().err
 
+    @pytest.mark.parametrize("backend", ["compiled", "codegen"])
+    def test_compiled_backends_normalise(self, queue_file, capsys, backend):
+        code = main(
+            [
+                "eval", queue_file, "FRONT(ADD(ADD(NEW, 'a'), 'b'))",
+                "--backend", backend, "--stats",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert captured.out.strip() == "'a'"
+        assert "rule firing(s)" in captured.err
+
 
 class TestRun:
     SOURCE = """
@@ -281,7 +294,9 @@ class TestTrace:
         assert "intern.hits" in snapshot["counters"]
         assert snapshot["families"]["engine.rule_firings"]
 
-    @pytest.mark.parametrize("backend", ["interpreted", "compiled"])
+    @pytest.mark.parametrize(
+        "backend", ["interpreted", "compiled", "codegen"]
+    )
     def test_trace_firings_match_metrics_snapshot(
         self, queue_file, tmp_path, backend
     ):
@@ -306,6 +321,90 @@ class TestTrace:
         snapshot = json.loads(metrics.read_text())
         assert traced == snapshot["families"]["engine.rule_firings"]
         assert sum(traced.values()) > 0
+
+
+class TestTraceDiff:
+    TERM_A = "FRONT(ADD(ADD(NEW, 'a'), 'b'))"
+    TERM_B = "FRONT(ADD(ADD(ADD(NEW, 'a'), 'b'), 'c'))"
+
+    def _trace(self, queue_file, tmp_path, term, name, backend):
+        out = tmp_path / name
+        code = main(
+            [
+                "trace", queue_file, term,
+                "--backend", backend, "--out", str(out),
+            ]
+        )
+        assert code == 0
+        return str(out)
+
+    def test_table_reports_per_rule_deltas(
+        self, queue_file, tmp_path, capsys
+    ):
+        a = self._trace(queue_file, tmp_path, self.TERM_A, "a.jsonl",
+                        "interpreted")
+        b = self._trace(queue_file, tmp_path, self.TERM_B, "b.jsonl",
+                        "interpreted")
+        capsys.readouterr()
+        assert main(["trace-diff", a, b]) == 0
+        captured = capsys.readouterr()
+        assert "firings_a" in captured.out
+        assert "self_delta" in captured.out
+        assert "FRONT" in captured.out
+        # The longer queue costs one extra FRONT recursion.
+        assert "+1" in captured.out
+
+    def test_json_rows_round_trip(self, queue_file, tmp_path, capsys):
+        a = self._trace(queue_file, tmp_path, self.TERM_A, "a.jsonl",
+                        "interpreted")
+        b = self._trace(queue_file, tmp_path, self.TERM_B, "b.jsonl",
+                        "compiled")
+        capsys.readouterr()
+        assert main(["trace-diff", a, b, "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows and {"rule", "firings_delta", "self_s_delta"} <= set(
+            rows[0]
+        )
+
+    def test_identical_traces_have_no_firing_deltas(
+        self, queue_file, tmp_path, capsys
+    ):
+        a = self._trace(queue_file, tmp_path, self.TERM_A, "a.jsonl",
+                        "interpreted")
+        capsys.readouterr()
+        assert main(
+            ["trace-diff", a, a, "--fail-on-firing-delta"]
+        ) == 0
+
+    def test_firing_delta_fails_when_requested(
+        self, queue_file, tmp_path, capsys
+    ):
+        a = self._trace(queue_file, tmp_path, self.TERM_A, "a.jsonl",
+                        "interpreted")
+        b = self._trace(queue_file, tmp_path, self.TERM_B, "b.jsonl",
+                        "interpreted")
+        capsys.readouterr()
+        assert main(
+            ["trace-diff", a, b, "--fail-on-firing-delta"]
+        ) == 1
+
+    def test_backend_equivalence_shows_zero_deltas(
+        self, queue_file, tmp_path, capsys
+    ):
+        # The backend-differential invariant through the CLI: the same
+        # term traced on the interpreted and codegen backends diffs to
+        # all-zero firing deltas.
+        a = self._trace(queue_file, tmp_path, self.TERM_A, "a.jsonl",
+                        "interpreted")
+        b = self._trace(queue_file, tmp_path, self.TERM_A, "b.jsonl",
+                        "codegen")
+        capsys.readouterr()
+        assert main(
+            ["trace-diff", a, b, "--fail-on-firing-delta"]
+        ) == 0
+
+    def test_missing_file_reports_cleanly(self, capsys):
+        assert main(["trace-diff", "/no/such/a.jsonl", "/no/b.jsonl"]) == 2
 
 
 class TestMetricsOut:

@@ -1,11 +1,13 @@
-"""Differential property test: compiled backend ≡ interpreted backend.
+"""Differential property test: all backends compute the same function.
 
 For every specification the paper exercises, hypothesis draws random
 ground observation terms (a defined operation applied to generated
-constructor arguments) and both backends must produce the identical
-normal form — or fail identically.  This is the compiled backend's
-soundness argument: agreement on arbitrary inputs, not just the
-hand-picked cases in ``tests/rewriting/test_compile.py``.
+constructor arguments) and every backend — interpreted, closure-compiled
+and second-stage codegen — must produce the identical normal form (or
+fail identically) *and* fire the same rules the same number of times.
+This is the compiled backends' soundness argument: agreement on
+arbitrary inputs, not just the hand-picked cases in
+``tests/rewriting/test_compile.py`` and ``test_codegen.py``.
 """
 
 import pytest
@@ -54,11 +56,13 @@ def observation_strategy(spec):
     return st.one_of(alternatives)
 
 
+BACKENDS = ("interpreted", "compiled", "codegen")
+
 _STRATEGIES = {name: observation_strategy(spec) for name, spec in SPECS.items()}
 _ENGINES = {
     name: {
         backend: RewriteEngine.for_specification(spec, backend=backend)
-        for backend in ("interpreted", "compiled")
+        for backend in BACKENDS
     }
     for name, spec in SPECS.items()
 }
@@ -71,6 +75,10 @@ def _normalize(engine, term):
         return LIMIT
 
 
+def _firings(engine):
+    return {rule: count for rule, count in engine.stats.firings.ranked()}
+
+
 @pytest.mark.parametrize("name", sorted(SPECS))
 @given(data=st.data())
 @settings(
@@ -80,12 +88,29 @@ def _normalize(engine, term):
 )
 def test_backends_agree_on_random_observations(name, data):
     term = data.draw(_STRATEGIES[name])
-    interpreted = _normalize(_ENGINES[name]["interpreted"], term)
-    compiled = _normalize(_ENGINES[name]["compiled"], term)
-    assert interpreted == compiled, (
-        f"backend disagreement on {term}: "
-        f"interpreted={interpreted}, compiled={compiled}"
-    )
+    results = {}
+    deltas = {}
+    for backend in BACKENDS:
+        engine = _ENGINES[name][backend]
+        before = _firings(engine)
+        results[backend] = _normalize(engine, term)
+        after = _firings(engine)
+        deltas[backend] = {
+            rule: count - before.get(rule, 0)
+            for rule, count in after.items()
+            if count != before.get(rule, 0)
+        }
+    reference = results["interpreted"]
+    for backend in BACKENDS[1:]:
+        assert results[backend] == reference, (
+            f"backend disagreement on {term}: "
+            f"interpreted={reference}, {backend}={results[backend]}"
+        )
+        assert deltas[backend] == deltas["interpreted"], (
+            f"firing-count disagreement on {term}: "
+            f"interpreted={deltas['interpreted']}, "
+            f"{backend}={deltas[backend]}"
+        )
 
 
 @pytest.mark.parametrize("name", sorted(SPECS))
@@ -109,7 +134,7 @@ class TestRewritingOracle:
     """``check_axioms_by_rewriting`` is the spec-level differential
     harness: a consistent spec must pass under either backend."""
 
-    @pytest.mark.parametrize("backend", ["interpreted", "compiled"])
+    @pytest.mark.parametrize("backend", list(BACKENDS))
     def test_queue_axioms_hold(self, backend):
         from repro.testing.oracle import check_axioms_by_rewriting
 
@@ -119,11 +144,12 @@ class TestRewritingOracle:
         assert report.ok, str(report)
         assert report.instances_checked > 0
 
-    def test_symboltable_axioms_hold_compiled(self):
+    @pytest.mark.parametrize("backend", ["compiled", "codegen"])
+    def test_symboltable_axioms_hold(self, backend):
         from repro.testing.oracle import check_axioms_by_rewriting
 
         report = check_axioms_by_rewriting(
-            SYMBOLTABLE_SPEC, instances_per_axiom=5, backend="compiled"
+            SYMBOLTABLE_SPEC, instances_per_axiom=5, backend=backend
         )
         assert report.ok, str(report)
         assert report.instances_checked > 0
