@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -29,7 +30,12 @@ BENCH_DIR = Path(__file__).resolve().parent
 if str(BENCH_DIR) not in sys.path:
     sys.path.insert(0, str(BENCH_DIR))
 
-from run_benchmarks import E10_CONFIGS, _measure_drain  # noqa: E402
+from run_benchmarks import (  # noqa: E402
+    E10_CONFIGS,
+    _measure_drain,
+    _measure_parallel_batch,
+    _parallel_subjects,
+)
 
 #: Configurations the guard re-measures and compares.  ``full`` is the
 #: normaliser, not a guarded row: its measured/baseline ratio *is* the
@@ -56,6 +62,21 @@ def main(argv=None) -> int:
         type=int,
         default=3,
         help="best-of repetitions per measurement (default 3)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="shard count for the parallel scaling guard; 0 disables "
+        "(default 4)",
+    )
+    parser.add_argument(
+        "--workers-min-speedup",
+        type=float,
+        default=2.0,
+        help="fail when the workers batch is not at least this much "
+        "faster than serial (default 2.0; only enforced when the "
+        "machine has >= workers cores)",
     )
     args = parser.parse_args(argv)
 
@@ -96,6 +117,41 @@ def main(argv=None) -> int:
         )
         if measured > allowed:
             status = 1
+
+    # Parallel scaling guard.  Unlike the rows above this is an
+    # *absolute* property (sharded vs serial on the same machine, same
+    # run), so no machine-scale correction applies — but it only means
+    # anything when the machine can actually run the shards
+    # concurrently, hence the core-count gate.
+    if args.workers > 1:
+        cpus = os.cpu_count() or 1
+        parallel = baseline.get("parallel", {})
+        batch = parallel.get("batch", 128)
+        psize = parallel.get("size", 128)
+        backend = parallel.get("backend", "interpreted")
+        if cpus < args.workers:
+            print(
+                f"parallel@{psize}x{batch}: {cpus} cpu(s) < "
+                f"{args.workers} workers, skipping the scaling guard"
+            )
+        else:
+            subjects = _parallel_subjects(batch, psize)
+            serial = _measure_parallel_batch(subjects, backend, args.reps)
+            sharded = _measure_parallel_batch(
+                subjects, backend, args.reps, args.workers
+            )
+            speedup = serial / sharded
+            verdict = (
+                "ok" if speedup >= args.workers_min_speedup else "REGRESSION"
+            )
+            print(
+                f"parallel@{psize}x{batch}: serial {serial:.6f}s, "
+                f"workers={args.workers} {sharded:.6f}s -> speedup "
+                f"{speedup:.2f}x (min {args.workers_min_speedup}) "
+                f"-> {verdict}"
+            )
+            if speedup < args.workers_min_speedup:
+                status = 1
     return status
 
 

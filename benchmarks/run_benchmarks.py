@@ -25,6 +25,7 @@ import argparse
 import gc
 import itertools
 import json
+import os
 import subprocess
 import sys
 import tempfile
@@ -44,6 +45,7 @@ from repro.obs import (  # noqa: E402
     substrate_counters,
     suggest_fuel_budget,
 )
+from repro.parallel import ShardPool  # noqa: E402
 from repro.rewriting import RewriteEngine, RuleSet  # noqa: E402
 
 #: Last commit with the seed engine (pre-interning term substrate).
@@ -204,6 +206,117 @@ def _measure_drain(
     return best
 
 
+def _parallel_subjects(batch: int, size: int) -> list:
+    """The batched form of the E10 drain: ``batch`` independent
+    ``FRONT(REMOVE^(j % size)(queue))`` observations over queues of
+    ``size`` elements, each queue on *fresh* payloads.  Collectively the
+    batch performs one drain's worth of rewriting, but with no shared
+    substructure between subjects — so splitting it across shards
+    forfeits no cross-item memo sharing and the workload is honestly
+    embarrassingly parallel."""
+    subjects = []
+    for j in range(batch):
+        base = next(_PAYLOAD_BASE)
+        term = queue_term(range(base, base + size))
+        for _ in range(j % size):
+            term = app(REMOVE, term)
+        subjects.append(app(FRONT, term))
+    return subjects
+
+
+def _measure_parallel_batch(
+    subjects: list, backend: str, reps: int, workers=None
+) -> float:
+    """Best-of-``reps`` seconds for one ``normalize_many`` batch.
+
+    ``workers=None`` measures the in-process serial reference on a
+    fresh engine per rep; ``workers=N`` measures a :class:`ShardPool`,
+    built fresh per rep (so a later rep cannot answer from an earlier
+    rep's worker memos) and warmed *outside* the timing — process
+    spawn and engine construction are setup cost, matching how the
+    serial rows build closures/modules outside their timings."""
+    best = None
+    for _ in range(reps):
+        if workers is None:
+            engine = RewriteEngine(RULES, fuel=10_000_000, backend=backend)
+            if backend == "compiled":
+                engine._compiled_engine()
+            elif backend == "codegen":
+                engine._codegen_engine()
+            gc.collect()
+            start = time.perf_counter()
+            results = engine.normalize_many(subjects)
+            elapsed = time.perf_counter() - start
+        else:
+            pool = ShardPool(
+                RULES, workers, backend=backend, fuel=10_000_000
+            )
+            try:
+                pool.warm()
+                gc.collect()
+                start = time.perf_counter()
+                results = pool.normalize_many(subjects)
+                elapsed = time.perf_counter() - start
+            finally:
+                pool.close()
+        assert len(results) == len(subjects)
+        best = elapsed if best is None else min(best, elapsed)
+    return best
+
+
+def run_parallel_e10(quick: bool) -> dict:
+    """The workers ablation: the batched drain through shard pools of
+    1, 2 and 4 workers against the in-process serial engine, on the
+    interpreted backend (the heaviest per-item compute, hence the
+    cleanest view of scaling against wire/dispatch overhead).
+
+    Every sharded sample embeds ``workers`` and ``scaling_efficiency``
+    (``serial_seconds / (workers * parallel_seconds)``: 1.0 is perfect
+    linear scaling).  ``cpus`` records the cores the measuring machine
+    actually had — efficiency is physically bounded by ``cpus/workers``,
+    so a 4-worker row measured on fewer than 4 cores documents wire
+    overhead, not scaling."""
+    size = 12 if quick else 128
+    batch = 12 if quick else 128
+    reps = 1 if quick else 3
+    ablation = (1, 2) if quick else (1, 2, 4)
+    backend = "interpreted"
+    subjects = _parallel_subjects(batch, size)
+    serial_secs = _measure_parallel_batch(subjects, backend, reps)
+    shards = {}
+    for workers in ablation:
+        seconds = _measure_parallel_batch(subjects, backend, reps, workers)
+        shards[str(workers)] = {
+            "seconds": round(seconds, 6),
+            "workers": workers,
+            "speedup_vs_serial": round(serial_secs / seconds, 2),
+            "scaling_efficiency": round(
+                serial_secs / (workers * seconds), 4
+            ),
+        }
+    cpus = os.cpu_count() or 1
+    result = {
+        "workload": (
+            f"batched E10 drain: {batch} independent "
+            f"FRONT(REMOVE^k(queue)) subjects at size {size}, "
+            "one normalize_many batch"
+        ),
+        "backend": backend,
+        "batch": batch,
+        "size": size,
+        "cpus": cpus,
+        "serial": {"seconds": round(serial_secs, 6)},
+        "shards": shards,
+    }
+    if cpus < max(ablation):
+        result["note"] = (
+            f"measured on {cpus} cpu(s): rows with workers > {cpus} are "
+            "bounded by the hardware, not the pool — see the CI guard "
+            "for scaling enforcement on multi-core machines"
+        )
+    return result
+
+
 def _seed_baseline(sizes, reps: int):
     """Drain timings for the actual seed engine, via a worktree checkout
     of :data:`SEED_COMMIT`.  Returns ``None`` when git cannot provide
@@ -267,6 +380,7 @@ def run_e10(quick: bool) -> dict:
         "codegen_vs_interpreted": ratio("full", "codegen"),
         "codegen_vs_compiled": ratio("compiled", "codegen"),
         "fusion_speedup": ratio("codegen-nofuse", "codegen"),
+        "parallel": run_parallel_e10(quick),
     }
     if not quick:
         seed = _seed_baseline(sizes, reps)
@@ -439,6 +553,14 @@ def main(argv=None) -> int:
             if "speedup_vs_seed" in payload:
                 speedup = payload["speedup_vs_seed"][largest]
                 print(f"speedup vs seed engine at size {largest}: {speedup}x")
+            parallel = payload["parallel"]
+            for row in parallel["shards"].values():
+                print(
+                    f"parallel drain batch ({parallel['cpus']} cpu(s)): "
+                    f"workers={row['workers']} speedup "
+                    f"{row['speedup_vs_serial']}x, scaling efficiency "
+                    f"{row['scaling_efficiency']}"
+                )
     return 0
 
 

@@ -108,7 +108,7 @@ def cmd_eval(args: argparse.Namespace) -> int:
 
     specs = _load_specs(args.file)
     spec = specs[-1]
-    term = parse_term(args.term, spec)
+    terms = [parse_term(text, spec) for text in args.term]
     budget = EvaluationBudget(
         fuel=args.fuel if args.fuel is not None else 200_000,
         deadline=args.deadline,
@@ -117,26 +117,47 @@ def cmd_eval(args: argparse.Namespace) -> int:
     engine = RewriteEngine.for_specification(
         spec, backend=args.backend, budget=budget
     )
+    failed = False
     if args.resilient:
-        outcome = engine.normalize_outcome(term)
-        if outcome.ok:
-            print(outcome.term)
-        else:
-            print(f"-- {outcome}", file=sys.stderr)
-            for step in outcome.trace:
-                print(f"--   cycle: {step}", file=sys.stderr)
-    else:
-        result = engine.normalize(term)
-        print(result)
-    if args.stats:
-        print(
-            f"-- {engine.stats.steps} step(s), "
-            f"{engine.stats.rule_firings} rule firing(s), "
-            f"{engine.stats.builtin_firings} builtin call(s)",
-            file=sys.stderr,
+        outcomes = engine.normalize_many_outcomes(
+            terms, workers=args.workers
         )
+        for outcome in outcomes:
+            if outcome.ok:
+                print(outcome.term)
+            else:
+                failed = True
+                print(f"-- {outcome}", file=sys.stderr)
+                for step in outcome.trace:
+                    print(f"--   cycle: {step}", file=sys.stderr)
+    else:
+        for result in engine.normalize_many(terms, workers=args.workers):
+            print(result)
+    if args.stats:
+        stats = engine.stats
+        line = (
+            f"-- {stats.steps} step(s), "
+            f"{stats.rule_firings} rule firing(s), "
+            f"{stats.builtin_firings} builtin call(s)"
+        )
+        if args.workers is not None and args.workers > 1:
+            pool = engine._pools.get(args.workers)
+            if pool is not None:
+                shipped = pool.metrics_snapshot()
+                firings = sum(
+                    shipped["families"]
+                    .get("engine.rule_firings", {})
+                    .values()
+                )
+                steps = shipped["counters"].get("engine.steps", 0)
+                line += (
+                    f" in-process; workers shipped {steps} step(s), "
+                    f"{firings} rule firing(s)"
+                )
+        print(line, file=sys.stderr)
     _dump_metrics(args.metrics_out)
-    if args.resilient and not outcome.ok:
+    engine.close_pools()
+    if args.resilient and failed:
         return 3
     return 0
 
@@ -312,12 +333,24 @@ def build_parser() -> argparse.ArgumentParser:
     prompts.set_defaults(run=cmd_prompts)
 
     evaluate = commands.add_parser(
-        "eval", help="normalise a term under a spec file"
+        "eval", help="normalise one or more terms under a spec file"
     )
     evaluate.add_argument("file")
-    evaluate.add_argument("term")
+    evaluate.add_argument(
+        "term",
+        nargs="+",
+        help="term(s) to normalise; several terms evaluate as one batch",
+    )
     evaluate.add_argument(
         "--stats", action="store_true", help="print rewrite statistics"
+    )
+    evaluate.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard a multi-term batch across N worker processes "
+        "(default: in-process serial evaluation)",
     )
     evaluate.add_argument(
         "--backend",

@@ -103,10 +103,11 @@ def _wrap(interpreter, cls, value: SymbolicValue):
     return interpreter.to_python(value)
 
 
-def _evaluate_terms(cls, terms):
+def _evaluate_terms(cls, terms, workers=None):
     """Batch entry point stamped onto every façade class: normalise a
     sequence of raw terms through the engine's shared-memo batch API and
-    wrap the results exactly as the per-operation methods do."""
+    wrap the results exactly as the per-operation methods do.
+    ``workers=N`` shards the batch across worker processes."""
     interpreter = cls._interpreter
     terms = list(terms)
     with maybe_span(
@@ -114,11 +115,11 @@ def _evaluate_terms(cls, terms):
     ):
         return [
             _wrap(interpreter, cls, value)
-            for value in interpreter.value_many(terms)
+            for value in interpreter.value_many(terms, workers=workers)
         ]
 
 
-def _try_evaluate_terms(cls, terms, budget=None):
+def _try_evaluate_terms(cls, terms, budget=None, workers=None):
     """Fault-isolating batch entry point: one result record per term.
 
     Terms that normalise are wrapped exactly as :meth:`evaluate_terms`
@@ -126,14 +127,18 @@ def _try_evaluate_terms(cls, terms, budget=None):
     for observations); every other outcome — truncated, diverged, the
     algebra's ``error`` value, a contained fault — stays a structured
     :class:`~repro.runtime.Outcome`, so one pathological term cannot
-    abort the batch or mask its neighbours' results."""
+    abort the batch or mask its neighbours' results.  ``workers=N``
+    shards the batch across worker processes, the outcome order still
+    matching the input order."""
     interpreter = cls._interpreter
     terms = list(terms)
     results = []
     with maybe_span(
         "facade.try_evaluate_terms", cls=cls.__name__, batch=len(terms)
     ):
-        for outcome in interpreter.value_many_outcomes(terms, budget):
+        for outcome in interpreter.value_many_outcomes(
+            terms, budget, workers=workers
+        ):
             if outcome.status == NORMALIZED:
                 results.append(
                     _wrap(
@@ -153,6 +158,7 @@ def facade_class(
     fuel: int = 200_000,
     backend: str = "interpreted",
     budget: Optional[EvaluationBudget] = None,
+    workers: Optional[int] = None,
 ) -> Type[FacadeValue]:
     """Build a Python class executing ``spec`` symbolically.
 
@@ -161,7 +167,8 @@ def facade_class(
     faster (benchmark E7) — and ``backend="codegen"`` through the
     second-stage generated-source modules, faster still.  ``budget``
     bounds every evaluation the façade performs (fuel, wall-clock
-    deadline, memory caps).
+    deadline, memory caps), and ``workers`` sets the default shard
+    count for the batch entry points.
 
     >>> Queue = facade_class(QUEUE_SPEC)
     >>> q = Queue.new().add('a').add('b')
@@ -169,7 +176,7 @@ def facade_class(
     'a'
     """
     interpreter = SymbolicInterpreter(
-        spec, fuel=fuel, backend=backend, budget=budget
+        spec, fuel=fuel, backend=backend, budget=budget, workers=workers
     )
     toi = spec.type_of_interest
     cls = type(

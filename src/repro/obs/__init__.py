@@ -32,6 +32,8 @@ from repro.obs.metrics import (
     MetricsRegistry,
     aggregate_snapshot,
     histogram_quantile,
+    merge_snapshots,
+    register_snapshot_source,
     substrate_counters,
     suggest_fuel_budget,
 )
@@ -61,7 +63,9 @@ __all__ = [
     "histogram_quantile",
     "install",
     "maybe_span",
+    "merge_snapshots",
     "profile_diff",
+    "register_snapshot_source",
     "read_trace",
     "rule_id",
     "rule_profile",

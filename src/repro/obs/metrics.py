@@ -44,6 +44,8 @@ __all__ = [
     "FUEL_BUCKETS",
     "aggregate_snapshot",
     "histogram_quantile",
+    "merge_snapshots",
+    "register_snapshot_source",
     "substrate_counters",
     "suggest_fuel_budget",
 ]
@@ -264,6 +266,23 @@ def suggest_fuel_budget(
 #: Every live registry, for :func:`aggregate_snapshot`.
 _REGISTRIES: "weakref.WeakSet[MetricsRegistry]" = weakref.WeakSet()
 
+#: External snapshot providers — objects with a ``metrics_snapshot()``
+#: method returning a plain snapshot dict.  The sharded evaluation pool
+#: registers itself here so metrics shipped home from worker *processes*
+#: (which no live registry in this process can see) still appear in the
+#: process-wide :func:`aggregate_snapshot` view.
+_SNAPSHOT_SOURCES: "weakref.WeakSet" = weakref.WeakSet()
+
+
+def register_snapshot_source(source) -> None:
+    """Track ``source`` (weakly) as an external snapshot provider.
+
+    ``source.metrics_snapshot()`` must return a snapshot dict in the
+    :meth:`MetricsRegistry.snapshot` shape; it is consulted by
+    :func:`aggregate_snapshot` whenever the process-wide view is built.
+    """
+    _SNAPSHOT_SOURCES.add(source)
+
 
 class MetricsRegistry:
     """A named collection of metrics with get-or-create accessors.
@@ -358,38 +377,42 @@ class MetricsRegistry:
         }
 
 
-def aggregate_snapshot(
-    registries: Optional[Iterable[MetricsRegistry]] = None,
-) -> dict:
-    """Merge snapshots across registries (default: every live one).
+def merge_snapshots(snapshots: Iterable[dict]) -> dict:
+    """Merge plain snapshot dicts (the :meth:`MetricsRegistry.snapshot`
+    shape) into one.
 
     Counters, histogram buckets and family labels sum; gauges keep the
-    last value seen (only the global registry carries gauges in
-    practice).  This is the process-wide view ``--metrics-out`` writes:
-    one engine or fifty, the metric names stay the same.
+    last value seen.  The inputs are ordinary JSON-compatible dicts, so
+    this works equally on live in-process snapshots and on snapshots
+    deserialised from another process (the sharded evaluation pool ships
+    worker snapshots home through exactly this function).  Histograms
+    only merge bucket-by-bucket when their bounds agree — a snapshot
+    with different bounds replaces rather than corrupts.
     """
-    if registries is None:
-        registries = list(_REGISTRIES)
     counters: dict[str, int] = {}
     gauges: dict[str, float] = {}
     histograms: dict[str, dict] = {}
     families: dict[str, dict[str, int]] = {}
-    for registry in registries:
-        snap = registry.snapshot()
-        for name, value in snap["counters"].items():
+    for snap in snapshots:
+        for name, value in snap.get("counters", {}).items():
             counters[name] = counters.get(name, 0) + value
-        gauges.update(snap["gauges"])
-        for name, hist in snap["histograms"].items():
+        gauges.update(snap.get("gauges", {}))
+        for name, hist in snap.get("histograms", {}).items():
             merged = histograms.get(name)
-            if merged is None or merged["bounds"] != hist["bounds"]:
-                histograms[name] = dict(hist)
+            if merged is None or merged["bounds"] != list(hist["bounds"]):
+                histograms[name] = {
+                    "bounds": list(hist["bounds"]),
+                    "counts": list(hist["counts"]),
+                    "sum": hist["sum"],
+                    "count": hist["count"],
+                }
                 continue
             merged["counts"] = [
                 a + b for a, b in zip(merged["counts"], hist["counts"])
             ]
             merged["sum"] = round(merged["sum"] + hist["sum"], 9)
             merged["count"] += hist["count"]
-        for name, labels in snap["families"].items():
+        for name, labels in snap.get("families", {}).items():
             merged_family = families.setdefault(name, {})
             for label, count in labels.items():
                 merged_family[label] = merged_family.get(label, 0) + count
@@ -404,6 +427,31 @@ def aggregate_snapshot(
             for name, labels in sorted(families.items())
         },
     }
+
+
+def aggregate_snapshot(
+    registries: Optional[Iterable[MetricsRegistry]] = None,
+) -> dict:
+    """Merge snapshots across registries (default: every live one).
+
+    Counters, histogram buckets and family labels sum; gauges keep the
+    last value seen (only the global registry carries gauges in
+    practice).  This is the process-wide view ``--metrics-out`` writes:
+    one engine or fifty, the metric names stay the same.  With no
+    explicit ``registries``, snapshots from registered external sources
+    (worker processes of a live shard pool) are folded in too.
+    """
+    snapshots = []
+    if registries is None:
+        snapshots.extend(r.snapshot() for r in list(_REGISTRIES))
+        for source in list(_SNAPSHOT_SOURCES):
+            try:
+                snapshots.append(source.metrics_snapshot())
+            except Exception:  # fault-boundary: a dying pool must not
+                pass  # take the process-wide metrics view down with it
+    else:
+        snapshots.extend(r.snapshot() for r in registries)
+    return merge_snapshots(snapshots)
 
 
 # ----------------------------------------------------------------------

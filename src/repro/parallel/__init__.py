@@ -1,0 +1,45 @@
+"""Sharded parallel evaluation.
+
+Worker processes are natural shards of the evaluation runtime — each
+owns its intern table, shape memo, and warm engines — so batches
+parallelise by shipping chunks of terms across a portable wire format
+(:mod:`repro.parallel.wire`) to a :class:`~repro.parallel.pool.ShardPool`
+of workers, with serial-identical per-item semantics and worker metrics
+merged back into the process-wide observability view.
+
+The rest of the system reaches this layer through ``workers=N`` on the
+batch entry points (``RewriteEngine.normalize_many`` /
+``normalize_many_outcomes``, ``SymbolicInterpreter.value_many`` /
+``value_many_outcomes``, the facade batch methods, the oracle, the
+model checker) and ``--workers`` on the CLI.
+"""
+
+from repro.parallel.pool import ShardPool
+from repro.parallel.wire import (
+    WireError,
+    decode_budget,
+    decode_outcomes,
+    decode_ruleset,
+    decode_term,
+    decode_terms,
+    encode_budget,
+    encode_outcomes,
+    encode_ruleset,
+    encode_term,
+    encode_terms,
+)
+
+__all__ = [
+    "ShardPool",
+    "WireError",
+    "decode_budget",
+    "decode_outcomes",
+    "decode_ruleset",
+    "decode_term",
+    "decode_terms",
+    "encode_budget",
+    "encode_outcomes",
+    "encode_ruleset",
+    "encode_term",
+    "encode_terms",
+]

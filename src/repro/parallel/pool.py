@@ -1,0 +1,450 @@
+"""Sharded parallel evaluation: a pool of worker-process engines.
+
+Hash consing and memo tables are per-process, so worker processes are
+naturally isolated *shards*: each worker owns its intern table, its
+discrimination-tree shape memo, and one warm
+:class:`~repro.rewriting.engine.RewriteEngine` per rule-set
+fingerprint.  A :class:`ShardPool` splits a batch into contiguous
+chunks, ships each chunk to a worker over the :mod:`repro.parallel.wire`
+format (terms re-intern on arrival), and reassembles replies in input
+order — callers observe exactly the serial contract:
+
+* ``normalize_many``: results in input order; the first limit (by item
+  index) raises the same :class:`RewriteLimitError` serial evaluation
+  would have raised.
+* ``normalize_many_outcomes``: one :class:`Outcome` per term, in input
+  order, with per-item budgets and the fault-isolation ladder applied
+  *shard-locally* — a pathological term truncates its own outcome, not
+  its neighbours, exactly as in-process.
+
+Observability crosses the boundary too: every reply carries the
+worker's cumulative metrics snapshot (its engine counters, rule-firing
+family, and substrate intern/memo rates), the pool keeps the latest
+snapshot per worker, and registers itself with
+:func:`repro.obs.metrics.register_snapshot_source` so the process-wide
+:func:`~repro.obs.metrics.aggregate_snapshot` — and therefore the CLI's
+``--metrics-out`` — stays honest under sharding.
+
+Failure posture: losing the pool must never lose the batch.  A dead
+worker, an unpicklable payload, or a platform without multiprocessing
+degrades the affected chunks (and every later batch) to a parent-side
+serial engine, recorded under the ``parallel.degradations`` counter
+family.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Iterable, Optional
+
+from repro.obs import metrics as _metrics
+from repro.parallel import wire
+from repro.rewriting.engine import RewriteEngine, RewriteLimitError
+from repro.rewriting.rules import RuleSet
+from repro.runtime import faults as _faults
+from repro.runtime.budget import DEFAULT_FUEL, EvaluationBudget
+from repro.runtime.outcome import Outcome
+
+__all__ = ["ShardPool"]
+
+
+def _chunk_spans(total: int, chunk_size: int) -> list[tuple[int, int]]:
+    """Contiguous ``(start, end)`` spans covering ``range(total)``."""
+    return [
+        (start, min(start + chunk_size, total))
+        for start in range(0, total, chunk_size)
+    ]
+
+
+def _encode_limit(exc: RewriteLimitError) -> dict:
+    enc = wire.TermTableEncoder()
+    return {
+        **enc.tables(),
+        "term": enc.term_id(exc.term),
+        "fuel": exc.fuel,
+        "reason": exc.reason,
+        "trace": [enc.term_id(t) for t in exc.trace],
+        "detail": exc.detail,
+    }
+
+
+def _decode_limit(payload: dict) -> RewriteLimitError:
+    nodes = wire.decode_nodes(payload)
+    return RewriteLimitError(
+        nodes[payload["term"]],
+        payload["fuel"],
+        reason=payload["reason"],
+        trace=tuple(nodes[i] for i in payload["trace"]),
+        detail=payload["detail"],
+    )
+
+
+class ShardPool:
+    """Worker-process evaluation for one rule set + engine configuration.
+
+    The pool is bound at construction: rules, backend, fuel, default
+    budget, memo size/policy, index mode.  Workers warm an engine for
+    that configuration once (keyed by the rule set's structural
+    fingerprint) and reuse it across batches.  The executor itself is
+    lazy — no processes exist until the first batch (or :meth:`warm`).
+
+    ``fault_injector`` is for the chaos suite: a picklable
+    :class:`~repro.runtime.faults.FaultInjector` installed in every
+    worker, so the PR-3 fault-isolation ladder can be exercised
+    shard-locally.  Note that probabilistic injectors draw from a
+    per-process seeded stream, so only ``probability=1.0`` plans are
+    shard-invariant.
+    """
+
+    def __init__(
+        self,
+        rules: RuleSet,
+        workers: int,
+        *,
+        backend: str = "interpreted",
+        fuel: int = DEFAULT_FUEL,
+        budget: Optional[EvaluationBudget] = None,
+        cache_size: int = 4096,
+        cache_policy: str = "lru",
+        use_index: "bool | str" = True,
+        fusion=None,
+        chunk_size: Optional[int] = None,
+        mp_context: Optional[str] = None,
+        fault_injector=None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if fusion is not None and not isinstance(fusion, str):
+            raise wire.WireError(
+                "only named fusion plans (or None for auto) can cross a "
+                f"process boundary, got {fusion!r}"
+            )
+        self.workers = workers
+        self.rules = rules
+        self.rule_count = len(rules)
+        self.fuel = fuel
+        self.chunk_size = chunk_size
+        self._options = {
+            "backend": backend,
+            "fuel": fuel,
+            "budget": wire.encode_budget(budget),
+            "cache_size": cache_size,
+            "cache_policy": cache_policy,
+            "use_index": use_index,
+            "fusion": fusion,
+        }
+        # The worker-side engine cache key: the structural rule-set
+        # fingerprint with every engine option folded in, so two pools
+        # over the same rules but different configurations never share
+        # a warm engine by accident.
+        self.key = rules.fingerprint(
+            extra="shard-pool-v1;" + repr(sorted(self._options.items()))
+        )
+        # Encoding the rule set now surfaces unwireable rules (lambda
+        # builtins, exotic literals) in the constructor, where the
+        # caller can still choose serial evaluation.
+        self._spec_wire = {
+            **self._options,
+            "key": self.key,
+            "rules": wire.encode_ruleset(rules),
+        }
+        self._fault_injector = fault_injector
+        self._mp_context = mp_context
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._broken = False
+        self._serial: Optional[RewriteEngine] = None
+        self._worker_snapshots: dict[int, dict] = {}
+        registry = _metrics.MetricsRegistry("parallel")
+        self._registry = registry
+        self.c_batches = registry.counter(
+            "parallel.batches", "batches dispatched through the shard pool"
+        )
+        self.c_chunks = registry.counter(
+            "parallel.chunks", "chunks shipped to worker processes"
+        )
+        self.c_items = registry.counter(
+            "parallel.items", "terms evaluated via the shard pool"
+        )
+        self.c_serial_items = registry.counter(
+            "parallel.serial_items",
+            "terms evaluated parent-side after pool degradation",
+        )
+        self.degradations = registry.family(
+            "parallel.degradations",
+            "pool->serial degradations by cause",
+        )
+        _metrics.register_snapshot_source(self)
+
+    # -- lifecycle ------------------------------------------------------
+    def _ensure_executor(self) -> Optional[ProcessPoolExecutor]:
+        if self._broken:
+            return None
+        if self._executor is None:
+            try:
+                methods = multiprocessing.get_all_start_methods()
+                method = self._mp_context or (
+                    "fork" if "fork" in methods else methods[0]
+                )
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    mp_context=multiprocessing.get_context(method),
+                    initializer=_worker_init,
+                    initargs=(self._spec_wire, self._fault_injector),
+                )
+            except Exception:  # fault-boundary: no usable multiprocessing -> serial
+                self._degrade("pool_unavailable")
+                return None
+        return self._executor
+
+    def warm(self) -> list[int]:
+        """Force every worker to spawn and build its engine; returns
+        the worker pids.  Benchmarks call this so measurements cover
+        evaluation and wire traffic, not process start-up."""
+        executor = self._ensure_executor()
+        if executor is None:
+            return []
+        try:
+            futures = [
+                executor.submit(_worker_ready, self.key)
+                for _ in range(self.workers)
+            ]
+            return sorted({future.result() for future in futures})
+        except Exception:  # fault-boundary: broken pool -> serial from now on
+            self._degrade("warm_failed")
+            return []
+
+    def close(self) -> None:
+        """Shut the worker processes down.  Later batches run serially
+        parent-side; the last shipped worker snapshots remain merged in
+        :meth:`metrics_snapshot`."""
+        executor, self._executor = self._executor, None
+        self._broken = True
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    def __enter__(self) -> "ShardPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:  # fault-boundary: interpreter teardown order
+            pass
+
+    # -- degradation ----------------------------------------------------
+    def _degrade(self, cause: str) -> None:
+        self.degradations.inc(cause)
+        self._broken = True
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    def _serial_engine(self) -> RewriteEngine:
+        engine = self._serial
+        if engine is None:
+            opts = self._options
+            engine = self._serial = RewriteEngine(
+                self.rules,
+                fuel=opts["fuel"],
+                use_index=opts["use_index"],
+                cache_size=opts["cache_size"],
+                cache_policy=opts["cache_policy"],
+                backend=opts["backend"],
+                budget=wire.decode_budget(opts["budget"]),
+                fusion=opts["fusion"],
+            )
+        return engine
+
+    def _serial_chunk(self, terms, budget, mode):
+        self.c_serial_items.inc(len(terms))
+        engine = self._serial_engine()
+        if mode == "outcomes":
+            return engine.normalize_many_outcomes(terms, budget)
+        return engine.normalize_many(terms, budget)
+
+    # -- dispatch -------------------------------------------------------
+    def _chunk_size_for(self, total: int) -> int:
+        if self.chunk_size is not None:
+            return max(1, self.chunk_size)
+        # Four chunks per worker: small enough that the executor's
+        # dynamic assignment evens out unequal per-item costs, large
+        # enough to amortise wire encoding per chunk.
+        return max(1, -(-total // (self.workers * 4)))
+
+    def _run_batch(self, terms: list, budget, mode: str) -> list:
+        self.c_batches.inc()
+        self.c_items.inc(len(terms))
+        executor = self._ensure_executor()
+        if executor is None:
+            return self._serial_chunk(terms, budget, mode)
+        budget_wire = wire.encode_budget(budget)
+        spans = _chunk_spans(len(terms), self._chunk_size_for(len(terms)))
+        self.c_chunks.inc(len(spans))
+        try:
+            pending = [
+                (
+                    start,
+                    end,
+                    executor.submit(
+                        _worker_run,
+                        self.key,
+                        mode,
+                        wire.encode_terms(terms[start:end]),
+                        budget_wire,
+                    ),
+                )
+                for start, end in spans
+            ]
+        except Exception:  # fault-boundary: submission failed -> whole batch serial
+            self._degrade("submit_failed")
+            return self._serial_chunk(terms, budget, mode)
+        results: list = []
+        for start, end, future in pending:
+            try:
+                reply = future.result()
+            except Exception:  # fault-boundary: dead worker -> serial for this chunk on
+                self._degrade("worker_died")
+                results.extend(
+                    self._serial_chunk(terms[start:end], budget, mode)
+                )
+                continue
+            self._worker_snapshots[reply["pid"]] = reply["snapshot"]
+            if "limit" in reply:
+                # Serial normalize_many raises at the first failing
+                # item; chunks are ordered, workers stop at their first
+                # failure, and every earlier chunk completed — so this
+                # is that item.
+                raise _decode_limit(reply["limit"])
+            if mode == "outcomes":
+                results.extend(wire.decode_outcomes(reply["outcomes"]))
+            else:
+                results.extend(wire.decode_terms(reply["results"]))
+        return results
+
+    # -- the serial-contract entry points -------------------------------
+    def normalize_many(
+        self,
+        terms: Iterable,
+        budget: Optional[EvaluationBudget] = None,
+    ) -> list:
+        """Batch value-mode normalisation with serial semantics (first
+        limit raises), sharded across the workers."""
+        terms = terms if isinstance(terms, list) else list(terms)
+        return self._run_batch(terms, budget, "normalize")
+
+    def normalize_many_outcomes(
+        self,
+        terms: Iterable,
+        budget: Optional[EvaluationBudget] = None,
+    ) -> list[Outcome]:
+        """Fault-isolating batch evaluation, sharded across the
+        workers; one outcome per term, in input order."""
+        terms = terms if isinstance(terms, list) else list(terms)
+        return self._run_batch(terms, budget, "outcomes")
+
+    # -- observability --------------------------------------------------
+    def metrics_snapshot(self) -> dict:
+        """The merged metrics shipped home by the workers.
+
+        Counters, histograms and counter families (rule firings,
+        fallbacks, outcome statuses) sum across workers; gauges are
+        dropped — they describe worker-process state (live intern-table
+        size) that has no meaningful process-wide sum.  Registered as a
+        snapshot source, so :func:`repro.obs.metrics.aggregate_snapshot`
+        folds this in automatically.
+        """
+        merged = _metrics.merge_snapshots(self._worker_snapshots.values())
+        merged["gauges"] = {}
+        return merged
+
+
+# ----------------------------------------------------------------------
+# Worker-process side
+# ----------------------------------------------------------------------
+# One engine per spec key, warmed in the initializer and reused across
+# every chunk the worker ever receives.  With the fork start method the
+# child inherits the parent's interned terms and module caches (the
+# codegen module cache is lock-guarded for exactly this reason); with
+# spawn it starts cold.  Either way the metrics registries are reset
+# after the engine is built, so shipped snapshots measure evaluation
+# work only — not inherited parent history, not engine construction.
+
+_WORKER_SPECS: dict[str, dict] = {}
+_WORKER_ENGINES: dict[str, RewriteEngine] = {}
+
+
+def _worker_init(spec_wire: dict, fault_injector=None) -> None:
+    from repro.obs import trace as _trace
+
+    _WORKER_SPECS[spec_wire["key"]] = spec_wire
+    # Tracing stays parent-side: a forked worker would otherwise append
+    # to the parent's JSONL sink through an inherited file handle.
+    _trace.ACTIVE = None
+    # A forked worker also inherits the parent's registered snapshot
+    # sources — other live pools, whose metrics_snapshot() would replay
+    # *parent-side* worker history into this worker's shipped snapshot.
+    # A worker process aggregates only its own registries.
+    _metrics._SNAPSHOT_SOURCES.clear()
+    if fault_injector is not None:
+        _faults.install(fault_injector)
+    _worker_engine(spec_wire["key"])
+    for registry in list(_metrics._REGISTRIES):
+        registry.reset()
+
+
+def _worker_engine(key: str) -> RewriteEngine:
+    engine = _WORKER_ENGINES.get(key)
+    if engine is None:
+        spec = _WORKER_SPECS[key]
+        engine = RewriteEngine(
+            wire.decode_ruleset(spec["rules"]),
+            fuel=spec["fuel"],
+            use_index=spec["use_index"],
+            cache_size=spec["cache_size"],
+            cache_policy=spec["cache_policy"],
+            backend=spec["backend"],
+            budget=wire.decode_budget(spec["budget"]),
+            fusion=spec["fusion"],
+        )
+        if spec["backend"] != "interpreted":
+            engine._delegate_engine()  # build closures/modules now
+        _WORKER_ENGINES[key] = engine
+    return engine
+
+
+def _worker_ready(key: str, pause: float = 0.05) -> int:
+    """Spawn/warm probe: block briefly so every pool worker takes one
+    probe, and report this worker's pid."""
+    _worker_engine(key)
+    time.sleep(pause)
+    return os.getpid()
+
+
+def _worker_run(key: str, mode: str, payload: dict, budget_wire) -> dict:
+    engine = _worker_engine(key)
+    terms = wire.decode_terms(payload)
+    budget = wire.decode_budget(budget_wire)
+    if mode == "outcomes":
+        outcomes = engine.normalize_many_outcomes(terms, budget)
+        reply = {"outcomes": wire.encode_outcomes(outcomes)}
+    else:
+        try:
+            reply = {
+                "results": wire.encode_terms(
+                    engine.normalize_many(terms, budget)
+                )
+            }
+        except RewriteLimitError as exc:
+            reply = {"limit": _encode_limit(exc)}
+    # Cumulative since worker start: the parent keeps the latest
+    # snapshot per pid, so re-shipping the running total keeps the
+    # merge idempotent across chunks.
+    reply["snapshot"] = _metrics.aggregate_snapshot()
+    reply["pid"] = os.getpid()
+    return reply

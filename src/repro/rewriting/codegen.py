@@ -48,6 +48,7 @@ interpreted machine on deep recursion, exactly like the closure backend.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from time import perf_counter
 from typing import Iterable, Optional
@@ -861,7 +862,12 @@ class CodegenRules:
 
 
 #: Cache of generated modules, keyed by rule-set fingerprint + options.
+#: Guarded by ``_MODULE_CACHE_LOCK``: engines may be built from threads,
+#: and shard-pool workers forked mid-build must inherit a consistent
+#: dict (the eviction path clears and repopulates, which a concurrent
+#: reader — or a fork snapshot — must never observe half-done).
 _MODULE_CACHE: dict[str, CodegenModule] = {}
+_MODULE_CACHE_LOCK = threading.Lock()
 
 
 def codegen_module(
@@ -880,14 +886,20 @@ def codegen_module(
             f"fold={int(fold)};fusion={plan.key}"
         )
     )
-    module = _MODULE_CACHE.get(key)
+    with _MODULE_CACHE_LOCK:
+        module = _MODULE_CACHE.get(key)
     if module is None:
+        # Compile outside the lock — generation is slow and pure, and a
+        # duplicate concurrent build is harmless: the store below is
+        # last-writer-wins on an identical module.
         module = _CodegenCompiler(rules, cache_on, fold, plan).compile_module(
             key
         )
-        if len(_MODULE_CACHE) >= _MODULE_CACHE_LIMIT:
-            _MODULE_CACHE.clear()
-        _MODULE_CACHE[key] = module
+        with _MODULE_CACHE_LOCK:
+            if len(_MODULE_CACHE) >= _MODULE_CACHE_LIMIT:
+                _MODULE_CACHE.clear()
+            _MODULE_CACHE.setdefault(key, module)
+            module = _MODULE_CACHE[key]
     return module
 
 

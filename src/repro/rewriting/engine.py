@@ -408,6 +408,7 @@ class RewriteEngine:
         self._cache: "OrderedDict[Term, Term]" = OrderedDict()
         self._compiled = None  # lazily-built CompiledEngine delegate
         self._codegen = None  # lazily-built CodegenEngine delegate
+        self._pools: dict = {}  # workers -> ShardPool (None = unavailable)
 
     @classmethod
     def for_specification(
@@ -489,7 +490,10 @@ class RewriteEngine:
             stats.fuel_hist.observe(spent if spent > 0 else 0)
 
     def normalize_many(
-        self, terms: Iterable[Term], budget: Optional[EvaluationBudget] = None
+        self,
+        terms: Iterable[Term],
+        budget: Optional[EvaluationBudget] = None,
+        workers: Optional[int] = None,
     ) -> list[Term]:
         """Normalise a batch of terms against one shared memo.
 
@@ -499,9 +503,22 @@ class RewriteEngine:
         checking many instances of the same axioms, the benchmarks
         draining a family of queues) most of the batch is cache hits.
 
+        ``workers=N`` (N > 1) shards the batch across a pool of worker
+        processes (:class:`repro.parallel.ShardPool`), preserving input
+        order and serial semantics; each worker warms its own engine
+        and memo, so cross-item memo sharing becomes shard-local.  If
+        the pool cannot be built (unwireable rules, no multiprocessing)
+        the batch silently runs serially, recorded as a
+        ``pool_unavailable`` fallback.
+
         The first limit aborts the whole batch; use
         :meth:`normalize_many_outcomes` for fault isolation.
         """
+        if workers is not None and workers > 1:
+            terms = terms if isinstance(terms, list) else list(terms)
+            pool = self._shard_pool(workers)
+            if pool is not None and len(terms) > 1:
+                return pool.normalize_many(terms, budget)
         if self.backend != "interpreted":
             return self._delegate_engine().normalize_many(terms, budget)
         return [self.normalize(term, budget) for term in terms]
@@ -571,13 +588,68 @@ class RewriteEngine:
             return Outcome.of_fault(term, exc)
 
     def normalize_many_outcomes(
-        self, terms: Iterable[Term], budget: Optional[EvaluationBudget] = None
+        self,
+        terms: Iterable[Term],
+        budget: Optional[EvaluationBudget] = None,
+        workers: Optional[int] = None,
     ) -> list[Outcome]:
         """Fault-isolating batch evaluation: one outcome per term, the
         shared memo still warming across items, and no term — however
         pathological — able to abort its neighbours.  Budgets apply per
-        item (each term gets the full budget, deadline included)."""
+        item (each term gets the full budget, deadline included).
+
+        ``workers=N`` shards the batch across worker processes with the
+        same per-item semantics — the degradation ladder holds
+        shard-locally, and outcome order matches input order."""
+        if workers is not None and workers > 1:
+            terms = terms if isinstance(terms, list) else list(terms)
+            pool = self._shard_pool(workers)
+            if pool is not None and len(terms) > 1:
+                return pool.normalize_many_outcomes(terms, budget)
         return [self.normalize_outcome(term, budget) for term in terms]
+
+    def _shard_pool(self, workers: int):
+        """The cached :class:`~repro.parallel.ShardPool` for ``workers``
+        shards, rebuilt when the rule set grew or ``engine.fuel`` was
+        adjusted since the pool was built (mirroring the compiled
+        delegates).  ``None`` when pooling is unavailable for this
+        engine — unwireable rules, no multiprocessing — in which case
+        batch calls stay serial (recorded as a ``pool_unavailable``
+        fallback, once)."""
+        pool = self._pools.get(workers)
+        if pool is not None and (
+            pool.rule_count != len(self.rules) or pool.fuel != self.fuel
+        ):
+            pool.close()
+            pool = None
+            del self._pools[workers]
+        if pool is None and workers not in self._pools:
+            try:
+                from repro.parallel import ShardPool
+
+                pool = ShardPool(
+                    self.rules,
+                    workers,
+                    backend=self.backend,
+                    fuel=self.fuel,
+                    budget=self.budget,
+                    cache_size=self.cache_size,
+                    cache_policy=self.cache_policy,
+                    use_index=self.use_index,
+                    fusion=self.fusion,
+                )
+            except Exception:  # fault-boundary: unwireable rules -> stay serial
+                self.stats.record_fallback("pool_unavailable")
+                pool = None
+            self._pools[workers] = pool
+        return pool
+
+    def close_pools(self) -> None:
+        """Shut down any worker pools this engine spawned."""
+        for pool in self._pools.values():
+            if pool is not None:
+                pool.close()
+        self._pools.clear()
 
     def _compiled_engine(self):
         """The lazily-built compiled delegate, rebuilt if rules were

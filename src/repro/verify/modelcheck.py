@@ -146,6 +146,7 @@ def model_check(
     max_instances: int = 400,
     fuel: int = 100_000,
     extra_pools: Optional[dict[str, Sequence[Term]]] = None,
+    workers: Optional[int] = None,
 ) -> ModelCheckReport:
     """Evaluate ``obligation`` on ground instantiations.
 
@@ -155,6 +156,11 @@ def model_check(
     Assumption 1 counterexample); other variables range over the literal
     pools.  ``extra_pools`` maps sort names to term pools for sorts
     beyond the built-in Identifier/Attributelist/Item trio.
+
+    Both sides of every instance go through one fault-isolating
+    :meth:`~repro.rewriting.engine.RewriteEngine.normalize_many_outcomes`
+    batch; ``workers=N`` shards that batch (the enumeration grid is
+    embarrassingly parallel) with per-instance verdicts unchanged.
     """
     from repro.spec.prelude import attributes, identifier, item
 
@@ -185,13 +191,26 @@ def model_check(
             )
 
     with maybe_span("modelcheck.obligation", label=obligation.label):
-        for combo in itertools.islice(
-            itertools.product(*pools), max_instances
-        ):
-            sigma = Substitution(dict(zip(variables, combo)))
+        substitutions = [
+            Substitution(dict(zip(variables, combo)))
+            for combo in itertools.islice(
+                itertools.product(*pools), max_instances
+            )
+        ]
+        outcomes = engine.normalize_many_outcomes(
+            [
+                side
+                for sigma in substitutions
+                for side in (
+                    sigma.apply(obligation.lhs),
+                    sigma.apply(obligation.rhs),
+                )
+            ],
+            workers=workers,
+        )
+        for i, sigma in enumerate(substitutions):
+            left, right = outcomes[2 * i], outcomes[2 * i + 1]
             report.instances_checked += 1
-            left = engine.normalize_outcome(sigma.apply(obligation.lhs))
-            right = engine.normalize_outcome(sigma.apply(obligation.rhs))
             if not (left.ok and right.ok):
                 report.undecided += 1
                 continue
@@ -201,4 +220,5 @@ def model_check(
                         obligation.label, sigma, left.term, right.term
                     )
                 )
+    engine.close_pools()
     return report

@@ -1,0 +1,103 @@
+"""Tests for metrics-snapshot serialization and merging.
+
+Snapshots are the unit of metrics transport: workers ship them across
+process boundaries, the CLI writes them to disk.  They must therefore
+be plain JSON data, survive a serialize/deserialize round trip without
+loss, and merge associatively via :func:`merge_snapshots`.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    aggregate_snapshot,
+    merge_snapshots,
+    register_snapshot_source,
+)
+
+
+def _populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry("roundtrip")
+    registry.counter("rt.count").inc(3)
+    registry.gauge("rt.level").set(1.5)
+    histogram = registry.histogram("rt.latency", bounds=(1.0, 10.0))
+    histogram.observe(0.5)
+    histogram.observe(5.0)
+    histogram.observe(100.0)  # overflow bucket
+    family = registry.family("rt.by_kind")
+    family.inc("a", 2)
+    family.inc("b")
+    return registry
+
+
+class TestJsonRoundTrip:
+    def test_snapshot_is_json_representable_and_lossless(self):
+        snap = _populated_registry().snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+
+    def test_deserialized_snapshot_merges_like_a_live_one(self):
+        snap = _populated_registry().snapshot()
+        over_the_wire = json.loads(json.dumps(snap))
+        assert merge_snapshots([over_the_wire]) == merge_snapshots([snap])
+
+
+class TestMerge:
+    def test_counters_histograms_families_sum(self):
+        snap = _populated_registry().snapshot()
+        merged = merge_snapshots([snap, json.loads(json.dumps(snap))])
+        assert merged["counters"]["rt.count"] == 6
+        assert merged["gauges"]["rt.level"] == 1.5
+        histogram = merged["histograms"]["rt.latency"]
+        assert histogram["counts"] == [2, 2, 2]
+        assert histogram["count"] == 6
+        assert histogram["sum"] == 2 * snap["histograms"]["rt.latency"]["sum"]
+        assert merged["families"]["rt.by_kind"] == {"a": 4, "b": 2}
+
+    def test_single_snapshot_merges_to_itself(self):
+        snap = _populated_registry().snapshot()
+        assert merge_snapshots([snap]) == snap
+
+    def test_gauges_keep_the_last_value(self):
+        merged = merge_snapshots(
+            [{"gauges": {"g": 1.0}}, {"gauges": {"g": 7.0}}]
+        )
+        assert merged["gauges"]["g"] == 7.0
+
+    def test_mismatched_histogram_bounds_replace_not_corrupt(self):
+        first = {
+            "histograms": {
+                "h": {"bounds": [1.0], "counts": [1, 0], "sum": 0.5, "count": 1}
+            }
+        }
+        second = {
+            "histograms": {
+                "h": {"bounds": [2.0], "counts": [0, 3], "sum": 9.0, "count": 3}
+            }
+        }
+        merged = merge_snapshots([first, second])
+        assert merged["histograms"]["h"] == second["histograms"]["h"]
+
+
+class TestSnapshotSources:
+    def test_registered_source_feeds_the_aggregate_view(self):
+        class Source:
+            def metrics_snapshot(self):
+                return {"counters": {"external.shipped": 7}}
+
+        source = Source()
+        register_snapshot_source(source)
+        assert aggregate_snapshot()["counters"]["external.shipped"] == 7
+        # Held weakly: a dropped source vanishes from the aggregate.
+        del source
+        assert "external.shipped" not in aggregate_snapshot()["counters"]
+
+    def test_faulty_source_cannot_break_the_aggregate_view(self):
+        class Faulty:
+            def metrics_snapshot(self):
+                raise RuntimeError("pool died mid-snapshot")
+
+        faulty = Faulty()
+        register_snapshot_source(faulty)
+        assert "counters" in aggregate_snapshot()

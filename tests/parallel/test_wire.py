@@ -1,0 +1,155 @@
+"""Tests for the term wire format.
+
+The contract under test: everything the encoder produces is plain
+JSON-compatible data, decoding re-interns through the ordinary term
+constructors (so a same-process round trip yields ``is``-identical
+terms), shared substructure wires once, deep terms need no recursion
+headroom, and anything that *cannot* cross a process boundary fails at
+encode time with :class:`WireError`.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.adt.queue import ADD, FRONT, QUEUE_SPEC, new, queue_term
+from repro.algebra.signature import Operation
+from repro.algebra.sorts import Sort
+from repro.algebra.terms import App, Err, Ite, Lit, Var
+from repro.parallel import wire
+from repro.parallel.wire import WireError
+from repro.rewriting.rules import RuleSet
+from repro.runtime import DIVERGED, EvaluationBudget, Outcome
+from repro.spec.prelude import item
+
+
+def _front_of(payloads) -> App:
+    return App(FRONT, (queue_term(payloads),))
+
+
+class TestTermRoundTrip:
+    def test_same_process_round_trip_is_identical(self):
+        term = _front_of(["a", "b"])
+        decoded = wire.decode_term(wire.encode_term(term))
+        # Decoding re-interns, and the encoder's source is still alive
+        # in this process's table — so not merely equal: the same node.
+        assert decoded is term
+
+    def test_payload_survives_json(self):
+        term = _front_of(["a", 1, "c"])
+        payload = json.loads(json.dumps(wire.encode_term(term)))
+        assert wire.decode_term(payload) is term
+
+    def test_every_node_class_round_trips(self):
+        queue_sort = QUEUE_SPEC.type_of_interest
+        q = Var("q", queue_sort)
+        is_empty = QUEUE_SPEC.operation("IS_EMPTY?")
+        term = Ite(App(is_empty, (q,)), item("a"), item("b"))
+        batch = [term, Err(queue_sort), Var("q2", queue_sort), new()]
+        assert wire.decode_terms(wire.encode_terms(batch)) == batch
+
+    def test_tuple_literal_round_trips(self):
+        sort = Sort("Widget")
+        term = Lit(("a", 1, ("nested", None)), sort)
+        decoded = wire.decode_term(
+            json.loads(json.dumps(wire.encode_term(term)))
+        )
+        assert decoded is term
+
+    def test_deep_term_needs_no_recursion_headroom(self):
+        # ~5000 nested ADDs: far beyond the default recursion limit if
+        # either direction walked the term recursively.
+        term = _front_of(range(5000))
+        assert wire.decode_term(wire.encode_term(term)) is term
+
+    def test_shared_substructure_wires_once(self):
+        q = queue_term(["a", "b"])
+        single = len(wire.encode_term(q)["nodes"])
+        payload = wire.encode_terms([q, q, App(FRONT, (q,))])
+        # The repeated root is one table entry; FRONT(q) adds one node.
+        assert payload["roots"][0] == payload["roots"][1]
+        assert len(payload["nodes"]) == single + 1
+
+
+class TestTermRejections:
+    def test_lambda_builtin_fails_at_encode_time(self):
+        sort = Sort("Widget")
+        op = Operation("OPAQUE", (sort,), sort, builtin=lambda x: x)
+        with pytest.raises(WireError):
+            wire.encode_term(App(op, (Err(sort),)))
+
+    def test_unrepresentable_literal_fails_at_encode_time(self):
+        with pytest.raises(WireError):
+            wire.encode_term(Lit(object(), Sort("Widget")))
+
+    def test_version_mismatch_is_rejected(self):
+        payload = wire.encode_term(new())
+        payload["version"] = wire.WIRE_VERSION + 1
+        with pytest.raises(WireError):
+            wire.decode_term(payload)
+
+    def test_unresolvable_builtin_reference_is_rejected(self):
+        payload = wire.encode_term(new())
+        payload["ops"] = [
+            {**op, "builtin": "no.such.module:missing"}
+            for op in payload["ops"]
+        ]
+        with pytest.raises(WireError):
+            wire.decode_term(payload)
+
+
+class TestOutcomes:
+    def test_outcome_batch_round_trips(self):
+        ping = _front_of(["a"])
+        outcomes = [
+            Outcome(status="normalized", term=item("a")),
+            Outcome(status="error_value", term=Err(QUEUE_SPEC.type_of_interest)),
+            Outcome(
+                status=DIVERGED,
+                term=ping,
+                reason="cycle",
+                trace=(ping, _front_of(["b"])),
+                detail="period-2 cycle",
+            ),
+            Outcome(status="truncated", term=None, reason="fault", detail="x"),
+        ]
+        payload = json.loads(json.dumps(wire.encode_outcomes(outcomes)))
+        assert wire.decode_outcomes(payload) == outcomes
+
+
+class TestRuleSetAndBudget:
+    def test_ruleset_round_trip_preserves_fingerprint(self):
+        rules = RuleSet.from_specification(QUEUE_SPEC)
+        payload = json.loads(json.dumps(wire.encode_ruleset(rules)))
+        decoded = wire.decode_ruleset(payload)
+        assert len(decoded) == len(rules)
+        # Fingerprint digests rule order, labels, both sides and the
+        # mentioned operations — equality means the far side builds an
+        # engine indistinguishable from ours.
+        assert decoded.fingerprint() == rules.fingerprint()
+
+    def test_module_level_builtins_survive_the_trip(self):
+        from repro.spec.prelude import ISSAME, TRUE, identifier
+
+        # ISSAME?'s evaluator is a module-level function, so it crosses
+        # as a ``module:qualname`` reference and resolves to the same
+        # object on the (here: same-process) far side.
+        term = App(ISSAME, (identifier("x"), identifier("y")))
+        payload = json.loads(json.dumps(wire.encode_term(term)))
+        decoded = wire.decode_term(payload)
+        assert decoded is term
+        assert decoded.op.builtin is ISSAME.builtin
+        assert ISSAME.builtin is not None
+        assert TRUE.builtin is None or callable(TRUE.builtin)
+
+    def test_budget_round_trips(self):
+        budget = EvaluationBudget(
+            fuel=77,
+            deadline=1.5,
+            max_intern_growth=1000,
+            max_memo_entries=64,
+        )
+        assert wire.decode_budget(wire.encode_budget(budget)) == budget
+        assert wire.decode_budget(wire.encode_budget(None)) is None
