@@ -1,0 +1,212 @@
+#!/usr/bin/env python
+"""E12 — serving throughput and tail latency, healthy and degraded.
+
+The serving claim behind the ROADMAP's "production-scale system"
+north star: a warm ``repro serve`` daemon answers concurrent batched
+normalisation far faster than cold-start CLI invocations, *and keeps
+answering* when a shard worker is SIGKILLed mid-run (pool degrades to
+parent-side serial evaluation, the supervisor respawns it behind the
+scenes).  This benchmark measures both modes with real HTTP traffic
+from the stdlib client:
+
+* ``rps`` — completed requests per wall-clock second across all client
+  threads;
+* ``p50_ms`` / ``p99_ms`` — client-observed per-request latency;
+* ``dropped`` — requests that resolved to neither per-item Outcomes
+  nor a structured shed; the robustness invariant is that this is 0 in
+  *both* modes;
+* ``recovery_seconds`` (degraded mode) — time from the SIGKILL until
+  ``/readyz`` reports the pool healthy again.
+
+Writes ``BENCH_E12.json`` next to this file::
+
+    PYTHONPATH=src python benchmarks/bench_e12_serving.py [--quick]
+
+``check_perf_regression.py --serve`` re-runs the healthy measurement
+and guards rps against this artefact (machine-normalised), plus the
+machine-free invariants: zero dropped requests and degraded-mode
+recovery.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import statistics
+import threading
+import time
+from pathlib import Path
+
+BENCH_PATH = Path(__file__).resolve().parent / "BENCH_E12.json"
+
+
+def _subjects(batch: int, tag: str) -> list:
+    from repro.adt.queue import FRONT, queue_term
+    from repro.algebra.terms import App
+
+    return [
+        App(FRONT, (queue_term([f"{tag}{i}a", f"{tag}{i}b", f"{tag}{i}c"]),))
+        for i in range(batch)
+    ]
+
+
+def _drive(host, port, requests, batch, tag, latencies, failures):
+    from repro.serve import ServeClient, ServeUnavailable
+
+    client = ServeClient(
+        host, port, timeout=30.0, retries=2, backoff=0.01, seed=len(tag)
+    )
+    for i in range(requests):
+        subjects = _subjects(batch, f"{tag}r{i}")
+        started = time.perf_counter()
+        try:
+            outcomes = client.normalize(subjects, spec="Queue")
+        except ServeUnavailable:
+            failures.append("shed")  # structured refusal, not a drop
+            continue
+        elapsed = time.perf_counter() - started
+        if len(outcomes) == len(subjects) and all(o.ok for o in outcomes):
+            latencies.append(elapsed)
+        else:
+            failures.append("bad_batch")  # a genuine drop — guard fails
+
+
+def measure_serving(
+    mode: str = "healthy",
+    threads: int = 4,
+    requests: int = 25,
+    batch: int = 8,
+    workers: int = 2,
+) -> dict:
+    """Boot a daemon, drive concurrent load, return one sample dict.
+
+    ``mode="degraded"`` SIGKILLs one shard worker right after the load
+    starts and additionally reports the ``/readyz`` recovery time.
+    """
+    from repro.adt.queue import QUEUE_SPEC
+    from repro.obs import metrics as _metrics
+    from repro.serve import ReproServer, ServeClient, ServeLimits
+
+    registry = _metrics.MetricsRegistry(f"bench-e12-{mode}")
+    with ReproServer(
+        [QUEUE_SPEC],
+        workers=workers,
+        limits=ServeLimits(max_inflight=threads, queue_depth=threads * 4),
+        supervisor_options={"backoff_base": 0.05, "backoff_cap": 0.5},
+        registry=registry,
+    ) as server:
+        host, port = server.address
+        latencies: list[float] = []
+        failures: list[str] = []
+        pool = [
+            threading.Thread(
+                target=_drive,
+                args=(host, port, requests, batch, f"t{n}", latencies, failures),
+            )
+            for n in range(threads)
+        ]
+        killed_at = None
+        started = time.perf_counter()
+        for thread in pool:
+            thread.start()
+        if mode == "degraded":
+            victims = server.sessions["Queue"].supervisor.worker_pids()
+            if victims:
+                os.kill(victims[0], signal.SIGKILL)
+                killed_at = time.perf_counter()
+        for thread in pool:
+            thread.join()
+        wall = time.perf_counter() - started
+
+        recovery = None
+        if killed_at is not None:
+            client = ServeClient(host, port, timeout=10.0, retries=0)
+            deadline = time.monotonic() + 15.0
+            while time.monotonic() < deadline:
+                if client.readyz()["ready"]:
+                    recovery = time.perf_counter() - killed_at
+                    break
+                time.sleep(0.05)
+
+        ranked = sorted(latencies)
+
+        def quantile(q: float) -> float:
+            if not ranked:
+                return 0.0
+            return ranked[min(len(ranked) - 1, int(q * len(ranked)))]
+
+        return {
+            "mode": mode,
+            "threads": threads,
+            "requests_per_thread": requests,
+            "batch": batch,
+            "workers": workers,
+            "completed": len(latencies),
+            "shed": failures.count("shed"),
+            "dropped": failures.count("bad_batch"),
+            "wall_seconds": round(wall, 6),
+            "rps": round(len(latencies) / wall, 2) if wall else 0.0,
+            "items_per_sec": (
+                round(len(latencies) * batch / wall, 2) if wall else 0.0
+            ),
+            "p50_ms": round(quantile(0.50) * 1e3, 3),
+            "p99_ms": round(quantile(0.99) * 1e3, 3),
+            "mean_ms": (
+                round(statistics.mean(ranked) * 1e3, 3) if ranked else 0.0
+            ),
+            "recovery_seconds": (
+                round(recovery, 3) if recovery is not None else None
+            ),
+        }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small load for CI smoke (fewer threads and requests)",
+    )
+    parser.add_argument("--out", type=Path, default=BENCH_PATH)
+    args = parser.parse_args(argv)
+
+    threads = 2 if args.quick else 4
+    requests = 10 if args.quick else 25
+
+    payload = {
+        "experiment": "E12",
+        "workload": (
+            "concurrent batched FRONT-observation requests against a "
+            "warm `repro serve` daemon (Queue spec, supervised shard "
+            "pool), stdlib client over HTTP/TCP"
+        ),
+        "modes": {},
+    }
+    for mode in ("healthy", "degraded"):
+        sample = measure_serving(
+            mode=mode, threads=threads, requests=requests
+        )
+        payload["modes"][mode] = sample
+        print(
+            f"{mode}: {sample['rps']} req/s, p50 {sample['p50_ms']}ms, "
+            f"p99 {sample['p99_ms']}ms, completed {sample['completed']}, "
+            f"shed {sample['shed']}, dropped {sample['dropped']}"
+            + (
+                f", recovered in {sample['recovery_seconds']}s"
+                if sample["recovery_seconds"] is not None
+                else ""
+            ),
+            flush=True,
+        )
+        if sample["dropped"]:
+            print(f"{mode}: DROPPED BATCHES — robustness invariant broken")
+            return 1
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

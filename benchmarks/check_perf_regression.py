@@ -78,6 +78,21 @@ def main(argv=None) -> int:
         "faster than serial (default 2.0; only enforced when the "
         "machine has >= workers cores)",
     )
+    parser.add_argument(
+        "--serve",
+        action="store_true",
+        help="also guard the E12 serving benchmark: healthy rps vs the "
+        "committed BENCH_E12.json (machine-normalised) plus the "
+        "machine-free invariants (zero dropped batches, degraded-mode "
+        "recovery)",
+    )
+    parser.add_argument(
+        "--serve-threshold",
+        type=float,
+        default=2.0,
+        help="fail when healthy serving rps is more than this factor "
+        "below the scaled committed baseline (default 2.0)",
+    )
     args = parser.parse_args(argv)
 
     baseline = json.loads(args.baseline.read_text())
@@ -152,6 +167,55 @@ def main(argv=None) -> int:
             )
             if speedup < args.workers_min_speedup:
                 status = 1
+
+    # Serving guard (E12).  Two layers: a machine-normalised rps floor
+    # for the healthy daemon (same scale correction as the drain rows,
+    # throughput divides where seconds multiply), and machine-free
+    # robustness invariants that hold on any hardware — no request may
+    # resolve to a dropped batch, and a daemon with a SIGKILLed shard
+    # worker must recover its readiness probe.
+    if args.serve:
+        from bench_e12_serving import measure_serving
+
+        serve_path = BENCH_DIR / "BENCH_E12.json"
+        if not serve_path.exists():
+            print("serve: no BENCH_E12.json baseline, skipping")
+        else:
+            e12 = json.loads(serve_path.read_text())
+            base = e12["modes"]["healthy"]
+            params = dict(
+                threads=base["threads"],
+                requests=base["requests_per_thread"],
+                batch=base["batch"],
+                workers=base["workers"],
+            )
+            healthy = measure_serving(mode="healthy", **params)
+            floor = base["rps"] / scale / args.serve_threshold
+            verdict = "ok" if healthy["rps"] >= floor else "REGRESSION"
+            print(
+                f"serve/healthy: measured {healthy['rps']} req/s, floor "
+                f"{floor:.2f} (committed {base['rps']} / {scale:.2f} / "
+                f"{args.serve_threshold}) -> {verdict}"
+            )
+            if healthy["rps"] < floor:
+                status = 1
+            degraded = measure_serving(mode="degraded", **params)
+            for sample in (healthy, degraded):
+                if sample["dropped"]:
+                    print(
+                        f"serve/{sample['mode']}: {sample['dropped']} "
+                        "dropped batches -> REGRESSION"
+                    )
+                    status = 1
+            if degraded["recovery_seconds"] is None:
+                print("serve/degraded: /readyz never recovered -> REGRESSION")
+                status = 1
+            else:
+                print(
+                    f"serve/degraded: {degraded['rps']} req/s, p99 "
+                    f"{degraded['p99_ms']}ms, recovered in "
+                    f"{degraded['recovery_seconds']}s -> ok"
+                )
     return status
 
 

@@ -36,7 +36,7 @@ from repro.algebra.terms import App, Term, Var
 from repro.spec.axioms import Axiom
 from repro.spec.specification import Specification
 from repro.analysis.classify import Classification, classify
-from repro.rewriting.engine import RewriteEngine, RewriteLimitError
+from repro.rewriting.engine import RewriteEngine
 from repro.rewriting.ordering import Precedence, rule_decreases
 from repro.rewriting.rules import rule_from_axiom
 
@@ -193,8 +193,14 @@ def check_sufficient_completeness(
     max_depth: int = 5,
     seed: int = 2026,
     fuel: int = 50_000,
+    workers: Optional[int] = None,
 ) -> CompletenessReport:
-    """Run the full sufficient-completeness check on ``spec``."""
+    """Run the full sufficient-completeness check on ``spec``.
+
+    ``workers=N`` shards the reduction-sampling stage across N worker
+    processes (the dominant cost on large grids); the sampled terms,
+    their verdicts, and the report are identical to the serial run.
+    """
     cls = classification or classify(spec)
     report = CompletenessReport(spec.name, cls)
 
@@ -221,7 +227,7 @@ def check_sufficient_completeness(
     # --- dynamic reduction sampling --------------------------------------
     if not report.missing:
         report.sampled_observations = _sample_observations(
-            spec, cls, report, sample_terms, max_depth, seed, fuel
+            spec, cls, report, sample_terms, max_depth, seed, fuel, workers
         )
     return report
 
@@ -234,6 +240,7 @@ def _sample_observations(
     max_depth: int,
     seed: int,
     fuel: int,
+    workers: Optional[int] = None,
 ) -> int:
     from repro.testing.termgen import GroundTermGenerator
 
@@ -241,21 +248,26 @@ def _sample_observations(
     engine.fuel = fuel
     generator = GroundTermGenerator(spec, seed=seed, max_depth=max_depth)
     toi_ops = set(spec.own_operations())
-    sampled = 0
+    # Draw the whole sample first (generation must not interleave with
+    # evaluation, so the drawn terms match the serial run exactly),
+    # then evaluate as one fault-isolated batch — which is what lets
+    # ``workers`` shard the grid without changing a single verdict.
+    terms: list[Term] = []
     for observer in cls.defined_operations:
         for _ in range(max(1, sample_terms // max(1, len(cls.defined_operations)))):
             term = generator.observation(observer)
-            if term is None:
-                continue
-            sampled += 1
-            try:
-                normal_form = engine.normalize(term)
-            except RewriteLimitError:
-                report.stuck.append(StuckObservation(term, term))
-                continue
-            if _mentions(normal_form, toi_ops, cls):
-                report.stuck.append(StuckObservation(term, normal_form))
-    return sampled
+            if term is not None:
+                terms.append(term)
+    try:
+        outcomes = engine.normalize_many_outcomes(terms, workers=workers)
+    finally:
+        engine.close_pools(wait=True)
+    for term, outcome in zip(terms, outcomes):
+        if not outcome.ok:
+            report.stuck.append(StuckObservation(term, term))
+        elif _mentions(outcome.term, toi_ops, cls):
+            report.stuck.append(StuckObservation(term, outcome.term))
+    return len(terms)
 
 
 def _mentions(term: Term, toi_ops: set, cls: Classification) -> bool:

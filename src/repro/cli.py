@@ -64,7 +64,9 @@ def cmd_check(args: argparse.Namespace) -> int:
 
     status = 0
     for spec in _load_specs(args.file):
-        completeness = check_sufficient_completeness(spec)
+        completeness = check_sufficient_completeness(
+            spec, workers=args.workers
+        )
         consistency = check_consistency(spec)
         print(banner(f"{spec.name}"))
         print(completeness)
@@ -286,6 +288,51 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import threading
+
+    from repro.obs import Tracer
+    from repro.obs import trace as _trace
+    from repro.serve import ReproServer, ServeLimits
+
+    specs = _load_specs(args.file)
+    limits = ServeLimits(
+        max_fuel=args.max_fuel,
+        max_deadline=args.max_deadline,
+        max_batch=args.max_batch,
+        max_inflight=args.max_inflight,
+        queue_depth=args.queue_depth,
+        queue_timeout=args.queue_timeout,
+    )
+    sink = open(args.trace_out, "w") if args.trace_out else None
+    if sink is not None:
+        _trace.ACTIVE = Tracer(sink=sink)
+    server = ReproServer(
+        specs,
+        backend=args.backend,
+        workers=args.workers,
+        limits=limits,
+        host=args.host,
+        port=args.port,
+        unix_socket=args.unix_socket,
+    )
+    server.start()
+    host, port = server.address
+    where = host if args.unix_socket else f"http://{host}:{port}"
+    names = ", ".join(sorted(server.sessions))
+    print(f"serving {names} on {where}", flush=True)
+    try:
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+        if sink is not None:
+            _trace.ACTIVE = None
+            sink.close()
+    return 0
+
+
 def cmd_prove(args: argparse.Namespace) -> int:
     from repro.verify.client import parse_client_program, verify_client
 
@@ -320,6 +367,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="also report per-axiom firing counts (dead-axiom lint)",
     )
     check.add_argument("--metrics-out", default=None, help=metrics_help)
+    check.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="shard the reduction-sampling stage across N worker "
+        "processes (report is identical to the serial run)",
+    )
     check.set_defaults(run=cmd_check)
 
     show = commands.add_parser("show", help="pretty-print a spec file")
@@ -454,6 +508,77 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", choices=("interp", "vm"), default="vm"
     )
     run_cmd.set_defaults(run=cmd_run)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the spec-serving daemon: load spec file(s) once, "
+        "answer batched normalize/check/prove over HTTP",
+    )
+    serve.add_argument("file")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (default 0 = ephemeral; the bound port is printed)",
+    )
+    serve.add_argument(
+        "--unix-socket",
+        default=None,
+        metavar="PATH",
+        help="listen on a unix socket instead of TCP",
+    )
+    serve.add_argument(
+        "--backend", choices=BACKENDS, default="interpreted"
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard batch requests across N self-healing worker "
+        "processes (default: in-process serial evaluation)",
+    )
+    serve.add_argument(
+        "--max-fuel",
+        type=int,
+        default=200_000,
+        help="ceiling on per-request fuel budgets",
+    )
+    serve.add_argument(
+        "--max-deadline",
+        type=float,
+        default=30.0,
+        help="ceiling on per-request deadlines, seconds",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=256, help="terms per request"
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=4,
+        help="requests evaluating concurrently before queueing starts",
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=16,
+        help="queued requests beyond which load is shed with 429",
+    )
+    serve.add_argument(
+        "--queue-timeout",
+        type=float,
+        default=5.0,
+        help="seconds a queued request waits before being shed with 503",
+    )
+    serve.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="emit per-request JSONL span events to FILE",
+    )
+    serve.set_defaults(run=cmd_serve)
 
     prove = commands.add_parser(
         "prove",

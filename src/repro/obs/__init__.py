@@ -38,6 +38,7 @@ from repro.obs.metrics import (
     suggest_fuel_budget,
 )
 from repro.obs.profile import profile_diff, rule_profile, top_rules
+from repro.obs.prometheus import render_prometheus
 from repro.obs.trace import (
     Tracer,
     firing_counts,
@@ -66,6 +67,7 @@ __all__ = [
     "merge_snapshots",
     "profile_diff",
     "register_snapshot_source",
+    "render_prometheus",
     "read_trace",
     "rule_id",
     "rule_profile",

@@ -1,0 +1,120 @@
+"""Prometheus text exposition of metrics snapshots.
+
+The ``repro serve`` daemon's ``/metrics`` endpoint renders the
+process-wide :func:`repro.obs.metrics.aggregate_snapshot` in the
+`Prometheus text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_ —
+exposition format first, OTLP later, per the roadmap.  The renderer
+works on *snapshot dicts* (the :meth:`MetricsRegistry.snapshot` shape),
+not on live registries, so the same function serves a warm daemon, a
+``--metrics-out`` file, and a worker snapshot shipped across a process
+boundary.
+
+Mapping:
+
+* counters      → one sample per counter, name suffixed ``_total``;
+* gauges        → one sample, name as-is;
+* histograms    → cumulative ``_bucket{le=...}`` samples (including the
+  mandatory ``le="+Inf"``) plus ``_sum`` and ``_count``;
+* counter families → one metric with a ``key`` label per entry, values
+  escaped per the exposition rules.
+
+Metric names arrive dotted (``engine.rule_firings``); dots and any
+other character outside ``[a-zA-Z0-9_:]`` become underscores, and a
+``repro_`` namespace prefix keeps the daemon's metrics from colliding
+with anything else a scraper ingests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+__all__ = ["render_prometheus"]
+
+#: Characters legal in a Prometheus metric name (after the first, which
+#: additionally may not be a digit — the ``repro_`` prefix handles that).
+_NAME_OK = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:")
+
+
+def _metric_name(name: str, prefix: str) -> str:
+    cleaned = "".join(c if c in _NAME_OK else "_" for c in name)
+    return f"{prefix}{cleaned}"
+
+
+def _escape_label(value: str) -> str:
+    """Escape a label value per the exposition format: backslash,
+    double-quote and newline."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        if math.isnan(value):
+            return "NaN"
+        return repr(value)
+    return str(value)
+
+
+def render_prometheus(
+    snapshot: dict, prefix: str = "repro_", help_text: Optional[dict] = None
+) -> str:
+    """Render a snapshot dict as Prometheus text exposition.
+
+    ``help_text`` optionally maps *original* (dotted) metric names to
+    HELP strings; metrics without an entry get a TYPE line only.
+    Output ends with a newline, as scrapers expect.
+    """
+    help_text = help_text or {}
+    lines: list[str] = []
+
+    def header(original: str, name: str, kind: str) -> None:
+        doc = help_text.get(original)
+        if doc:
+            lines.append(f"# HELP {name} {_escape_help(doc)}")
+        lines.append(f"# TYPE {name} {kind}")
+
+    for original, value in snapshot.get("counters", {}).items():
+        name = _metric_name(original, prefix) + "_total"
+        header(original, name, "counter")
+        lines.append(f"{name} {_format_value(value)}")
+
+    for original, value in snapshot.get("gauges", {}).items():
+        name = _metric_name(original, prefix)
+        header(original, name, "gauge")
+        lines.append(f"{name} {_format_value(value)}")
+
+    for original, hist in snapshot.get("histograms", {}).items():
+        name = _metric_name(original, prefix)
+        header(original, name, "histogram")
+        cumulative = 0
+        for bound, count in zip(hist["bounds"], hist["counts"]):
+            cumulative += count
+            lines.append(
+                f'{name}_bucket{{le="{_format_value(float(bound))}"}} '
+                f"{cumulative}"
+            )
+        lines.append(f'{name}_bucket{{le="+Inf"}} {hist["count"]}')
+        lines.append(f"{name}_sum {_format_value(float(hist['sum']))}")
+        lines.append(f"{name}_count {hist['count']}")
+
+    for original, entries in snapshot.get("families", {}).items():
+        name = _metric_name(original, prefix) + "_total"
+        header(original, name, "counter")
+        for key, count in entries.items():
+            lines.append(
+                f'{name}{{key="{_escape_label(str(key))}"}} '
+                f"{_format_value(count)}"
+            )
+
+    return "\n".join(lines) + "\n"
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")

@@ -14,7 +14,7 @@ batch entry points (``RewriteEngine.normalize_many`` /
 model checker) and ``--workers`` on the CLI.
 """
 
-from repro.parallel.pool import ShardPool
+from repro.parallel.pool import ShardPool, close_all_pools
 from repro.parallel.wire import (
     WireError,
     decode_budget,
@@ -32,6 +32,7 @@ from repro.parallel.wire import (
 __all__ = [
     "ShardPool",
     "WireError",
+    "close_all_pools",
     "decode_budget",
     "decode_outcomes",
     "decode_ruleset",

@@ -34,9 +34,12 @@ family.
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import os
+import threading
 import time
+import weakref
 from concurrent.futures import ProcessPoolExecutor
 from typing import Iterable, Optional
 
@@ -48,7 +51,27 @@ from repro.runtime import faults as _faults
 from repro.runtime.budget import DEFAULT_FUEL, EvaluationBudget
 from repro.runtime.outcome import Outcome
 
-__all__ = ["ShardPool"]
+__all__ = ["ShardPool", "close_all_pools"]
+
+#: Every live pool, so interpreter exit can reap worker processes even
+#: when a caller forgot ``close()``.  Weak references: a pool's own
+#: ``__del__`` stays the normal cleanup path.
+_LIVE_POOLS: "weakref.WeakSet[ShardPool]" = weakref.WeakSet()
+
+
+def close_all_pools(wait: bool = True) -> None:
+    """Close every live :class:`ShardPool` in the process.
+
+    Registered with :mod:`atexit`, so no worker process outlives its
+    parent — a daemon that dies without running its shutdown path must
+    not leave orphaned shard workers behind.  ``wait=True`` joins the
+    workers, making "they are gone" observable rather than eventual.
+    """
+    for pool in list(_LIVE_POOLS):
+        pool.close(wait=wait)
+
+
+atexit.register(close_all_pools)
 
 
 def _chunk_spans(total: int, chunk_size: int) -> list[tuple[int, int]]:
@@ -156,6 +179,9 @@ class ShardPool:
         self._executor: Optional[ProcessPoolExecutor] = None
         self._broken = False
         self._serial: Optional[RewriteEngine] = None
+        # Engines are not thread-safe; a daemon's request threads can
+        # reach the serial fallback concurrently after degradation.
+        self._serial_lock = threading.Lock()
         self._worker_snapshots: dict[int, dict] = {}
         registry = _metrics.MetricsRegistry("parallel")
         self._registry = registry
@@ -177,6 +203,7 @@ class ShardPool:
             "pool->serial degradations by cause",
         )
         _metrics.register_snapshot_source(self)
+        _LIVE_POOLS.add(self)
 
     # -- lifecycle ------------------------------------------------------
     def _ensure_executor(self) -> Optional[ProcessPoolExecutor]:
@@ -216,14 +243,16 @@ class ShardPool:
             self._degrade("warm_failed")
             return []
 
-    def close(self) -> None:
+    def close(self, wait: bool = False) -> None:
         """Shut the worker processes down.  Later batches run serially
         parent-side; the last shipped worker snapshots remain merged in
-        :meth:`metrics_snapshot`."""
+        :meth:`metrics_snapshot`.  ``wait=True`` joins the workers
+        before returning — lifecycle tests and the atexit sweep use it
+        to assert no worker outlives the parent."""
         executor, self._executor = self._executor, None
         self._broken = True
         if executor is not None:
-            executor.shutdown(wait=False, cancel_futures=True)
+            executor.shutdown(wait=wait, cancel_futures=True)
 
     def __enter__(self) -> "ShardPool":
         return self
@@ -263,10 +292,11 @@ class ShardPool:
 
     def _serial_chunk(self, terms, budget, mode):
         self.c_serial_items.inc(len(terms))
-        engine = self._serial_engine()
-        if mode == "outcomes":
-            return engine.normalize_many_outcomes(terms, budget)
-        return engine.normalize_many(terms, budget)
+        with self._serial_lock:
+            engine = self._serial_engine()
+            if mode == "outcomes":
+                return engine.normalize_many_outcomes(terms, budget)
+            return engine.normalize_many(terms, budget)
 
     # -- dispatch -------------------------------------------------------
     def _chunk_size_for(self, total: int) -> int:

@@ -40,6 +40,8 @@ SITES = (
     "compiled.root",  # compiled per-operation closure dispatch
     "compiled.fallback",  # compiled -> interpreted depth fallback
     "symbolic.apply",  # symbolic interpreter operation application
+    "serve.handle",  # request handling, after admission (slow/failing handler)
+    "serve.respond",  # response writing (dropped connection mid-reply)
 )
 
 #: The installed injector, or None (the fast path).  Engine hot paths

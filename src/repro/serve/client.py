@@ -1,0 +1,226 @@
+"""Stdlib client for the ``repro serve`` daemon.
+
+``http.client`` only — one connection per request (the daemon speaks
+HTTP/1.0), a hard per-request ``timeout``, and *jittered retry* on the
+shed statuses (429/503): the daemon's admission control turns overload
+into fast structured refusals, and a well-behaved client turns those
+refusals into a randomised backoff instead of a synchronised stampede.
+The jitter draws from a seeded ``random.Random`` so tests replay
+exactly.
+
+Terms cross in the :mod:`repro.parallel.wire` format.  A caller that
+has the specification loaded (the normal case for tests and batch
+drivers) passes real :class:`~repro.algebra.terms.Term` objects and
+gets real :class:`~repro.runtime.Outcome` objects back; a caller that
+has only text passes ``text=[...]`` strings and the server parses.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import random
+import socket
+import time
+from typing import Optional, Sequence
+
+from repro.parallel import wire
+from repro.runtime import EvaluationBudget
+from repro.runtime.outcome import Outcome
+
+__all__ = ["ServeClient", "ServeError", "ServeUnavailable"]
+
+#: Statuses worth retrying: the daemon shed the request, not judged it.
+_RETRYABLE = frozenset({429, 503})
+
+
+class ServeError(Exception):
+    """A non-2xx the daemon judged final (4xx) — no retry."""
+
+    def __init__(self, status: int, reason: str, detail: str = "") -> None:
+        super().__init__(f"{status} {reason}: {detail}")
+        self.status = status
+        self.reason = reason
+        self.detail = detail
+
+
+class ServeUnavailable(ServeError):
+    """Still shed (or unreachable) after every retry."""
+
+
+class ServeClient:
+    """Client for one daemon.
+
+    ``host``/``port`` for TCP, or ``unix_socket=path``.  ``retries``
+    counts *re*-attempts after the first; each shed response waits the
+    server's ``Retry-After`` (or ``backoff``) scaled by a seeded jitter
+    in ``[0.5, 1.5)``.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        unix_socket: Optional[str] = None,
+        timeout: float = 30.0,
+        retries: int = 3,
+        backoff: float = 0.25,
+        seed: int = 2026,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.unix_socket = unix_socket
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self._rng = random.Random(seed)
+
+    # -- transport ------------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        if self.unix_socket is not None:
+            return _UnixConnection(self.unix_socket, timeout=self.timeout)
+        return http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+
+    def _request_once(
+        self, method: str, path: str, body: Optional[dict] = None
+    ) -> tuple[int, dict, Optional[float]]:
+        conn = self._connection()
+        try:
+            payload = None if body is None else json.dumps(body)
+            conn.request(
+                method,
+                path,
+                body=payload,
+                headers={"Content-Type": "application/json"}
+                if payload is not None
+                else {},
+            )
+            response = conn.getresponse()
+            raw = response.read()
+            retry_after = response.getheader("Retry-After")
+            try:
+                decoded = json.loads(raw) if raw else {}
+            except ValueError:
+                decoded = {"raw": raw.decode(errors="replace")}
+            return (
+                response.status,
+                decoded,
+                float(retry_after) if retry_after else None,
+            )
+        finally:
+            conn.close()
+
+    def _request(
+        self, method: str, path: str, body: Optional[dict] = None
+    ) -> dict:
+        last: Optional[ServeError] = None
+        for attempt in range(self.retries + 1):
+            try:
+                status, decoded, retry_after = self._request_once(
+                    method, path, body
+                )
+            except (ConnectionError, socket.timeout, OSError) as exc:
+                # Dropped connection or dead daemon: retryable the same
+                # way a shed is — the next attempt may find it healed.
+                last = ServeUnavailable(0, "unreachable", str(exc))
+                status, retry_after = None, None
+            else:
+                if status is not None and status < 400:
+                    return decoded
+                error = decoded.get("error", {})
+                reason = error.get("reason", "error")
+                detail = error.get("detail", "")
+                if status not in _RETRYABLE:
+                    raise ServeError(status, reason, detail)
+                last = ServeUnavailable(status, reason, detail)
+            if attempt < self.retries:
+                hint = retry_after if retry_after is not None else self.backoff
+                time.sleep(hint * (0.5 + self._rng.random()))
+        assert last is not None
+        raise last
+
+    # -- the API --------------------------------------------------------
+    def normalize(
+        self,
+        terms: Optional[Sequence] = None,
+        *,
+        text: Optional[Sequence[str]] = None,
+        spec: Optional[str] = None,
+        budget: Optional[EvaluationBudget] = None,
+    ) -> list[Outcome]:
+        """Batch-normalize; one :class:`Outcome` per term, in order."""
+        body: dict = {}
+        if spec is not None:
+            body["spec"] = spec
+        if terms is not None:
+            body["terms"] = wire.encode_terms(list(terms))
+        elif text is not None:
+            body["text"] = list(text)
+        else:
+            raise ValueError("pass terms or text")
+        if budget is not None:
+            body["budget"] = wire.encode_budget(budget)
+        reply = self._request("POST", "/v1/normalize", body)
+        return wire.decode_outcomes(reply["outcomes"])
+
+    def check(self, spec: Optional[str] = None, **params: object) -> dict:
+        body: dict = dict(params)
+        if spec is not None:
+            body["spec"] = spec
+        return self._request("POST", "/v1/check", body)
+
+    def prove(
+        self,
+        goals: Sequence[tuple],
+        *,
+        spec: Optional[str] = None,
+        fuel: Optional[int] = None,
+    ) -> list[dict]:
+        """Prove ``lhs = rhs`` term pairs; variables are universally
+        quantified (the server skolemises)."""
+        terms: list = []
+        indices: list[list[int]] = []
+        for lhs, rhs in goals:
+            indices.append([len(terms), len(terms) + 1])
+            terms.extend((lhs, rhs))
+        body: dict = {"terms": wire.encode_terms(terms), "goals": indices}
+        if spec is not None:
+            body["spec"] = spec
+        if fuel is not None:
+            body["fuel"] = fuel
+        return self._request("POST", "/v1/prove", body)["results"]
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def readyz(self) -> dict:
+        """Readiness, *without* retry: callers poll this to watch
+        recovery happen, so a 503 comes back as data."""
+        status, decoded, _ = self._request_once("GET", "/readyz")
+        decoded["status"] = status
+        return decoded
+
+    def metrics(self) -> str:
+        conn = self._connection()
+        try:
+            conn.request("GET", "/metrics")
+            response = conn.getresponse()
+            return response.read().decode()
+        finally:
+            conn.close()
+
+
+class _UnixConnection(http.client.HTTPConnection):
+    """``HTTPConnection`` over an ``AF_UNIX`` socket path."""
+
+    def __init__(self, path: str, timeout: float = 30.0) -> None:
+        super().__init__("localhost", timeout=timeout)
+        self._path = path
+
+    def connect(self) -> None:
+        self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self.sock.settimeout(self.timeout)
+        self.sock.connect(self._path)

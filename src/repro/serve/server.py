@@ -1,0 +1,604 @@
+"""The ``repro serve`` daemon: warm engines behind a tiny HTTP surface.
+
+Zero dependencies: ``http.server`` + ``socketserver`` from the stdlib,
+JSON bodies, terms crossing in the :mod:`repro.parallel.wire` table
+format (the same one chunks ride to shard workers).  The daemon loads
+specifications once at boot — parse, signature, rule set, engine — and
+every request after that pays only evaluation, which is the entire
+point of serving: Guttag's specs are cheap to *run* and comparatively
+expensive to *load*.
+
+Surface:
+
+``POST /v1/normalize``
+    ``{"spec": name, "terms": <wire terms>, "budget": <wire budget>}``
+    (or ``"text": [...]`` to let the server parse) → one wire-encoded
+    :class:`~repro.runtime.Outcome` per term, in order.  Divergence,
+    budget exhaustion and injected faults resolve *per item*; the
+    process and its other requests keep serving.
+``POST /v1/check``
+    sufficient-completeness + consistency analysis of a loaded spec.
+``POST /v1/prove``
+    closed equations over a loaded spec's axioms, via the equational
+    prover (terms skolemise first, so variables mean "for all").
+``GET /healthz`` / ``GET /readyz``
+    liveness (the process answers) vs readiness (engines warm, shard
+    pool alive — a broken pool heals through the supervisor and flips
+    readiness back).  ``/readyz`` actively probes worker liveness, so
+    recovery does not wait for client traffic.
+``GET /metrics``
+    the process-wide metrics snapshot in Prometheus text exposition
+    format (admission, shedding, crashes, respawns, engine counters).
+
+Threading: ``ThreadingHTTPServer`` gives each connection a thread;
+engines are *not* thread-safe, so serial evaluation and proving hold a
+per-session lock, while supervised pools take batches concurrently
+(worker processes do the evaluating).  Admission
+(:mod:`repro.serve.admission`) bounds how many requests evaluate at
+once and sheds the rest with structured 429/503 — the daemon's answer
+to overload is a fast "not now", never an unbounded queue.
+
+The two ``serve.*`` fault sites (``serve.handle``, ``serve.respond``)
+let the chaos suite inject slow handlers, handler crashes and dropped
+connections; each is contained to its own request.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Sequence
+
+from repro.analysis import check_consistency, check_sufficient_completeness
+from repro.analysis.classify import classify
+from repro.obs import metrics as _metrics
+from repro.obs import render_prometheus
+from repro.obs import trace as _trace
+from repro.parallel import wire
+from repro.parallel.pool import ShardPool
+from repro.rewriting import RewriteEngine
+from repro.runtime import faults as _faults
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionDenied,
+    ServeLimits,
+    clamp_budget,
+)
+from repro.serve.supervisor import PoolSupervisor
+from repro.spec.parser import parse_term
+from repro.spec.specification import Specification
+from repro.verify.prover import EquationalProver
+from repro.verify.skolem import skolemize_pair
+
+__all__ = ["ReproServer", "ServeRequestError", "SpecSession"]
+
+
+class ServeRequestError(Exception):
+    """A request the server rejects deliberately (4xx): unknown spec,
+    malformed wire payload, oversized batch."""
+
+    def __init__(self, status: int, reason: str, detail: str = "") -> None:
+        super().__init__(detail or reason)
+        self.status = status
+        self.reason = reason
+        self.detail = detail
+
+
+class SpecSession:
+    """One loaded specification: warm engine, lock, optional pool.
+
+    The engine answers serial requests under ``lock`` (engines are not
+    thread-safe); when the server runs with workers, a
+    :class:`PoolSupervisor` owns a shard pool for batch evaluation and
+    the lock is not needed on that path — worker processes are the
+    isolation.
+    """
+
+    def __init__(
+        self,
+        spec: Specification,
+        *,
+        backend: str = "interpreted",
+        workers: Optional[int] = None,
+        supervisor_options: Optional[dict] = None,
+        registry: Optional[_metrics.MetricsRegistry] = None,
+    ) -> None:
+        self.spec = spec
+        self.name = spec.name
+        self.engine = RewriteEngine.for_specification(spec, backend=backend)
+        self.key = self.engine.rules.fingerprint()
+        self.lock = threading.Lock()
+        self.classification = classify(spec)
+        self.supervisor: Optional[PoolSupervisor] = None
+        if workers is not None and workers > 1:
+            rules, engine = self.engine.rules, self.engine
+
+            def factory() -> ShardPool:
+                return ShardPool(
+                    rules,
+                    workers,
+                    backend=engine.backend,
+                    fuel=engine.fuel,
+                    budget=engine.budget,
+                )
+
+            self.supervisor = PoolSupervisor(
+                factory, registry=registry, **(supervisor_options or {})
+            )
+
+    def normalize_outcomes(self, terms: list, budget) -> list:
+        if self.supervisor is not None:
+            return self.supervisor.normalize_many_outcomes(terms, budget)
+        with self.lock:
+            return self.engine.normalize_many_outcomes(terms, budget)
+
+    def prover(self, fuel: int) -> EquationalProver:
+        cls = self.classification
+        return EquationalProver(
+            self.engine.rules,
+            constructors={cls.type_of_interest: tuple(cls.constructors)},
+            fuel=fuel,
+        )
+
+    def ready(self, probe: bool = True) -> bool:
+        """Serial sessions are ready once built; supervised ones when
+        the pool is healthy.  ``probe`` lets ``/readyz`` drive healing
+        instead of waiting for the next batch to trip over the wreck."""
+        if self.supervisor is None:
+            return True
+        if probe:
+            return self.supervisor.heal()
+        return self.supervisor.healthy
+
+    def close(self) -> None:
+        if self.supervisor is not None:
+            self.supervisor.close()
+        self.engine.close_pools()
+
+
+class ReproServer:
+    """The daemon: sessions + admission + the HTTP listener.
+
+    Listens on TCP (``host``/``port``; port 0 picks an ephemeral one)
+    or a unix socket (``unix_socket`` path).  ``start()`` serves on a
+    background thread and returns; use as a context manager or call
+    ``close()`` to shut down, which also tears the sessions' worker
+    pools down.
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[Specification],
+        *,
+        backend: str = "interpreted",
+        workers: Optional[int] = None,
+        limits: Optional[ServeLimits] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        unix_socket: Optional[str] = None,
+        registry: Optional[_metrics.MetricsRegistry] = None,
+        supervisor_options: Optional[dict] = None,
+    ) -> None:
+        if not specs:
+            raise ValueError("repro serve needs at least one specification")
+        self.limits = limits if limits is not None else ServeLimits()
+        registry = registry if registry is not None else _metrics.GLOBAL
+        # Hold the registry: the process-wide registry set is weak, and
+        # /metrics must keep seeing serve.* after the caller's reference
+        # goes away.
+        self.registry = registry
+        self.sessions: dict[str, SpecSession] = {}
+        for spec in specs:
+            self.sessions[spec.name] = SpecSession(
+                spec,
+                backend=backend,
+                workers=workers,
+                supervisor_options=supervisor_options,
+                registry=registry,
+            )
+        self.default_session = next(iter(self.sessions.values()))
+        self.admission = AdmissionController(self.limits, registry)
+        self.c_requests = registry.family(
+            "serve.requests", "requests handled, by endpoint"
+        )
+        self.c_errors = registry.counter(
+            "serve.errors", "requests that hit the internal fault boundary"
+        )
+        self.c_items = registry.counter(
+            "serve.items", "terms evaluated via the serving surface"
+        )
+        self.h_latency = registry.histogram(
+            "serve.request_seconds",
+            bounds=_metrics.EVAL_SECONDS_BUCKETS,
+            help="request handling latency",
+        )
+        self._host, self._port = host, port
+        self._unix_socket = unix_socket
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = time.monotonic()
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> "ReproServer":
+        if self._unix_socket is not None:
+            if os.path.exists(self._unix_socket):
+                os.unlink(self._unix_socket)
+            self._httpd = _UnixHTTPServer(self._unix_socket, _Handler)
+        else:
+            self._httpd = ThreadingHTTPServer(
+                (self._host, self._port), _Handler
+            )
+        self._httpd.daemon_threads = True
+        self._httpd.app = self  # type: ignore[attr-defined]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-serve",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)``; for unix sockets ``(path, 0)``."""
+        assert self._httpd is not None, "server not started"
+        if self._unix_socket is not None:
+            return (self._unix_socket, 0)
+        return self._httpd.server_address[:2]
+
+    def close(self) -> None:
+        httpd, self._httpd = self._httpd, None
+        if httpd is not None:
+            httpd.shutdown()
+            httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        for session in self.sessions.values():
+            session.close()
+        if self._unix_socket is not None and os.path.exists(
+            self._unix_socket
+        ):
+            os.unlink(self._unix_socket)
+
+    def __enter__(self) -> "ReproServer":
+        return self.start() if self._httpd is None else self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- request helpers ------------------------------------------------
+    def _session(self, request: dict) -> SpecSession:
+        name = request.get("spec")
+        if name is None:
+            return self.default_session
+        session = self.sessions.get(name)
+        if session is None:
+            raise ServeRequestError(
+                404,
+                "unknown_spec",
+                f"no loaded specification named {name!r}; "
+                f"loaded: {sorted(self.sessions)}",
+            )
+        return session
+
+    def _terms(self, request: dict, session: SpecSession) -> list:
+        payload = request.get("terms")
+        if payload is not None:
+            try:
+                terms = wire.decode_terms(payload)
+            except Exception as exc:  # fault-boundary: hostile payload -> 400
+                raise ServeRequestError(400, "bad_wire", str(exc))
+        else:
+            texts = request.get("text")
+            if not isinstance(texts, list):
+                raise ServeRequestError(
+                    400, "missing_terms", "send 'terms' (wire) or 'text'"
+                )
+            try:
+                terms = [parse_term(t, session.spec) for t in texts]
+            except Exception as exc:  # fault-boundary: unparsable text -> 400
+                raise ServeRequestError(400, "bad_term", str(exc))
+        if len(terms) > self.limits.max_batch:
+            raise ServeRequestError(
+                413,
+                "batch_too_large",
+                f"{len(terms)} terms > max_batch={self.limits.max_batch}",
+            )
+        return terms
+
+    def _budget(self, request: dict):
+        try:
+            budget = wire.decode_budget(request.get("budget"))
+        except Exception as exc:  # fault-boundary: hostile payload -> 400
+            raise ServeRequestError(400, "bad_budget", str(exc))
+        return clamp_budget(budget, self.limits)
+
+    # -- endpoint bodies ------------------------------------------------
+    def _h_normalize(self, request: dict) -> dict:
+        session = self._session(request)
+        terms = self._terms(request, session)
+        budget = self._budget(request)
+        outcomes = session.normalize_outcomes(terms, budget)
+        self.c_items.inc(len(terms))
+        return {
+            "spec": session.name,
+            "outcomes": wire.encode_outcomes(outcomes),
+        }
+
+    def _h_check(self, request: dict) -> dict:
+        session = self._session(request)
+        with session.lock:
+            completeness = check_sufficient_completeness(
+                session.spec,
+                sample_terms=min(int(request.get("sample_terms", 60)), 500),
+                max_depth=min(int(request.get("max_depth", 5)), 8),
+                seed=int(request.get("seed", 2026)),
+            )
+            consistency = check_consistency(session.spec)
+        return {
+            "spec": session.name,
+            "sufficiently_complete": completeness.sufficiently_complete,
+            "consistent": consistency.consistent,
+            "missing": [str(m) for m in completeness.missing],
+            "overlapping": [str(o) for o in completeness.overlapping],
+            "non_decreasing": [str(n) for n in completeness.non_decreasing],
+            "stuck": [str(s) for s in completeness.stuck],
+            "sampled_observations": completeness.sampled_observations,
+        }
+
+    def _h_prove(self, request: dict) -> dict:
+        session = self._session(request)
+        terms = self._terms(request, session)
+        goals = request.get("goals")
+        if not isinstance(goals, list) or not all(
+            isinstance(g, list) and len(g) == 2 for g in goals
+        ):
+            raise ServeRequestError(
+                400, "bad_goals", "'goals' must be a list of [lhs, rhs] "
+                "index pairs into 'terms'/'text'"
+            )
+        fuel = min(int(request.get("fuel", self.limits.max_fuel)), self.limits.max_fuel)
+        results = []
+        with session.lock:
+            prover = session.prover(fuel)
+            for li, ri in goals:
+                try:
+                    lhs_open, rhs_open = terms[li], terms[ri]
+                except (IndexError, TypeError):
+                    raise ServeRequestError(
+                        400, "bad_goals", f"goal [{li}, {ri}] out of range"
+                    )
+                lhs, rhs, _ = skolemize_pair(lhs_open, rhs_open)
+                result = prover.prove(lhs, rhs)
+                results.append(
+                    {
+                        "proved": result.proved,
+                        "lhs": str(result.lhs),
+                        "rhs": str(result.rhs),
+                        "residual": (
+                            [str(result.residual[0]), str(result.residual[1])]
+                            if result.residual is not None
+                            else None
+                        ),
+                    }
+                )
+        return {"spec": session.name, "results": results}
+
+    # -- health surface -------------------------------------------------
+    def _h_healthz(self) -> tuple[int, dict]:
+        return 200, {
+            "ok": True,
+            "uptime_seconds": time.monotonic() - self._started,
+        }
+
+    def _h_readyz(self) -> tuple[int, dict]:
+        specs = {}
+        ready = True
+        for name, session in self.sessions.items():
+            session_ready = session.ready(probe=True)
+            entry = {"ready": session_ready}
+            if session.supervisor is not None:
+                entry["circuit"] = session.supervisor.state
+                entry["worker_pids"] = session.supervisor.worker_pids()
+            specs[name] = entry
+            ready = ready and session_ready
+        return (200 if ready else 503), {"ready": ready, "specs": specs}
+
+    def _h_metrics(self) -> str:
+        return render_prometheus(_metrics.aggregate_snapshot())
+
+
+# ----------------------------------------------------------------------
+# The HTTP layer
+# ----------------------------------------------------------------------
+
+_POST_ROUTES = {
+    "/v1/normalize": "_h_normalize",
+    "/v1/check": "_h_check",
+    "/v1/prove": "_h_prove",
+}
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.0"
+    # Bound the time a connection may dribble its request in; a stuck
+    # peer costs one thread for this long, not forever.
+    timeout = 30.0
+
+    @property
+    def app(self) -> ReproServer:
+        return self.server.app  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: object) -> None:
+        """Silence the default stderr access log; telemetry goes
+        through the tracer and metrics instead."""
+
+    def _event(self, **fields: object) -> None:
+        tracer = _trace.ACTIVE
+        if tracer is not None:
+            # Point events, not spans: Tracer's span stack is not
+            # thread-safe, and requests run on per-connection threads.
+            tracer.event("serve.request", **fields)
+
+    def _send_json(
+        self,
+        status: int,
+        payload: dict,
+        retry_after: Optional[float] = None,
+    ) -> None:
+        body = json.dumps(payload).encode()
+        injector = _faults.ACTIVE
+        if injector is not None:
+            injector.visit("serve.respond")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            self.send_header("Retry-After", f"{retry_after:g}")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(
+        self,
+        status: int,
+        reason: str,
+        detail: str = "",
+        retry_after: Optional[float] = None,
+    ) -> None:
+        payload = {
+            "error": {"status": status, "reason": reason, "detail": detail}
+        }
+        if retry_after is not None:
+            payload["error"]["retry_after"] = retry_after
+        self._send_json(status, payload, retry_after=retry_after)
+
+    # -- GET: health + metrics -----------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (BaseHTTPRequestHandler API)
+        app = self.app
+        try:
+            if self.path == "/healthz":
+                status, payload = app._h_healthz()
+                self._send_json(status, payload)
+            elif self.path == "/readyz":
+                status, payload = app._h_readyz()
+                self._send_json(status, payload)
+            elif self.path == "/metrics":
+                body = app._h_metrics().encode()
+                self.send_response(200)
+                self.send_header(
+                    "Content-Type", "text/plain; version=0.0.4"
+                )
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+            else:
+                self._error(404, "not_found", self.path)
+            app.c_requests.inc(self.path)
+        except (BrokenPipeError, ConnectionError, OSError):
+            # fault-boundary: the peer (or an injected serve.respond
+            # fault) dropped the connection; this request is done,
+            # the daemon is not.
+            self.close_connection = True
+
+    # -- POST: the evaluation surface ----------------------------------
+    def do_POST(self) -> None:  # noqa: N802 (BaseHTTPRequestHandler API)
+        app = self.app
+        started = time.monotonic()
+        method = _POST_ROUTES.get(self.path)
+        status = 500
+        reason = ""
+        try:
+            if method is None:
+                status, reason = 404, "not_found"
+                self._error(404, "not_found", self.path)
+                return
+            length = int(self.headers.get("Content-Length") or 0)
+            if length > app.limits.max_body_bytes:
+                # Shed before reading or parsing: the hostile case
+                # costs a header, not max_body_bytes of memory.
+                app.admission._shed.inc("body_too_large")
+                status, reason = 413, "body_too_large"
+                self._error(
+                    413,
+                    "body_too_large",
+                    f"{length} bytes > {app.limits.max_body_bytes}",
+                )
+                return
+            try:
+                request = json.loads(self.rfile.read(length) or b"{}")
+                if not isinstance(request, dict):
+                    raise ValueError("request body must be a JSON object")
+            except (ValueError, UnicodeDecodeError) as exc:
+                status, reason = 400, "bad_json"
+                self._error(400, "bad_json", str(exc))
+                return
+            try:
+                slot = app.admission.admit()
+            except AdmissionDenied as exc:
+                status, reason = exc.status, exc.reason
+                self._error(
+                    exc.status,
+                    exc.reason,
+                    "request shed; retry after the hinted backoff",
+                    retry_after=exc.retry_after,
+                )
+                return
+            try:
+                injector = _faults.ACTIVE
+                if injector is not None:
+                    injector.visit("serve.handle")
+                payload = getattr(app, method)(request)
+                status, reason = 200, "ok"
+            except ServeRequestError as exc:
+                status, reason = exc.status, exc.reason
+                self._error(exc.status, exc.reason, exc.detail)
+                return
+            except Exception as exc:  # fault-boundary: one request, not the daemon
+                app.c_errors.inc()
+                status, reason = 500, "internal"
+                self._error(500, "internal", f"{type(exc).__name__}: {exc}")
+                return
+            finally:
+                slot.release()
+            self._send_json(200, payload)
+        except (BrokenPipeError, ConnectionError, OSError):
+            # fault-boundary: dropped connection (peer or injected
+            # serve.respond fault) — contained to this request.
+            self.close_connection = True
+        finally:
+            elapsed = time.monotonic() - started
+            app.c_requests.inc(self.path)
+            app.h_latency.observe(elapsed)
+            self._event(
+                path=self.path,
+                status=status,
+                reason=reason,
+                seconds=round(elapsed, 6),
+            )
+
+
+class _UnixHTTPServer(ThreadingHTTPServer):
+    """``ThreadingHTTPServer`` over ``AF_UNIX``.
+
+    ``http.server`` assumes a ``(host, port)`` socket name; a unix
+    path needs both bind and name handling overridden.
+    """
+
+    address_family = socket.AF_UNIX
+
+    def __init__(self, path: str, handler: type) -> None:
+        super().__init__(path, handler, bind_and_activate=True)  # type: ignore[arg-type]
+
+    def server_bind(self) -> None:
+        self.socket.bind(self.server_address)
+        self.server_name = str(self.server_address)
+        self.server_port = 0
+
+    def client_address_string(self) -> str:
+        return "unix"

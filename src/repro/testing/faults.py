@@ -30,7 +30,11 @@ Fault kinds per site:
   exception being raised.  The runtime's memo discipline (only
   completed normal forms are ever stored, inserts are all-or-nothing)
   makes eviction the *only* corruption a fault at that site can cause,
-  and the chaos suite verifies results stay correct through it.
+  and the chaos suite verifies results stay correct through it;
+* ``kind="sleep"`` — a stall of ``delay`` seconds, for the serving
+  boundary's request-level sites (``serve.handle``): a slow handler
+  must make *its own* caller time out, not take the daemon's other
+  in-flight requests with it.
 
 Everything is driven by one ``random.Random(seed)``: the same plan and
 seed replay the same faults, so a chaos failure is a reproducible bug
@@ -40,6 +44,7 @@ report, not a flake.
 from __future__ import annotations
 
 import random
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator, Mapping, Optional, Type, Union
@@ -61,13 +66,15 @@ class FaultSpec:
 
     ``probability`` is the per-visit chance of the fault firing;
     ``limit`` optionally caps the total number of firings (so a plan
-    can inject exactly one fault and then stand down).
+    can inject exactly one fault and then stand down); ``delay`` is the
+    stall duration for ``kind="sleep"``.
     """
 
     exception: Optional[Type[BaseException]] = InjectedFault
     probability: float = 1.0
     kind: str = "raise"
     limit: Optional[int] = None
+    delay: float = 0.05
 
 
 @dataclass(frozen=True)
@@ -86,6 +93,7 @@ class FaultPlan:
         probability: float = 1.0,
         kind: str = "raise",
         limit: Optional[int] = None,
+        delay: float = 0.05,
     ) -> "FaultPlan":
         """A plan that attacks exactly one site."""
         if site not in SITES:
@@ -98,6 +106,7 @@ class FaultPlan:
                     probability=probability,
                     kind=kind,
                     limit=limit,
+                    delay=delay,
                 )
             },
         )
@@ -134,6 +143,9 @@ class FaultInjector:
             tracer.event("fault", site=site, kind=spec.kind)
         if spec.kind == "evict":
             self._evict(payload)
+            return
+        if spec.kind == "sleep":
+            time.sleep(spec.delay)
             return
         assert spec.exception is not None
         raise spec.exception(f"injected fault at {site}")

@@ -1,0 +1,38 @@
+"""Serial-vs-workers differential for the E8 completeness grid.
+
+``check_sufficient_completeness(spec, workers=N)`` shards only the
+reduction-sampling stage; the sampled terms and every verdict must be
+bit-identical to the serial run.
+"""
+
+from __future__ import annotations
+
+from repro.adt.boundedqueue import BOUNDED_QUEUE_SPEC
+from repro.adt.queue import QUEUE_SPEC
+from repro.analysis import check_sufficient_completeness
+
+import pytest
+
+
+@pytest.mark.parametrize(
+    "spec", (QUEUE_SPEC, BOUNDED_QUEUE_SPEC), ids=lambda s: s.name
+)
+def test_workers_report_matches_serial(spec):
+    serial = check_sufficient_completeness(spec, sample_terms=30)
+    parallel = check_sufficient_completeness(spec, sample_terms=30, workers=2)
+    assert parallel.sufficiently_complete == serial.sufficiently_complete
+    assert parallel.unambiguous == serial.unambiguous
+    assert parallel.sampled_observations == serial.sampled_observations
+    assert [str(s) for s in parallel.stuck] == [str(s) for s in serial.stuck]
+    assert [str(m) for m in parallel.missing] == [
+        str(m) for m in serial.missing
+    ]
+    assert str(parallel) == str(serial)
+
+
+def test_workers_one_is_plain_serial():
+    serial = check_sufficient_completeness(QUEUE_SPEC, sample_terms=20)
+    degenerate = check_sufficient_completeness(
+        QUEUE_SPEC, sample_terms=20, workers=1
+    )
+    assert str(degenerate) == str(serial)

@@ -95,6 +95,8 @@ SITE_WORKLOADS = {
     "compiled.root": ("compiled", QUEUE_SPEC, _front_batch),
     "compiled.fallback": ("compiled", QUEUE_SPEC, _deep_batch),
     "symbolic.apply": None,  # covered by TestSymbolicApplySite
+    "serve.handle": None,  # covered by tests/serve/test_chaos_serve.py
+    "serve.respond": None,  # covered by tests/serve/test_chaos_serve.py
 }
 
 

@@ -1,0 +1,111 @@
+"""Tests for the client's retry discipline, against a scripted server.
+
+A minimal stub HTTP server plays back a fixed sequence of responses, so
+the tests pin exactly which statuses the client retries (the shed pair,
+429/503, plus connection failures) and which it surfaces immediately.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.parallel import wire
+from repro.serve import ServeClient, ServeError, ServeUnavailable
+
+
+class _ScriptedHandler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.0"
+
+    def log_message(self, format, *args):
+        pass
+
+    def do_POST(self):
+        length = int(self.headers.get("Content-Length") or 0)
+        self.rfile.read(length)
+        server = self.server
+        server.seen.append(self.path)
+        script = server.script
+        status, payload = script.pop(0) if len(script) > 1 else script[0]
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if status in (429, 503):
+            self.send_header("Retry-After", "0")
+        self.end_headers()
+        self.wfile.write(body)
+
+
+def _shed(status: int, reason: str) -> tuple[int, dict]:
+    return status, {"error": {"status": status, "reason": reason}}
+
+
+@pytest.fixture
+def scripted():
+    server = ThreadingHTTPServer(("127.0.0.1", 0), _ScriptedHandler)
+    server.script = []
+    server.seen = []
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5.0)
+
+
+def _client(server, **kwargs) -> ServeClient:
+    host, port = server.server_address[:2]
+    kwargs.setdefault("timeout", 5.0)
+    kwargs.setdefault("backoff", 0.001)
+    return ServeClient(host, port, **kwargs)
+
+
+class TestRetries:
+    def test_retries_through_shed_to_success(self, scripted):
+        scripted.script = [
+            _shed(503, "queue_timeout"),
+            _shed(429, "queue_full"),
+            (200, {"outcomes": wire.encode_outcomes([])}),
+        ]
+        client = _client(scripted, retries=3)
+        assert client.normalize(text=["NEW"]) == []
+        assert len(scripted.seen) == 3
+
+    def test_exhausted_retries_raise_unavailable(self, scripted):
+        scripted.script = [_shed(429, "queue_full")]
+        client = _client(scripted, retries=2)
+        with pytest.raises(ServeUnavailable) as exc:
+            client.normalize(text=["NEW"])
+        assert exc.value.status == 429
+        assert exc.value.reason == "queue_full"
+        assert len(scripted.seen) == 3  # first try + 2 retries
+
+    def test_final_4xx_never_retried(self, scripted):
+        scripted.script = [_shed(400, "bad_term")]
+        client = _client(scripted, retries=3)
+        with pytest.raises(ServeError) as exc:
+            client.normalize(text=["FRONT(???"])
+        assert not isinstance(exc.value, ServeUnavailable)
+        assert exc.value.status == 400
+        assert len(scripted.seen) == 1  # judged final: one attempt
+
+    def test_dead_daemon_raises_unavailable(self):
+        client = ServeClient(
+            "127.0.0.1", 1, timeout=0.5, retries=1, backoff=0.001
+        )
+        with pytest.raises(ServeUnavailable) as exc:
+            client.healthz()
+        assert exc.value.reason == "unreachable"
+
+    def test_jitter_is_seeded(self, scripted):
+        # Two clients with the same seed draw identical jitter streams,
+        # so retry schedules replay exactly in tests.
+        a = _client(scripted, seed=7)._rng.random()
+        b = _client(scripted, seed=7)._rng.random()
+        assert a == b

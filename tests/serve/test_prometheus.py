@@ -1,0 +1,89 @@
+"""Tests for the Prometheus text exposition renderer.
+
+The renderer works on snapshot *dicts*, so these tests build snapshots
+by hand (exact control over shapes) and via a live registry (the shape
+``/metrics`` actually serves).
+"""
+
+from __future__ import annotations
+
+from repro.obs import metrics as _metrics
+from repro.obs import render_prometheus
+
+
+class TestScalars:
+    def test_counter_gets_total_suffix(self):
+        text = render_prometheus({"counters": {"engine.steps": 7}})
+        assert "# TYPE repro_engine_steps_total counter" in text
+        assert "repro_engine_steps_total 7" in text
+
+    def test_gauge_renders_as_is(self):
+        text = render_prometheus({"gauges": {"serve.inflight": 3}})
+        assert "# TYPE repro_serve_inflight gauge" in text
+        assert "repro_serve_inflight 3" in text
+
+    def test_dots_and_bad_chars_become_underscores(self):
+        text = render_prometheus({"counters": {"a.b-c d": 1}})
+        assert "repro_a_b_c_d_total 1" in text
+
+    def test_help_lines_when_provided(self):
+        text = render_prometheus(
+            {"counters": {"serve.admitted": 2}},
+            help_text={"serve.admitted": "requests admitted"},
+        )
+        assert "# HELP repro_serve_admitted_total requests admitted" in text
+
+    def test_output_ends_with_newline(self):
+        assert render_prometheus({"counters": {"x": 1}}).endswith("\n")
+
+
+class TestHistograms:
+    def test_buckets_are_cumulative_with_inf(self):
+        snapshot = {
+            "histograms": {
+                "serve.request_seconds": {
+                    "bounds": [0.1, 1.0],
+                    # one obs <= 0.1, two in (0.1, 1.0], one overflow
+                    "counts": [1, 2, 1],
+                    "sum": 2.5,
+                    "count": 4,
+                }
+            }
+        }
+        text = render_prometheus(snapshot)
+        assert 'repro_serve_request_seconds_bucket{le="0.1"} 1' in text
+        assert 'repro_serve_request_seconds_bucket{le="1.0"} 3' in text
+        assert 'repro_serve_request_seconds_bucket{le="+Inf"} 4' in text
+        assert "repro_serve_request_seconds_sum 2.5" in text
+        assert "repro_serve_request_seconds_count 4" in text
+
+
+class TestFamilies:
+    def test_family_entries_get_key_labels(self):
+        text = render_prometheus(
+            {"families": {"serve.shed": {"queue_full": 5, "queue_timeout": 2}}}
+        )
+        assert 'repro_serve_shed_total{key="queue_full"} 5' in text
+        assert 'repro_serve_shed_total{key="queue_timeout"} 2' in text
+
+    def test_label_values_escaped(self):
+        text = render_prometheus(
+            {"families": {"f": {'he said "hi"\nback\\slash': 1}}}
+        )
+        assert (
+            'repro_f_total{key="he said \\"hi\\"\\nback\\\\slash"} 1' in text
+        )
+
+
+class TestLiveRegistry:
+    def test_registry_snapshot_round_trips(self):
+        registry = _metrics.MetricsRegistry("prometheus-test")
+        registry.counter("t.requests").inc(3)
+        registry.gauge("t.depth").set(2)
+        registry.histogram("t.seconds", bounds=(0.5,)).observe(0.1)
+        registry.family("t.by_reason").inc("slow")
+        text = render_prometheus(registry.snapshot())
+        assert "repro_t_requests_total 3" in text
+        assert "repro_t_depth 2" in text
+        assert 'repro_t_seconds_bucket{le="+Inf"} 1' in text
+        assert 'repro_t_by_reason_total{key="slow"} 1' in text

@@ -1,0 +1,223 @@
+"""Tests for :class:`repro.serve.ReproServer`: the HTTP surface.
+
+Every test boots a real daemon on an ephemeral port (or a unix socket)
+and talks to it with the stdlib client — the same path production
+traffic takes.  Worker pools are off here (serial sessions); the
+supervised path is covered by the chaos suite.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+import pytest
+
+from repro.adt.queue import FRONT, QUEUE_SPEC, new, queue_term
+from repro.algebra.terms import App, Var
+from repro.obs import metrics as _metrics
+from repro.rewriting import RewriteEngine
+from repro.runtime import EvaluationBudget
+from repro.serve import (
+    ReproServer,
+    ServeClient,
+    ServeError,
+    ServeLimits,
+    ServeUnavailable,
+)
+
+
+def _server(**kwargs) -> ReproServer:
+    kwargs.setdefault("registry", _metrics.MetricsRegistry("server-test"))
+    return ReproServer([QUEUE_SPEC], **kwargs)
+
+
+@pytest.fixture(scope="module")
+def served():
+    with _server() as server:
+        host, port = server.address
+        yield server, ServeClient(host, port, timeout=10.0, retries=0)
+
+
+class TestHealth:
+    def test_healthz(self, served):
+        _, client = served
+        reply = client.healthz()
+        assert reply["ok"] is True
+        assert reply["uptime_seconds"] >= 0
+
+    def test_readyz_serial_sessions_are_ready(self, served):
+        _, client = served
+        reply = client.readyz()
+        assert reply["status"] == 200
+        assert reply["ready"] is True
+        assert reply["specs"]["Queue"] == {"ready": True}
+
+
+class TestNormalize:
+    def test_text_terms_parse_server_side(self, served):
+        _, client = served
+        outcomes = client.normalize(
+            text=['FRONT(ADD(NEW, "a"))', "FRONT(NEW)"], spec="Queue"
+        )
+        assert len(outcomes) == 2
+        assert outcomes[0].ok
+        assert outcomes[1].status == "error_value"  # FRONT(NEW) = error
+
+    def test_wire_terms_match_serial_engine(self, served):
+        _, client = served
+        subjects = [
+            App(FRONT, (queue_term([f"x{i}", f"y{i}"]),)) for i in range(5)
+        ]
+        subjects.append(App(FRONT, (new(),)))
+        expected = RewriteEngine.for_specification(
+            QUEUE_SPEC
+        ).normalize_many_outcomes(subjects)
+        assert client.normalize(subjects) == expected
+
+    def test_default_session_when_spec_omitted(self, served):
+        _, client = served
+        outcomes = client.normalize(text=['FRONT(ADD(NEW, "z"))'])
+        assert outcomes[0].ok
+
+    def test_budget_clamped_to_server_ceiling(self):
+        # The server ceiling is tiny; a client asking for a huge fuel
+        # grant still gets per-item truncation, not a long evaluation.
+        with _server(
+            limits=ServeLimits(max_fuel=10),
+            registry=_metrics.MetricsRegistry("server-clamp-test"),
+        ) as server:
+            host, port = server.address
+            client = ServeClient(host, port, timeout=10.0, retries=0)
+            outcomes = client.normalize(
+                [App(FRONT, (queue_term(range(100)),))],
+                budget=EvaluationBudget(fuel=10**9),
+            )
+            assert outcomes[0].status == "truncated"
+
+    def test_unknown_spec_is_404(self, served):
+        _, client = served
+        with pytest.raises(ServeError) as exc:
+            client.normalize(text=["NEW"], spec="NoSuchSpec")
+        assert exc.value.status == 404
+        assert exc.value.reason == "unknown_spec"
+
+    def test_unparsable_text_is_400(self, served):
+        _, client = served
+        with pytest.raises(ServeError) as exc:
+            client.normalize(text=["FRONT(???"])
+        assert exc.value.status == 400
+        assert exc.value.reason == "bad_term"
+
+    def test_oversized_batch_is_413(self):
+        with _server(
+            limits=ServeLimits(max_batch=2),
+            registry=_metrics.MetricsRegistry("server-batch-test"),
+        ) as server:
+            host, port = server.address
+            client = ServeClient(host, port, timeout=10.0, retries=0)
+            with pytest.raises(ServeError) as exc:
+                client.normalize(text=["NEW", "NEW", "NEW"])
+            assert exc.value.status == 413
+            assert exc.value.reason == "batch_too_large"
+
+
+class TestRawRequests:
+    """Cases the well-behaved client never sends."""
+
+    def _post(self, server, path, body: bytes, headers=None):
+        host, port = server.address
+        conn = http.client.HTTPConnection(host, port, timeout=10.0)
+        try:
+            conn.request(
+                "POST",
+                path,
+                body=body,
+                headers=headers or {"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            return response.status, json.loads(response.read() or b"{}")
+        finally:
+            conn.close()
+
+    def test_bad_json_is_400(self, served):
+        server, _ = served
+        status, payload = self._post(server, "/v1/normalize", b"{not json")
+        assert status == 400
+        assert payload["error"]["reason"] == "bad_json"
+
+    def test_oversized_body_shed_before_read(self):
+        with _server(
+            limits=ServeLimits(max_body_bytes=64),
+            registry=_metrics.MetricsRegistry("server-body-test"),
+        ) as server:
+            status, payload = self._post(
+                server, "/v1/normalize", b"x" * 1024
+            )
+            assert status == 413
+            assert payload["error"]["reason"] == "body_too_large"
+
+    def test_unknown_post_path_is_404(self, served):
+        server, _ = served
+        status, payload = self._post(server, "/v1/nonsense", b"{}")
+        assert status == 404
+        assert payload["error"]["reason"] == "not_found"
+
+
+class TestCheckAndProve:
+    def test_check_reports_queue_complete(self, served):
+        _, client = served
+        reply = client.check(spec="Queue", sample_terms=20, max_depth=4)
+        assert reply["sufficiently_complete"] is True
+        assert reply["consistent"] is True
+        assert reply["sampled_observations"] > 0
+
+    def test_prove_axiom_consequence(self, served):
+        _, client = served
+        add = QUEUE_SPEC.operation("ADD")
+        item = Var("i", add.domain[1])
+        goal = (App(FRONT, (App(add, (new(), item)),)), item)
+        results = client.prove([goal], spec="Queue")
+        assert len(results) == 1
+        assert results[0]["proved"] is True
+        assert results[0]["residual"] is None
+
+    def test_prove_rejects_malformed_goals(self, served):
+        _, client = served
+        with pytest.raises(ServeError) as exc:
+            client._request(
+                "POST", "/v1/prove", {"text": ["NEW"], "goals": [[0, 99]]}
+            )
+        assert exc.value.status == 400
+        assert exc.value.reason == "bad_goals"
+
+
+class TestTransportsAndMetrics:
+    def test_unix_socket_transport(self, tmp_path):
+        path = str(tmp_path / "serve.sock")
+        with _server(
+            unix_socket=path,
+            registry=_metrics.MetricsRegistry("server-unix-test"),
+        ) as server:
+            assert server.address == (path, 0)
+            client = ServeClient(unix_socket=path, timeout=10.0, retries=0)
+            assert client.healthz()["ok"] is True
+            outcomes = client.normalize(text=['FRONT(ADD(NEW, "u"))'])
+            assert outcomes[0].ok
+
+    def test_metrics_exposition(self, served):
+        _, client = served
+        client.normalize(text=["NEW"])
+        text = client.metrics()
+        assert "repro_serve_admitted_total" in text
+        assert "repro_serve_requests_total" in text
+        assert "# TYPE" in text
+
+    def test_shutdown_frees_the_port(self):
+        server = _server(
+            registry=_metrics.MetricsRegistry("server-close-test")
+        ).start()
+        host, port = server.address
+        server.close()
+        with pytest.raises(ServeUnavailable):
+            ServeClient(host, port, timeout=1.0, retries=0).healthz()

@@ -1,0 +1,63 @@
+"""Serial-vs-workers differential for obligation discharge (satellite).
+
+``verify_representation(rep, mode, workers=N)`` shards the closed-proof
+modes across worker processes; every per-obligation verdict — including
+which obligations fail, the paper's own result for the symbol table —
+must match the serial run exactly.  REACHABLE mode ignores ``workers``
+(generator induction is sequential by construction).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adt.symboltable import symboltable_representation
+from repro.verify.driver import Mode, verify_representation
+
+
+@pytest.fixture(scope="module")
+def representation():
+    return symboltable_representation()
+
+
+class TestDifferential:
+    @pytest.mark.parametrize(
+        "mode", (Mode.UNCONDITIONAL, Mode.CONDITIONAL), ids=lambda m: m.name
+    )
+    def test_verdicts_match_serial(self, representation, mode):
+        serial = verify_representation(representation, mode)
+        parallel = verify_representation(representation, mode, workers=2)
+        assert parallel.all_proved == serial.all_proved
+        assert parallel.failed_labels == serial.failed_labels
+        assert [o.obligation.label for o in parallel.outcomes] == [
+            o.obligation.label for o in serial.outcomes
+        ]
+        assert [o.proved for o in parallel.outcomes] == [
+            o.proved for o in serial.outcomes
+        ]
+
+    def test_unconditional_failures_are_the_papers(self, representation):
+        # The paper's section-4 result: unreachable states break two
+        # axioms — and the parallel path must reproduce it verbatim.
+        report = verify_representation(
+            representation, Mode.UNCONDITIONAL, workers=2
+        )
+        assert not report.all_proved
+        assert len(report.failed_labels) == 2
+
+    def test_remote_summaries_render(self, representation):
+        report = verify_representation(
+            representation, Mode.CONDITIONAL, workers=2
+        )
+        for outcome in report.outcomes:
+            text = str(outcome.detail)
+            assert ("PROVED" in text) or ("FAILED" in text)
+        # The report's own rendering works on remote summaries too.
+        assert "verification of" in str(report)
+
+    def test_workers_one_stays_serial(self, representation):
+        serial = verify_representation(representation, Mode.CONDITIONAL)
+        degenerate = verify_representation(
+            representation, Mode.CONDITIONAL, workers=1
+        )
+        assert degenerate.failed_labels == serial.failed_labels
