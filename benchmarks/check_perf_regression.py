@@ -93,6 +93,28 @@ def main(argv=None) -> int:
         help="fail when healthy serving rps is more than this factor "
         "below the scaled committed baseline (default 2.0)",
     )
+    parser.add_argument(
+        "--trace-overhead-disabled",
+        type=float,
+        default=1.0,
+        help="with --serve: max rps cost (percent) of wiring tracing "
+        "but keeping it muted, trace_sample=0.0 (default 1.0)",
+    )
+    parser.add_argument(
+        "--trace-overhead-sampled",
+        type=float,
+        default=10.0,
+        help="with --serve: max rps cost (percent) of tracing at "
+        "trace_sample=0.1 with OTLP export (default 10.0)",
+    )
+    parser.add_argument(
+        "--trace-attempts",
+        type=int,
+        default=3,
+        help="re-measure the tracing overhead up to this many times "
+        "before calling it a regression (default 3; live-daemon rps "
+        "is noisy, a bound this tight needs the retry)",
+    )
     args = parser.parse_args(argv)
 
     baseline = json.loads(args.baseline.read_text())
@@ -216,6 +238,43 @@ def main(argv=None) -> int:
                     f"{degraded['p99_ms']}ms, recovered in "
                     f"{degraded['recovery_seconds']}s -> ok"
                 )
+
+        # Tracing overhead guard: machine-free (traced vs untraced on
+        # the same machine in the same run), so it needs no committed
+        # baseline — but live-daemon rps is noisy enough that a 1%
+        # bound gets a few attempts before the verdict sticks.
+        from bench_e12_serving import measure_tracing_overhead
+
+        for attempt in range(1, args.trace_attempts + 1):
+            tracing = measure_tracing_overhead(requests=100, reps=3)
+            muted_ok = (
+                tracing["disabled_overhead_pct"]
+                <= args.trace_overhead_disabled
+            )
+            sampled_ok = (
+                tracing["sampled_overhead_pct"]
+                <= args.trace_overhead_sampled
+            )
+            verdict = (
+                "ok"
+                if muted_ok and sampled_ok
+                else (
+                    "retry"
+                    if attempt < args.trace_attempts
+                    else "REGRESSION"
+                )
+            )
+            print(
+                f"serve/tracing[{attempt}]: muted "
+                f"-{tracing['disabled_overhead_pct']}% rps (max "
+                f"{args.trace_overhead_disabled}%), sample=0.1 "
+                f"-{tracing['sampled_overhead_pct']}% rps (max "
+                f"{args.trace_overhead_sampled}%) -> {verdict}"
+            )
+            if muted_ok and sampled_ok:
+                break
+        else:
+            status = 1
     return status
 
 

@@ -210,6 +210,19 @@ def cmd_trace(args: argparse.Namespace) -> int:
     profile = rule_profile(tracer.events)
     if profile:
         print(format_rule_profile(profile, limit=args.top), file=sys.stderr)
+    if args.otlp_out:
+        from repro.obs.otlp import to_otlp
+
+        document = to_otlp(
+            tracer.events,
+            tracer.trace_id,
+            span_hex=tracer.span_hex,
+            resource={"service.name": "repro-cli"},
+        )
+        with open(args.otlp_out, "w") as handle:
+            json.dump(document, handle, indent=2)
+            handle.write("\n")
+        print(f"-- OTLP document written to {args.otlp_out}", file=sys.stderr)
     _dump_metrics(args.metrics_out)
     return 3 if failure is not None else 0
 
@@ -306,7 +319,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     )
     sink = open(args.trace_out, "w") if args.trace_out else None
     if sink is not None:
-        _trace.ACTIVE = Tracer(sink=sink)
+        _trace.ACTIVE = Tracer(sink=sink, sample=args.trace_sample or 1.0)
     server = ReproServer(
         specs,
         backend=args.backend,
@@ -315,6 +328,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         host=args.host,
         port=args.port,
         unix_socket=args.unix_socket,
+        trace_sample=args.trace_sample,
+        otlp_path=args.otlp_out,
+        otlp_endpoint=args.otlp_endpoint,
+        access_log=args.access_log,
     )
     server.start()
     host, port = server.address
@@ -466,6 +483,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the JSONL trace to FILE (default: stdout)",
     )
     trace.add_argument(
+        "--otlp-out",
+        default=None,
+        metavar="FILE",
+        help="also write the trace as one OTLP/JSON document to FILE "
+        "(ResourceSpans, ready for any OpenTelemetry consumer)",
+    )
+    trace.add_argument(
         "--top",
         type=int,
         default=10,
@@ -577,6 +601,34 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="FILE",
         help="emit per-request JSONL span events to FILE",
+    )
+    serve.add_argument(
+        "--trace-sample",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="fraction of requests to trace (0.0-1.0; default 1.0 when "
+        "any trace/OTLP output is configured, otherwise tracing is off)",
+    )
+    serve.add_argument(
+        "--otlp-out",
+        default=None,
+        metavar="FILE",
+        help="append one OTLP/JSON document per traced request to FILE",
+    )
+    serve.add_argument(
+        "--otlp-endpoint",
+        default=None,
+        metavar="URL",
+        help="POST each traced request's OTLP/JSON document to URL "
+        "(an OpenTelemetry collector's /v1/traces)",
+    )
+    serve.add_argument(
+        "--access-log",
+        default=None,
+        metavar="FILE",
+        help="append one JSON line per request: status, shed reason, "
+        "queue/eval/total timings, trace id",
     )
     serve.set_defaults(run=cmd_serve)
 

@@ -131,7 +131,9 @@ class Histogram:
     mean latency to be derived from a snapshot.
     """
 
-    __slots__ = ("name", "help", "bounds", "counts", "sum", "count")
+    __slots__ = (
+        "name", "help", "bounds", "counts", "sum", "count", "exemplars"
+    )
 
     def __init__(
         self, name: str, bounds: Sequence[float], help: str = ""
@@ -144,26 +146,45 @@ class Histogram:
         self.counts = [0] * (len(self.bounds) + 1)
         self.sum = 0.0
         self.count = 0
+        #: Per-bucket exemplars (bucket index -> label dict): the most
+        #: recent traced observation that landed in each bucket, so an
+        #: operator staring at a latency bucket can jump straight to a
+        #: representative trace.  Populated only by callers that pass
+        #: ``exemplar=`` — the plain hot path stores nothing.
+        self.exemplars: dict[int, dict] = {}
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: Optional[dict] = None) -> None:
         # bisect_left gives Prometheus-style ``le`` buckets: a value
         # equal to a bound counts in that bound's bucket.
-        self.counts[bisect_left(self.bounds, value)] += 1
+        index = bisect_left(self.bounds, value)
+        self.counts[index] += 1
         self.sum += value
         self.count += 1
+        if exemplar is not None:
+            self.exemplars[index] = {**exemplar, "value": value}
 
     def reset(self) -> None:
         self.counts = [0] * (len(self.bounds) + 1)
         self.sum = 0.0
         self.count = 0
+        self.exemplars = {}
 
     def snapshot(self) -> dict:
-        return {
+        snap = {
             "bounds": list(self.bounds),
             "counts": list(self.counts),
             "sum": round(self.sum, 9),
             "count": self.count,
         }
+        # Only histograms that actually carry exemplars grow the key, so
+        # snapshot shapes (and every test comparing them) are unchanged
+        # for the rest of the fleet.
+        if self.exemplars:
+            snap["exemplars"] = {
+                str(index): dict(labels)
+                for index, labels in sorted(self.exemplars.items())
+            }
+        return snap
 
 
 class CounterFamily:
@@ -406,12 +427,16 @@ def merge_snapshots(snapshots: Iterable[dict]) -> dict:
                     "sum": hist["sum"],
                     "count": hist["count"],
                 }
+                if hist.get("exemplars"):
+                    histograms[name]["exemplars"] = dict(hist["exemplars"])
                 continue
             merged["counts"] = [
                 a + b for a, b in zip(merged["counts"], hist["counts"])
             ]
             merged["sum"] = round(merged["sum"] + hist["sum"], 9)
             merged["count"] += hist["count"]
+            if hist.get("exemplars"):
+                merged.setdefault("exemplars", {}).update(hist["exemplars"])
         for name, labels in snap.get("families", {}).items():
             merged_family = families.setdefault(name, {})
             for label, count in labels.items():

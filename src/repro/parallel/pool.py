@@ -43,7 +43,10 @@ import weakref
 from concurrent.futures import ProcessPoolExecutor
 from typing import Iterable, Optional
 
+from contextlib import nullcontext
+
 from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.parallel import wire
 from repro.rewriting.engine import RewriteEngine, RewriteLimitError
 from repro.rewriting.rules import RuleSet
@@ -310,6 +313,29 @@ class ShardPool:
     def _run_batch(self, terms: list, budget, mode: str) -> list:
         self.c_batches.inc()
         self.c_items.inc(len(terms))
+        tracer = _trace.ACTIVE
+        span_scope = (
+            tracer.span(
+                "parallel.batch",
+                mode=mode,
+                items=len(terms),
+                workers=self.workers,
+            )
+            if tracer is not None
+            else nullcontext()
+        )
+        with span_scope as batch_span:
+            return self._dispatch_batch(
+                terms, budget, mode, tracer, batch_span
+            )
+
+    def _dispatch_batch(
+        self, terms: list, budget, mode: str, tracer, batch_span
+    ) -> list:
+        # ``batch_span`` is not None only when this batch is being
+        # recorded; then workers arm a child tracer per chunk and ship
+        # their span batches home for merging under the batch span.
+        traced = batch_span is not None
         executor = self._ensure_executor()
         if executor is None:
             return self._serial_chunk(terms, budget, mode)
@@ -327,6 +353,7 @@ class ShardPool:
                         mode,
                         wire.encode_terms(terms[start:end]),
                         budget_wire,
+                        traced,
                     ),
                 )
                 for start, end in spans
@@ -345,6 +372,12 @@ class ShardPool:
                 )
                 continue
             self._worker_snapshots[reply["pid"]] = reply["snapshot"]
+            if traced and reply.get("spans") is not None:
+                tracer.merge_remote_events(
+                    wire.decode_span_events(reply["spans"]),
+                    parent=batch_span,
+                    pid=reply["pid"],
+                )
             if "limit" in reply:
                 # Serial normalize_many raises at the first failing
                 # item; chunks are ordered, workers stop at their first
@@ -410,8 +443,6 @@ _WORKER_ENGINES: dict[str, RewriteEngine] = {}
 
 
 def _worker_init(spec_wire: dict, fault_injector=None) -> None:
-    from repro.obs import trace as _trace
-
     _WORKER_SPECS[spec_wire["key"]] = spec_wire
     # Tracing stays parent-side: a forked worker would otherwise append
     # to the parent's JSONL sink through an inherited file handle.
@@ -456,22 +487,39 @@ def _worker_ready(key: str, pause: float = 0.05) -> int:
     return os.getpid()
 
 
-def _worker_run(key: str, mode: str, payload: dict, budget_wire) -> dict:
+def _worker_chunk(engine, terms, budget, mode) -> dict:
+    if mode == "outcomes":
+        outcomes = engine.normalize_many_outcomes(terms, budget)
+        return {"outcomes": wire.encode_outcomes(outcomes)}
+    try:
+        return {
+            "results": wire.encode_terms(engine.normalize_many(terms, budget))
+        }
+    except RewriteLimitError as exc:
+        return {"limit": _encode_limit(exc)}
+
+
+def _worker_run(
+    key: str, mode: str, payload: dict, budget_wire, traced: bool = False
+) -> dict:
     engine = _worker_engine(key)
     terms = wire.decode_terms(payload)
     budget = wire.decode_budget(budget_wire)
-    if mode == "outcomes":
-        outcomes = engine.normalize_many_outcomes(terms, budget)
-        reply = {"outcomes": wire.encode_outcomes(outcomes)}
+    if traced:
+        # The parent recorded this batch, so re-arm a chunk-lifetime
+        # child tracer (the initializer disarmed tracing: a forked
+        # worker would otherwise write the parent's JSONL sink through
+        # an inherited handle).  Its events ship home in the reply;
+        # the parent re-parents them under its batch span.
+        tracer = _trace.Tracer(sample=1.0)
+        with _trace.tracing(tracer):
+            with tracer.span(
+                "worker.chunk", pid=os.getpid(), mode=mode, items=len(terms)
+            ):
+                reply = _worker_chunk(engine, terms, budget, mode)
+        reply["spans"] = wire.encode_span_events(tracer.events)
     else:
-        try:
-            reply = {
-                "results": wire.encode_terms(
-                    engine.normalize_many(terms, budget)
-                )
-            }
-        except RewriteLimitError as exc:
-            reply = {"limit": _encode_limit(exc)}
+        reply = _worker_chunk(engine, terms, budget, mode)
     # Cumulative since worker start: the parent keeps the latest
     # snapshot per pid, so re-shipping the running total keeps the
     # merge idempotent across chunks.

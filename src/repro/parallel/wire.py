@@ -56,6 +56,8 @@ __all__ = [
     "decode_ruleset",
     "encode_budget",
     "decode_budget",
+    "encode_span_events",
+    "decode_span_events",
 ]
 
 #: Bumped when the payload layout changes incompatibly; decoders reject
@@ -347,6 +349,30 @@ def decode_ruleset(payload: dict) -> RuleSet:
         RewriteRule(nodes[row["lhs"]], nodes[row["rhs"]], row["label"])
         for row in payload["rules"]
     )
+
+
+def encode_span_events(events: Sequence[dict]) -> dict:
+    """A worker's trace-event batch, shipped home with its reply.
+
+    Span events are already wire-shaped (flat dicts of primitives, plus
+    the per-rule count dict on ``firings`` events) — the tracer emits
+    them straight to JSONL — so the codec's job is the version envelope
+    and a structural check at *encode* time, in the worker, where a
+    non-portable event would be a tracer bug worth failing loudly on.
+    """
+    for event in events:
+        if not isinstance(event, dict) or "ev" not in event:
+            raise WireError(f"not a trace event: {event!r}")
+    return {"version": WIRE_VERSION, "events": list(events)}
+
+
+def decode_span_events(payload: dict) -> list[dict]:
+    if payload.get("version") != WIRE_VERSION:
+        raise WireError(
+            f"wire version mismatch: payload says "
+            f"{payload.get('version')!r}, this process speaks {WIRE_VERSION}"
+        )
+    return payload["events"]
 
 
 def encode_budget(budget: Optional[EvaluationBudget]) -> Optional[dict]:

@@ -278,7 +278,7 @@ class EngineStats:
         counts = self.firings.counts
         counts[rule] = counts.get(rule, 0) + 1
         tracer = _trace.ACTIVE
-        if tracer is not None:
+        if tracer is not None and not tracer.never:
             tracer.step(rule, subject)
 
     def record_fallback(self, kind: str) -> None:
@@ -443,7 +443,9 @@ class RewriteEngine:
         if self.backend != "interpreted":
             return self._delegate_engine().normalize(term, budget)
         tracer = _trace.ACTIVE
-        if tracer is None:
+        if tracer is None or tracer.never:
+            # ``never`` guards the eager summarize_term below: a muted
+            # tracer must not pay for span attributes it will drop.
             return self._normalize_interpreted(term, budget)
         with tracer.span(
             "engine.normalize",
@@ -566,6 +568,7 @@ class RewriteEngine:
         *completed* normal forms, so a failure part-way leaves the
         caches consistent — the chaos suite holds it to that."""
         meter = self._meter(budget)
+        stats = self.stats
         try:
             return Outcome.of_normal_form(self._eval(term, meter))
         except BudgetExceeded as exc:
@@ -586,6 +589,14 @@ class RewriteEngine:
             )
         except Exception as exc:  # fault-boundary: partial result
             return Outcome.of_fault(term, exc)
+        finally:
+            # Same fuel accounting as normalize(): the outcome path is
+            # the one serving takes, and /readyz derives its suggested
+            # per-spec budget from this histogram.
+            spent = meter.budget.fuel - meter[0]
+            if spent > 0:
+                stats.s_fuel[0] += spent
+            stats.fuel_hist.observe(spent if spent > 0 else 0)
 
     def normalize_many_outcomes(
         self,

@@ -1,12 +1,27 @@
 """Stdlib client for the ``repro serve`` daemon.
 
-``http.client`` only — one connection per request (the daemon speaks
-HTTP/1.0), a hard per-request ``timeout``, and *jittered retry* on the
-shed statuses (429/503): the daemon's admission control turns overload
-into fast structured refusals, and a well-behaved client turns those
-refusals into a randomised backoff instead of a synchronised stampede.
-The jitter draws from a seeded ``random.Random`` so tests replay
-exactly.
+``http.client`` only — a persistent keep-alive connection (the daemon
+speaks HTTP/1.1; reuse skips the per-request TCP handshake that used
+to bound rps), a hard per-request ``timeout``, and *jittered retry* on
+the shed statuses (429/503): the daemon's admission control turns
+overload into fast structured refusals, and a well-behaved client
+turns those refusals into a randomised backoff instead of a
+synchronised stampede.  The jitter draws from a seeded
+``random.Random`` so tests replay exactly.
+
+A stale cached connection (the server timed it out, or an HTTP/1.0
+peer closes after every response) is detected on use and replayed once
+on a fresh connection before the error surfaces; ``keepalive=False``
+restores the old connection-per-request behaviour.
+
+Distributed tracing: when a tracer is installed
+(:func:`repro.obs.trace.tracing`), every request runs inside a
+``client.request`` span and carries a W3C ``traceparent`` header, so
+the daemon's spans — and, transitively, its shard workers' — join the
+client's trace.  ``trace_return=True`` additionally asks the daemon to
+ship its span subtree back in the response, which the client merges
+under the request span: one process ends up holding the whole
+client → daemon → worker tree, ready for OTLP export.
 
 Terms cross in the :mod:`repro.parallel.wire` format.  A caller that
 has the specification loaded (the normal case for tests and batch
@@ -24,6 +39,7 @@ import socket
 import time
 from typing import Optional, Sequence
 
+from repro.obs import trace as _trace
 from repro.parallel import wire
 from repro.runtime import EvaluationBudget
 from repro.runtime.outcome import Outcome
@@ -55,6 +71,10 @@ class ServeClient:
     counts *re*-attempts after the first; each shed response waits the
     server's ``Retry-After`` (or ``backoff``) scaled by a seeded jitter
     in ``[0.5, 1.5)``.
+
+    Not thread-safe (the cached connection is shared state): give each
+    driving thread its own client, as the load tools do.  Use as a
+    context manager, or :meth:`close`, to drop the cached connection.
     """
 
     def __init__(
@@ -67,6 +87,9 @@ class ServeClient:
         retries: int = 3,
         backoff: float = 0.25,
         seed: int = 2026,
+        keepalive: bool = True,
+        trace_return: bool = False,
+        tracer: Optional[_trace.Tracer] = None,
     ) -> None:
         self.host = host
         self.port = port
@@ -74,53 +97,149 @@ class ServeClient:
         self.timeout = timeout
         self.retries = retries
         self.backoff = backoff
+        self.keepalive = keepalive
+        self.trace_return = trace_return
+        # An explicit tracer beats the global: in-process tests (and
+        # the smoke script) run client and daemon in one interpreter,
+        # where installing the client's tracer globally would hijack
+        # the daemon's own instrumentation mid-request.
+        self.tracer = tracer
         self._rng = random.Random(seed)
+        self._conn: Optional[http.client.HTTPConnection] = None
 
     # -- transport ------------------------------------------------------
     def _connection(self) -> http.client.HTTPConnection:
         if self.unix_socket is not None:
             return _UnixConnection(self.unix_socket, timeout=self.timeout)
-        return http.client.HTTPConnection(
+        conn = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout
         )
+        conn.connect()
+        # Persistent connections + Nagle + the peer's delayed ACK can
+        # stall small request writes ~40ms; requests here are one
+        # logical write, so flush segments immediately.
+        conn.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return conn
+
+    def close(self) -> None:
+        conn, self._conn = self._conn, None
+        if conn is not None:
+            conn.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _exchange(
+        self,
+        conn: http.client.HTTPConnection,
+        method: str,
+        path: str,
+        payload: Optional[str],
+        headers: dict,
+    ) -> http.client.HTTPResponse:
+        conn.request(method, path, body=payload, headers=headers)
+        return conn.getresponse()
 
     def _request_once(
-        self, method: str, path: str, body: Optional[dict] = None
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict] = None,
+        headers: Optional[dict] = None,
     ) -> tuple[int, dict, Optional[float]]:
-        conn = self._connection()
+        payload = None if body is None else json.dumps(body)
+        send_headers = dict(headers or {})
+        if payload is not None:
+            send_headers.setdefault("Content-Type", "application/json")
+        reused = self.keepalive and self._conn is not None
+        conn = self._conn if reused else self._connection()
+        self._conn = None
         try:
-            payload = None if body is None else json.dumps(body)
-            conn.request(
-                method,
-                path,
-                body=payload,
-                headers={"Content-Type": "application/json"}
-                if payload is not None
-                else {},
-            )
-            response = conn.getresponse()
+            try:
+                response = self._exchange(
+                    conn, method, path, payload, send_headers
+                )
+            except (
+                ConnectionError,
+                http.client.HTTPException,
+                socket.timeout,
+                OSError,
+            ):
+                conn.close()
+                if not reused:
+                    raise
+                # The cached connection went stale between requests
+                # (server idle-timeout, HTTP/1.0 peer): replay once on
+                # a fresh connection before surfacing anything.
+                conn = self._connection()
+                response = self._exchange(
+                    conn, method, path, payload, send_headers
+                )
             raw = response.read()
             retry_after = response.getheader("Retry-After")
             try:
                 decoded = json.loads(raw) if raw else {}
             except ValueError:
                 decoded = {"raw": raw.decode(errors="replace")}
+            if self.keepalive and not response.will_close:
+                self._conn = conn
+            else:
+                conn.close()
             return (
                 response.status,
                 decoded,
                 float(retry_after) if retry_after else None,
             )
-        finally:
+        except BaseException:  # fault-boundary: close the socket, re-raise
             conn.close()
+            raise
 
     def _request(
         self, method: str, path: str, body: Optional[dict] = None
+    ) -> dict:
+        tracer = self.tracer if self.tracer is not None else _trace.ACTIVE
+        if tracer is None:
+            return self._request_attempts(method, path, body, {})
+        with tracer.span(
+            "client.request", path=path, method=method
+        ) as span:
+            if span is not None:
+                context = _trace.TraceContext(
+                    tracer.trace_id, tracer.span_hex(span), sampled=True
+                )
+            else:
+                # Unsampled by the client's policy: still propagate the
+                # context so the daemon honours the decision instead of
+                # re-rolling its own.
+                context = _trace.TraceContext.generate(sampled=False)
+            headers = {"traceparent": context.to_traceparent()}
+            if span is not None and self.trace_return:
+                headers["x-repro-trace-return"] = "1"
+            reply = self._request_attempts(method, path, body, headers)
+            if span is not None and isinstance(reply.get("trace"), dict):
+                # The daemon shipped its span subtree home: graft it
+                # under this request's span — the client now holds the
+                # whole client → daemon → worker tree.
+                tracer.merge_remote_events(
+                    reply["trace"].get("events", []), parent=span
+                )
+            return reply
+
+    def _request_attempts(
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict],
+        headers: dict,
     ) -> dict:
         last: Optional[ServeError] = None
         for attempt in range(self.retries + 1):
             try:
                 status, decoded, retry_after = self._request_once(
-                    method, path, body
+                    method, path, body, headers
                 )
             except (ConnectionError, socket.timeout, OSError) as exc:
                 # Dropped connection or dead daemon: retryable the same
@@ -204,13 +323,12 @@ class ServeClient:
         return decoded
 
     def metrics(self) -> str:
-        conn = self._connection()
-        try:
-            conn.request("GET", "/metrics")
-            response = conn.getresponse()
-            return response.read().decode()
-        finally:
-            conn.close()
+        status, decoded, _ = self._request_once("GET", "/metrics")
+        if "raw" in decoded and len(decoded) == 1:
+            return decoded["raw"]
+        # A metrics body that happens to parse as JSON (improbable but
+        # cheap to honour) comes back re-serialised.
+        return json.dumps(decoded)
 
 
 class _UnixConnection(http.client.HTTPConnection):

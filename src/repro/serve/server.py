@@ -50,6 +50,7 @@ import os
 import socket
 import threading
 import time
+from contextlib import nullcontext
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Sequence
 
@@ -58,6 +59,7 @@ from repro.analysis.classify import classify
 from repro.obs import metrics as _metrics
 from repro.obs import render_prometheus
 from repro.obs import trace as _trace
+from repro.obs.otlp import OTLPExporter
 from repro.parallel import wire
 from repro.parallel.pool import ShardPool
 from repro.rewriting import RewriteEngine
@@ -182,6 +184,10 @@ class ReproServer:
         unix_socket: Optional[str] = None,
         registry: Optional[_metrics.MetricsRegistry] = None,
         supervisor_options: Optional[dict] = None,
+        trace_sample: Optional[float] = None,
+        otlp_path: Optional[str] = None,
+        otlp_endpoint: Optional[str] = None,
+        access_log: Optional[str] = None,
     ) -> None:
         if not specs:
             raise ValueError("repro serve needs at least one specification")
@@ -221,6 +227,58 @@ class ReproServer:
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
         self._started = time.monotonic()
+        # -- distributed tracing -------------------------------------
+        # The daemon traces requests when any trace surface is asked
+        # for (an OTLP sink, an explicit sample rate, an access log
+        # that wants trace ids) or when the process already has a
+        # tracer installed (``repro serve --trace-out``).  With none of
+        # those, ``self.tracer`` stays None and the request path pays
+        # one attribute test — the ≤1% disabled-overhead budget.
+        self.exporter: Optional[OTLPExporter] = (
+            OTLPExporter(path=otlp_path, endpoint=otlp_endpoint)
+            if (otlp_path or otlp_endpoint)
+            else None
+        )
+        self._owns_tracer = False
+        self._previous_tracer: Optional[_trace.Tracer] = None
+        if _trace.ACTIVE is not None:
+            self.tracer: Optional[_trace.Tracer] = _trace.ACTIVE
+        elif trace_sample is not None or self.exporter is not None:
+            self.tracer = _trace.Tracer(
+                sample=1.0 if trace_sample is None else trace_sample
+            )
+            self._owns_tracer = True
+        else:
+            self.tracer = None
+        self._access_log_path = access_log
+        self._access_log_handle = None
+        self._access_log_lock = threading.Lock()
+
+    # -- per-request telemetry sinks ------------------------------------
+    def _write_access_log(self, record: dict) -> None:
+        handle = self._access_log_handle
+        if handle is None:
+            return
+        line = json.dumps(record, default=str)
+        with self._access_log_lock:
+            try:
+                handle.write(line + "\n")
+                handle.flush()
+            except (OSError, ValueError):
+                # fault-boundary: a full disk or closed handle must
+                # cost a log line, not a request.
+                pass
+
+    def _export_trace(self, events: list, trace_id: str) -> None:
+        if self.exporter is None or not events:
+            return
+        assert self.tracer is not None
+        self.exporter.export(
+            events,
+            trace_id,
+            span_hex=self.tracer.span_hex,
+            resource={"service.name": "repro-serve"},
+        )
 
     # -- lifecycle ------------------------------------------------------
     def start(self) -> "ReproServer":
@@ -234,6 +292,16 @@ class ReproServer:
             )
         self._httpd.daemon_threads = True
         self._httpd.app = self  # type: ignore[attr-defined]
+        if self._owns_tracer:
+            # Engines and shard pools read the module-global tracer;
+            # the daemon's request spans must enclose their spans, so
+            # the server's tracer becomes the process's for its
+            # lifetime (restored on close).
+            self._previous_tracer = _trace.install(self.tracer)
+        if self._access_log_path is not None:
+            self._access_log_handle = open(
+                self._access_log_path, "a", encoding="utf-8"
+            )
         self._thread = threading.Thread(
             target=self._httpd.serve_forever,
             name="repro-serve",
@@ -260,6 +328,11 @@ class ReproServer:
             self._thread = None
         for session in self.sessions.values():
             session.close()
+        if self._owns_tracer and _trace.ACTIVE is self.tracer:
+            _trace.install(self._previous_tracer)
+        handle, self._access_log_handle = self._access_log_handle, None
+        if handle is not None:
+            handle.close()
         if self._unix_socket is not None and os.path.exists(
             self._unix_socket
         ):
@@ -323,7 +396,10 @@ class ReproServer:
         session = self._session(request)
         terms = self._terms(request, session)
         budget = self._budget(request)
-        outcomes = session.normalize_outcomes(terms, budget)
+        with _trace.maybe_span(
+            "serve.evaluate", spec=session.name, items=len(terms)
+        ):
+            outcomes = session.normalize_outcomes(terms, budget)
         self.c_items.inc(len(terms))
         return {
             "spec": session.name,
@@ -405,9 +481,34 @@ class ReproServer:
             if session.supervisor is not None:
                 entry["circuit"] = session.supervisor.state
                 entry["worker_pids"] = session.supervisor.worker_pids()
+            entry["suggested_fuel_budget"] = self._suggest_fuel(session)
             specs[name] = entry
             ready = ready and session_ready
         return (200 if ready else 503), {"ready": ready, "specs": specs}
+
+    @staticmethod
+    def _suggest_fuel(session: SpecSession) -> Optional[int]:
+        """A recommended per-spec fuel budget from the fuel actually
+        spent serving this session — the parent engine's histogram
+        merged with whatever the shard workers shipped home — so
+        operators watching ``/readyz`` see circuit state *and* what to
+        set ``max_fuel`` to, from the same probe."""
+        snapshots = [
+            {
+                "histograms": {
+                    "engine.fuel_per_eval": (
+                        session.engine.stats.fuel_hist.snapshot()
+                    )
+                }
+            }
+        ]
+        if session.supervisor is not None:
+            snapshots.append(session.supervisor.pool_snapshot())
+        merged = _metrics.merge_snapshots(snapshots)
+        histogram = merged["histograms"].get("engine.fuel_per_eval")
+        if histogram is None:
+            return None
+        return _metrics.suggest_fuel_budget(histogram)
 
     def _h_metrics(self) -> str:
         return render_prometheus(_metrics.aggregate_snapshot())
@@ -426,7 +527,22 @@ _POST_ROUTES = {
 
 class _Handler(BaseHTTPRequestHandler):
     server_version = "repro-serve/1"
-    protocol_version = "HTTP/1.0"
+    # HTTP/1.1: connections persist across requests (every response
+    # carries an explicit Content-Length), so a client reusing its
+    # connection skips the TCP handshake that used to bound rps.
+    protocol_version = "HTTP/1.1"
+    # Persistent connections make Nagle + delayed-ACK stalls real:
+    # without TCP_NODELAY a pipelined response can sit a full delayed
+    # ACK (~40ms) behind the kernel, costing keep-alive clients more
+    # than the handshake they saved.  Set per-connection in setup() —
+    # AF_UNIX sockets refuse the option.
+    disable_nagle_algorithm = False
+
+    def setup(self) -> None:
+        self.disable_nagle_algorithm = (
+            self.request.family != socket.AF_UNIX
+        )
+        super().setup()
     # Bound the time a connection may dribble its request in; a stuck
     # peer costs one thread for this long, not forever.
     timeout = 30.0
@@ -437,14 +553,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     def log_message(self, format: str, *args: object) -> None:
         """Silence the default stderr access log; telemetry goes
-        through the tracer and metrics instead."""
-
-    def _event(self, **fields: object) -> None:
-        tracer = _trace.ACTIVE
-        if tracer is not None:
-            # Point events, not spans: Tracer's span stack is not
-            # thread-safe, and requests run on per-connection threads.
-            tracer.event("serve.request", **fields)
+        through the tracer, metrics and the structured access log."""
 
     def _send_json(
         self,
@@ -459,6 +568,9 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        traceparent = getattr(self, "_traceparent", None)
+        if traceparent is not None:
+            self.send_header("traceparent", traceparent)
         if retry_after is not None:
             self.send_header("Retry-After", f"{retry_after:g}")
         self.end_headers()
@@ -481,6 +593,11 @@ class _Handler(BaseHTTPRequestHandler):
     # -- GET: health + metrics -----------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (BaseHTTPRequestHandler API)
         app = self.app
+        # Reset per request: with keep-alive one handler instance
+        # serves many requests, and a stale traceparent must not leak.
+        self._traceparent = None
+        started = time.monotonic()
+        status = 500
         try:
             if self.path == "/healthz":
                 status, payload = app._h_healthz()
@@ -489,15 +606,18 @@ class _Handler(BaseHTTPRequestHandler):
                 status, payload = app._h_readyz()
                 self._send_json(status, payload)
             elif self.path == "/metrics":
-                body = app._h_metrics().encode()
+                body = app._h_metrics().encode("utf-8")
+                status = 200
                 self.send_response(200)
                 self.send_header(
-                    "Content-Type", "text/plain; version=0.0.4"
+                    "Content-Type",
+                    "text/plain; version=0.0.4; charset=utf-8",
                 )
                 self.send_header("Content-Length", str(len(body)))
                 self.end_headers()
                 self.wfile.write(body)
             else:
+                status = 404
                 self._error(404, "not_found", self.path)
             app.c_requests.inc(self.path)
         except (BrokenPipeError, ConnectionError, OSError):
@@ -505,82 +625,202 @@ class _Handler(BaseHTTPRequestHandler):
             # fault) dropped the connection; this request is done,
             # the daemon is not.
             self.close_connection = True
+        finally:
+            app._write_access_log(
+                {
+                    "ts": round(time.time(), 6),
+                    "method": "GET",
+                    "path": self.path,
+                    "status": status,
+                    "total_s": round(time.monotonic() - started, 6),
+                }
+            )
 
     # -- POST: the evaluation surface ----------------------------------
     def do_POST(self) -> None:  # noqa: N802 (BaseHTTPRequestHandler API)
         app = self.app
+        tracer = app.tracer
+        self._traceparent = None  # see do_GET: keep-alive reuse
         started = time.monotonic()
-        method = _POST_ROUTES.get(self.path)
-        status = 500
-        reason = ""
+        incoming = _trace.TraceContext.parse_traceparent(
+            self.headers.get("traceparent")
+        )
+        trace_id = (
+            incoming.trace_id
+            if incoming is not None
+            else (tracer.trace_id if tracer is not None else None)
+        )
+        req_span: Optional[int] = None
+        outcome = {
+            "status": 500,
+            "reason": "internal",
+            "payload": None,
+            "retry_after": None,
+            "queue_s": None,
+            "eval_s": None,
+        }
+        if tracer is not None:
+            attrs = {"path": self.path, "method": "POST"}
+            if incoming is not None:
+                # The caller's span becomes the remote parent: the
+                # OTLP export keeps the dangling 16-hex link so the
+                # client's own trace can claim this subtree.
+                attrs["remote_parent"] = incoming.span_id
+            span_scope = tracer.span(
+                "serve.request",
+                sampled=incoming.sampled if incoming is not None else None,
+                **attrs,
+            )
+        else:
+            span_scope = nullcontext()
         try:
-            if method is None:
-                status, reason = 404, "not_found"
-                self._error(404, "not_found", self.path)
-                return
-            length = int(self.headers.get("Content-Length") or 0)
-            if length > app.limits.max_body_bytes:
-                # Shed before reading or parsing: the hostile case
-                # costs a header, not max_body_bytes of memory.
-                app.admission._shed.inc("body_too_large")
-                status, reason = 413, "body_too_large"
-                self._error(
-                    413,
-                    "body_too_large",
-                    f"{length} bytes > {app.limits.max_body_bytes}",
-                )
-                return
-            try:
-                request = json.loads(self.rfile.read(length) or b"{}")
-                if not isinstance(request, dict):
-                    raise ValueError("request body must be a JSON object")
-            except (ValueError, UnicodeDecodeError) as exc:
-                status, reason = 400, "bad_json"
-                self._error(400, "bad_json", str(exc))
-                return
-            try:
-                slot = app.admission.admit()
-            except AdmissionDenied as exc:
-                status, reason = exc.status, exc.reason
-                self._error(
-                    exc.status,
-                    exc.reason,
-                    "request shed; retry after the hinted backoff",
-                    retry_after=exc.retry_after,
-                )
-                return
-            try:
-                injector = _faults.ACTIVE
-                if injector is not None:
-                    injector.visit("serve.handle")
-                payload = getattr(app, method)(request)
-                status, reason = 200, "ok"
-            except ServeRequestError as exc:
-                status, reason = exc.status, exc.reason
-                self._error(exc.status, exc.reason, exc.detail)
-                return
-            except Exception as exc:  # fault-boundary: one request, not the daemon
-                app.c_errors.inc()
-                status, reason = 500, "internal"
-                self._error(500, "internal", f"{type(exc).__name__}: {exc}")
-                return
-            finally:
-                slot.release()
-            self._send_json(200, payload)
+            with span_scope as req_span:
+                self._handle_post(outcome, req_span is not None)
+            self._finish_post(outcome, tracer, incoming, trace_id, req_span)
         except (BrokenPipeError, ConnectionError, OSError):
             # fault-boundary: dropped connection (peer or injected
-            # serve.respond fault) — contained to this request.
+            # serve.respond fault) — contained to this request; the
+            # recorded subtree still must not pile up in the tracer.
             self.close_connection = True
+            if tracer is not None and req_span is not None:
+                tracer.pop_subtree(req_span)
         finally:
             elapsed = time.monotonic() - started
             app.c_requests.inc(self.path)
-            app.h_latency.observe(elapsed)
-            self._event(
-                path=self.path,
-                status=status,
-                reason=reason,
-                seconds=round(elapsed, 6),
+            exemplar = None
+            if trace_id is not None and req_span is not None:
+                assert tracer is not None
+                exemplar = {
+                    "trace_id": trace_id,
+                    "span_id": tracer.span_hex(req_span),
+                }
+            app.h_latency.observe(elapsed, exemplar=exemplar)
+            record = {
+                "ts": round(time.time(), 6),
+                "method": "POST",
+                "path": self.path,
+                "status": outcome["status"],
+                "reason": outcome["reason"],
+                "queue_s": outcome["queue_s"],
+                "eval_s": outcome["eval_s"],
+                "total_s": round(elapsed, 6),
+            }
+            if trace_id is not None:
+                record["trace_id"] = trace_id
+                record["sampled"] = req_span is not None
+            app._write_access_log(record)
+
+    def _handle_post(self, outcome: dict, traced: bool) -> None:
+        """Parse, admit and dispatch one POST; fills ``outcome`` with
+        status/reason/payload/timings but sends nothing — the caller
+        responds *after* the request span has closed, so a returned
+        trace subtree is complete."""
+        app = self.app
+        tracer = app.tracer if traced else None
+
+        def fail(status, reason, detail, retry_after=None):
+            outcome["status"], outcome["reason"] = status, reason
+            outcome["retry_after"] = retry_after
+            error = {"status": status, "reason": reason, "detail": detail}
+            if retry_after is not None:
+                error["retry_after"] = retry_after
+            outcome["payload"] = {"error": error}
+
+        method = _POST_ROUTES.get(self.path)
+        if method is None:
+            return fail(404, "not_found", self.path)
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > app.limits.max_body_bytes:
+            # Shed before reading or parsing: the hostile case costs a
+            # header, not max_body_bytes of memory.
+            app.admission._shed.inc("body_too_large")
+            return fail(
+                413,
+                "body_too_large",
+                f"{length} bytes > {app.limits.max_body_bytes}",
             )
+        try:
+            request = json.loads(self.rfile.read(length) or b"{}")
+            if not isinstance(request, dict):
+                raise ValueError("request body must be a JSON object")
+        except (ValueError, UnicodeDecodeError) as exc:
+            return fail(400, "bad_json", str(exc))
+        queue_started = time.monotonic()
+        try:
+            with (
+                tracer.span("serve.admission")
+                if tracer is not None
+                else nullcontext()
+            ):
+                slot = app.admission.admit()
+        except AdmissionDenied as exc:
+            outcome["queue_s"] = round(time.monotonic() - queue_started, 6)
+            return fail(
+                exc.status,
+                exc.reason,
+                "request shed; retry after the hinted backoff",
+                retry_after=exc.retry_after,
+            )
+        outcome["queue_s"] = round(time.monotonic() - queue_started, 6)
+        eval_started = time.monotonic()
+        try:
+            injector = _faults.ACTIVE
+            if injector is not None:
+                injector.visit("serve.handle")
+            with (
+                tracer.span("serve.dispatch", endpoint=self.path)
+                if tracer is not None
+                else nullcontext()
+            ):
+                payload = getattr(app, method)(request)
+            outcome["status"], outcome["reason"] = 200, "ok"
+            outcome["payload"] = payload
+        except ServeRequestError as exc:
+            fail(exc.status, exc.reason, exc.detail)
+        except Exception as exc:  # fault-boundary: one request, not the daemon
+            app.c_errors.inc()
+            fail(500, "internal", f"{type(exc).__name__}: {exc}")
+        finally:
+            outcome["eval_s"] = round(time.monotonic() - eval_started, 6)
+            slot.release()
+
+    def _finish_post(
+        self, outcome, tracer, incoming, trace_id, req_span
+    ) -> None:
+        """Export the request's trace subtree and send the response."""
+        app = self.app
+        if tracer is not None and req_span is not None:
+            # The subtree leaves the tracer's buffer whether or not an
+            # exporter is configured — the daemon's memory is bounded
+            # by in-flight requests, not uptime.
+            events = tracer.pop_subtree(req_span)
+            app._export_trace(events, trace_id)
+            self._traceparent = _trace.TraceContext(
+                trace_id, tracer.span_hex(req_span), sampled=True
+            ).to_traceparent()
+            if (
+                self.headers.get("x-repro-trace-return") == "1"
+                and isinstance(outcome["payload"], dict)
+                and "error" not in outcome["payload"]
+            ):
+                outcome["payload"]["trace"] = {
+                    "trace_id": trace_id,
+                    "events": events,
+                }
+        elif trace_id is not None:
+            # Tracing on but this request unsampled (or the caller
+            # asked for no sampling): echo the context with the
+            # sampled flag down so the caller's view agrees.
+            self._traceparent = _trace.TraceContext(
+                trace_id, _trace.new_span_id_hex(), sampled=False
+            ).to_traceparent()
+        self._send_json(
+            outcome["status"],
+            outcome["payload"]
+            if outcome["payload"] is not None
+            else {"error": {"status": 500, "reason": "internal"}},
+            retry_after=outcome["retry_after"],
+        )
 
 
 class _UnixHTTPServer(ThreadingHTTPServer):

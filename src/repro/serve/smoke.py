@@ -9,7 +9,12 @@ The CI ``serve`` job's script, kept in-tree so it can be run anywhere:
 3. SIGKILL a shard worker mid-batch;
 4. assert ``/readyz`` reports recovery within the respawn backoff
    window;
-5. scrape ``/metrics`` to ``--metrics-out`` (the CI artifact).
+5. scrape ``/metrics`` to ``--metrics-out`` (the CI artifact);
+6. with ``--otlp-out``, run the whole load traced (``sample=1.0``),
+   drive one traced client request (client span → daemon → shard
+   workers), and validate every exported OTLP document's span-tree
+   invariants — parent links resolve, worker spans nest under their
+   request span, one trace id per document.
 
 Exit status 0 means every step held; any broken invariant raises and
 fails the job.  ``--quick`` shrinks the load for sub-second local runs.
@@ -77,10 +82,76 @@ def _drive_load(host, port, cycle_spec, requests, results):
             results.append("shed")  # structured 429/503/drop — acceptable
 
 
+def _traced_exercise(host: str, port: int) -> None:
+    """One fully traced request: the client holds its own tracer (the
+    daemon shares this interpreter, so the global slot is the daemon's),
+    sends ``traceparent``, asks for the span subtree back, and must end
+    up holding the whole client → daemon → worker tree."""
+    from repro.obs import trace as _trace
+    from repro.obs.otlp import to_otlp, validate_otlp
+
+    tracer = _trace.Tracer(sample=1.0)
+    client = ServeClient(
+        host, port, timeout=20.0, retries=2, tracer=tracer, trace_return=True
+    )
+    outcomes = client.normalize(_queue_subjects(6, "traced"), spec="Queue")
+    assert all(outcome.ok for outcome in outcomes)
+    names = {
+        event["name"]
+        for event in tracer.events
+        if event["ev"] == "span_start"
+    }
+    for tier in ("client.request", "serve.request", "worker.chunk"):
+        assert tier in names, f"traced request missing {tier} span: {names}"
+    document = to_otlp(
+        tracer.events,
+        tracer.trace_id,
+        span_hex=tracer.span_hex,
+        resource={"service.name": "repro-smoke-client"},
+    )
+    problems = validate_otlp(document)
+    assert not problems, f"client trace invalid: {problems}"
+    print(  # allow-print: smoke script progress
+        f"smoke: traced request spans {sorted(names)} — one trace, "
+        "three tiers",
+        flush=True,
+    )
+
+
+def _validate_otlp_artifact(path: str) -> None:
+    """Every daemon-exported OTLP document must hold the span-tree
+    invariants, and at least one must reach the shard workers."""
+    from repro.obs.otlp import read_otlp_file, read_otlp_spans, validate_otlp
+
+    documents = read_otlp_file(path)
+    assert documents, f"no OTLP documents exported to {path}"
+    worker_docs = 0
+    for index, document in enumerate(documents):
+        problems = validate_otlp(document)
+        assert not problems, f"trace[{index}] invalid: {problems}"
+        if any(
+            span["name"] == "worker.chunk"
+            for span in read_otlp_spans(document)
+        ):
+            worker_docs += 1
+    assert worker_docs > 0, "no exported trace reached a shard worker"
+    print(  # allow-print: smoke script progress
+        f"smoke: {len(documents)} OTLP trace(s) valid, "
+        f"{worker_docs} spanning shard workers",
+        flush=True,
+    )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true")
     parser.add_argument("--metrics-out", default=None)
+    parser.add_argument(
+        "--otlp-out",
+        default=None,
+        help="trace every request (sample=1.0), append one OTLP/JSON "
+        "document per request here, and validate the span trees",
+    )
     args = parser.parse_args(argv)
 
     cycle_spec = parse_specification(CYCLE_SPEC_TEXT)
@@ -98,6 +169,8 @@ def main(argv=None) -> int:
             retry_after=0.02,
         ),
         supervisor_options={"backoff_base": 0.05, "backoff_cap": 0.5},
+        trace_sample=1.0 if args.otlp_out else None,
+        otlp_path=args.otlp_out,
     ) as server:
         host, port = server.address
         print(f"smoke: daemon on {host}:{port}", flush=True)  # allow-print: smoke script progress
@@ -160,6 +233,10 @@ def main(argv=None) -> int:
 
         post = client.normalize(_queue_subjects(2, "post"), spec="Queue")
         assert all(outcome.ok for outcome in post)
+
+        if args.otlp_out:
+            _traced_exercise(host, port)
+            _validate_otlp_artifact(args.otlp_out)
 
         if args.metrics_out:
             with open(args.metrics_out, "w") as handle:

@@ -216,6 +216,16 @@ class PoolSupervisor:
         with self._lock:
             return list(self._pids) if not self._pool._broken else []
 
+    def pool_snapshot(self) -> dict:
+        """The current pool's merged worker metrics snapshot.
+
+        ``/readyz`` folds the workers' ``engine.fuel_per_eval``
+        histograms into its fuel-budget suggestion through this; the
+        snapshot survives pool replacement only as far as the new
+        pool's workers have re-observed, which is the honest view."""
+        with self._lock:
+            return self._pool.metrics_snapshot()
+
     def close(self) -> None:
         with self._lock:
             self._pool.close()

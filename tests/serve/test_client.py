@@ -40,15 +40,45 @@ class _ScriptedHandler(BaseHTTPRequestHandler):
         self.wfile.write(body)
 
 
+class _KeepAliveHandler(_ScriptedHandler):
+    """The scripted server, speaking HTTP/1.1 with persistent
+    connections; counts distinct connections for the reuse tests."""
+
+    protocol_version = "HTTP/1.1"
+
+    def setup(self):
+        super().setup()
+        self.server.connections += 1
+
+
+class _SneakyCloseHandler(_KeepAliveHandler):
+    """Advertises keep-alive but drops the socket after ``close_after``
+    requests — the server-side idle-timeout the client must absorb."""
+
+    def do_POST(self):
+        super().do_POST()
+        server = self.server
+        if (
+            server.close_after is not None
+            and len(server.seen) >= server.close_after
+        ):
+            self.close_connection = True
+
+
 def _shed(status: int, reason: str) -> tuple[int, dict]:
     return status, {"error": {"status": status, "reason": reason}}
 
 
-@pytest.fixture
-def scripted():
-    server = ThreadingHTTPServer(("127.0.0.1", 0), _ScriptedHandler)
+def _ok() -> tuple[int, dict]:
+    return 200, {"outcomes": wire.encode_outcomes([])}
+
+
+def _stub(handler):
+    server = ThreadingHTTPServer(("127.0.0.1", 0), handler)
     server.script = []
     server.seen = []
+    server.connections = 0
+    server.close_after = None
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
     try:
@@ -57,6 +87,21 @@ def scripted():
         server.shutdown()
         server.server_close()
         thread.join(timeout=5.0)
+
+
+@pytest.fixture
+def scripted():
+    yield from _stub(_ScriptedHandler)
+
+
+@pytest.fixture
+def keepalive():
+    yield from _stub(_KeepAliveHandler)
+
+
+@pytest.fixture
+def sneaky():
+    yield from _stub(_SneakyCloseHandler)
 
 
 def _client(server, **kwargs) -> ServeClient:
@@ -109,3 +154,54 @@ class TestRetries:
         a = _client(scripted, seed=7)._rng.random()
         b = _client(scripted, seed=7)._rng.random()
         assert a == b
+
+
+class TestKeepAlive:
+    def test_requests_reuse_one_connection(self, keepalive):
+        keepalive.script = [_ok()]
+        with _client(keepalive, retries=0) as client:
+            for _ in range(3):
+                assert client.normalize(text=["NEW"]) == []
+        assert len(keepalive.seen) == 3
+        assert keepalive.connections == 1
+
+    def test_keepalive_false_reconnects_every_request(self, keepalive):
+        keepalive.script = [_ok()]
+        with _client(keepalive, retries=0, keepalive=False) as client:
+            for _ in range(3):
+                assert client.normalize(text=["NEW"]) == []
+        assert keepalive.connections == 3
+
+    def test_http10_server_is_never_cached(self, scripted):
+        # An HTTP/1.0 peer closes after every response; the client must
+        # notice (will_close) and fall back to connection-per-request
+        # instead of replaying against dead sockets.
+        scripted.script = [_ok()]
+        with _client(scripted, retries=0) as client:
+            for _ in range(2):
+                assert client.normalize(text=["NEW"]) == []
+            assert client._conn is None
+
+    def test_stale_cached_connection_replays_once(self, sneaky):
+        # The server silently drops the connection after each response
+        # (no Connection: close header), exactly like an idle-timeout
+        # firing between requests.  With retries=0, only the stale-
+        # connection replay path can make the second request succeed.
+        sneaky.script = [_ok()]
+        sneaky.close_after = 1
+        with _client(sneaky, retries=0) as client:
+            assert client.normalize(text=["NEW"]) == []
+            assert client.normalize(text=["NEW"]) == []
+        assert len(sneaky.seen) == 2
+        assert sneaky.connections == 2
+
+    def test_fresh_connection_failure_still_surfaces(self, sneaky):
+        # The replay is only for *reused* sockets: a failure on a fresh
+        # connection propagates to the retry loop as usual.
+        sneaky.script = [_shed(503, "queue_timeout")]
+        sneaky.close_after = 0  # drop after every response
+        with _client(sneaky, retries=1) as client:
+            with pytest.raises(ServeUnavailable) as exc:
+                client.normalize(text=["NEW"])
+        assert exc.value.status == 503
+        assert len(sneaky.seen) == 2  # first try + 1 retry

@@ -87,3 +87,36 @@ class TestLiveRegistry:
         assert "repro_t_depth 2" in text
         assert 'repro_t_seconds_bucket{le="+Inf"} 1' in text
         assert 'repro_t_by_reason_total{key="slow"} 1' in text
+
+
+class TestLiveEndpoint:
+    """The /metrics wire contract a real Prometheus scraper depends on."""
+
+    def test_metrics_content_type_and_length(self):
+        import http.client
+
+        from repro.adt.queue import QUEUE_SPEC
+        from repro.serve import ReproServer
+
+        with ReproServer(
+            [QUEUE_SPEC], registry=_metrics.MetricsRegistry("prom-live")
+        ) as server:
+            host, port = server.address
+            conn = http.client.HTTPConnection(host, port, timeout=10.0)
+            try:
+                conn.request("GET", "/metrics")
+                response = conn.getresponse()
+                body = response.read()
+            finally:
+                conn.close()
+        assert response.status == 200
+        # Prometheus scrapers negotiate on this exact exposition-format
+        # version string; a bare text/plain is treated as untyped.
+        assert (
+            response.getheader("Content-Type")
+            == "text/plain; version=0.0.4; charset=utf-8"
+        )
+        assert response.getheader("Content-Length") == str(len(body))
+        text = body.decode("utf-8")
+        assert "# TYPE repro_serve_requests_total counter" in text
+        assert text.endswith("\n")

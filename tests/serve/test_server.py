@@ -51,7 +51,18 @@ class TestHealth:
         reply = client.readyz()
         assert reply["status"] == 200
         assert reply["ready"] is True
-        assert reply["specs"]["Queue"] == {"ready": True}
+        entry = reply["specs"]["Queue"]
+        assert entry["ready"] is True
+        # Present on every session: None until fuel has been observed,
+        # a suggestion (p99 bucket x margin) once requests have run.
+        assert "suggested_fuel_budget" in entry
+
+    def test_readyz_suggests_fuel_after_traffic(self, served):
+        server, client = served
+        client.normalize(text=["FRONT(ADD(NEW, 7))"], spec="Queue")
+        reply = client.readyz()
+        suggestion = reply["specs"]["Queue"]["suggested_fuel_budget"]
+        assert isinstance(suggestion, int) and suggestion >= 1
 
 
 class TestNormalize:
